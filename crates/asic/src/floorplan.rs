@@ -1,0 +1,167 @@
+//! Floorplanning for redacted designs — the Innovus substitute behind
+//! Figure 4 of the paper.
+//!
+//! A redacted chip is a set of hard eFPGA macros plus a standard-cell
+//! region. The floorplanner packs the macros along a shelf, reserves
+//! standard-cell rows at the target utilization, and reports the die
+//! area; [`Floorplan::render_ascii`] draws the Figure-4-style layout.
+
+use alice_fabric::arch::FabricSize;
+use alice_fabric::cost::fabric_area_um2;
+
+/// A placed macro block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedMacro {
+    /// Macro name (e.g. `efpga0 (4x4)`).
+    pub name: String,
+    /// Lower-left x in µm.
+    pub x: f64,
+    /// Lower-left y in µm.
+    pub y: f64,
+    /// Width in µm.
+    pub w: f64,
+    /// Height in µm.
+    pub h: f64,
+}
+
+/// A completed floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Die width in µm.
+    pub die_w: f64,
+    /// Die height in µm.
+    pub die_h: f64,
+    /// Placed eFPGA macros.
+    pub macros: Vec<PlacedMacro>,
+    /// Standard-cell area placed around the macros (µm²).
+    pub stdcell_area_um2: f64,
+}
+
+impl Floorplan {
+    /// Total die area in µm².
+    pub fn die_area_um2(&self) -> f64 {
+        self.die_w * self.die_h
+    }
+
+    /// Core utilization: (macro + std-cell area) / die area.
+    pub fn utilization(&self) -> f64 {
+        let macro_area: f64 = self.macros.iter().map(|m| m.w * m.h).sum();
+        (macro_area + self.stdcell_area_um2) / self.die_area_um2()
+    }
+
+    /// Renders a Figure-4-style ASCII layout (`cols` characters wide).
+    pub fn render_ascii(&self, cols: usize) -> String {
+        let rows = ((cols as f64) * self.die_h / self.die_w / 2.0).ceil() as usize;
+        let rows = rows.max(8);
+        let mut grid = vec![vec!['.'; cols]; rows];
+        for (i, m) in self.macros.iter().enumerate() {
+            let x0 = (m.x / self.die_w * cols as f64) as usize;
+            let x1 = (((m.x + m.w) / self.die_w) * cols as f64).min(cols as f64) as usize;
+            let y0 = (m.y / self.die_h * rows as f64) as usize;
+            let y1 = (((m.y + m.h) / self.die_h) * rows as f64).min(rows as f64) as usize;
+            let tag = char::from_digit((i % 10) as u32, 10).expect("digit");
+            for row in grid.iter_mut().take(y1.max(y0 + 1)).skip(y0) {
+                for cell in row.iter_mut().take(x1.max(x0 + 1)).skip(x0) {
+                    *cell = tag;
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        for row in grid.iter().rev() {
+            out.push('|');
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push('+');
+        out
+    }
+}
+
+/// Builds a floorplan for a set of eFPGA macros plus `stdcell_area_um2` of
+/// logic, targeting the given core `utilization` (Innovus-style default is
+/// around 0.7).
+///
+/// Macros are square (fabric arrays) and placed on a single shelf from the
+/// left; standard-cell rows take the remaining space.
+pub fn floorplan(fabrics: &[FabricSize], stdcell_area_um2: f64, utilization: f64) -> Floorplan {
+    let sides: Vec<f64> = fabrics
+        .iter()
+        .map(|&s| fabric_area_um2(s).sqrt())
+        .collect();
+    let shelf_w: f64 = sides.iter().sum::<f64>() + 10.0 * (fabrics.len().max(1) - 1) as f64;
+    let shelf_h: f64 = sides.iter().cloned().fold(0.0, f64::max);
+    // Total needed area at the target utilization.
+    let macro_area: f64 = fabrics.iter().map(|&s| fabric_area_um2(s)).sum();
+    let need = (macro_area + stdcell_area_um2) / utilization.clamp(0.1, 1.0);
+    // Die: wide enough for the shelf, tall enough for the rest.
+    let die_w = shelf_w.max(need.sqrt());
+    let die_h = (need / die_w).max(shelf_h + 10.0);
+    let mut macros = Vec::new();
+    let mut x = 0.0;
+    for (i, (&size, side)) in fabrics.iter().zip(&sides).enumerate() {
+        macros.push(PlacedMacro {
+            name: format!("efpga{i} ({size})"),
+            x,
+            y: 0.0,
+            w: *side,
+            h: *side,
+        });
+        x += side + 10.0;
+    }
+    Floorplan {
+        die_w,
+        die_h,
+        macros,
+        stdcell_area_um2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_gcd_solutions_are_area_equivalent() {
+        // cfg1: two 4x4 fabrics; cfg2: one 5x5 fabric; ~500 µm² GCD logic.
+        let fp1 = floorplan(&[FabricSize::square(4), FabricSize::square(4)], 500.0, 1.0);
+        let fp2 = floorplan(&[FabricSize::square(5)], 500.0, 1.0);
+        let ratio = fp1.die_area_um2() / fp2.die_area_um2();
+        assert!(
+            (0.85..=1.15).contains(&ratio),
+            "cfg1 {} vs cfg2 {} (ratio {ratio})",
+            fp1.die_area_um2(),
+            fp2.die_area_um2()
+        );
+    }
+
+    #[test]
+    fn macros_fit_in_die() {
+        let fp = floorplan(&[FabricSize::square(8), FabricSize::square(4)], 2000.0, 0.7);
+        for m in &fp.macros {
+            assert!(m.x + m.w <= fp.die_w + 1e-6, "{m:?}");
+            assert!(m.y + m.h <= fp.die_h + 1e-6, "{m:?}");
+        }
+        assert!(fp.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn ascii_rendering_shows_macros() {
+        let fp = floorplan(&[FabricSize::square(4), FabricSize::square(4)], 500.0, 0.9);
+        let art = fp.render_ascii(40);
+        assert!(art.contains('0'), "{art}");
+        assert!(art.contains('1'), "{art}");
+        assert!(art.lines().count() >= 10);
+    }
+
+    #[test]
+    fn empty_macro_list_still_plans() {
+        let fp = floorplan(&[], 1000.0, 0.7);
+        assert!(fp.die_area_um2() >= 1000.0 / 0.7 * 0.99);
+        assert!(fp.macros.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! ASIC implementation cost model (Cadence Genus/Innovus substitute).
+//!
+//! The paper validates redacted designs with commercial logic synthesis
+//! and physical design on the NanGate 45nm library. This crate provides
+//! the equivalents the reproduction needs:
+//!
+//! * [`celllib`] — the embedded NanGate45-flavour cell library,
+//! * [`report`] — gate→cell mapping plus area/timing/power reports,
+//! * [`floorplan`] — macro placement and die-area accounting behind
+//!   Figure 4, including an ASCII layout renderer.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use alice_fabric::arch::FabricSize;
+//!
+//! let fp = alice_asic::floorplan::floorplan(
+//!     &[FabricSize::square(4), FabricSize::square(4)], 500.0, 0.9);
+//! println!("{}", fp.render_ascii(48));
+//! assert!(fp.die_area_um2() > 50_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod celllib;
+pub mod floorplan;
+pub mod report;
+
+pub use floorplan::{floorplan, Floorplan, PlacedMacro};
+pub use report::{synthesize, AsicReport};

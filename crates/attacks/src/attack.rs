@@ -1,0 +1,406 @@
+//! Oracle-guided SAT attack on eFPGA-redacted logic.
+//!
+//! Implements the attack of Subramanyan et al. (reference [16] of the
+//! paper) against a redacted cluster: the attacker knows the fabric
+//! netlist (LUT topology) but not the configuration bitstream, and owns a
+//! fully-scanned unlocked chip as an oracle. The LUT truth-table bits are
+//! the key; the attack finds distinguishing input patterns (DIPs) until
+//! the key space collapses, then extracts a functionally-correct
+//! bitstream.
+//!
+//! Routing bits are fixed in our fabric model (see `alice-fabric`), so the
+//! key is exactly the truth-table portion of the bitstream — consistent
+//! with the LUT-oriented security analyses the paper builds on [3, 4].
+
+use crate::oracle::{query, OracleResponse};
+use crate::solver::{Lit, SatResult, Solver, Var};
+use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
+use std::time::Instant;
+
+/// Outcome of a SAT attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackStatus {
+    /// A functionally-correct bitstream was recovered.
+    KeyRecovered {
+        /// Recovered truth tables, one per LUT.
+        keys: Vec<Vec<bool>>,
+    },
+    /// The budget ran out before the key space collapsed.
+    Resilient,
+}
+
+/// Statistics of a SAT attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// Final status.
+    pub status: AttackStatus,
+    /// Number of distinguishing input patterns found.
+    pub dips: usize,
+    /// Key length in bits (truth-table bits of the cluster).
+    pub key_bits: usize,
+    /// Total solver conflicts.
+    pub conflicts: u64,
+    /// Wall-clock milliseconds.
+    pub millis: u128,
+}
+
+/// Attack budget limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackBudget {
+    /// Maximum DIP iterations.
+    pub max_dips: usize,
+    /// Solver conflict budget per call.
+    pub conflicts_per_call: u64,
+}
+
+impl Default for AttackBudget {
+    fn default() -> Self {
+        AttackBudget {
+            max_dips: 2_000,
+            conflicts_per_call: 200_000,
+        }
+    }
+}
+
+/// Per-copy variable bundle.
+struct Copy {
+    outs: Vec<Var>,
+    next_state: Vec<Var>,
+}
+
+struct Encoder<'a> {
+    mapped: &'a MappedNetlist,
+    const_true: Var,
+}
+
+impl<'a> Encoder<'a> {
+    fn new(s: &mut Solver, mapped: &'a MappedNetlist) -> Self {
+        let const_true = s.new_var();
+        s.add_clause(&[Lit::pos(const_true)]);
+        Encoder { mapped, const_true }
+    }
+
+    fn alloc_keys(&self, s: &mut Solver) -> Vec<Vec<Var>> {
+        self.mapped
+            .luts
+            .iter()
+            .map(|l| {
+                (0..(1usize << l.inputs.len()))
+                    .map(|_| s.new_var())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Encodes one circuit copy with the given key variables. `pi` and
+    /// `state` supply the input variables (shared or fixed by the caller).
+    fn encode_copy(
+        &self,
+        s: &mut Solver,
+        keys: &[Vec<Var>],
+        pi: &[Var],
+        state: &[Var],
+    ) -> Copy {
+        let mut lut_vars: Vec<Var> = Vec::with_capacity(self.mapped.luts.len());
+        let src = |v: &MappedSrc, lut_vars: &[Var]| -> Lit {
+            match v {
+                MappedSrc::Const(true) => Lit::pos(self.const_true),
+                MappedSrc::Const(false) => Lit::neg(self.const_true),
+                MappedSrc::Pi(i) => Lit::pos(pi[*i]),
+                MappedSrc::Lut(i) => Lit::pos(lut_vars[*i]),
+                MappedSrc::Dff(i) => Lit::pos(state[*i]),
+            }
+        };
+        for (li, lut) in self.mapped.luts.iter().enumerate() {
+            let o = s.new_var();
+            let ins: Vec<Lit> = lut.inputs.iter().map(|i| src(i, &lut_vars)).collect();
+            for p in 0..(1usize << ins.len()) {
+                // match(p) & k_p -> o   and   match(p) & !k_p -> !o
+                let mut base: Vec<Lit> = Vec::with_capacity(ins.len() + 2);
+                for (b, &inl) in ins.iter().enumerate() {
+                    // literal asserting "input b != bit b of p"
+                    base.push(if (p >> b) & 1 == 1 { inl.negate() } else { inl });
+                }
+                let mut c1 = base.clone();
+                c1.push(Lit::neg(keys[li][p]));
+                c1.push(Lit::pos(o));
+                s.add_clause(&c1);
+                let mut c2 = base;
+                c2.push(Lit::pos(keys[li][p]));
+                c2.push(Lit::neg(o));
+                s.add_clause(&c2);
+            }
+            lut_vars.push(o);
+        }
+        let outs = self
+            .mapped
+            .outputs
+            .iter()
+            .flat_map(|(_, bits)| bits.iter())
+            .map(|b| {
+                let v = s.new_var();
+                let l = src(b, &lut_vars);
+                s.add_clause(&[Lit::neg(v), l]);
+                s.add_clause(&[Lit::pos(v), l.negate()]);
+                v
+            })
+            .collect();
+        let next_state = self
+            .mapped
+            .dffs
+            .iter()
+            .map(|d| {
+                let v = s.new_var();
+                let l = src(&d.d, &lut_vars);
+                s.add_clause(&[Lit::neg(v), l]);
+                s.add_clause(&[Lit::pos(v), l.negate()]);
+                v
+            })
+            .collect();
+        Copy { outs, next_state }
+    }
+
+    /// Allocates fresh input vars and pins them to constants.
+    fn fixed_inputs(&self, s: &mut Solver, bits: &[bool]) -> Vec<Var> {
+        bits.iter()
+            .map(|&b| {
+                let v = s.new_var();
+                s.add_clause(&[Lit::new(v, !b)]);
+                v
+            })
+            .collect()
+    }
+
+    /// Constrains a copy's observables to the oracle response.
+    fn pin_outputs(&self, s: &mut Solver, copy: &Copy, resp: &OracleResponse) {
+        for (&v, &b) in copy.outs.iter().zip(&resp.outputs) {
+            s.add_clause(&[Lit::new(v, !b)]);
+        }
+        for (&v, &b) in copy.next_state.iter().zip(&resp.next_state) {
+            s.add_clause(&[Lit::new(v, !b)]);
+        }
+    }
+}
+
+/// Runs the oracle-guided SAT attack against `mapped`.
+///
+/// `mapped`'s own truth tables play the oracle (the unlocked chip); the
+/// attacker model sees only the topology. Returns the recovered bitstream
+/// or [`AttackStatus::Resilient`] when the budget is exhausted.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "module m(input wire [3:0] a, output wire y); assign y = ^a; endmodule";
+/// let f = alice_verilog::parse_source(src)?;
+/// let n = alice_netlist::elaborate::elaborate(&f, "m")?;
+/// let mapped = alice_netlist::lutmap::map_luts(&n, 4)?;
+/// let report = alice_attacks::sat_attack(&mapped, alice_attacks::AttackBudget::default());
+/// assert!(matches!(report.status, alice_attacks::AttackStatus::KeyRecovered { .. }));
+/// # Ok(())
+/// # }
+/// ```
+pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport {
+    let start = Instant::now();
+    let key_bits: usize = mapped
+        .luts
+        .iter()
+        .map(|l| 1usize << l.inputs.len())
+        .sum();
+    let n_pi = mapped.input_names.len();
+    let n_st = mapped.dffs.len();
+
+    // Miter solver: two keyed copies over shared inputs, outputs differ.
+    let mut s = Solver::new();
+    s.conflict_budget = Some(budget.conflicts_per_call);
+    let enc = Encoder::new(&mut s, mapped);
+    let k1 = enc.alloc_keys(&mut s);
+    let k2 = enc.alloc_keys(&mut s);
+    let pi: Vec<Var> = (0..n_pi).map(|_| s.new_var()).collect();
+    let st: Vec<Var> = (0..n_st).map(|_| s.new_var()).collect();
+    let c1 = enc.encode_copy(&mut s, &k1, &pi, &st);
+    let c2 = enc.encode_copy(&mut s, &k2, &pi, &st);
+    // d_i -> (o1_i xor o2_i); assert OR d_i.
+    let mut diff_lits = Vec::new();
+    for (&a, &b) in c1
+        .outs
+        .iter()
+        .chain(&c1.next_state)
+        .zip(c2.outs.iter().chain(&c2.next_state))
+    {
+        let d = s.new_var();
+        // d -> (a != b)
+        s.add_clause(&[Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
+        diff_lits.push(Lit::pos(d));
+    }
+    s.add_clause(&diff_lits);
+
+    // Key solver: accumulates I/O constraints on a single key copy; solved
+    // once at the end to extract a consistent bitstream.
+    let mut ks = Solver::new();
+    ks.conflict_budget = Some(budget.conflicts_per_call);
+    let kenc = Encoder::new(&mut ks, mapped);
+    let kk = kenc.alloc_keys(&mut ks);
+
+    let mut dips = 0usize;
+    loop {
+        if dips >= budget.max_dips {
+            return AttackReport {
+                status: AttackStatus::Resilient,
+                dips,
+                key_bits,
+                conflicts: s.total_conflicts + ks.total_conflicts,
+                millis: start.elapsed().as_millis(),
+            };
+        }
+        match s.solve() {
+            SatResult::Unknown => {
+                return AttackReport {
+                    status: AttackStatus::Resilient,
+                    dips,
+                    key_bits,
+                    conflicts: s.total_conflicts + ks.total_conflicts,
+                    millis: start.elapsed().as_millis(),
+                }
+            }
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                // Extract the DIP before touching the solver again.
+                let dip_pi: Vec<bool> =
+                    pi.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
+                let dip_st: Vec<bool> =
+                    st.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
+                let resp = query(mapped, &dip_pi, &dip_st, None);
+                dips += 1;
+                // Both key copies must reproduce the oracle on this DIP.
+                for keys in [&k1, &k2] {
+                    let fpi = enc.fixed_inputs(&mut s, &dip_pi);
+                    let fst = enc.fixed_inputs(&mut s, &dip_st);
+                    let copy = enc.encode_copy(&mut s, keys, &fpi, &fst);
+                    enc.pin_outputs(&mut s, &copy, &resp);
+                }
+                // And the key solver learns the same I/O pair.
+                let fpi = kenc.fixed_inputs(&mut ks, &dip_pi);
+                let fst = kenc.fixed_inputs(&mut ks, &dip_st);
+                let copy = kenc.encode_copy(&mut ks, &kk, &fpi, &fst);
+                kenc.pin_outputs(&mut ks, &copy, &resp);
+            }
+        }
+    }
+    // Key space collapsed: any key satisfying the accumulated I/O pairs is
+    // functionally correct.
+    let status = match ks.solve() {
+        SatResult::Sat => {
+            let keys: Vec<Vec<bool>> = kk
+                .iter()
+                .map(|row| row.iter().map(|&v| ks.value(v).unwrap_or(false)).collect())
+                .collect();
+            AttackStatus::KeyRecovered { keys }
+        }
+        _ => AttackStatus::Resilient,
+    };
+    AttackReport {
+        status,
+        dips,
+        key_bits,
+        conflicts: s.total_conflicts + ks.total_conflicts,
+        millis: start.elapsed().as_millis(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::exhaustive_equiv;
+    use alice_netlist::elaborate::elaborate;
+    use alice_netlist::lutmap::map_luts;
+    use alice_verilog::parse_source;
+
+    fn mapped(src: &str, top: &str) -> MappedNetlist {
+        let f = parse_source(src).expect("parse");
+        let n = elaborate(&f, top).expect("elab");
+        map_luts(&n, 4).expect("map")
+    }
+
+    #[test]
+    fn attack_recovers_single_lut() {
+        let m = mapped(
+            "module m(input wire [3:0] a, output wire y);\
+             assign y = (a[0] & a[1]) | (a[2] ^ a[3]); endmodule",
+            "m",
+        );
+        let r = sat_attack(&m, AttackBudget::default());
+        match r.status {
+            AttackStatus::KeyRecovered { keys } => {
+                assert!(exhaustive_equiv(&m, &keys), "recovered key must match");
+            }
+            AttackStatus::Resilient => panic!("tiny circuit must break"),
+        }
+        assert!(r.dips >= 1);
+    }
+
+    #[test]
+    fn attack_recovers_multi_lut_adder() {
+        let m = mapped(
+            "module m(input wire [3:0] a, input wire [3:0] b, output wire [4:0] y);\
+             assign y = {1'b0, a} + {1'b0, b}; endmodule",
+            "m",
+        );
+        let r = sat_attack(&m, AttackBudget::default());
+        match r.status {
+            AttackStatus::KeyRecovered { keys } => {
+                assert!(exhaustive_equiv(&m, &keys));
+            }
+            AttackStatus::Resilient => panic!("adder must break"),
+        }
+        // Key bits: 2^|inputs| per LUT, between 2 and 16 each.
+        assert!(r.key_bits >= 2 * m.lut_count());
+        assert!(r.key_bits <= 16 * m.lut_count());
+    }
+
+    #[test]
+    fn attack_handles_sequential_as_scan() {
+        let m = mapped(
+            "module c(input wire clk, input wire en, output reg [1:0] q);\
+             always @(posedge clk) begin if (en) q <= q + 2'd1; end endmodule",
+            "c",
+        );
+        let r = sat_attack(&m, AttackBudget::default());
+        match r.status {
+            AttackStatus::KeyRecovered { keys } => {
+                assert!(exhaustive_equiv(&m, &keys));
+            }
+            AttackStatus::Resilient => panic!("2-bit counter must break"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_resilient() {
+        let m = mapped(
+            "module m(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);\
+             assign y = a * b; endmodule",
+            "m",
+        );
+        let r = sat_attack(
+            &m,
+            AttackBudget {
+                max_dips: 1,
+                conflicts_per_call: 100_000,
+            },
+        );
+        assert_eq!(r.status, AttackStatus::Resilient);
+        assert!(r.dips <= 1);
+    }
+
+    #[test]
+    fn key_bits_counted() {
+        let m = mapped(
+            "module m(input wire [3:0] a, output wire y); assign y = &a; endmodule",
+            "m",
+        );
+        let r = sat_attack(&m, AttackBudget::default());
+        assert_eq!(r.key_bits, 16 * m.lut_count());
+    }
+}

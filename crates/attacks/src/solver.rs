@@ -1,0 +1,583 @@
+//! A CDCL SAT solver built from scratch for the attack harness.
+//!
+//! Implements the standard architecture: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS-style variable
+//! activities, phase saving, and Luby restarts. Clause deletion is not
+//! implemented — attack instances stay small enough that the learned-clause
+//! database is never the bottleneck.
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Builds a literal with an explicit sign (`true` = negated).
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit(v.0 << 1 | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var().0)
+    }
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; read the model with [`Solver::value`].
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Conflict/decision budget exhausted.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+/// The CDCL solver.
+///
+/// # Example
+///
+/// ```
+/// use alice_attacks::solver::{Lit, SatResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<usize>>, // per literal: clause indices
+    assigns: Vec<Assign>,
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    unsat: bool,
+    /// Conflict budget for [`Solver::solve`]; `None` = unlimited.
+    pub conflict_budget: Option<u64>,
+    conflicts: u64,
+    /// Total conflicts over the solver's lifetime (statistics).
+    pub total_conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            act_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(Assign::Unassigned);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause. An empty clause makes the instance trivially UNSAT.
+    ///
+    /// Adding a clause resets the search to decision level 0, so any model
+    /// from a previous [`Solver::solve`] call must be read *before* adding.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        self.cancel_until(0);
+        // Deduplicate and check for tautology.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort();
+        c.dedup();
+        if c.windows(2).any(|w| w[0] == w[1].negate()) {
+            return; // tautology
+        }
+        // Must be at decision level 0 here.
+        debug_assert!(self.trail_lim.is_empty());
+        if c.iter().any(|l| self.lit_value(*l) == Assign::True) {
+            return; // satisfied at level 0
+        }
+        c.retain(|l| self.lit_value(*l) != Assign::False);
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if self.lit_value(c[0]) == Assign::False {
+                    self.unsat = true;
+                } else if self.lit_value(c[0]) == Assign::Unassigned {
+                    self.enqueue(c[0], None);
+                    if self.propagate().is_some() {
+                        self.unsat = true;
+                    }
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[c[0].index()].push(idx);
+                self.watches[c[1].index()].push(idx);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> Assign {
+        match self.assigns[l.var().0 as usize] {
+            Assign::Unassigned => Assign::Unassigned,
+            Assign::True => {
+                if l.is_neg() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+            Assign::False => {
+                if l.is_neg() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) {
+        let v = l.var().0 as usize;
+        self.assigns[v] = if l.is_neg() {
+            Assign::False
+        } else {
+            Assign::True
+        };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            let falsified = l.negate();
+            let mut i = 0;
+            // Take the watch list to sidestep aliasing; rebuilt as we scan.
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.index()]);
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Ensure watched literal is at position 1.
+                let pos = self.clauses[ci]
+                    .iter()
+                    .position(|&x| x == falsified)
+                    .expect("watched literal in clause");
+                self.clauses[ci].swap(pos, 1);
+                if self.lit_value(self.clauses[ci][0]) == Assign::True {
+                    i += 1;
+                    continue; // clause satisfied
+                }
+                // Find a new watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.lit_value(self.clauses[ci][k]) != Assign::False {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[new_watch.index()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                let first = self.clauses[ci][0];
+                match self.lit_value(first) {
+                    Assign::False => {
+                        // Conflict: restore remaining watches.
+                        self.watches[falsified.index()] = watch_list;
+                        return Some(ci);
+                    }
+                    Assign::Unassigned => {
+                        self.enqueue(first, Some(ci));
+                        i += 1;
+                    }
+                    Assign::True => {
+                        i += 1;
+                    }
+                }
+            }
+            self.watches[falsified.index()] = watch_list;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.act_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backjump level).
+    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, u32) {
+        let cur_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // slot 0 for the UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0u32;
+        let mut trail_idx = self.trail.len();
+        let mut p: Option<Lit> = None;
+        loop {
+            // Skip clause[0] of reason clauses: it is the implied literal p.
+            let start = if p.is_none() { 0 } else { 1 };
+            let lits: Vec<Lit> = self.clauses[confl][start..].to_vec();
+            for q in lits {
+                let v = q.var().0 as usize;
+                if seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                seen[v] = true;
+                self.bump(q.var());
+                if self.level[v] >= cur_level {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if seen[self.trail[trail_idx].var().0 as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[trail_idx];
+            seen[pl.var().0 as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason[pl.var().0 as usize].expect("implied literal has a reason");
+            p = Some(pl);
+        }
+        learned[0] = p.expect("found UIP").negate();
+        // Backjump level = max level among the other literals; keep one
+        // literal of that level at slot 1 so the watch pair stays valid
+        // after the backjump.
+        let mut bj = 0;
+        let mut bj_idx = 0;
+        for (i, l) in learned.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().0 as usize];
+            if lv > bj {
+                bj = lv;
+                bj_idx = i;
+            }
+        }
+        if bj_idx > 1 {
+            learned.swap(1, bj_idx);
+        }
+        (learned, bj)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-empty");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty");
+                let v = l.var().0 as usize;
+                self.assigns[v] = Assign::Unassigned;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(f64, usize)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v] == Assign::Unassigned {
+                let a = self.activity[v];
+                if best.map(|(ba, _)| a > ba).unwrap_or(true) {
+                    best = Some((a, v));
+                }
+            }
+        }
+        best.map(|(_, v)| Lit::new(Var(v as u32), !self.phase[v]))
+    }
+
+    /// Solves the current formula.
+    ///
+    /// Returns [`SatResult::Unknown`] when the conflict budget (if set) is
+    /// exhausted — the attack harness uses this as its "resilient within
+    /// budget" signal.
+    pub fn solve(&mut self) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        self.conflicts = 0;
+        let mut restart_idx = 0u64;
+        let mut restart_limit = 64u64 * luby(restart_idx);
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.conflicts += 1;
+                    self.total_conflicts += 1;
+                    if let Some(budget) = self.conflict_budget {
+                        if self.conflicts > budget {
+                            self.cancel_until(0);
+                            return SatResult::Unknown;
+                        }
+                    }
+                    if self.trail_lim.is_empty() {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                    let (learned, bj) = self.analyze(confl);
+                    self.cancel_until(bj);
+                    if learned.len() == 1 {
+                        self.enqueue(learned[0], None);
+                    } else {
+                        let idx = self.clauses.len();
+                        self.watches[learned[0].index()].push(idx);
+                        self.watches[learned[1].index()].push(idx);
+                        let unit = learned[0];
+                        self.clauses.push(learned);
+                        self.enqueue(unit, Some(idx));
+                    }
+                    self.act_inc /= 0.95;
+                    if self.conflicts >= restart_limit {
+                        restart_idx += 1;
+                        restart_limit = self.conflicts + 64 * luby(restart_idx);
+                        self.cancel_until(0);
+                    }
+                }
+                None => match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Model value of `v` after a SAT answer (`None` if unassigned).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.0 as usize] {
+            Assign::Unassigned => None,
+            Assign::True => Some(true),
+            Assign::False => Some(false),
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...).
+fn luby(i: u64) -> u64 {
+    let mut k = 1u64;
+    while (1u64 << (k + 1)) - 1 <= i + 1 {
+        k += 1;
+    }
+    let mut i = i;
+    let mut kk = k;
+    loop {
+        if i + 1 == (1u64 << kk) - 1 {
+            return 1u64 << (kk - 1);
+        }
+        if i + 1 < (1u64 << kk) - 1 {
+            kk -= 1;
+            if kk == 0 {
+                return 1;
+            }
+            continue;
+        }
+        i -= (1u64 << kk) - 1;
+        kk = 1;
+        while (1u64 << (kk + 1)) - 1 <= i + 1 {
+            kk += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+
+        let mut s2 = Solver::new();
+        let b = s2.new_var();
+        s2.add_clause(&[Lit::pos(b)]);
+        s2.add_clause(&[Lit::neg(b)]);
+        assert_eq!(s2.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn chain_implication() {
+        // (a -> b -> c -> d), a  => d
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        for w in vs.windows(2) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        }
+        s.add_clause(&[Lit::pos(vs[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(vs[3]), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j] = pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_constraint_forces_model() {
+        // a xor b = 1, a = 1 => b = 0.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        s.add_clause(&[Lit::pos(a)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(false));
+    }
+
+    #[test]
+    fn incremental_solving_with_added_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.cancel_until(0);
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.cancel_until(0);
+        s.add_clause(&[Lit::neg(b)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn budget_returns_unknown_or_solves() {
+        // Hard-ish random-like instance with a tiny budget.
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+        // Parity chain: x0 ^ x1 ^ ... ^ x29 = 1 encoded pairwise.
+        for i in 0..29 {
+            let (a, b) = (vs[i], vs[i + 1]);
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        }
+        s.conflict_budget = Some(1);
+        let r = s.solve();
+        assert!(r == SatResult::Sat || r == SatResult::Unknown);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..9).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! Eq. 1 weight sweep (α/β), score-model variants, and the growth of
+//! Algorithm 2's fixed point with the pin budget.
+
+use alice_core::cluster::identify_clusters;
+use alice_core::config::{AliceConfig, ScoreModel};
+use alice_core::filter::filter_modules;
+use alice_core::flow::Flow;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ablation_benches(c: &mut Criterion) {
+    let bench = alice_benchmarks::gcd::benchmark();
+    let design = bench.design().expect("load");
+
+    // alpha/beta weight sweep under Eq. 1.
+    let mut group = c.benchmark_group("eq1_weights");
+    group.sample_size(10);
+    for (alpha, beta) in [(1.0, 1.0), (2.0, 0.5), (0.5, 2.0), (1.0, 0.0), (0.0, 1.0)] {
+        let cfg = AliceConfig {
+            alpha,
+            beta,
+            ..bench.config(AliceConfig::cfg1())
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("a{alpha}_b{beta}")),
+            &cfg,
+            |b, cfg| b.iter(|| Flow::new(cfg.clone()).run(&design).expect("flow")),
+        );
+    }
+    group.finish();
+
+    // Score model variants.
+    let mut group = c.benchmark_group("score_model");
+    group.sample_size(10);
+    for (name, model) in [
+        ("utilization_reward", ScoreModel::UtilizationReward),
+        ("as_printed", ScoreModel::AsPrinted),
+    ] {
+        let cfg = AliceConfig {
+            score_model: model,
+            ..bench.config(AliceConfig::cfg1())
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| Flow::new(cfg.clone()).run(&design).expect("flow"))
+        });
+    }
+    group.finish();
+
+    // Cluster fixed point at increasing pin budgets (the |C| explosion of
+    // DES3 between cfg1 and cfg2).
+    let des3 = alice_benchmarks::des3::benchmark();
+    let ddes = des3.design().expect("load");
+    let df = alice_dataflow::analyze(&ddes.file, &ddes.hierarchy.top).expect("df");
+    let mut group = c.benchmark_group("cluster_fixed_point");
+    group.sample_size(10);
+    for max_io in [24u32, 48, 64, 96] {
+        let cfg = AliceConfig {
+            max_io_pins: max_io,
+            ..des3.config(AliceConfig::cfg1())
+        };
+        let r = filter_modules(&ddes, &df, &cfg).expect("filter").candidates;
+        group.bench_with_input(BenchmarkId::from_parameter(max_io), &r, |b, r| {
+            b.iter(|| identify_clusters(r, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

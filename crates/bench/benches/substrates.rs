@@ -1,0 +1,47 @@
+//! Criterion benches for the substrates: Verilog parsing, elaboration,
+//! LUT mapping, fabric creation and the SAT attack.
+
+use alice_fabric::{create_efpga, FabricArch};
+use alice_netlist::elaborate::elaborate;
+use alice_netlist::lutmap::map_luts;
+use alice_verilog::parse_source;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn substrate_benches(c: &mut Criterion) {
+    let gcd_src = alice_benchmarks::gcd::source();
+    c.bench_function("verilog_parse_gcd", |b| {
+        b.iter(|| parse_source(&gcd_src).expect("parse"))
+    });
+
+    let file = parse_source(&gcd_src).expect("parse");
+    c.bench_function("elaborate_gcd_top", |b| {
+        b.iter(|| elaborate(&file, "gcd").expect("elab"))
+    });
+
+    let sub = elaborate(&file, "gcd_sub").expect("elab");
+    c.bench_function("lutmap_gcd_sub", |b| {
+        b.iter(|| map_luts(&sub, 4).expect("map"))
+    });
+
+    let mapped = map_luts(&sub, 4).expect("map");
+    let arch = FabricArch::default();
+    c.bench_function("create_efpga_gcd_sub", |b| {
+        b.iter(|| create_efpga(&mapped, &arch).expect("fits"))
+    });
+
+    c.bench_function("sat_attack_small_cluster", |b| {
+        let src = "module m(input wire [3:0] a, input wire [3:0] b, output wire [3:0] y);\
+                   assign y = (a & b) ^ (a + b); endmodule";
+        let f = parse_source(src).expect("parse");
+        let n = elaborate(&f, "m").expect("elab");
+        let m = map_luts(&n, 4).expect("map");
+        b.iter(|| alice_attacks::sat_attack(&m, alice_attacks::AttackBudget::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = substrate_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates Figure 4 of the paper: physical layouts of the two GCD
+//! solutions (cfg1: two 4×4 eFPGAs; cfg2: one 5×5 eFPGA) with die areas.
+
+use alice_asic::floorplan::floorplan;
+use alice_asic::report::synthesize;
+use alice_bench::{paper_configs, run_flow};
+use alice_netlist::elaborate::elaborate;
+
+fn main() {
+    let gcd = alice_benchmarks::gcd::benchmark();
+    for (label, cfg) in paper_configs() {
+        let out = run_flow(&gcd, cfg);
+        let Some(best) = &out.selection.best else {
+            println!("{label}: no solution");
+            continue;
+        };
+        let sizes: Vec<_> = best
+            .efpgas
+            .iter()
+            .map(|&i| out.selection.valid[i].efpga.size)
+            .collect();
+        // Residual ASIC logic: the unredacted modules of the design.
+        let design = gcd.design().expect("load");
+        let redacted: Vec<String> = best
+            .efpgas
+            .iter()
+            .flat_map(|&i| {
+                out.selection.valid[i]
+                    .cluster
+                    .iter()
+                    .map(|&c| out.filter.candidates[c].path.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut residual = 0.0;
+        for path in design.instance_paths() {
+            if redacted.contains(&path) {
+                continue;
+            }
+            let module = design.module_of(&path).expect("module");
+            if let Ok(n) = elaborate(&design.file, module) {
+                residual += synthesize(&n).area_um2;
+            }
+        }
+        let fp = floorplan(&sizes, residual, 0.92);
+        let size_str = sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ");
+        println!("── Figure 4 / {label}");
+        println!(
+            "   eFPGAs: {size_str}   std-cell logic: {residual:.0} um^2   die: {:.0} um^2",
+            fp.die_area_um2()
+        );
+        println!("{}", fp.render_ascii(56));
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Developer probe: per-module synthesis/mapping/fabric statistics for
+//! every benchmark module (useful when calibrating the suite).
+
+use alice_fabric::{create_efpga, FabricArch};
+use alice_netlist::elaborate::elaborate;
+use alice_netlist::lutmap::map_luts;
+
+fn main() {
+    let arch = FabricArch::default();
+    for b in alice_benchmarks::suite() {
+        let design = b.design().expect("load");
+        println!("── {}", b.name);
+        let mut modules: Vec<_> = design.hierarchy.modules.values().collect();
+        modules.sort_by_key(|m| &m.name);
+        for m in modules {
+            if m.name == b.top {
+                continue;
+            }
+            let Ok(n) = elaborate(&design.file, &m.name) else {
+                println!("  {:<16} pins {:>4}  (elaboration fails)", m.name, m.io_pins);
+                continue;
+            };
+            let mapped = map_luts(&n, 4).expect("map");
+            match create_efpga(&mapped, &arch) {
+                Ok(e) => println!(
+                    "  {:<16} pins {:>4}  luts {:>5} dffs {:>4} les {:>5} clbs {:>4} -> {} (io {:.2} clb {:.2})",
+                    m.name,
+                    m.io_pins,
+                    mapped.lut_count(),
+                    mapped.dff_count(),
+                    e.packing.le_count,
+                    e.packing.clb_count(),
+                    e.size,
+                    e.io_util,
+                    e.clb_util
+                ),
+                Err(err) => println!(
+                    "  {:<16} pins {:>4}  luts {:>5} dffs {:>4}  INVALID: {err}",
+                    m.name,
+                    m.io_pins,
+                    mapped.lut_count(),
+                    mapped.dff_count()
+                ),
+            }
+        }
+    }
+}

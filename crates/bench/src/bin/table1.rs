@@ -1,0 +1,21 @@
+//! Regenerates Table 1 of the paper: benchmark characteristics.
+
+fn main() {
+    println!("Table 1: Characteristics of the selected benchmarks");
+    println!(
+        "{:<10} {:<8} {:>8} {:>10} {:>14}",
+        "Suite", "Design", "Modules", "Instances", "I/O [min,max]"
+    );
+    for b in alice_benchmarks::suite() {
+        let design = b.design().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (modules, instances, lo, hi) = b.table1_stats(&design);
+        println!(
+            "{:<10} {:<8} {:>8} {:>10} {:>14}",
+            b.suite,
+            b.name,
+            modules,
+            instances,
+            format!("[{lo}, {hi}]")
+        );
+    }
+}

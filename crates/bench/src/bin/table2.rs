@@ -1,0 +1,53 @@
+//! Regenerates Table 2 of the paper: the full ALICE flow on every
+//! benchmark under cfg1 (64 I/O pins, ≤2 eFPGAs) and cfg2 (96 I/O pins,
+//! 1 eFPGA), α = β = 1.
+
+use alice_bench::{paper_configs, run_flow};
+
+fn main() {
+    for (label, cfg) in paper_configs() {
+        println!("── {label} ─────────────────────────────────────────────");
+        println!(
+            "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3}",
+            "Design",
+            "#Ins",
+            "filter t",
+            "|R|",
+            "cluster t",
+            "|C|",
+            "select t",
+            "#valid",
+            "|S|",
+            "eFPGA sizes",
+            "#red"
+        );
+        for b in alice_benchmarks::suite() {
+            let out = run_flow(&b, cfg.clone());
+            let r = &out.report;
+            let sizes = if r.efpga_sizes.is_empty() {
+                "- (n.a.)".to_string()
+            } else {
+                r.efpga_sizes
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!(
+                "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3}",
+                r.design,
+                r.instances,
+                format!("{:.2?}", r.filter_time),
+                r.candidates,
+                format!("{:.2?}", r.cluster_time),
+                r.clusters,
+                format!("{:.2?}", r.select_time),
+                r.valid_efpgas,
+                r.solutions,
+                sizes,
+                r.redacted_modules
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation section and hosts the Criterion performance benches.
+//!
+//! Binaries:
+//!
+//! * `table1` — benchmark characteristics (paper Table 1),
+//! * `table2` — the full flow under cfg1/cfg2 (paper Table 2),
+//! * `figure4` — GCD floorplans and die areas (paper Figure 4),
+//! * `security` — SAT-attack resilience of selected fabrics (threat-model
+//!   extension; §2.1/[16]).
+//!
+//! Benches (Criterion): `flow_phases`, `substrates`, `ablation`.
+
+use alice_benchmarks::Benchmark;
+use alice_core::config::AliceConfig;
+use alice_core::flow::{Flow, FlowOutcome};
+
+/// Runs one benchmark under a configuration, with its selected outputs.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to load or the flow errors (the shipped
+/// suite must always run).
+pub fn run_flow(bench: &Benchmark, base: AliceConfig) -> FlowOutcome {
+    let design = bench
+        .design()
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    Flow::new(bench.config(base))
+        .run(&design)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name))
+}
+
+/// The two configurations of §7.
+pub fn paper_configs() -> [(&'static str, AliceConfig); 2] {
+    [
+        ("cfg1: 64 I/O pins and 2 eFPGAs", AliceConfig::cfg1()),
+        ("cfg2: 96 I/O pins and 1 eFPGA", AliceConfig::cfg2()),
+    ]
+}

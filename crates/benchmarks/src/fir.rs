@@ -1,0 +1,134 @@
+//! FIR (CEP suite): direct-form FIR filter slice.
+//!
+//! Table 1 shape: 5 redactable modules / 5 instances, module I/O pins in
+//! [64, 384]. Under cfg1 only `fir_tap` (exactly 64 pins) is a candidate;
+//! under cfg2 `fir_mac` (80) and `fir_acc` (96) join, but no pair fits the
+//! 96-pin budget, so |C| stays at the singletons — reproducing the paper's
+//! FIR rows.
+
+use crate::Benchmark;
+
+/// The Verilog source.
+pub fn source() -> String {
+    r#"
+module fir_tap(
+  input wire clk,
+  input wire en,
+  input wire [30:0] x,
+  output reg [30:0] y
+);
+  wire [30:0] scaled;
+  assign scaled = (x << 6);
+  always @(posedge clk) begin
+    if (en) y <= (scaled + x) ^ {x[15:0], x[30:16]};
+  end
+endmodule
+
+module fir_mac(
+  input wire [31:0] a,
+  input wire [15:0] b,
+  output wire [31:0] p
+);
+  assign p = a * {16'd0, b};
+endmodule
+
+module fir_acc(
+  input wire clk,
+  input wire [31:0] a,
+  input wire [31:0] b,
+  output reg [16:0] s
+);
+  wire [16:0] sum;
+  assign sum = a[16:0] + b[16:0];
+  always @(posedge clk) s <= sum;
+endmodule
+
+module fir_coeff_bank(
+  input wire [255:0] x,
+  output wire [127:0] y
+);
+  assign y = x[127:0] ^ x[255:128] ^ {x[63:0], x[127:64]};
+endmodule
+
+module fir_tree(
+  input wire clk,
+  input wire rst,
+  input wire [255:0] d,
+  output reg [32:0] s
+);
+  wire [32:0] s0;
+  wire [32:0] s1;
+  assign s0 = {1'b0, d[31:0]} + {1'b0, d[63:32]} + {1'b0, d[95:64]} + {1'b0, d[127:96]};
+  assign s1 = {1'b0, d[159:128]} + {1'b0, d[191:160]} + {1'b0, d[223:192]} + {1'b0, d[255:224]};
+  always @(posedge clk) begin
+    if (rst) s <= 33'd0;
+    else s <= s0 + s1;
+  end
+endmodule
+
+module fir(
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [15:0] sample,
+  input wire [255:0] window,
+  output wire [32:0] dout
+);
+  wire [30:0] tapped;
+  wire [31:0] product;
+  wire [16:0] accum;
+  wire [127:0] coeffs;
+  wire [32:0] tree_sum;
+
+  fir_tap u_tap(.clk(clk), .en(en), .x({15'd0, sample}), .y(tapped));
+  fir_coeff_bank u_coeff(.x(window), .y(coeffs));
+  fir_mac u_mac(.a({1'b0, tapped}), .b(coeffs[15:0]), .p(product));
+  fir_acc u_acc(.clk(clk), .a(product), .b({1'b0, tapped}), .s(accum));
+  fir_tree u_tree(.clk(clk), .rst(rst), .d({window[127:0], product, {15'd0, accum}, product, 32'd0}), .s(tree_sum));
+  assign dout = tree_sum + {16'd0, accum};
+endmodule
+"#
+    .to_string()
+}
+
+/// The benchmark descriptor (selected output: `dout`).
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "FIR",
+        suite: "CEP",
+        source: source(),
+        top: "fir",
+        selected_outputs: vec!["dout".to_string()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let (modules, instances, min_io, max_io) = b.table1_stats(&d);
+        assert_eq!(modules, 5);
+        assert_eq!(instances, 5);
+        assert_eq!(min_io, 64);
+        assert!(max_io >= 256, "coeff bank dominates: {max_io}");
+    }
+
+    #[test]
+    fn tap_is_the_only_cfg1_candidate() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let h = &d.hierarchy;
+        let under_64: Vec<_> = h
+            .modules
+            .values()
+            .filter(|m| m.name != "fir" && m.io_pins <= 64)
+            .collect();
+        assert_eq!(under_64.len(), 1);
+        assert_eq!(under_64[0].name, "fir_tap");
+        assert_eq!(under_64[0].io_pins, 64);
+    }
+}

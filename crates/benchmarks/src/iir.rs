@@ -1,0 +1,147 @@
+//! IIR (CEP suite): biquad-style infinite impulse response filter.
+//!
+//! Table 1 shape: 5 redactable modules / 5 instances, module I/O pins in
+//! [66, 384]. The *smallest* module already has 66 pins, which exceeds
+//! cfg1's 64-pin budget — module filtering returns an empty candidate set
+//! and the flow cannot continue, exactly the paper's IIR/cfg1 outcome.
+//! Under cfg2 the two sub-96-pin modules are candidates; both map to large
+//! fabrics (the "two large solutions" remark in §7).
+
+use crate::Benchmark;
+
+/// The Verilog source.
+pub fn source() -> String {
+    r#"
+module iir_sos(
+  input wire clk,
+  input wire en,
+  input wire [31:0] x,
+  output reg [31:0] y
+);
+  reg [31:0] w1;
+  reg [31:0] w2;
+  wire [31:0] m1;
+  wire [31:0] m2;
+  wire [31:0] m3;
+  assign m1 = {22'd0, x[9:0]} * {22'd0, w1[9:0]};
+  assign m2 = {24'd0, w1[23:16]} * {24'd0, w2[7:0]};
+  assign m3 = {24'd0, w2[31:24]} * {28'd0, x[31:28]};
+  always @(posedge clk) begin
+    if (en) begin
+      w1 <= x + m1;
+      w2 <= w1 + m2;
+      y <= m1 + m2 + m3;
+    end
+  end
+endmodule
+
+module iir_qmul(
+  input wire [47:0] a,
+  input wire [31:0] b,
+  output wire [15:0] p
+);
+  wire [31:0] p1;
+  wire [31:0] p2;
+  wire [31:0] p3;
+  assign p1 = {20'd0, a[11:0]} * {20'd0, b[11:0]};
+  assign p2 = {22'd0, a[31:22]} * {22'd0, b[31:22]};
+  assign p3 = {24'd0, a[47:40]} * {24'd0, b[15:8] ^ b[31:24]};
+  assign p = p1[15:0] + p2[31:16] + p3[23:8];
+endmodule
+
+module iir_coeffs(
+  input wire [191:0] c,
+  output wire [191:0] q
+);
+  assign q = {c[95:0], c[191:96]} ^ {c[47:0], c[191:48]};
+endmodule
+
+module iir_delay(
+  input wire clk,
+  input wire en,
+  input wire [63:0] x,
+  output reg [63:0] y
+);
+  always @(posedge clk) begin
+    if (en) y <= x;
+  end
+endmodule
+
+module iir_scale(
+  input wire clk,
+  input wire en,
+  input wire [53:0] x,
+  output reg [53:0] y
+);
+  always @(posedge clk) begin
+    if (en) y <= {x[52:0], x[53]} + 54'd77;
+  end
+endmodule
+
+module iir(
+  input wire clk,
+  input wire en,
+  input wire [15:0] x_in,
+  input wire [191:0] coef_in,
+  output wire [31:0] y_out
+);
+  wire [191:0] coefs;
+  wire [63:0] delayed;
+  wire [53:0] scaled;
+  wire [31:0] sos_y;
+  wire [15:0] q;
+
+  iir_coeffs u_coeffs(.c(coef_in), .q(coefs));
+  iir_delay u_delay(.clk(clk), .en(en), .x({x_in, coefs[47:0]}), .y(delayed));
+  iir_scale u_scale(.clk(clk), .en(en), .x(delayed[53:0]), .y(scaled));
+  iir_sos u_sos(.clk(clk), .en(en), .x({scaled[31:16], x_in}), .y(sos_y));
+  iir_qmul u_qmul(.a(delayed[47:0]), .b(sos_y), .p(q));
+  assign y_out = {sos_y[31:16], q};
+endmodule
+"#
+    .to_string()
+}
+
+/// The benchmark descriptor (selected output: `y_out`).
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "IIR",
+        suite: "CEP",
+        source: source(),
+        top: "iir",
+        selected_outputs: vec!["y_out".to_string()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let (modules, instances, min_io, max_io) = b.table1_stats(&d);
+        assert_eq!(modules, 5);
+        assert_eq!(instances, 5);
+        assert_eq!(min_io, 66, "smallest module must exceed cfg1's 64 pins");
+        assert!(max_io >= 128);
+    }
+
+    #[test]
+    fn cfg1_has_no_candidates() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        // The structural filter at 64 pins excludes every module.
+        let smallest = d
+            .hierarchy
+            .modules
+            .values()
+            .filter(|m| m.name != "iir")
+            .map(|m| m.io_pins)
+            .min()
+            .expect("has modules");
+        assert!(smallest > 64);
+        assert!(smallest <= 96, "but cfg2 must find candidates");
+    }
+}

@@ -1,0 +1,145 @@
+//! The DAC'22 ALICE benchmark suite (Table 1), re-implemented in the
+//! supported Verilog subset, plus a synthetic design generator.
+//!
+//! | Suite | Design | Modules | Instances | I/O pins |
+//! |-------|--------|---------|-----------|----------|
+//! | CEP | [`des3`] | 11 | 11 | [12, 301] |
+//! | CEP | [`fir`] | 5 | 5 | [64, 384] |
+//! | CEP | [`iir`] | 5 | 5 | [66, 384] |
+//! | CEP | [`sha256`] | 3 | 3 | [38, 774] |
+//! | IWLS05 | [`sasc`] | 2 | 3 | [23, 28] |
+//! | IWLS05 | [`usb_phy`] | 3 | 3 | [17, 33] |
+//! | OpenROAD | [`gcd`] | 10 | 11 | [6, 68] |
+//!
+//! # Example
+//!
+//! ```
+//! use alice_core::config::AliceConfig;
+//! use alice_core::flow::Flow;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = alice_benchmarks::gcd::benchmark();
+//! let design = bench.design()?;
+//! let outcome = Flow::new(bench.config(AliceConfig::cfg1())).run(&design)?;
+//! assert!(outcome.report.candidates > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod des3;
+pub mod fir;
+pub mod gcd;
+pub mod generator;
+pub mod iir;
+pub mod sasc;
+pub mod sha256;
+pub mod usb_phy;
+
+use alice_core::config::AliceConfig;
+use alice_core::design::{Design, DesignError};
+
+/// One benchmark: source, top module and the outputs to protect.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Design name as printed in the paper's tables.
+    pub name: &'static str,
+    /// Originating suite (CEP / IWLS05 / OpenROAD).
+    pub suite: &'static str,
+    /// Verilog source text.
+    pub source: String,
+    /// Top module name.
+    pub top: &'static str,
+    /// The "main output(s)" selected for protection (§7).
+    pub selected_outputs: Vec<String>,
+}
+
+impl Benchmark {
+    /// Loads the design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/hierarchy failures (none for the shipped suite).
+    pub fn design(&self) -> Result<Design, DesignError> {
+        Design::from_source(self.name, &self.source, Some(self.top))
+    }
+
+    /// Returns `base` with this benchmark's selected outputs filled in.
+    pub fn config(&self, base: AliceConfig) -> AliceConfig {
+        AliceConfig {
+            selected_outputs: self.selected_outputs.clone(),
+            ..base
+        }
+    }
+
+    /// Table 1 statistics: (modules, instances, min I/O pins, max I/O pins),
+    /// where modules/pins are counted over redactable (non-top) modules.
+    pub fn table1_stats(&self, design: &Design) -> (usize, usize, u32, u32) {
+        let modules: Vec<_> = design
+            .hierarchy
+            .modules
+            .values()
+            .filter(|m| m.name != self.top)
+            .collect();
+        let instances = design.instance_paths().len();
+        let min_io = modules.iter().map(|m| m.io_pins).min().unwrap_or(0);
+        let max_io = modules.iter().map(|m| m.io_pins).max().unwrap_or(0);
+        (modules.len(), instances, min_io, max_io)
+    }
+}
+
+/// The full suite in Table 1 order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        des3::benchmark(),
+        fir::benchmark(),
+        iir::benchmark(),
+        sha256::benchmark(),
+        sasc::benchmark(),
+        usb_phy::benchmark(),
+        gcd::benchmark(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_load() {
+        for b in suite() {
+            let d = b.design().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert_eq!(d.hierarchy.top, b.top, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_matches_table1() {
+        // (name, modules, instances, min_io, max_io) from Table 1.
+        let expected = [
+            ("DES3", 11, 11, 12, 301),
+            ("FIR", 5, 5, 64, 384),
+            ("IIR", 5, 5, 66, 384),
+            ("SHA256", 3, 3, 38, 774),
+            ("SASC", 2, 3, 23, 28),
+            ("USB_PHY", 3, 3, 17, 33),
+            ("GCD", 10, 11, 6, 68),
+        ];
+        for (b, (name, m, i, lo, hi)) in suite().iter().zip(expected) {
+            assert_eq!(b.name, name);
+            let d = b.design().expect("load");
+            let (bm, bi, blo, bhi) = b.table1_stats(&d);
+            assert_eq!((bm, bi, blo, bhi), (m, i, lo, hi), "{name}");
+        }
+    }
+
+    #[test]
+    fn selected_outputs_exist() {
+        for b in suite() {
+            let d = b.design().expect("load");
+            let top = d.file.module(b.top).expect("top");
+            for o in &b.selected_outputs {
+                assert!(top.port(o).is_some(), "{}: output {o}", b.name);
+            }
+        }
+    }
+}

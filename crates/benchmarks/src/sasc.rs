@@ -1,0 +1,185 @@
+//! SASC (IWLS05 suite): simple asynchronous serial controller.
+//!
+//! Table 1 shape: 2 redactable module types / 3 instances (the FIFO is
+//! instantiated for both directions), module I/O pins in [23, 28]. The
+//! selected output `so_data` depends only on the transmit FIFO, so module
+//! filtering returns a single candidate in both configurations — the
+//! paper's |R| = 1 rows.
+
+use crate::Benchmark;
+
+/// The Verilog source.
+pub fn source() -> String {
+    r#"
+module sasc_brg(
+  input wire clk,
+  input wire rst,
+  input wire [15:0] div,
+  output reg tick,
+  output reg half,
+  output reg [2:0] frame
+);
+  reg [15:0] cnt;
+  always @(posedge clk) begin
+    if (rst) begin
+      cnt <= 16'd0;
+      tick <= 1'b0;
+      half <= 1'b0;
+      frame <= 3'd0;
+    end
+    else begin
+      tick <= 1'b0;
+      half <= 1'b0;
+      if (cnt == div) begin
+        cnt <= 16'd0;
+        tick <= 1'b1;
+        frame <= frame + 3'd1;
+      end
+      else begin
+        cnt <= cnt + 16'd1;
+        if (cnt == {1'b0, div[15:1]}) half <= 1'b1;
+      end
+    end
+  end
+endmodule
+
+module sasc_fifo(
+  input wire clk,
+  input wire rst,
+  input wire we,
+  input wire re,
+  input wire [7:0] din,
+  output reg [7:0] dout,
+  output wire full,
+  output wire empty,
+  output reg [5:0] level
+);
+  reg [7:0] mem0;
+  reg [7:0] mem1;
+  reg [7:0] mem2;
+  reg [7:0] mem3;
+  reg [1:0] wp;
+  reg [1:0] rp;
+  reg [7:0] crc;
+  assign full = level == 6'd4;
+  assign empty = level == 6'd0;
+  always @(posedge clk) begin
+    if (rst) begin
+      wp <= 2'd0;
+      rp <= 2'd0;
+      level <= 6'd0;
+      dout <= 8'd0;
+      crc <= 8'hff;
+    end
+    else begin
+      if (we & ~full) begin
+        case (wp)
+          2'd0: mem0 <= din;
+          2'd1: mem1 <= din;
+          2'd2: mem2 <= din;
+          default: mem3 <= din;
+        endcase
+        wp <= wp + 2'd1;
+        crc <= {crc[6:0], 1'b0} ^ (crc[7] ? (din ^ 8'h07) : din);
+        if (~(re & ~empty)) level <= level + 6'd1;
+      end
+      if (re & ~empty) begin
+        case (rp)
+          2'd0: dout <= mem0 ^ {7'd0, crc[7]};
+          2'd1: dout <= mem1 ^ {7'd0, crc[6]};
+          2'd2: dout <= mem2 ^ {7'd0, crc[5]};
+          default: dout <= mem3 ^ {7'd0, crc[4]};
+        endcase
+        rp <= rp + 2'd1;
+        if (~(we & ~full)) level <= level - 6'd1;
+      end
+    end
+  end
+endmodule
+
+module sasc(
+  input wire clk,
+  input wire rst,
+  input wire [15:0] baud_div,
+  input wire we,
+  input wire [7:0] din,
+  input wire si_data,
+  input wire rx_pop,
+  output wire so_data,
+  output wire tx_full,
+  output wire [7:0] rx_dout,
+  output wire rx_empty,
+  output wire baud_o
+);
+  wire tick;
+  wire half;
+  wire [2:0] frame;
+  wire [7:0] tx_byte;
+  wire tx_empty;
+  wire rx_full;
+  wire [5:0] tx_level;
+  wire [5:0] rx_level;
+  reg [2:0] tx_bit;
+  reg tx_shift_en;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      tx_bit <= 3'd0;
+      tx_shift_en <= 1'b0;
+    end
+    else begin
+      tx_bit <= tx_bit + 3'd1;
+      tx_shift_en <= tx_bit == 3'd7;
+    end
+  end
+
+  sasc_brg u_brg(.clk(clk), .rst(rst), .div(baud_div), .tick(tick), .half(half), .frame(frame));
+  sasc_fifo u_tx_fifo(.clk(clk), .rst(rst), .we(we), .re(tx_shift_en), .din(din),
+                      .dout(tx_byte), .full(tx_full), .empty(tx_empty), .level(tx_level));
+  sasc_fifo u_rx_fifo(.clk(clk), .rst(rst), .we(tick), .re(rx_pop),
+                      .din({7'd0, si_data}), .dout(rx_dout), .full(rx_full),
+                      .empty(rx_empty), .level(rx_level));
+  assign so_data = tx_byte[0] ^ (tx_byte[7] & ~tx_empty);
+  assign baud_o = tick | (half & frame[0]);
+endmodule
+"#
+    .to_string()
+}
+
+/// The benchmark descriptor (selected output: `so_data`).
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "SASC",
+        suite: "IWLS05",
+        source: source(),
+        top: "sasc",
+        selected_outputs: vec!["so_data".to_string()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let (modules, instances, min_io, max_io) = b.table1_stats(&d);
+        assert_eq!(modules, 2);
+        assert_eq!(instances, 3);
+        assert_eq!(min_io, 23);
+        assert_eq!(max_io, 28);
+    }
+
+    #[test]
+    fn only_tx_fifo_affects_so_data() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let df = alice_dataflow::analyze(&d.file, "sasc").expect("df");
+        let cone = df.cone_of("so_data").expect("cone");
+        assert!(cone.contains("sasc.u_tx_fifo"), "{cone:?}");
+        assert!(!cone.contains("sasc.u_brg"), "{cone:?}");
+        assert!(!cone.contains("sasc.u_rx_fifo"), "{cone:?}");
+    }
+}

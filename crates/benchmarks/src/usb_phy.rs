@@ -1,0 +1,230 @@
+//! USB_PHY (IWLS05 suite): USB 1.1 transceiver front-end.
+//!
+//! Table 1 shape: 3 redactable modules / 3 instances, module I/O pins in
+//! [17, 33]. Both PHY halves affect the selected outputs (|R| = 2; the
+//! control unit only drives debug pins), and clustering yields 3 candidate
+//! clusters — but the transmit PHY models a data-dependent clock divider
+//! (`period / rate`) outside the synthesizable subset, so its
+//! characterization fails, mirroring the paper's "OpenFPGA returns an
+//! error" path: only 1 valid eFPGA and a single solution.
+
+use crate::Benchmark;
+
+/// The Verilog source.
+pub fn source() -> String {
+    r#"
+module usb_rx_phy(
+  input wire clk,
+  input wire rst,
+  input wire fs_ce,
+  input wire rxd,
+  input wire rxdp,
+  input wire rxdn,
+  output reg [7:0] rx_data,
+  output reg rx_valid,
+  output reg rx_active,
+  output reg rx_error,
+  output wire [1:0] line_state,
+  output reg sync_err,
+  output reg [4:0] pid,
+  output reg [7:0] byte_cnt
+);
+  reg [7:0] shift;
+  reg [2:0] bit_cnt;
+  reg [2:0] ones_run;
+  reg [1:0] dpll;
+  reg last_j;
+  reg [15:0] crc;
+  reg [15:0] crc2;
+  wire nrzi_bit;
+  wire stuffed;
+  wire crc_fb;
+  assign line_state = {rxdp, rxdn};
+  assign nrzi_bit = ~(rxd ^ last_j);
+  assign stuffed = ones_run == 3'd6;
+  assign crc_fb = crc[15] ^ nrzi_bit;
+  always @(posedge clk) begin
+    if (rst) begin
+      shift <= 8'd0;
+      bit_cnt <= 3'd0;
+      ones_run <= 3'd0;
+      dpll <= 2'd0;
+      last_j <= 1'b0;
+      rx_data <= 8'd0;
+      rx_valid <= 1'b0;
+      rx_active <= 1'b0;
+      rx_error <= 1'b0;
+      sync_err <= 1'b0;
+      pid <= 5'd0;
+      byte_cnt <= 8'd0;
+      crc <= 16'hffff;
+      crc2 <= 16'haaaa;
+    end
+    else begin
+      rx_valid <= 1'b0;
+      if (fs_ce) begin
+        dpll <= dpll + 2'd1;
+        last_j <= rxd;
+        if (~stuffed) begin
+          shift <= {nrzi_bit, shift[7:1]};
+          bit_cnt <= bit_cnt + 3'd1;
+          ones_run <= nrzi_bit ? (ones_run + 3'd1) : 3'd0;
+          crc <= {crc[14:0], 1'b0} ^ (crc_fb ? 16'h8005 : 16'h0000);
+          crc2 <= {crc2[0], crc2[15:1]} ^ (crc2[0] ^ nrzi_bit ? 16'ha001 : 16'h0000);
+          if (bit_cnt == 3'd7) begin
+            rx_data <= {nrzi_bit, shift[7:1]};
+            rx_valid <= 1'b1;
+            byte_cnt <= byte_cnt + 8'd1;
+            if (byte_cnt == 8'd0) begin
+              pid <= {^shift[7:4], shift[3:0]};
+              rx_active <= shift[3:0] == ~shift[7:4];
+              sync_err <= (shift != 8'h80) | (crc[15:8] == crc2[7:0]);
+            end
+          end
+        end
+        else begin
+          ones_run <= 3'd0;
+          rx_error <= rxdp & rxdn;
+        end
+      end
+      if (rxdp & rxdn) rx_active <= 1'b0;
+    end
+  end
+endmodule
+
+module usb_tx_phy(
+  input wire clk,
+  input wire rst,
+  input wire fs_ce,
+  input wire [7:0] tx_data,
+  input wire tx_valid,
+  input wire [7:0] rate,
+  output reg txdp,
+  output reg txdn,
+  output reg txoe,
+  output reg tx_ready,
+  output reg hold,
+  output wire [4:0] bit_time
+);
+  reg [7:0] period;
+  // Data-dependent divider: outside the synthesizable subset (and the
+  // stand-in for clusters on which the fabric flow fails).
+  assign bit_time = (period / rate);
+  always @(posedge clk) begin
+    if (rst) begin
+      txdp <= 1'b1;
+      txdn <= 1'b0;
+      txoe <= 1'b0;
+      tx_ready <= 1'b0;
+      hold <= 1'b0;
+      period <= 8'd12;
+    end
+    else begin
+      if (fs_ce & tx_valid) begin
+        txdp <= tx_data[0];
+        txdn <= ~tx_data[0];
+        txoe <= 1'b1;
+        hold <= ~hold;
+        tx_ready <= hold;
+        period <= period + 8'd1;
+      end
+    end
+  end
+endmodule
+
+module usb_ctrl(
+  input wire clk,
+  input wire rst,
+  input wire [5:0] ctl_in,
+  output reg [7:0] ctl_out,
+  output reg mode
+);
+  always @(posedge clk) begin
+    if (rst) begin
+      ctl_out <= 8'd0;
+      mode <= 1'b0;
+    end
+    else begin
+      ctl_out <= {2'd0, ctl_in} + 8'd3;
+      mode <= ^ctl_in;
+    end
+  end
+endmodule
+
+module usb_phy(
+  input wire clk,
+  input wire rst,
+  input wire fs_ce,
+  input wire rxd,
+  input wire rxdp,
+  input wire rxdn,
+  input wire [7:0] tx_data,
+  input wire tx_valid,
+  output wire [7:0] rx_data,
+  output wire rx_valid,
+  output wire txdp,
+  output wire txdn,
+  output wire txoe,
+  output wire [7:0] dbg_ctl
+);
+  wire rx_active;
+  wire rx_error;
+  wire [1:0] line_state;
+  wire sync_err;
+  wire [4:0] pid;
+  wire [7:0] byte_cnt;
+  wire tx_ready;
+  wire hold;
+  wire [4:0] bit_time;
+  wire ctl_mode;
+
+  usb_rx_phy u_rx(.clk(clk), .rst(rst), .fs_ce(fs_ce), .rxd(rxd), .rxdp(rxdp), .rxdn(rxdn),
+                  .rx_data(rx_data), .rx_valid(rx_valid), .rx_active(rx_active),
+                  .rx_error(rx_error), .line_state(line_state), .sync_err(sync_err),
+                  .pid(pid), .byte_cnt(byte_cnt));
+  usb_tx_phy u_tx(.clk(clk), .rst(rst), .fs_ce(fs_ce), .tx_data(tx_data), .tx_valid(tx_valid),
+                  .rate(byte_cnt), .txdp(txdp), .txdn(txdn), .txoe(txoe),
+                  .tx_ready(tx_ready), .hold(hold), .bit_time(bit_time));
+  usb_ctrl u_ctl(.clk(clk), .rst(rst), .ctl_in({line_state, hold, sync_err, rx_error, tx_ready}),
+                 .ctl_out(dbg_ctl), .mode(ctl_mode));
+endmodule
+"#
+    .to_string()
+}
+
+/// The benchmark descriptor (selected outputs: `txdp`, `rx_data`).
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "USB_PHY",
+        suite: "IWLS05",
+        source: source(),
+        top: "usb_phy",
+        selected_outputs: vec!["txdp".to_string(), "rx_data".to_string()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let (modules, instances, min_io, max_io) = b.table1_stats(&d);
+        assert_eq!(modules, 3);
+        assert_eq!(instances, 3);
+        assert_eq!(min_io, 17);
+        assert_eq!(max_io, 33);
+    }
+
+    #[test]
+    fn tx_phy_fails_elaboration() {
+        let b = benchmark();
+        let d = b.design().expect("load");
+        let err = alice_netlist::elaborate::elaborate(&d.file, "usb_tx_phy");
+        assert!(err.is_err(), "dynamic division must be rejected");
+        // The receive PHY elaborates fine.
+        assert!(alice_netlist::elaborate::elaborate(&d.file, "usb_rx_phy").is_ok());
+    }
+}

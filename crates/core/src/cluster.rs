@@ -1,0 +1,186 @@
+//! Phase 2 — cluster identification (Algorithm 2 of the paper).
+//!
+//! Fixed-point pairwise recombination: start from singletons, repeatedly
+//! union pairs of existing clusters, keep the admissible new ones, stop
+//! when an iteration adds nothing. A cluster is admissible when
+//!
+//! * its aggregated I/O pin count (sum over members, as §5 prescribes for
+//!   multi-module redaction) respects the designer's limit, and
+//! * its members are pairwise *independent*: no member instance is nested
+//!   inside another (redacting an ancestor already swallows the child).
+
+use crate::config::AliceConfig;
+use crate::filter::Candidate;
+use std::collections::BTreeSet;
+
+/// A cluster: indices into the candidate list `R`.
+pub type Cluster = BTreeSet<usize>;
+
+/// Result of cluster identification.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterResult {
+    /// All admissible clusters `C` (singletons included), in discovery
+    /// order (singletons first, then growing unions).
+    pub clusters: Vec<Cluster>,
+}
+
+impl ClusterResult {
+    /// Aggregated I/O pins of a cluster.
+    pub fn io_pins(&self, cluster: &Cluster, r: &[Candidate]) -> u32 {
+        cluster.iter().map(|&i| r[i].io_pins).sum()
+    }
+
+    /// Member instance paths of a cluster.
+    pub fn paths<'a>(&self, cluster: &Cluster, r: &'a [Candidate]) -> Vec<&'a str> {
+        cluster.iter().map(|&i| r[i].path.as_str()).collect()
+    }
+}
+
+/// True if `a` is `b` or an ancestor of `b` in the instance hierarchy.
+fn is_ancestor_or_self(a: &str, b: &str) -> bool {
+    b == a || b.starts_with(&format!("{a}."))
+}
+
+/// True if every pair of members is hierarchy-independent.
+fn independent(cluster: &Cluster, r: &[Candidate]) -> bool {
+    let paths: Vec<&str> = cluster.iter().map(|&i| r[i].path.as_str()).collect();
+    for (i, a) in paths.iter().enumerate() {
+        for b in paths.iter().skip(i + 1) {
+            if is_ancestor_or_self(a, b) || is_ancestor_or_self(b, a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The `CheckParameters` predicate for clusters (line 12 of Algorithm 2).
+pub fn admissible(cluster: &Cluster, r: &[Candidate], cfg: &AliceConfig) -> bool {
+    let pins: u32 = cluster.iter().map(|&i| r[i].io_pins).sum();
+    pins <= cfg.max_io_pins && independent(cluster, r)
+}
+
+/// Runs Algorithm 2 on the candidate set `R`.
+///
+/// # Example
+///
+/// ```
+/// use alice_core::cluster::identify_clusters;
+/// use alice_core::config::AliceConfig;
+/// use alice_core::filter::Candidate;
+///
+/// let r: Vec<Candidate> = (0..3)
+///     .map(|i| Candidate {
+///         path: format!("top.u{i}"),
+///         module: "m".into(),
+///         io_pins: 20,
+///         score: 1,
+///     })
+///     .collect();
+/// let cfg = AliceConfig { max_io_pins: 64, ..AliceConfig::default() };
+/// // 3 singletons + 3 pairs + 1 triple = 7 clusters (3*20 <= 64).
+/// let c = identify_clusters(&r, &cfg);
+/// assert_eq!(c.clusters.len(), 7);
+/// ```
+pub fn identify_clusters(r: &[Candidate], cfg: &AliceConfig) -> ClusterResult {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut seen: BTreeSet<Cluster> = BTreeSet::new();
+    // Lines 2-4: singletons.
+    for i in 0..r.len() {
+        let c: Cluster = [i].into_iter().collect();
+        if seen.insert(c.clone()) {
+            clusters.push(c);
+        }
+    }
+    // Lines 6-23: fixed point over pairwise unions.
+    loop {
+        let mut fresh: Vec<Cluster> = Vec::new();
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let n: Cluster = clusters[a].union(&clusters[b]).copied().collect();
+                if seen.contains(&n) {
+                    continue;
+                }
+                if admissible(&n, r, cfg) {
+                    seen.insert(n.clone());
+                    fresh.push(n);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        clusters.extend(fresh);
+    }
+    ClusterResult { clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(path: &str, pins: u32) -> Candidate {
+        Candidate {
+            path: path.to_string(),
+            module: "m".into(),
+            io_pins: pins,
+            score: 1,
+        }
+    }
+
+    fn cfg(max_io: u32) -> AliceConfig {
+        AliceConfig {
+            max_io_pins: max_io,
+            ..AliceConfig::default()
+        }
+    }
+
+    #[test]
+    fn des3_style_counts() {
+        // 8 identical 12-pin sboxes: at 64 pins, clusters of up to 5 fit.
+        let r: Vec<Candidate> = (0..8).map(|i| cand(&format!("top.s{i}"), 12)).collect();
+        let c = identify_clusters(&r, &cfg(64));
+        // sum_{k=1..5} C(8,k) = 8 + 28 + 56 + 70 + 56 = 218 (Table 2, DES3 cfg1).
+        assert_eq!(c.clusters.len(), 218);
+        // At 96 pins all 8 fit: 2^8 - 1 = 255 (Table 2, DES3 cfg2).
+        let c2 = identify_clusters(&r, &cfg(96));
+        assert_eq!(c2.clusters.len(), 255);
+    }
+
+    #[test]
+    fn pin_budget_prunes_pairs() {
+        let r = vec![cand("top.a", 40), cand("top.b", 30), cand("top.c", 20)];
+        let c = identify_clusters(&r, &cfg(64));
+        // singles: 3; pairs: a+b=70 (no), a+c=60 (yes), b+c=50 (yes); triple 90 (no).
+        assert_eq!(c.clusters.len(), 5);
+    }
+
+    #[test]
+    fn nested_instances_never_cluster() {
+        let r = vec![cand("top.u", 10), cand("top.u.v", 10), cand("top.w", 10)];
+        let c = identify_clusters(&r, &cfg(64));
+        let has = |members: &[usize]| {
+            let target: Cluster = members.iter().copied().collect();
+            c.clusters.contains(&target)
+        };
+        assert!(!has(&[0, 1]), "ancestor/descendant must not pair");
+        assert!(has(&[0, 2]));
+        assert!(has(&[1, 2]));
+        assert!(!has(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_candidates_empty_clusters() {
+        let c = identify_clusters(&[], &cfg(64));
+        assert!(c.clusters.is_empty());
+    }
+
+    #[test]
+    fn helpers_report_pins_and_paths() {
+        let r = vec![cand("top.a", 10), cand("top.b", 20)];
+        let c = identify_clusters(&r, &cfg(64));
+        let pair: Cluster = [0, 1].into_iter().collect();
+        assert_eq!(c.io_pins(&pair, &r), 30);
+        assert_eq!(c.paths(&pair, &r), vec!["top.a", "top.b"]);
+    }
+}

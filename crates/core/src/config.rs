@@ -1,0 +1,204 @@
+//! ALICE flow configuration (the YAML file of Figure 3).
+
+use crate::yaml::{Yaml, YamlError};
+use alice_fabric::FabricArch;
+use std::fmt;
+
+/// How Eq. 1 turns fabric utilization into a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreModel {
+    /// Reward high I/O and CLB utilization (the stated *intent* of the
+    /// paper: poorly-utilized fabrics are easier to attack, §6). Default.
+    #[default]
+    UtilizationReward,
+    /// Equation 1 exactly as printed in the paper, which rewards *low*
+    /// utilization; kept for fidelity experiments. See `DESIGN.md` for the
+    /// discrepancy discussion.
+    AsPrinted,
+}
+
+/// Configuration for one ALICE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliceConfig {
+    /// Maximum I/O pins of a candidate module / cluster (structural
+    /// criterion of Algorithm 1 and 2).
+    pub max_io_pins: u32,
+    /// Maximum number of eFPGA instances in a solution.
+    pub max_efpgas: u32,
+    /// Weight of the I/O term in Eq. 1.
+    pub alpha: f64,
+    /// Weight of the CLB term in Eq. 1.
+    pub beta: f64,
+    /// Fabric architecture parameters (OpenFPGA XML equivalent).
+    pub arch: FabricArch,
+    /// Outputs to protect; empty means every top-level output.
+    pub selected_outputs: Vec<String>,
+    /// Scoring variant.
+    pub score_model: ScoreModel,
+    /// Optional cap on enumerated solutions (safety valve for the
+    /// branch-and-bound of Algorithm 3).
+    pub max_solutions: usize,
+    /// Optional top module override (default: auto-detect).
+    pub top: Option<String>,
+}
+
+impl Default for AliceConfig {
+    fn default() -> Self {
+        AliceConfig {
+            max_io_pins: 64,
+            max_efpgas: 2,
+            alpha: 1.0,
+            beta: 1.0,
+            arch: FabricArch::default(),
+            selected_outputs: Vec::new(),
+            score_model: ScoreModel::default(),
+            max_solutions: 1_000_000,
+            top: None,
+        }
+    }
+}
+
+impl AliceConfig {
+    /// The paper's `cfg1`: at most 64 I/O pins and two eFPGAs, α = β = 1.
+    pub fn cfg1() -> Self {
+        AliceConfig {
+            max_io_pins: 64,
+            max_efpgas: 2,
+            ..AliceConfig::default()
+        }
+    }
+
+    /// The paper's `cfg2`: at most 96 I/O pins and one eFPGA, α = β = 1.
+    pub fn cfg2() -> Self {
+        AliceConfig {
+            max_io_pins: 96,
+            max_efpgas: 1,
+            ..AliceConfig::default()
+        }
+    }
+
+    /// Parses a YAML configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YamlError`] for malformed YAML or out-of-range values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let cfg = alice_core::config::AliceConfig::from_yaml("
+    /// max_io_pins: 96
+    /// max_efpgas: 1
+    /// alpha: 1.0
+    /// beta: 1.0
+    /// selected_outputs:
+    ///   - dout
+    /// ")?;
+    /// assert_eq!(cfg.max_io_pins, 96);
+    /// assert_eq!(cfg.selected_outputs, vec!["dout".to_string()]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_yaml(src: &str) -> Result<Self, YamlError> {
+        let y = Yaml::parse(src)?;
+        let mut cfg = AliceConfig::default();
+        let bad = |what: &str| YamlError {
+            line: 0,
+            message: format!("invalid value for `{what}`"),
+        };
+        if let Some(v) = y.get("max_io_pins") {
+            cfg.max_io_pins = v.as_u32().ok_or_else(|| bad("max_io_pins"))?;
+        }
+        if let Some(v) = y.get("max_efpgas") {
+            cfg.max_efpgas = v.as_u32().ok_or_else(|| bad("max_efpgas"))?;
+        }
+        if let Some(v) = y.get("alpha") {
+            cfg.alpha = v.as_f64().ok_or_else(|| bad("alpha"))?;
+        }
+        if let Some(v) = y.get("beta") {
+            cfg.beta = v.as_f64().ok_or_else(|| bad("beta"))?;
+        }
+        if let Some(v) = y.get("top") {
+            cfg.top = Some(v.as_str().ok_or_else(|| bad("top"))?.to_string());
+        }
+        if let Some(v) = y.get("score_model") {
+            cfg.score_model = match v.as_str() {
+                Some("utilization_reward") => ScoreModel::UtilizationReward,
+                Some("as_printed") => ScoreModel::AsPrinted,
+                _ => return Err(bad("score_model")),
+            };
+        }
+        if let Some(list) = y.get("selected_outputs").and_then(Yaml::as_list) {
+            cfg.selected_outputs = list
+                .iter()
+                .map(|v| v.as_str().map(|s| s.to_string()))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| bad("selected_outputs"))?;
+        }
+        if let Some(f) = y.get("fabric") {
+            if let Some(v) = f.get("lut_inputs") {
+                cfg.arch.lut_inputs = v.as_u32().ok_or_else(|| bad("fabric.lut_inputs"))?;
+            }
+            if let Some(v) = f.get("les_per_clb") {
+                cfg.arch.les_per_clb = v.as_u32().ok_or_else(|| bad("fabric.les_per_clb"))?;
+            }
+            if let Some(v) = f.get("gpio_per_tile") {
+                cfg.arch.gpio_per_tile =
+                    v.as_u32().ok_or_else(|| bad("fabric.gpio_per_tile"))?;
+            }
+            if let Some(v) = f.get("max_dim") {
+                cfg.arch.max_dim = v.as_u32().ok_or_else(|| bad("fabric.max_dim"))?;
+            }
+            if let Some(v) = f.get("channel_width") {
+                cfg.arch.channel_width =
+                    v.as_u32().ok_or_else(|| bad("fabric.channel_width"))?;
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+impl fmt::Display for AliceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} I/O pins, {} eFPGA(s), alpha={}, beta={}",
+            self.max_io_pins, self.max_efpgas, self.alpha, self.beta
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let c1 = AliceConfig::cfg1();
+        assert_eq!((c1.max_io_pins, c1.max_efpgas), (64, 2));
+        let c2 = AliceConfig::cfg2();
+        assert_eq!((c2.max_io_pins, c2.max_efpgas), (96, 1));
+        assert_eq!(c1.alpha, 1.0);
+        assert_eq!(c1.beta, 1.0);
+    }
+
+    #[test]
+    fn yaml_overrides_fabric_params() {
+        let cfg = AliceConfig::from_yaml(
+            "max_io_pins: 128\nfabric:\n  max_dim: 30\n  channel_width: 12",
+        )
+        .expect("parse");
+        assert_eq!(cfg.max_io_pins, 128);
+        assert_eq!(cfg.arch.max_dim, 30);
+        assert_eq!(cfg.arch.channel_width, 12);
+        // untouched defaults survive
+        assert_eq!(cfg.arch.lut_inputs, 4);
+    }
+
+    #[test]
+    fn bad_value_is_error() {
+        assert!(AliceConfig::from_yaml("max_io_pins: lots").is_err());
+        assert!(AliceConfig::from_yaml("score_model: whatever").is_err());
+    }
+}

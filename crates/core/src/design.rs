@@ -1,0 +1,138 @@
+//! A loaded design: parsed source plus hierarchy, the flow's input.
+
+use alice_verilog::hierarchy::{build_hierarchy, Hierarchy, HierarchyError};
+use alice_verilog::{parse_source, ParseError, SourceFile};
+use std::fmt;
+
+/// A design ready for the ALICE flow.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Short name used in reports (e.g. `GCD`).
+    pub name: String,
+    /// The parsed source.
+    pub file: SourceFile,
+    /// Elaborated hierarchy (instance tree, pin counts).
+    pub hierarchy: Hierarchy,
+}
+
+/// Errors while loading a design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// Verilog did not parse.
+    Parse(ParseError),
+    /// Hierarchy extraction failed.
+    Hierarchy(HierarchyError),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Parse(e) => write!(f, "parse: {e}"),
+            DesignError::Hierarchy(e) => write!(f, "hierarchy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<ParseError> for DesignError {
+    fn from(e: ParseError) -> Self {
+        DesignError::Parse(e)
+    }
+}
+
+impl From<HierarchyError> for DesignError {
+    fn from(e: HierarchyError) -> Self {
+        DesignError::Hierarchy(e)
+    }
+}
+
+impl Design {
+    /// Loads a design from Verilog source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError`] on parse or hierarchy failures.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let d = alice_core::design::Design::from_source(
+    ///     "demo",
+    ///     "module top(input wire a, output wire y); assign y = ~a; endmodule",
+    ///     None,
+    /// )?;
+    /// assert_eq!(d.hierarchy.top, "top");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_source(
+        name: impl Into<String>,
+        src: &str,
+        top: Option<&str>,
+    ) -> Result<Design, DesignError> {
+        let file = parse_source(src)?;
+        let hierarchy = build_hierarchy(&file, top)?;
+        Ok(Design {
+            name: name.into(),
+            file,
+            hierarchy,
+        })
+    }
+
+    /// All redactable instance paths (every instance except the root).
+    pub fn instance_paths(&self) -> Vec<String> {
+        self.hierarchy
+            .tree
+            .walk()
+            .iter()
+            .skip(1)
+            .map(|n| n.path.clone())
+            .collect()
+    }
+
+    /// The module name implemented by an instance path.
+    pub fn module_of(&self, path: &str) -> Option<&str> {
+        self.hierarchy
+            .tree
+            .find(path)
+            .map(|n| n.module.as_str())
+    }
+
+    /// I/O pin count of the module behind an instance path.
+    pub fn io_pins_of(&self, path: &str) -> Option<u32> {
+        let m = self.module_of(path)?;
+        self.hierarchy.modules.get(m).map(|i| i.io_pins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+module a(input wire x, output wire y); assign y = ~x; endmodule
+module top(input wire x, output wire y);
+  wire t;
+  a u0(.x(x), .y(t));
+  a u1(.x(t), .y(y));
+endmodule
+"#;
+
+    #[test]
+    fn loads_and_lists_instances() {
+        let d = Design::from_source("t", SRC, None).expect("load");
+        assert_eq!(d.instance_paths(), vec!["top.u0", "top.u1"]);
+        assert_eq!(d.module_of("top.u1"), Some("a"));
+        assert_eq!(d.io_pins_of("top.u0"), Some(2));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(matches!(
+            Design::from_source("t", "module broken(", None),
+            Err(DesignError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! Phase 1 — module filtering (Algorithm 1 of the paper).
+//!
+//! Functional criterion: keep instances whose logic affects at least one
+//! selected output (scored by how many outputs they affect). Structural
+//! criterion: the module's I/O pin count must fit the eFPGA parameters.
+
+use crate::config::AliceConfig;
+use crate::design::Design;
+use alice_dataflow::DesignDataflow;
+use std::fmt;
+
+/// A candidate redaction module (an instance that survived filtering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Full instance path (e.g. `des3.u_crp.u_sbox1`).
+    pub path: String,
+    /// Module name the instance implements.
+    pub module: String,
+    /// Module I/O pin count (structural metric).
+    pub io_pins: u32,
+    /// Functional score: number of selected outputs affected.
+    pub score: u32,
+}
+
+/// The result of module filtering, with intermediate lists exposed
+/// (C-INTERMEDIATE): `functional` is the list before the structural check.
+#[derive(Debug, Clone, Default)]
+pub struct FilterResult {
+    /// Functionally-relevant instances (score > 0), any size.
+    pub functional: Vec<Candidate>,
+    /// Final candidate set `R` (functional ∩ structural).
+    pub candidates: Vec<Candidate>,
+}
+
+/// Errors from filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// A selected output does not exist on the top module.
+    UnknownOutput(String),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::UnknownOutput(o) => write!(f, "unknown selected output `{o}`"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Runs Algorithm 1.
+///
+/// `dataflow` must come from [`alice_dataflow::analyze`] on the same design.
+/// With an empty `selected_outputs` in the config, every top output is
+/// protected.
+///
+/// # Errors
+///
+/// Returns [`FilterError::UnknownOutput`] for bad output names.
+pub fn filter_modules(
+    design: &Design,
+    dataflow: &DesignDataflow,
+    cfg: &AliceConfig,
+) -> Result<FilterResult, FilterError> {
+    // Selected outputs O (default: all top outputs).
+    let outputs: Vec<String> = if cfg.selected_outputs.is_empty() {
+        let top = design
+            .file
+            .module(&design.hierarchy.top)
+            .expect("hierarchy was built from this file");
+        top.ports
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.dir,
+                    alice_verilog::ast::Direction::Output | alice_verilog::ast::Direction::Inout
+                )
+            })
+            .map(|p| p.name.clone())
+            .collect()
+    } else {
+        cfg.selected_outputs.clone()
+    };
+    // Lines 6-9: score instances by affected outputs.
+    let scores = dataflow
+        .score_instances(&outputs)
+        .map_err(|e| match e {
+            alice_dataflow::DataflowError::UnknownOutput(o) => FilterError::UnknownOutput(o),
+            alice_dataflow::DataflowError::UnknownModule(m) => {
+                unreachable!("design validated: {m}")
+            }
+        })?;
+    // Line 10: rank and select (all instances with positive score).
+    let mut functional: Vec<Candidate> = design
+        .instance_paths()
+        .into_iter()
+        .filter_map(|path| {
+            let score = scores.get(&path).copied().unwrap_or(0);
+            if score == 0 {
+                return None;
+            }
+            let module = design.module_of(&path)?.to_string();
+            let io_pins = design.io_pins_of(&path)?;
+            Some(Candidate {
+                path,
+                module,
+                io_pins,
+                score,
+            })
+        })
+        .collect();
+    functional.sort_by(|a, b| b.score.cmp(&a.score).then(a.path.cmp(&b.path)));
+    // Lines 12-15: structural criterion (I/O pins fit the fabric budget).
+    let candidates = functional
+        .iter()
+        .filter(|c| c.io_pins <= cfg.max_io_pins)
+        .cloned()
+        .collect();
+    Ok(FilterResult {
+        functional,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+module small(input wire [2:0] a, output wire [2:0] y); assign y = ~a; endmodule
+module wide(input wire [63:0] a, output wire [63:0] y); assign y = ~a; endmodule
+module top(input wire [63:0] a, output wire [2:0] o1, output wire [63:0] o2);
+  small s0(.a(a[2:0]), .y(o1));
+  wide w0(.a(a), .y(o2));
+endmodule
+"#;
+
+    fn design() -> Design {
+        Design::from_source("t", SRC, None).expect("load")
+    }
+
+    #[test]
+    fn structural_filter_drops_wide_modules() {
+        let d = design();
+        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let cfg = AliceConfig {
+            max_io_pins: 16,
+            ..AliceConfig::default()
+        };
+        let r = filter_modules(&d, &df, &cfg).expect("filter");
+        assert_eq!(r.functional.len(), 2, "both affect outputs");
+        assert_eq!(r.candidates.len(), 1);
+        assert_eq!(r.candidates[0].path, "top.s0");
+    }
+
+    #[test]
+    fn selected_outputs_restrict_candidates() {
+        let d = design();
+        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let cfg = AliceConfig {
+            max_io_pins: 200,
+            selected_outputs: vec!["o1".to_string()],
+            ..AliceConfig::default()
+        };
+        let r = filter_modules(&d, &df, &cfg).expect("filter");
+        assert_eq!(r.candidates.len(), 1);
+        assert_eq!(r.candidates[0].path, "top.s0");
+        assert_eq!(r.candidates[0].score, 1);
+    }
+
+    #[test]
+    fn unknown_output_reported() {
+        let d = design();
+        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let cfg = AliceConfig {
+            selected_outputs: vec!["bogus".to_string()],
+            ..AliceConfig::default()
+        };
+        assert!(matches!(
+            filter_modules(&d, &df, &cfg),
+            Err(FilterError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn empty_when_nothing_fits() {
+        let d = design();
+        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let cfg = AliceConfig {
+            max_io_pins: 2, // even `small` (6 pins) is too big
+            ..AliceConfig::default()
+        };
+        let r = filter_modules(&d, &df, &cfg).expect("filter");
+        assert!(r.candidates.is_empty());
+        assert!(!r.functional.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! The end-to-end ALICE flow (Figure 3): module filtering → cluster
+//! identification → eFPGA selection → redacted-design generation, with
+//! per-phase wall-clock timing for the Table 2 columns.
+
+use crate::cluster::{identify_clusters, ClusterResult};
+use crate::config::AliceConfig;
+use crate::design::Design;
+use crate::filter::{filter_modules, FilterError, FilterResult};
+use crate::redact::{redact, RedactError, RedactedDesign};
+use crate::select::{select_efpgas, SelectError, SelectionResult};
+use alice_fabric::FabricSize;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Summary of one flow run — one row of Table 2.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Redactable instance count (Table 1 "Instances").
+    pub instances: usize,
+    /// Module-filtering time (includes dataflow analysis, as in the paper).
+    pub filter_time: Duration,
+    /// |R| — candidate redaction modules.
+    pub candidates: usize,
+    /// Cluster-identification time.
+    pub cluster_time: Duration,
+    /// |C| — candidate clusters.
+    pub clusters: usize,
+    /// eFPGA-selection time (includes all fabric characterizations).
+    pub select_time: Duration,
+    /// Number of valid eFPGA implementations.
+    pub valid_efpgas: usize,
+    /// |S| — enumerated solutions.
+    pub solutions: usize,
+    /// Fabric sizes of the chosen solution (empty if none).
+    pub efpga_sizes: Vec<FabricSize>,
+    /// Total redacted module instances in the chosen solution.
+    pub redacted_modules: usize,
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sizes = if self.efpga_sizes.is_empty() {
+            "-".to_string()
+        } else {
+            self.efpga_sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            f,
+            "{:<8} {:>4} | {:>9.2?} {:>4} | {:>9.2?} {:>5} | {:>9.2?} {:>5} {:>6} | {:<12} {:>3}",
+            self.design,
+            self.instances,
+            self.filter_time,
+            self.candidates,
+            self.cluster_time,
+            self.clusters,
+            self.select_time,
+            self.valid_efpgas,
+            self.solutions,
+            sizes,
+            self.redacted_modules
+        )
+    }
+}
+
+/// The result of a full flow run.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Table-2-style metrics.
+    pub report: FlowReport,
+    /// Phase results, exposed for inspection (C-INTERMEDIATE).
+    pub filter: FilterResult,
+    /// Cluster-identification output.
+    pub clusters: ClusterResult,
+    /// Selection output (scores, valid fabrics, best solution).
+    pub selection: SelectionResult,
+    /// The redacted design, when a solution exists.
+    pub redacted: Option<RedactedDesign>,
+}
+
+/// Flow errors (any phase).
+#[derive(Debug, Clone)]
+pub enum FlowError {
+    /// Dataflow analysis failed.
+    Dataflow(String),
+    /// Filtering failed.
+    Filter(FilterError),
+    /// Selection failed.
+    Select(SelectError),
+    /// Redaction failed.
+    Redact(RedactError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Dataflow(e) => write!(f, "dataflow: {e}"),
+            FlowError::Filter(e) => write!(f, "filter: {e}"),
+            FlowError::Select(e) => write!(f, "select: {e}"),
+            FlowError::Redact(e) => write!(f, "redact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// The ALICE flow driver.
+///
+/// # Example
+///
+/// ```
+/// use alice_core::config::AliceConfig;
+/// use alice_core::design::Design;
+/// use alice_core::flow::Flow;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+/// module inv(input wire [3:0] a, output wire [3:0] y); assign y = ~a; endmodule
+/// module top(input wire [3:0] a, output wire [3:0] y);
+///   inv u0(.a(a), .y(y));
+/// endmodule";
+/// let design = Design::from_source("demo", src, None)?;
+/// let outcome = Flow::new(AliceConfig::cfg1()).run(&design)?;
+/// assert_eq!(outcome.report.candidates, 1);
+/// assert!(outcome.redacted.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flow {
+    cfg: AliceConfig,
+}
+
+impl Flow {
+    /// Creates a flow with the given configuration.
+    pub fn new(cfg: AliceConfig) -> Self {
+        Flow { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AliceConfig {
+        &self.cfg
+    }
+
+    /// Runs all phases on `design`.
+    ///
+    /// A design where no module survives filtering (like IIR under cfg1 in
+    /// the paper) is *not* an error: the outcome simply has no solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] on analysis failures (bad output names,
+    /// unsupported constructs, internal inconsistencies).
+    pub fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError> {
+        // Phase 1: module filtering (timed together with dataflow analysis,
+        // matching the paper's accounting).
+        let t0 = Instant::now();
+        let dataflow = alice_dataflow::analyze(&design.file, &design.hierarchy.top)
+            .map_err(|e| FlowError::Dataflow(e.to_string()))?;
+        let filter =
+            filter_modules(design, &dataflow, &self.cfg).map_err(FlowError::Filter)?;
+        let filter_time = t0.elapsed();
+
+        // Phase 2: cluster identification.
+        let t1 = Instant::now();
+        let clusters = identify_clusters(&filter.candidates, &self.cfg);
+        let cluster_time = t1.elapsed();
+
+        // Phase 3: characterization + selection.
+        let t2 = Instant::now();
+        let selection = select_efpgas(design, &filter.candidates, &clusters.clusters, &self.cfg)
+            .map_err(FlowError::Select)?;
+        let select_time = t2.elapsed();
+
+        // Redaction (when a solution exists).
+        let redacted = match &selection.best {
+            Some(_) => Some(
+                redact(design, &filter.candidates, &selection, &self.cfg)
+                    .map_err(FlowError::Redact)?,
+            ),
+            None => None,
+        };
+
+        let (efpga_sizes, redacted_modules) = match &selection.best {
+            Some(best) => {
+                let sizes: Vec<FabricSize> = best
+                    .efpgas
+                    .iter()
+                    .map(|&i| selection.valid[i].efpga.size)
+                    .collect();
+                let n: usize = best
+                    .efpgas
+                    .iter()
+                    .map(|&i| selection.valid[i].cluster.len())
+                    .sum();
+                (sizes, n)
+            }
+            None => (Vec::new(), 0),
+        };
+        let report = FlowReport {
+            design: design.name.clone(),
+            instances: design.instance_paths().len(),
+            filter_time,
+            candidates: filter.candidates.len(),
+            cluster_time,
+            clusters: clusters.clusters.len(),
+            select_time,
+            valid_efpgas: selection.valid.len(),
+            solutions: selection.solutions,
+            efpga_sizes,
+            redacted_modules,
+        };
+        Ok(FlowOutcome {
+            report,
+            filter,
+            clusters,
+            selection,
+            redacted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+module blk_a(input wire [7:0] a, output wire [7:0] y); assign y = a + 8'd3; endmodule
+module blk_b(input wire [7:0] a, output wire [7:0] y); assign y = a ^ 8'h55; endmodule
+module top(input wire [7:0] x, output wire [7:0] o1, output wire [7:0] o2);
+  blk_a u_a(.a(x), .y(o1));
+  blk_b u_b(.a(x), .y(o2));
+endmodule
+"#;
+
+    #[test]
+    fn full_flow_produces_redaction() {
+        let d = Design::from_source("demo", SRC, None).expect("load");
+        let out = Flow::new(AliceConfig::cfg1()).run(&d).expect("flow");
+        assert_eq!(out.report.instances, 2);
+        assert_eq!(out.report.candidates, 2);
+        assert!(out.report.clusters >= 3);
+        assert!(out.report.solutions >= 3);
+        assert!(out.redacted.is_some());
+        assert!(out.report.redacted_modules >= 1);
+    }
+
+    #[test]
+    fn infeasible_config_reports_no_solution() {
+        // 17 pins per module > 8-pin budget: nothing survives filtering.
+        let d = Design::from_source("demo", SRC, None).expect("load");
+        let cfg = AliceConfig {
+            max_io_pins: 8,
+            ..AliceConfig::cfg1()
+        };
+        let out = Flow::new(cfg).run(&d).expect("flow");
+        assert_eq!(out.report.candidates, 0);
+        assert_eq!(out.report.clusters, 0);
+        assert_eq!(out.report.solutions, 0);
+        assert!(out.redacted.is_none());
+        assert!(out.report.efpga_sizes.is_empty());
+    }
+
+    #[test]
+    fn report_renders_one_line() {
+        let d = Design::from_source("demo", SRC, None).expect("load");
+        let out = Flow::new(AliceConfig::cfg2()).run(&d).expect("flow");
+        let line = out.report.to_string();
+        assert!(line.contains("demo"));
+        assert_eq!(line.lines().count(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # alice-core
+//!
+//! The ALICE flow itself — the primary contribution of *ALICE: An
+//! Automatic Design Flow for eFPGA Redaction* (DAC 2022):
+//!
+//! * [`design`] — design loading (Verilog source → hierarchy),
+//! * [`config`] + [`yaml`] — the flow's YAML configuration,
+//! * [`filter`] — **Algorithm 1**: module filtering by functional
+//!   (output-cone) and structural (I/O pin) criteria,
+//! * [`cluster`] — **Algorithm 2**: fixed-point cluster identification,
+//! * [`select`] — **Algorithm 3**: fabric characterization, Eq. 1
+//!   scoring, branch-and-bound solution enumeration,
+//! * [`redact`] — redacted top-module regeneration with GPIO remapping
+//!   and dominator-guided eFPGA insertion,
+//! * [`flow`] — the end-to-end driver with Table-2-style reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use alice_core::config::AliceConfig;
+//! use alice_core::design::Design;
+//! use alice_core::flow::Flow;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! module inv(input wire [3:0] a, output wire [3:0] y); assign y = ~a; endmodule
+//! module top(input wire [3:0] a, output wire [3:0] y);
+//!   inv u0(.a(a), .y(y));
+//! endmodule";
+//! let design = Design::from_source("demo", src, None)?;
+//! let outcome = Flow::new(AliceConfig::cfg1()).run(&design)?;
+//! println!("{}", outcome.report);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cluster;
+pub mod config;
+pub mod design;
+pub mod filter;
+pub mod flow;
+pub mod redact;
+pub mod select;
+pub mod yaml;
+
+pub use cluster::{identify_clusters, Cluster, ClusterResult};
+pub use config::{AliceConfig, ScoreModel};
+pub use design::{Design, DesignError};
+pub use filter::{filter_modules, Candidate, FilterResult};
+pub use flow::{Flow, FlowError, FlowOutcome, FlowReport};
+pub use redact::{redact, RedactedDesign, RedactedEfpga};
+pub use select::{select_efpgas, SelectionResult, Solution, ValidEfpga};

@@ -1,0 +1,418 @@
+//! Phase 3 — eFPGA characterization and selection (Algorithm 3).
+//!
+//! Every candidate cluster is pushed through the fabric oracle
+//! ([`alice_fabric::create_efpga`]); valid implementations are scored with
+//! Eq. 1, and a branch-and-bound enumeration finds all solutions (sets of
+//! disjoint clusters, at most `max_efpgas` of them). The best solution is
+//! the one maximizing the summed score.
+
+use crate::cluster::Cluster;
+use crate::config::{AliceConfig, ScoreModel};
+use crate::design::Design;
+use crate::filter::Candidate;
+use alice_fabric::{create_efpga, EfpgaImpl};
+use alice_netlist::lutmap::{map_luts, MappedNetlist};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A cluster with a valid fabric implementation and its Eq. 1 score.
+#[derive(Debug, Clone)]
+pub struct ValidEfpga {
+    /// The cluster (indices into `R`).
+    pub cluster: Cluster,
+    /// The fabric implementation returned by the oracle.
+    pub efpga: EfpgaImpl,
+    /// Eq. 1 score (filled in once all fabrics are characterized).
+    pub score: f64,
+}
+
+/// One enumerated solution: indices into the valid-eFPGA list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Chosen eFPGA implementations.
+    pub efpgas: Vec<usize>,
+    /// Summed Eq. 1 score.
+    pub score: f64,
+}
+
+/// The outcome of the selection phase.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionResult {
+    /// Characterized, valid fabric implementations (`F` in Algorithm 3).
+    pub valid: Vec<ValidEfpga>,
+    /// Clusters whose characterization failed (the "OpenFPGA returns an
+    /// error" path of Algorithm 3), with the reason.
+    pub failed: Vec<(Cluster, String)>,
+    /// Number of solutions enumerated (`|S|` in Table 2).
+    pub solutions: usize,
+    /// The best solution, if any.
+    pub best: Option<Solution>,
+}
+
+/// Errors during selection.
+#[derive(Debug, Clone)]
+pub enum SelectError {
+    /// A cluster module failed to elaborate (subset violation etc.).
+    Elaborate(String),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::Elaborate(m) => write!(f, "elaboration failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Maps each distinct module among the candidates to LUTs, memoized.
+///
+/// The cluster's merged network is what the fabric oracle sizes; members
+/// are independent, so the merge is a disjoint union (§6's synthetic top
+/// that "instantiates all independent modules").
+pub struct ClusterMapper<'a> {
+    design: &'a Design,
+    arch_k: u32,
+    cache: HashMap<String, MappedNetlist>,
+}
+
+impl<'a> ClusterMapper<'a> {
+    /// Creates a mapper for the design.
+    pub fn new(design: &'a Design, lut_inputs: u32) -> Self {
+        ClusterMapper {
+            design,
+            arch_k: lut_inputs,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// LUT-maps one module (memoized by module name; instances share it).
+    pub fn module(&mut self, module: &str) -> Result<&MappedNetlist, SelectError> {
+        if !self.cache.contains_key(module) {
+            let netlist = alice_netlist::elaborate::elaborate(&self.design.file, module)
+                .map_err(|e| SelectError::Elaborate(format!("{module}: {e}")))?;
+            let mapped = map_luts(&netlist, self.arch_k)
+                .map_err(|e| SelectError::Elaborate(format!("{module}: {e}")))?;
+            self.cache.insert(module.to_string(), mapped);
+        }
+        Ok(&self.cache[module])
+    }
+
+    /// Builds the merged network for a cluster, with instance-path
+    /// prefixes keeping port names unique.
+    pub fn cluster_network(
+        &mut self,
+        cluster: &Cluster,
+        r: &[Candidate],
+    ) -> Result<MappedNetlist, SelectError> {
+        let mut parts: Vec<MappedNetlist> = Vec::new();
+        for &i in cluster {
+            let cand = &r[i];
+            let base = self.module(&cand.module)?.clone();
+            parts.push(prefix_ports(&base, &sanitize(&cand.path)));
+        }
+        Ok(merge(&parts))
+    }
+}
+
+/// Replaces `.` with `_` so hierarchical paths become legal identifiers.
+pub fn sanitize(path: &str) -> String {
+    path.replace('.', "_")
+}
+
+/// Prefixes every port name with `{prefix}_`.
+fn prefix_ports(m: &MappedNetlist, prefix: &str) -> MappedNetlist {
+    let mut out = m.clone();
+    out.inputs = m
+        .inputs
+        .iter()
+        .map(|(n, b)| (format!("{prefix}_{n}"), b.clone()))
+        .collect();
+    out.outputs = m
+        .outputs
+        .iter()
+        .map(|(n, b)| (format!("{prefix}_{n}"), b.clone()))
+        .collect();
+    out.input_names = m
+        .input_names
+        .iter()
+        .map(|n| format!("{prefix}_{n}"))
+        .collect();
+    out
+}
+
+/// Disjoint union of mapped networks (index spaces re-based).
+pub fn merge(parts: &[MappedNetlist]) -> MappedNetlist {
+    use alice_netlist::lutmap::MappedSrc;
+    let mut out = MappedNetlist {
+        name: "cluster".to_string(),
+        k: parts.first().map(|p| p.k).unwrap_or(4),
+        ..MappedNetlist::default()
+    };
+    for p in parts {
+        let pi_base = out.input_names.len();
+        let lut_base = out.luts.len();
+        let dff_base = out.dffs.len();
+        let shift = |s: &MappedSrc| -> MappedSrc {
+            match s {
+                MappedSrc::Const(b) => MappedSrc::Const(*b),
+                MappedSrc::Pi(i) => MappedSrc::Pi(i + pi_base),
+                MappedSrc::Lut(i) => MappedSrc::Lut(i + lut_base),
+                MappedSrc::Dff(i) => MappedSrc::Dff(i + dff_base),
+            }
+        };
+        out.input_names.extend(p.input_names.iter().cloned());
+        for (n, idxs) in &p.inputs {
+            out.inputs
+                .push((n.clone(), idxs.iter().map(|i| i + pi_base).collect()));
+        }
+        for lut in &p.luts {
+            out.luts.push(alice_netlist::lutmap::Lut {
+                inputs: lut.inputs.iter().map(&shift).collect(),
+                tt: lut.tt,
+            });
+        }
+        for d in &p.dffs {
+            out.dffs.push(alice_netlist::lutmap::MappedDff {
+                d: shift(&d.d),
+                init: d.init,
+            });
+        }
+        for (n, bits) in &p.outputs {
+            out.outputs
+                .push((n.clone(), bits.iter().map(&shift).collect()));
+        }
+    }
+    out
+}
+
+/// Eq. 1 of the paper.
+///
+/// `io`/`clb` are this fabric's utilizations; `max_io`/`max_clb` the maxima
+/// over all characterized fabrics. The [`ScoreModel`] picks between the
+/// formula as printed and the utilization-rewarding variant matching the
+/// paper's prose (see DESIGN.md).
+pub fn eq1_score(
+    cfg: &AliceConfig,
+    io: f64,
+    clb: f64,
+    max_io: f64,
+    max_clb: f64,
+) -> f64 {
+    let (max_io, max_clb) = (max_io.max(1e-9), max_clb.max(1e-9));
+    match cfg.score_model {
+        ScoreModel::AsPrinted => {
+            cfg.alpha * (max_io - io) / max_io + cfg.beta * (max_clb - clb) / max_clb
+        }
+        ScoreModel::UtilizationReward => cfg.alpha * io / max_io + cfg.beta * clb / max_clb,
+    }
+}
+
+/// Runs Algorithm 3: characterize clusters, score, enumerate solutions.
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] if a module cannot be elaborated at all;
+/// clusters whose fabrics are infeasible are silently dropped (they are
+/// simply not valid implementations, mirroring OpenFPGA errors).
+pub fn select_efpgas(
+    design: &Design,
+    r: &[Candidate],
+    clusters: &[Cluster],
+    cfg: &AliceConfig,
+) -> Result<SelectionResult, SelectError> {
+    let mut mapper = ClusterMapper::new(design, cfg.arch.lut_inputs);
+    // Lines 2-7: characterize every cluster; keep the valid fabrics. A
+    // cluster whose synthesis or sizing fails is simply not a valid
+    // implementation ("OpenFPGA returns ... an error otherwise", §6).
+    let mut valid: Vec<ValidEfpga> = Vec::new();
+    let mut failed: Vec<(Cluster, String)> = Vec::new();
+    for cluster in clusters {
+        let network = match mapper.cluster_network(cluster, r) {
+            Ok(n) => n,
+            Err(e) => {
+                failed.push((cluster.clone(), e.to_string()));
+                continue;
+            }
+        };
+        match create_efpga(&network, &cfg.arch) {
+            Ok(efpga) => valid.push(ValidEfpga {
+                cluster: cluster.clone(),
+                efpga,
+                score: 0.0,
+            }),
+            Err(e) => failed.push((cluster.clone(), e.to_string())),
+        }
+    }
+    // Line 8: Eq. 1 scores, normalized by the maxima over F.
+    let max_io = valid.iter().map(|v| v.efpga.io_util).fold(0.0, f64::max);
+    let max_clb = valid.iter().map(|v| v.efpga.clb_util).fold(0.0, f64::max);
+    for v in &mut valid {
+        v.score = eq1_score(cfg, v.efpga.io_util, v.efpga.clb_util, max_io, max_clb);
+    }
+    // Lines 9-24: branch-and-bound enumeration of disjoint combinations.
+    // Work items carry the next index to try so each combination is
+    // enumerated exactly once.
+    let all_insts: BTreeSet<usize> = (0..r.len()).collect();
+    let mut solutions: Vec<Vec<usize>> = Vec::new();
+    let mut work: Vec<(Vec<usize>, BTreeSet<usize>)> = vec![(Vec::new(), BTreeSet::new())];
+    while let Some((partial, used)) = work.pop() {
+        let start = partial.last().map(|&i| i + 1).unwrap_or(0);
+        for f in start..valid.len() {
+            if solutions.len() >= cfg.max_solutions {
+                break;
+            }
+            let cl = &valid[f].cluster;
+            if cl.iter().any(|i| used.contains(i)) {
+                continue; // overlapping module instances
+            }
+            let mut new_used = used.clone();
+            new_used.extend(cl.iter().copied());
+            let mut sol = partial.clone();
+            sol.push(f);
+            let is_final =
+                sol.len() as u32 == cfg.max_efpgas || new_used.len() == all_insts.len();
+            if is_final {
+                solutions.push(sol);
+            } else {
+                solutions.push(sol.clone());
+                work.push((sol, new_used));
+            }
+        }
+    }
+    // Line 25: rank by summed score.
+    let best = solutions
+        .iter()
+        .map(|s| {
+            let score: f64 = s.iter().map(|&i| valid[i].score).sum();
+            (s, score)
+        })
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    // Deterministic tie-break: more redacted instances, then
+                    // lexicographic.
+                    let ra: usize = a.0.iter().map(|&i| valid[i].cluster.len()).sum();
+                    let rb: usize = b.0.iter().map(|&i| valid[i].cluster.len()).sum();
+                    ra.cmp(&rb).then(b.0.cmp(a.0))
+                })
+        })
+        .map(|(s, score)| Solution {
+            efpgas: s.clone(),
+            score,
+        });
+    Ok(SelectionResult {
+        solutions: solutions.len(),
+        valid,
+        failed,
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::identify_clusters;
+    use crate::filter::filter_modules;
+
+    const SRC: &str = r#"
+module xorblk(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);
+  assign y = a ^ b;
+endmodule
+module addblk(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);
+  assign y = a + b;
+endmodule
+module top(input wire [7:0] p, input wire [7:0] q, output wire [7:0] o1, output wire [7:0] o2);
+  xorblk x0(.a(p), .b(q), .y(o1));
+  addblk a0(.a(p), .b(q), .y(o2));
+endmodule
+"#;
+
+    fn pipeline(cfg: &AliceConfig) -> (Design, Vec<Candidate>, Vec<Cluster>) {
+        let d = Design::from_source("t", SRC, None).expect("load");
+        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let r = filter_modules(&d, &df, cfg).expect("filter").candidates;
+        let c = identify_clusters(&r, cfg).clusters;
+        (d, r, c)
+    }
+
+    #[test]
+    fn characterizes_and_selects() {
+        let cfg = AliceConfig {
+            max_io_pins: 64,
+            max_efpgas: 2,
+            ..AliceConfig::default()
+        };
+        let (d, r, c) = pipeline(&cfg);
+        assert_eq!(r.len(), 2);
+        // singles + the pair (24+24 <= 64)
+        assert_eq!(c.len(), 3);
+        let sel = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        assert_eq!(sel.valid.len(), 3);
+        // solutions: {x}, {a}, {xa-pair}, {x,a} = 4
+        assert_eq!(sel.solutions, 4);
+        let best = sel.best.expect("has best");
+        assert!(best.score > 0.0);
+    }
+
+    #[test]
+    fn one_efpga_limit_shrinks_solutions() {
+        let cfg = AliceConfig {
+            max_io_pins: 64,
+            max_efpgas: 1,
+            ..AliceConfig::default()
+        };
+        let (d, r, c) = pipeline(&cfg);
+        let sel = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        // {x}, {a}, {pair} — no two-fabric combos.
+        assert_eq!(sel.solutions, 3);
+    }
+
+    #[test]
+    fn as_printed_scoring_prefers_low_utilization() {
+        let mut cfg = AliceConfig {
+            max_io_pins: 64,
+            max_efpgas: 1,
+            ..AliceConfig::default()
+        };
+        let (d, r, c) = pipeline(&cfg);
+        let reward = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        cfg.score_model = ScoreModel::AsPrinted;
+        let printed = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        let high = reward.best.clone().expect("best");
+        let low = printed.best.clone().expect("best");
+        // The two models pick differently scored solutions.
+        let util = |sel: &SelectionResult, sol: &Solution| -> f64 {
+            sol.efpgas
+                .iter()
+                .map(|&i| sel.valid[i].efpga.clb_util + sel.valid[i].efpga.io_util)
+                .sum()
+        };
+        assert!(util(&reward, &high) >= util(&printed, &low));
+    }
+
+    #[test]
+    fn eq1_scoring_ranges() {
+        let cfg = AliceConfig::default();
+        // Full utilization = maximal score 2.0 with alpha=beta=1.
+        assert!((eq1_score(&cfg, 0.8, 0.5, 0.8, 0.5) - 2.0).abs() < 1e-9);
+        let printed = AliceConfig {
+            score_model: ScoreModel::AsPrinted,
+            ..AliceConfig::default()
+        };
+        assert!((eq1_score(&printed, 0.8, 0.5, 0.8, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_disjoint_union() {
+        let d = Design::from_source("t", SRC, None).expect("load");
+        let mut mapper = ClusterMapper::new(&d, 4);
+        let x = mapper.module("xorblk").expect("map").clone();
+        let a = mapper.module("addblk").expect("map").clone();
+        let m = merge(&[x.clone(), a.clone()]);
+        assert_eq!(m.lut_count(), x.lut_count() + a.lut_count());
+        assert_eq!(m.io_pins(), x.io_pins() + a.io_pins());
+    }
+}

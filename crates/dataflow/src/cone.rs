@@ -1,0 +1,486 @@
+//! Output-cone dataflow analysis over the RTL module hierarchy.
+//!
+//! This implements the analysis behind line 7 of Algorithm 1 in the paper
+//! (`IdentifyModules(M, o)`): for a selected top-level output, find every
+//! module instance whose logic can influence that output. The analysis is
+//! conservative (always-block reads are treated as dependencies of every
+//! target the block assigns) and descends the hierarchy using per-module
+//! summaries computed bottom-up.
+
+use alice_verilog::ast::*;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Per-module dataflow summary.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleDeps {
+    /// For each output port: input ports it transitively depends on.
+    pub out_to_in: BTreeMap<String, BTreeSet<String>>,
+    /// For each output port: relative instance paths in its cone
+    /// (e.g. `u0` or `u0.sub1`).
+    pub out_to_insts: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Whole-design dataflow: per-module summaries plus the top name.
+#[derive(Debug, Clone)]
+pub struct DesignDataflow {
+    /// Summaries keyed by module name.
+    pub modules: BTreeMap<String, ModuleDeps>,
+    /// Top module name.
+    pub top: String,
+}
+
+/// Errors from dataflow analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataflowError {
+    /// A module referenced by an instance is missing.
+    UnknownModule(String),
+    /// The selected output does not exist on the top module.
+    UnknownOutput(String),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            DataflowError::UnknownOutput(o) => write!(f, "unknown top output `{o}`"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// Local dataflow source inside one module.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Source {
+    Net(String),
+    InstOut { inst: String, port: String },
+}
+
+/// Analyzes the design rooted at `top`.
+///
+/// # Errors
+///
+/// Returns [`DataflowError::UnknownModule`] if an instance references an
+/// undefined module.
+pub fn analyze(file: &SourceFile, top: &str) -> Result<DesignDataflow, DataflowError> {
+    let mut analyzer = Analyzer {
+        file,
+        done: BTreeMap::new(),
+    };
+    analyzer.module_deps(top)?;
+    Ok(DesignDataflow {
+        modules: analyzer.done,
+        top: top.to_string(),
+    })
+}
+
+impl DesignDataflow {
+    /// Full instance paths (rooted at `top.`) in the cone of `output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataflowError::UnknownOutput`] if `output` is not an output
+    /// port of the top module.
+    pub fn cone_of(&self, output: &str) -> Result<BTreeSet<String>, DataflowError> {
+        let deps = self
+            .modules
+            .get(&self.top)
+            .expect("top analyzed in constructor");
+        let insts = deps
+            .out_to_insts
+            .get(output)
+            .ok_or_else(|| DataflowError::UnknownOutput(output.to_string()))?;
+        Ok(insts
+            .iter()
+            .map(|rel| format!("{}.{rel}", self.top))
+            .collect())
+    }
+
+    /// Scores every instance path by how many of `outputs` it affects
+    /// (lines 6–9 of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataflowError::UnknownOutput`] for bad output names.
+    pub fn score_instances(
+        &self,
+        outputs: &[String],
+    ) -> Result<BTreeMap<String, u32>, DataflowError> {
+        let mut scores: BTreeMap<String, u32> = BTreeMap::new();
+        for o in outputs {
+            for inst in self.cone_of(o)? {
+                *scores.entry(inst).or_insert(0) += 1;
+            }
+        }
+        Ok(scores)
+    }
+}
+
+struct Analyzer<'a> {
+    file: &'a SourceFile,
+    done: BTreeMap<String, ModuleDeps>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn module_deps(&mut self, name: &str) -> Result<(), DataflowError> {
+        if self.done.contains_key(name) {
+            return Ok(());
+        }
+        let m = self
+            .file
+            .module(name)
+            .ok_or_else(|| DataflowError::UnknownModule(name.to_string()))?;
+        // Ensure children are summarized first (hierarchy is acyclic; the
+        // verilog crate rejects recursion).
+        for inst in m.instances() {
+            self.module_deps(&inst.module)?;
+        }
+
+        // Build the local predecessor map: net -> sources that drive it.
+        let mut preds: HashMap<String, Vec<Source>> = HashMap::new();
+        let mut add_pred = |target: &str, src: Source| {
+            preds.entry(target.to_string()).or_default().push(src);
+        };
+        for item in &m.items {
+            match item {
+                Item::Assign(a) => {
+                    let mut ids = Vec::new();
+                    a.rhs.collect_ids(&mut ids);
+                    for t in a.lhs.targets() {
+                        for id in &ids {
+                            add_pred(t, Source::Net(id.to_string()));
+                        }
+                    }
+                }
+                Item::Net(d) => {
+                    if let Some(init) = &d.init {
+                        let mut ids = Vec::new();
+                        init.collect_ids(&mut ids);
+                        for id in &ids {
+                            add_pred(&d.name, Source::Net(id.to_string()));
+                        }
+                    }
+                }
+                Item::Always(ab) => {
+                    // Conservative: every net read anywhere in the block is
+                    // a dependency of every target. Edge signals (clock,
+                    // async reset) count as reads.
+                    let mut reads = Vec::new();
+                    if let Sensitivity::Edges(edges) = &ab.sensitivity {
+                        reads.extend(edges.iter().map(|(_, s)| s.clone()));
+                    }
+                    collect_reads(&ab.body, &mut reads);
+                    let mut targets = Vec::new();
+                    collect_stmt_targets(&ab.body, &mut targets);
+                    for t in &targets {
+                        for r in &reads {
+                            add_pred(t, Source::Net(r.clone()));
+                        }
+                    }
+                }
+                Item::Instance(inst) => {
+                    let child = self.file.module(&inst.module).expect("checked above");
+                    let conns = conn_pairs(child, inst);
+                    for (port, expr) in conns {
+                        let Some(expr) = expr else { continue };
+                        let dir = child.port(&port).map(|p| p.dir);
+                        match dir {
+                            Some(Direction::Output) | Some(Direction::Inout) => {
+                                // nets written by the instance
+                                let mut ids = Vec::new();
+                                expr.collect_ids(&mut ids);
+                                for id in ids {
+                                    add_pred(
+                                        id,
+                                        Source::InstOut {
+                                            inst: inst.name.clone(),
+                                            port: port.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Map each instance input port to its source nets (for summary
+        // expansion).
+        let mut inst_in_srcs: HashMap<(String, String), Vec<String>> = HashMap::new();
+        let mut inst_module: HashMap<String, String> = HashMap::new();
+        for inst in m.instances() {
+            inst_module.insert(inst.name.clone(), inst.module.clone());
+            let child = self.file.module(&inst.module).expect("checked above");
+            for (port, expr) in conn_pairs(child, inst) {
+                let Some(expr) = expr else { continue };
+                if child.port(&port).map(|p| p.dir) == Some(Direction::Input) {
+                    let mut ids = Vec::new();
+                    expr.collect_ids(&mut ids);
+                    inst_in_srcs
+                        .insert((inst.name.clone(), port.clone()), ids
+                            .into_iter()
+                            .map(|s| s.to_string())
+                            .collect());
+                }
+            }
+        }
+
+        // Backward reachability from each output port.
+        let mut deps = ModuleDeps::default();
+        let input_ports: BTreeSet<String> = m
+            .ports
+            .iter()
+            .filter(|p| matches!(p.dir, Direction::Input | Direction::Inout))
+            .map(|p| p.name.clone())
+            .collect();
+        for port in &m.ports {
+            if !matches!(port.dir, Direction::Output | Direction::Inout) {
+                continue;
+            }
+            let mut need_in: BTreeSet<String> = BTreeSet::new();
+            let mut insts: BTreeSet<String> = BTreeSet::new();
+            let mut visited_nets: BTreeSet<String> = BTreeSet::new();
+            let mut visited_ports: BTreeSet<(String, String)> = BTreeSet::new();
+            let mut queue: VecDeque<String> = VecDeque::new();
+            queue.push_back(port.name.clone());
+            visited_nets.insert(port.name.clone());
+            while let Some(net) = queue.pop_front() {
+                if input_ports.contains(&net) {
+                    need_in.insert(net.clone());
+                }
+                let Some(srcs) = preds.get(&net) else { continue };
+                for s in srcs {
+                    match s {
+                        Source::Net(n) => {
+                            if visited_nets.insert(n.clone()) {
+                                queue.push_back(n.clone());
+                            }
+                        }
+                        Source::InstOut { inst, port: cport } => {
+                            if !visited_ports.insert((inst.clone(), cport.clone())) {
+                                continue;
+                            }
+                            insts.insert(inst.clone());
+                            let child_mod = &inst_module[inst];
+                            let cdeps = &self.done[child_mod];
+                            // instances inside the child on this port's cone
+                            if let Some(sub) = cdeps.out_to_insts.get(cport) {
+                                for rel in sub {
+                                    insts.insert(format!("{inst}.{rel}"));
+                                }
+                            }
+                            // inputs of the child needed by this port
+                            if let Some(needed) = cdeps.out_to_in.get(cport) {
+                                for ip in needed {
+                                    if let Some(srcs) =
+                                        inst_in_srcs.get(&(inst.clone(), ip.clone()))
+                                    {
+                                        for sn in srcs {
+                                            if visited_nets.insert(sn.clone()) {
+                                                queue.push_back(sn.clone());
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            deps.out_to_in.insert(port.name.clone(), need_in);
+            deps.out_to_insts.insert(port.name.clone(), insts);
+        }
+        self.done.insert(name.to_string(), deps);
+        Ok(())
+    }
+}
+
+fn conn_pairs(child: &Module, inst: &Instance) -> Vec<(String, Option<Expr>)> {
+    match &inst.conns {
+        PortConns::Named(named) => named.clone(),
+        PortConns::Ordered(exprs) => child
+            .ports
+            .iter()
+            .zip(exprs.iter())
+            .map(|(p, e)| (p.name.clone(), Some(e.clone())))
+            .collect(),
+    }
+}
+
+fn collect_reads(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_reads(s, out)),
+        Stmt::If {
+            cond,
+            then_stmt,
+            else_stmt,
+        } => {
+            let mut ids = Vec::new();
+            cond.collect_ids(&mut ids);
+            out.extend(ids.iter().map(|s| s.to_string()));
+            collect_reads(then_stmt, out);
+            if let Some(e) = else_stmt {
+                collect_reads(e, out);
+            }
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+        } => {
+            let mut ids = Vec::new();
+            expr.collect_ids(&mut ids);
+            for a in arms {
+                for l in &a.labels {
+                    l.collect_ids(&mut ids);
+                }
+            }
+            out.extend(ids.iter().map(|s| s.to_string()));
+            for a in arms {
+                collect_reads(&a.body, out);
+            }
+            if let Some(d) = default {
+                collect_reads(d, out);
+            }
+        }
+        Stmt::Blocking(_, rhs) | Stmt::NonBlocking(_, rhs) => {
+            let mut ids = Vec::new();
+            rhs.collect_ids(&mut ids);
+            out.extend(ids.iter().map(|s| s.to_string()));
+        }
+    }
+}
+
+fn collect_stmt_targets(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Block(ss) => ss.iter().for_each(|s| collect_stmt_targets(s, out)),
+        Stmt::If {
+            then_stmt,
+            else_stmt,
+            ..
+        } => {
+            collect_stmt_targets(then_stmt, out);
+            if let Some(e) = else_stmt {
+                collect_stmt_targets(e, out);
+            }
+        }
+        Stmt::Case { arms, default, .. } => {
+            for a in arms {
+                collect_stmt_targets(&a.body, out);
+            }
+            if let Some(d) = default {
+                collect_stmt_targets(d, out);
+            }
+        }
+        Stmt::Blocking(lv, _) | Stmt::NonBlocking(lv, _) => {
+            out.extend(lv.targets().iter().map(|s| s.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alice_verilog::parse_source;
+
+    const SRC: &str = r#"
+module mixer(input wire [3:0] a, input wire [3:0] b, output wire [3:0] y);
+  assign y = a ^ b;
+endmodule
+module shifter(input wire [3:0] a, output wire [3:0] y);
+  assign y = {a[0], a[3:1]};
+endmodule
+module top(input wire [3:0] p, input wire [3:0] q,
+           output wire [3:0] o1, output wire [3:0] o2);
+  wire [3:0] t;
+  mixer m0(.a(p), .b(q), .y(t));
+  shifter s0(.a(t), .y(o1));
+  shifter s1(.a(q), .y(o2));
+endmodule
+"#;
+
+    #[test]
+    fn cone_tracks_through_hierarchy() {
+        let f = parse_source(SRC).expect("parse");
+        let df = analyze(&f, "top").expect("analyze");
+        let c1 = df.cone_of("o1").expect("o1");
+        assert!(c1.contains("top.m0"), "{c1:?}");
+        assert!(c1.contains("top.s0"));
+        assert!(!c1.contains("top.s1"));
+        let c2 = df.cone_of("o2").expect("o2");
+        assert_eq!(c2.len(), 1);
+        assert!(c2.contains("top.s1"));
+    }
+
+    #[test]
+    fn scores_count_affected_outputs() {
+        let f = parse_source(SRC).expect("parse");
+        let df = analyze(&f, "top").expect("analyze");
+        let scores = df
+            .score_instances(&["o1".to_string(), "o2".to_string()])
+            .expect("scores");
+        assert_eq!(scores.get("top.m0"), Some(&1));
+        assert_eq!(scores.get("top.s0"), Some(&1));
+        assert_eq!(scores.get("top.s1"), Some(&1));
+    }
+
+    #[test]
+    fn out_to_in_summary() {
+        let f = parse_source(SRC).expect("parse");
+        let df = analyze(&f, "top").expect("analyze");
+        let mixer = &df.modules["mixer"];
+        let ins = &mixer.out_to_in["y"];
+        assert!(ins.contains("a") && ins.contains("b"));
+    }
+
+    #[test]
+    fn nested_instances_appear_with_relative_paths() {
+        let src = r#"
+module leaf(input wire x, output wire y); assign y = ~x; endmodule
+module mid(input wire x, output wire y);
+  leaf l0(.x(x), .y(y));
+endmodule
+module top(input wire a, output wire o);
+  mid m0(.x(a), .y(o));
+endmodule
+"#;
+        let f = parse_source(src).expect("parse");
+        let df = analyze(&f, "top").expect("analyze");
+        let cone = df.cone_of("o").expect("cone");
+        assert!(cone.contains("top.m0"));
+        assert!(cone.contains("top.m0.l0"), "{cone:?}");
+    }
+
+    #[test]
+    fn unknown_output_is_reported() {
+        let f = parse_source(SRC).expect("parse");
+        let df = analyze(&f, "top").expect("analyze");
+        assert!(matches!(
+            df.cone_of("nope"),
+            Err(DataflowError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn always_block_dependencies_are_conservative() {
+        let src = r#"
+module seq(input wire clk, input wire en, input wire d, output reg q);
+  always @(posedge clk) begin
+    if (en) q <= d;
+  end
+endmodule
+module top(input wire clk, input wire en, input wire d, output wire o);
+  seq s0(.clk(clk), .en(en), .d(d), .q(o));
+endmodule
+"#;
+        let f = parse_source(src).expect("parse");
+        let df = analyze(&f, "top").expect("analyze");
+        let seq = &df.modules["seq"];
+        let ins = &seq.out_to_in["q"];
+        assert!(ins.contains("en") && ins.contains("d") && ins.contains("clk"));
+    }
+}

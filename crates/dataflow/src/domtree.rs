@@ -1,0 +1,221 @@
+//! Dominator trees over rooted directed graphs.
+//!
+//! ALICE uses dominator analysis on the module hierarchy to pick the
+//! insertion point of a multi-module eFPGA instance (§6 of the paper): the
+//! lowest common dominator of the redacted instances minimizes re-routing.
+//! The implementation is the iterative algorithm of Cooper, Harvey and
+//! Kennedy, which is simple and fast at hierarchy scale.
+
+/// A rooted directed graph described by predecessor lists.
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    /// `preds[v]` lists the predecessors of `v`.
+    pub preds: Vec<Vec<usize>>,
+    /// The root node (no predecessors needed).
+    pub root: usize,
+}
+
+/// The immediate-dominator table of a [`DiGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomTree {
+    /// `idom[v]` is the immediate dominator of `v`; `idom[root] == root`.
+    /// Unreachable nodes map to `usize::MAX`.
+    pub idom: Vec<usize>,
+    root: usize,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `g`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alice_dataflow::domtree::{DiGraph, DomTree};
+    ///
+    /// // 0 -> 1 -> 2 and 0 -> 2 : node 2 is dominated only by 0.
+    /// let g = DiGraph { preds: vec![vec![], vec![0], vec![0, 1]], root: 0 };
+    /// let dt = DomTree::compute(&g);
+    /// assert_eq!(dt.immediate_dominator(2), Some(0));
+    /// ```
+    pub fn compute(g: &DiGraph) -> DomTree {
+        let n = g.preds.len();
+        // Reverse post-order over successors (derived from preds).
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (v, ps) in g.preds.iter().enumerate() {
+            for &p in ps {
+                succs[p].push(v);
+            }
+        }
+        let mut order = Vec::with_capacity(n); // post-order
+        let mut seen = vec![false; n];
+        let mut stack = vec![(g.root, 0usize)];
+        seen[g.root] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < succs[v].len() {
+                let next = succs[v][*i];
+                *i += 1;
+                if !seen[next] {
+                    seen[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = order.iter().rev().copied().collect();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &v) in rpo.iter().enumerate() {
+            rpo_num[v] = i;
+        }
+
+        let mut idom = vec![usize::MAX; n];
+        idom[g.root] = g.root;
+        let intersect = |idom: &[usize], rpo_num: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_num[a] > rpo_num[b] {
+                    a = idom[a];
+                }
+                while rpo_num[b] > rpo_num[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &v in &rpo {
+                if v == g.root {
+                    continue;
+                }
+                let mut new_idom = usize::MAX;
+                for &p in &g.preds[v] {
+                    if idom[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_num, new_idom, p)
+                    };
+                }
+                if new_idom != usize::MAX && idom[v] != new_idom {
+                    idom[v] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, root: g.root }
+    }
+
+    /// The immediate dominator of `v` (`None` for the root or unreachable
+    /// nodes).
+    pub fn immediate_dominator(&self, v: usize) -> Option<usize> {
+        if v == self.root || self.idom.get(v).copied() == Some(usize::MAX) {
+            None
+        } else {
+            self.idom.get(v).copied()
+        }
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut v = b;
+        loop {
+            if v == a {
+                return true;
+            }
+            if v == self.root || self.idom[v] == usize::MAX {
+                return false;
+            }
+            v = self.idom[v];
+        }
+    }
+
+    /// The nearest node dominating every node in `nodes` (the lowest common
+    /// dominator). Returns the root for an empty slice.
+    pub fn common_dominator(&self, nodes: &[usize]) -> usize {
+        let mut it = nodes.iter();
+        let Some(&first) = it.next() else {
+            return self.root;
+        };
+        let mut acc = first;
+        for &v in it {
+            acc = self.intersect_pair(acc, v);
+        }
+        acc
+    }
+
+    fn intersect_pair(&self, mut a: usize, mut b: usize) -> usize {
+        // Walk both up to the root, collecting depths.
+        let depth = |mut v: usize| {
+            let mut d = 0;
+            while v != self.root {
+                v = self.idom[v];
+                d += 1;
+            }
+            d
+        };
+        let (mut da, mut db) = (depth(a), depth(b));
+        while da > db {
+            a = self.idom[a];
+            da -= 1;
+        }
+        while db > da {
+            b = self.idom[b];
+            db -= 1;
+        }
+        while a != b {
+            a = self.idom[a];
+            b = self.idom[b];
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic example from the Cooper-Harvey-Kennedy paper.
+    #[test]
+    fn chk_paper_example() {
+        // Nodes: 0=R,1,2,3,4 with edges R->1, R->2, 1->3, 2->3, 3->4, 4->3
+        let g = DiGraph {
+            preds: vec![vec![], vec![0], vec![0], vec![1, 2, 4], vec![3]],
+            root: 0,
+        };
+        let dt = DomTree::compute(&g);
+        assert_eq!(dt.immediate_dominator(1), Some(0));
+        assert_eq!(dt.immediate_dominator(2), Some(0));
+        assert_eq!(dt.immediate_dominator(3), Some(0));
+        assert_eq!(dt.immediate_dominator(4), Some(3));
+    }
+
+    #[test]
+    fn tree_graph_dominators_are_parents() {
+        // 0 -> {1, 2}; 1 -> {3, 4}
+        let g = DiGraph {
+            preds: vec![vec![], vec![0], vec![0], vec![1], vec![1]],
+            root: 0,
+        };
+        let dt = DomTree::compute(&g);
+        assert_eq!(dt.immediate_dominator(3), Some(1));
+        assert!(dt.dominates(1, 4));
+        assert!(!dt.dominates(2, 4));
+        assert_eq!(dt.common_dominator(&[3, 4]), 1);
+        assert_eq!(dt.common_dominator(&[3, 2]), 0);
+        assert_eq!(dt.common_dominator(&[4]), 4);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let g = DiGraph {
+            preds: vec![vec![], vec![0], vec![]],
+            root: 0,
+        };
+        let dt = DomTree::compute(&g);
+        assert_eq!(dt.immediate_dominator(2), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! RTL dataflow analysis for the ALICE flow.
+//!
+//! Replaces PyVerilog's dataflow analyzer:
+//!
+//! * [`cone`] — per-output dataflow cones over the module hierarchy,
+//!   used by module filtering (Algorithm 1) to score candidate modules,
+//! * [`domtree`] — dominator trees, used to place multi-module eFPGA
+//!   instances at the lowest common dominator of the redacted instances.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "
+//! module inv(input wire a, output wire y); assign y = ~a; endmodule
+//! module top(input wire a, output wire o);
+//!   inv i0(.a(a), .y(o));
+//! endmodule";
+//! let file = alice_verilog::parse_source(src)?;
+//! let df = alice_dataflow::analyze(&file, "top")?;
+//! assert!(df.cone_of("o")?.contains("top.i0"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cone;
+pub mod domtree;
+
+pub use cone::{analyze, DataflowError, DesignDataflow, ModuleDeps};
+pub use domtree::{DiGraph, DomTree};
+
+use alice_verilog::hierarchy::InstanceNode;
+
+/// Builds a [`DiGraph`] over the instance tree (edges parent → child),
+/// returning the graph and the path-indexed node table.
+///
+/// In a pure tree, each node's immediate dominator is its parent, so the
+/// common dominator of a set of instances is their lowest common ancestor —
+/// the insertion point ALICE uses for a multi-module eFPGA.
+pub fn hierarchy_graph(root: &InstanceNode) -> (DiGraph, Vec<String>) {
+    let nodes = root.walk();
+    let paths: Vec<String> = nodes.iter().map(|n| n.path.clone()).collect();
+    let index: std::collections::HashMap<&str, usize> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.as_str(), i))
+        .collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); paths.len()];
+    for n in &nodes {
+        let pi = index[n.path.as_str()];
+        for c in &n.children {
+            preds[index[c.path.as_str()]].push(pi);
+        }
+    }
+    (DiGraph { preds, root: 0 }, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alice_verilog::hierarchy::build_hierarchy;
+    use alice_verilog::parse_source;
+
+    #[test]
+    fn hierarchy_lca_via_domtree() {
+        let src = r#"
+module leaf(input wire a, output wire y); assign y = a; endmodule
+module mid(input wire a, output wire y);
+  wire t;
+  leaf l0(.a(a), .y(t));
+  leaf l1(.a(t), .y(y));
+endmodule
+module top(input wire a, output wire y);
+  mid m0(.a(a), .y(y));
+endmodule
+"#;
+        let f = parse_source(src).expect("parse");
+        let h = build_hierarchy(&f, None).expect("hierarchy");
+        let (g, paths) = hierarchy_graph(&h.tree);
+        let dt = DomTree::compute(&g);
+        let idx = |p: &str| paths.iter().position(|x| x == p).expect("path");
+        let lca = dt.common_dominator(&[idx("top.m0.l0"), idx("top.m0.l1")]);
+        assert_eq!(paths[lca], "top.m0");
+        let lca2 = dt.common_dominator(&[idx("top.m0.l0"), idx("top.m0")]);
+        assert_eq!(paths[lca2], "top.m0");
+    }
+}

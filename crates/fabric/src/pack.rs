@@ -1,0 +1,266 @@
+//! Packing: groups mapped LUTs and flip-flops into CLB-sized clusters.
+//!
+//! A logic element (LE) hosts one LUT and one optional flip-flop; a FF is
+//! paired with the LUT that drives its D input (the fracturable-LE model of
+//! the paper's architecture). Remaining FFs occupy their own LE. CLBs are
+//! filled with a greedy connectivity-driven heuristic (VPR's AAPack in
+//! spirit): seed with the unclustered LE with most connections, then absorb
+//! the most-attracted LEs until the CLB is full.
+
+use crate::arch::FabricArch;
+use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
+use std::collections::{HashMap, HashSet};
+
+/// One logic element: a LUT and/or a flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicElement {
+    /// Index into [`MappedNetlist::luts`], if the LE carries a LUT.
+    pub lut: Option<usize>,
+    /// Index into [`MappedNetlist::dffs`], if the LE carries a FF.
+    pub dff: Option<usize>,
+}
+
+/// A packed CLB: up to `les_per_clb` logic elements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Clb {
+    /// The logic elements in this CLB.
+    pub les: Vec<LogicElement>,
+}
+
+/// The result of packing.
+#[derive(Debug, Clone, Default)]
+pub struct Packing {
+    /// Packed CLBs.
+    pub clbs: Vec<Clb>,
+    /// Total logic elements used.
+    pub le_count: usize,
+}
+
+impl Packing {
+    /// Number of CLBs used.
+    pub fn clb_count(&self) -> usize {
+        self.clbs.len()
+    }
+}
+
+/// Packs a mapped netlist into CLBs for the given architecture.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "module m(input wire [7:0] a, output wire y); assign y = ^a; endmodule";
+/// let f = alice_verilog::parse_source(src)?;
+/// let n = alice_netlist::elaborate::elaborate(&f, "m")?;
+/// let mapped = alice_netlist::lutmap::map_luts(&n, 4)?;
+/// let packing = alice_fabric::pack::pack(&mapped, &alice_fabric::FabricArch::default());
+/// assert!(packing.clb_count() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pack(mapped: &MappedNetlist, arch: &FabricArch) -> Packing {
+    // 1. Form LEs: pair a FF with its driving LUT only when that FF is the
+    //    LUT's sole consumer (the LE exposes a single output, so a LUT that
+    //    also feeds combinational logic cannot be registered in place).
+    let mut lut_uses: HashMap<usize, u32> = HashMap::new();
+    let bump = |s: &MappedSrc, lut_uses: &mut HashMap<usize, u32>| {
+        if let MappedSrc::Lut(l) = s {
+            *lut_uses.entry(*l).or_insert(0) += 1;
+        }
+    };
+    for lut in &mapped.luts {
+        for s in &lut.inputs {
+            bump(s, &mut lut_uses);
+        }
+    }
+    for d in &mapped.dffs {
+        bump(&d.d, &mut lut_uses);
+    }
+    for (_, bits) in &mapped.outputs {
+        for s in bits {
+            bump(s, &mut lut_uses);
+        }
+    }
+    let mut lut_paired: HashMap<usize, usize> = HashMap::new(); // lut -> dff
+    let mut lone_dffs: Vec<usize> = Vec::new();
+    for (di, dff) in mapped.dffs.iter().enumerate() {
+        match dff.d {
+            MappedSrc::Lut(li)
+                if !lut_paired.contains_key(&li)
+                    && lut_uses.get(&li).copied().unwrap_or(0) == 1 =>
+            {
+                lut_paired.insert(li, di);
+            }
+            _ => lone_dffs.push(di),
+        }
+    }
+    let mut les: Vec<LogicElement> = Vec::new();
+    for li in 0..mapped.luts.len() {
+        les.push(LogicElement {
+            lut: Some(li),
+            dff: lut_paired.get(&li).copied(),
+        });
+    }
+    for di in lone_dffs {
+        les.push(LogicElement {
+            lut: None,
+            dff: Some(di),
+        });
+    }
+
+    // 2. Connectivity between LEs (shared nets attract).
+    // Net id space: LUT outputs and DFF outputs.
+    let le_of_lut: HashMap<usize, usize> = les
+        .iter()
+        .enumerate()
+        .filter_map(|(i, le)| le.lut.map(|l| (l, i)))
+        .collect();
+    let le_of_dff: HashMap<usize, usize> = les
+        .iter()
+        .enumerate()
+        .filter_map(|(i, le)| le.dff.map(|d| (d, i)))
+        .collect();
+    let src_le = |s: &MappedSrc| -> Option<usize> {
+        match s {
+            MappedSrc::Lut(l) => le_of_lut.get(l).copied(),
+            MappedSrc::Dff(d) => le_of_dff.get(d).copied(),
+            _ => None,
+        }
+    };
+    let mut adj: Vec<HashMap<usize, u32>> = vec![HashMap::new(); les.len()];
+    let connect = |a: usize, b: usize, adj: &mut Vec<HashMap<usize, u32>>| {
+        if a != b {
+            *adj[a].entry(b).or_insert(0) += 1;
+            *adj[b].entry(a).or_insert(0) += 1;
+        }
+    };
+    for (i, le) in les.iter().enumerate() {
+        if let Some(li) = le.lut {
+            for inp in &mapped.luts[li].inputs {
+                if let Some(j) = src_le(inp) {
+                    connect(i, j, &mut adj);
+                }
+            }
+        }
+        if let Some(di) = le.dff {
+            if let Some(j) = src_le(&mapped.dffs[di].d) {
+                connect(i, j, &mut adj);
+            }
+        }
+    }
+
+    // 3. Greedy clustering.
+    let cap = arch.les_per_clb as usize;
+    let mut unplaced: HashSet<usize> = (0..les.len()).collect();
+    let mut clbs: Vec<Clb> = Vec::new();
+    while !unplaced.is_empty() {
+        // Seed: the unplaced LE with the highest total connectivity.
+        let &seed = unplaced
+            .iter()
+            .max_by_key(|&&i| (adj[i].values().sum::<u32>(), std::cmp::Reverse(i)))
+            .expect("non-empty");
+        unplaced.remove(&seed);
+        let mut members = vec![seed];
+        while members.len() < cap {
+            // Most-attracted unplaced LE.
+            let best = unplaced
+                .iter()
+                .map(|&i| {
+                    let attraction: u32 = members
+                        .iter()
+                        .map(|&m| adj[i].get(&m).copied().unwrap_or(0))
+                        .sum();
+                    (attraction, std::cmp::Reverse(i), i)
+                })
+                .max();
+            // Fill the CLB fully (density first, like the paper's
+            // minimal-fabric objective); attraction only orders candidates.
+            match best {
+                Some((_, _, i)) => {
+                    unplaced.remove(&i);
+                    members.push(i);
+                }
+                None => break,
+            }
+        }
+        clbs.push(Clb {
+            les: members.iter().map(|&i| les[i]).collect(),
+        });
+    }
+    Packing {
+        le_count: les.len(),
+        clbs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alice_netlist::elaborate::elaborate;
+    use alice_netlist::lutmap::map_luts;
+    use alice_verilog::parse_source;
+
+    fn mapped(src: &str, top: &str) -> MappedNetlist {
+        let f = parse_source(src).expect("parse");
+        let n = elaborate(&f, top).expect("elab");
+        map_luts(&n, 4).expect("map")
+    }
+
+    #[test]
+    fn ff_pairs_with_driving_lut() {
+        let src = r#"
+module m(input wire clk, input wire [3:0] a, output reg q);
+  always @(posedge clk) q <= ^a;
+endmodule
+"#;
+        let m = mapped(src, "m");
+        let p = pack(&m, &FabricArch::default());
+        // One LUT + one FF paired into a single LE.
+        assert_eq!(p.le_count, m.lut_count().max(1));
+        let paired = p
+            .clbs
+            .iter()
+            .flat_map(|c| &c.les)
+            .any(|le| le.lut.is_some() && le.dff.is_some());
+        assert!(paired, "FF should share an LE with its driving LUT");
+    }
+
+    #[test]
+    fn clb_capacity_respected() {
+        let src = "module m(input wire [15:0] a, input wire [15:0] b, output wire [15:0] y);\
+                   assign y = a ^ b; endmodule";
+        let m = mapped(src, "m");
+        let arch = FabricArch::default();
+        let p = pack(&m, &arch);
+        for clb in &p.clbs {
+            assert!(clb.les.len() <= arch.les_per_clb as usize);
+        }
+        let total: usize = p.clbs.iter().map(|c| c.les.len()).sum();
+        assert_eq!(total, p.le_count);
+    }
+
+    #[test]
+    fn clb_count_close_to_optimal() {
+        // 16 XOR LUTs at 4 LEs per CLB -> 4 CLBs optimal.
+        let src = "module m(input wire [15:0] a, input wire [15:0] b, output wire [15:0] y);\
+                   assign y = a ^ b; endmodule";
+        let m = mapped(src, "m");
+        let p = pack(&m, &FabricArch::default());
+        assert_eq!(m.lut_count(), 16);
+        assert_eq!(p.clb_count(), 4);
+    }
+
+    #[test]
+    fn passthrough_dffs_get_own_les() {
+        let src = r#"
+module m(input wire clk, input wire [3:0] d, output reg [3:0] q);
+  always @(posedge clk) q <= d;
+endmodule
+"#;
+        let m = mapped(src, "m");
+        let p = pack(&m, &FabricArch::default());
+        assert_eq!(m.dff_count(), 4);
+        // D comes straight from PIs: no LUT to pair with.
+        assert_eq!(p.le_count, 4);
+    }
+}

@@ -1,0 +1,552 @@
+//! Gate-level intermediate representation.
+//!
+//! The IR is an AND/XOR/MUX DAG with complemented edges (an AIG extended
+//! with XOR and MUX nodes, which keeps LUT mapping and SAT encoding simple
+//! while avoiding the node blow-up of a pure AIG for datapath logic).
+//! Sequential elements are D flip-flops in a single implicit clock domain.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A signal literal: a node reference plus an optional complement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constructs a literal from a node and complement flag.
+    pub fn new(node: NodeId, compl: bool) -> Lit {
+        Lit(node.0 << 1 | compl as u32)
+    }
+
+    /// The constant-false literal (node 0 uncomplemented).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (node 0 complemented).
+    pub const TRUE: Lit = Lit(1);
+
+    /// The referenced node.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_compl(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement of this literal.
+    #[must_use]
+    pub fn compl(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// This literal with complement flag set to `c`.
+    #[must_use]
+    pub fn with_compl(self, c: bool) -> Lit {
+        Lit(self.0 & !1 | c as u32)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            return write!(f, "0");
+        }
+        if *self == Lit::TRUE {
+            return write!(f, "1");
+        }
+        write!(f, "{}n{}", if self.is_compl() { "!" } else { "" }, self.node().0)
+    }
+}
+
+/// A gate/node in the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Constant false (always node 0).
+    Const0,
+    /// A primary input bit. `name` is `port[bit]` flattened.
+    Input {
+        /// Flattened bit name, e.g. `a[3]`.
+        name: String,
+    },
+    /// 2-input AND.
+    And(Lit, Lit),
+    /// 2-input XOR.
+    Xor(Lit, Lit),
+    /// 2:1 multiplexer: `s ? t : e`.
+    Mux {
+        /// Select.
+        s: Lit,
+        /// Value when `s` is true.
+        t: Lit,
+        /// Value when `s` is false.
+        e: Lit,
+    },
+    /// A D flip-flop; `d` is patched after creation to allow feedback.
+    Dff {
+        /// Next-state input.
+        d: Lit,
+        /// Power-on value.
+        init: bool,
+        /// Debug name (register bit).
+        name: String,
+    },
+    /// A combinational buffer (identity). Used as a patchable placeholder at
+    /// module-instance boundaries during elaboration; removed by
+    /// [`crate::opt::sweep`].
+    Buf(Lit),
+}
+
+impl Node {
+    /// The fanin literals of this node.
+    pub fn fanins(&self) -> Vec<Lit> {
+        match self {
+            Node::Const0 | Node::Input { .. } => vec![],
+            Node::And(a, b) | Node::Xor(a, b) => vec![*a, *b],
+            Node::Mux { s, t, e } => vec![*s, *t, *e],
+            Node::Dff { d, .. } => vec![*d],
+            Node::Buf(a) => vec![*a],
+        }
+    }
+
+    /// True for combinational gates (AND/XOR/MUX).
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Node::And(..) | Node::Xor(..) | Node::Mux { .. })
+    }
+}
+
+/// A flattened gate-level netlist with named, vectored ports.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Design name (top module).
+    pub name: String,
+    nodes: Vec<Node>,
+    /// Input ports: name and the input-bit nodes (LSB first).
+    pub inputs: Vec<(String, Vec<NodeId>)>,
+    /// Output ports: name and driving literals (LSB first).
+    pub outputs: Vec<(String, Vec<Lit>)>,
+    strash: HashMap<StrashKey, NodeId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StrashKey {
+    And(Lit, Lit),
+    Xor(Lit, Lit),
+    Mux(Lit, Lit, Lit),
+}
+
+impl Netlist {
+    /// Creates an empty netlist named `name` (node 0 is the constant).
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: vec![Node::Const0],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes, including the constant and inputs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the netlist has no gates (only the constant node).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Accesses a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Iterates over `(id, node)` pairs in creation (topological) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    fn push(&mut self, n: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(n);
+        id
+    }
+
+    /// Adds a primary input bit and returns its node.
+    pub fn add_input_bit(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(Node::Input { name: name.into() })
+    }
+
+    /// Adds a vectored input port of `width` bits; returns LSB-first literals.
+    pub fn add_input(&mut self, name: &str, width: u32) -> Vec<Lit> {
+        let bits: Vec<NodeId> = (0..width)
+            .map(|i| self.add_input_bit(format!("{name}[{i}]")))
+            .collect();
+        let lits = bits.iter().map(|&b| Lit::new(b, false)).collect();
+        self.inputs.push((name.to_string(), bits));
+        lits
+    }
+
+    /// Registers a vectored output port driven by `bits` (LSB first).
+    pub fn add_output(&mut self, name: &str, bits: Vec<Lit>) {
+        self.outputs.push((name.to_string(), bits));
+    }
+
+    /// Creates (or reuses) an AND gate.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant folding.
+        if a == Lit::FALSE || b == Lit::FALSE {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.compl() {
+            return Lit::FALSE;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let key = StrashKey::And(a, b);
+        if let Some(&id) = self.strash.get(&key) {
+            return Lit::new(id, false);
+        }
+        let id = self.push(Node::And(a, b));
+        self.strash.insert(key, id);
+        Lit::new(id, false)
+    }
+
+    /// Creates (or reuses) an OR gate (via De Morgan on AND).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.compl(), b.compl()).compl()
+    }
+
+    /// Creates (or reuses) an XOR gate.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == Lit::FALSE {
+            return b;
+        }
+        if b == Lit::FALSE {
+            return a;
+        }
+        if a == Lit::TRUE {
+            return b.compl();
+        }
+        if b == Lit::TRUE {
+            return a.compl();
+        }
+        if a == b {
+            return Lit::FALSE;
+        }
+        if a == b.compl() {
+            return Lit::TRUE;
+        }
+        // Normalize: complement marks move to the output.
+        let out_compl = a.is_compl() ^ b.is_compl();
+        let (mut a, mut b) = (a.with_compl(false), b.with_compl(false));
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let key = StrashKey::Xor(a, b);
+        let id = if let Some(&id) = self.strash.get(&key) {
+            id
+        } else {
+            let id = self.push(Node::Xor(a, b));
+            self.strash.insert(key, id);
+            id
+        };
+        Lit::new(id, out_compl)
+    }
+
+    /// Creates (or reuses) a 2:1 mux `s ? t : e`.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        if s == Lit::TRUE {
+            return t;
+        }
+        if s == Lit::FALSE {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t == e.compl() {
+            // s ? t : ~t  ==  s ^ e
+            return self.xor(s, e);
+        }
+        if t == Lit::TRUE {
+            return self.or(s, e);
+        }
+        if t == Lit::FALSE {
+            return self.and(s.compl(), e);
+        }
+        if e == Lit::TRUE {
+            return self.or(s.compl(), t);
+        }
+        if e == Lit::FALSE {
+            return self.and(s, t);
+        }
+        if s == t {
+            return self.or(s, e); // s?s:e == s|e
+        }
+        if s == e {
+            return self.and(s, t); // s?t:s == s&t
+        }
+        // Normalize select polarity.
+        let (s, t, e) = if s.is_compl() {
+            (s.compl(), e, t)
+        } else {
+            (s, t, e)
+        };
+        let key = StrashKey::Mux(s, t, e);
+        if let Some(&id) = self.strash.get(&key) {
+            return Lit::new(id, false);
+        }
+        let id = self.push(Node::Mux { s, t, e });
+        self.strash.insert(key, id);
+        Lit::new(id, false)
+    }
+
+    /// Creates a D flip-flop with a placeholder input; patch it later with
+    /// [`Netlist::set_dff_input`]. Returns the Q literal.
+    pub fn dff(&mut self, name: impl Into<String>, init: bool) -> Lit {
+        let id = self.push(Node::Dff {
+            d: Lit::FALSE,
+            init,
+            name: name.into(),
+        });
+        Lit::new(id, false)
+    }
+
+    /// Patches the D input of a flip-flop created by [`Netlist::dff`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` does not refer to a DFF node or is complemented.
+    pub fn set_dff_input(&mut self, q: Lit, d: Lit) {
+        assert!(!q.is_compl(), "DFF literal must be uncomplemented");
+        match &mut self.nodes[q.node().0 as usize] {
+            Node::Dff { d: slot, .. } => *slot = d,
+            other => panic!("set_dff_input on non-DFF node {other:?}"),
+        }
+    }
+
+    /// Creates a patchable buffer placeholder; set its source later with
+    /// [`Netlist::set_buf_input`]. Used at instance boundaries so that
+    /// cross-instance feedback (legal when it passes through registers)
+    /// can be elaborated without a resolution order.
+    pub fn buf_placeholder(&mut self) -> Lit {
+        let id = self.push(Node::Buf(Lit::FALSE));
+        Lit::new(id, false)
+    }
+
+    /// Patches the source of a buffer created by [`Netlist::buf_placeholder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` does not refer to a buffer or is complemented.
+    pub fn set_buf_input(&mut self, q: Lit, d: Lit) {
+        assert!(!q.is_compl(), "buffer literal must be uncomplemented");
+        match &mut self.nodes[q.node().0 as usize] {
+            Node::Buf(slot) => *slot = d,
+            other => panic!("set_buf_input on non-buffer node {other:?}"),
+        }
+    }
+
+    /// Computes a topological order of all nodes over *combinational* edges
+    /// (DFF next-state edges are cut). Returns the net name involved if a
+    /// combinational cycle exists.
+    pub fn comb_topo_order(&self) -> Result<Vec<NodeId>, String> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        for start in 0..self.nodes.len() {
+            if marks[start] != Mark::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack.
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+                if marks[node] == Mark::Black {
+                    stack.pop();
+                    continue;
+                }
+                marks[node] = Mark::Grey;
+                let fanins = match &self.nodes[node] {
+                    Node::Dff { .. } => vec![], // Q is a sequential source
+                    n => n.fanins(),
+                };
+                if *edge < fanins.len() {
+                    let next = fanins[*edge].node().0 as usize;
+                    *edge += 1;
+                    match marks[next] {
+                        Mark::White => stack.push((next, 0)),
+                        Mark::Grey => {
+                            return Err(format!("combinational cycle through node {next}"))
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks[node] = Mark::Black;
+                    order.push(NodeId(node as u32));
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// All DFF nodes in the netlist.
+    pub fn dffs(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n, Node::Dff { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Gate-count statistics.
+    pub fn stats(&self) -> NetlistStats {
+        let mut s = NetlistStats::default();
+        for (_, n) in self.iter() {
+            match n {
+                Node::Const0 => {}
+                Node::Input { .. } => s.inputs += 1,
+                Node::And(..) => s.ands += 1,
+                Node::Xor(..) => s.xors += 1,
+                Node::Mux { .. } => s.muxes += 1,
+                Node::Dff { .. } => s.dffs += 1,
+                Node::Buf(_) => s.bufs += 1,
+            }
+        }
+        s.outputs = self.outputs.iter().map(|(_, b)| b.len()).sum();
+        s
+    }
+}
+
+/// Gate counts of a [`Netlist`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary input bits.
+    pub inputs: usize,
+    /// Primary output bits.
+    pub outputs: usize,
+    /// AND gates.
+    pub ands: usize,
+    /// XOR gates.
+    pub xors: usize,
+    /// MUX gates.
+    pub muxes: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Placeholder buffers (zero after [`crate::opt::sweep`]).
+    pub bufs: usize,
+}
+
+impl NetlistStats {
+    /// Total combinational gates.
+    pub fn gates(&self) -> usize {
+        self.ands + self.xors + self.muxes
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in, {} out, {} and, {} xor, {} mux, {} dff",
+            self.inputs, self.outputs, self.ands, self.xors, self.muxes, self.dffs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_representation() {
+        let l = Lit::new(NodeId(5), true);
+        assert_eq!(l.node(), NodeId(5));
+        assert!(l.is_compl());
+        assert_eq!(l.compl().is_compl(), false);
+        assert_eq!(Lit::FALSE.compl(), Lit::TRUE);
+    }
+
+    #[test]
+    fn and_constant_folding() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1)[0];
+        assert_eq!(n.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(n.and(a, Lit::TRUE), a);
+        assert_eq!(n.and(a, a), a);
+        assert_eq!(n.and(a, a.compl()), Lit::FALSE);
+    }
+
+    #[test]
+    fn strash_reuses_nodes() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 1)[0];
+        let b = n.add_input("b", 1)[0];
+        let g1 = n.and(a, b);
+        let g2 = n.and(b, a);
+        assert_eq!(g1, g2);
+        let x1 = n.xor(a, b.compl());
+        let x2 = n.xor(a.compl(), b);
+        assert_eq!(x1, x2, "xor complement normalization");
+    }
+
+    #[test]
+    fn mux_simplifications() {
+        let mut n = Netlist::new("t");
+        let s = n.add_input("s", 1)[0];
+        let a = n.add_input("a", 1)[0];
+        let b = n.add_input("b", 1)[0];
+        assert_eq!(n.mux(Lit::TRUE, a, b), a);
+        assert_eq!(n.mux(Lit::FALSE, a, b), b);
+        assert_eq!(n.mux(s, a, a), a);
+        let orab = n.or(s, b);
+        assert_eq!(n.mux(s, Lit::TRUE, b), orab);
+    }
+
+    #[test]
+    fn dff_roundtrip() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d", 1)[0];
+        let q = n.dff("r", false);
+        n.set_dff_input(q, d);
+        match n.node(q.node()) {
+            Node::Dff { d: got, .. } => assert_eq!(*got, d),
+            other => panic!("expected dff, got {other:?}"),
+        }
+        assert_eq!(n.dffs().len(), 1);
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 2);
+        let x = n.xor(a[0], a[1]);
+        let y = n.and(a[0], a[1]);
+        n.add_output("x", vec![x, y]);
+        let s = n.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.ands, 1);
+        assert_eq!(s.xors, 1);
+    }
+}

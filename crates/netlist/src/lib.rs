@@ -1,0 +1,43 @@
+//! Gate-level netlist substrate for the ALICE reproduction.
+//!
+//! Replaces the Yosys + ABC portion of the original flow:
+//!
+//! * [`ir`] — an AND/XOR/MUX/DFF netlist with complemented edges,
+//!   structural hashing and constant folding,
+//! * [`words`] — word-level operators (adders, comparators, shifters...)
+//!   used to lower RTL expressions,
+//! * [`elaborate`] — flattening RTL elaboration from the
+//!   [`alice_verilog`] AST into gates,
+//! * [`opt`] — buffer removal / dead-code elimination,
+//! * [`sim`] — a two-state cycle-accurate simulator (equivalence checks
+//!   and the SAT-attack oracle),
+//! * [`lutmap`] — cut-based k-LUT technology mapping with truth tables
+//!   (feeding the eFPGA bitstream).
+//!
+//! # Example: RTL to LUTs
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "module maj(input wire a, input wire b, input wire c, output wire y);
+//!              assign y = (a & b) | (b & c) | (a & c);
+//!            endmodule";
+//! let file = alice_verilog::parse_source(src)?;
+//! let netlist = alice_netlist::elaborate::elaborate(&file, "maj")?;
+//! let mapped = alice_netlist::lutmap::map_luts(&netlist, 4)?;
+//! assert_eq!(mapped.lut_count(), 1); // majority fits one 4-LUT
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod elaborate;
+pub mod ir;
+pub mod lutmap;
+pub mod opt;
+pub mod sim;
+pub mod words;
+
+pub use elaborate::{elaborate, ElabError};
+pub use ir::{Lit, Netlist, NetlistStats, Node, NodeId};
+pub use lutmap::{map_luts, Lut, MapError, MappedDff, MappedNetlist, MappedSrc};
+pub use opt::sweep;
+pub use sim::{eval_comb, Simulator};

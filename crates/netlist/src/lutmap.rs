@@ -1,0 +1,561 @@
+//! Cut-based k-LUT technology mapping (the ABC/VPR substitute).
+//!
+//! A depth-oriented priority-cut mapper: for every gate it enumerates up to
+//! `CUTS_PER_NODE` k-feasible cuts, ranks them by (depth, size), then
+//! extracts a LUT cover from the combinational roots (primary outputs and
+//! DFF next-state inputs). Each selected LUT carries its truth table, which
+//! later becomes part of the eFPGA configuration bitstream — the "secret"
+//! of the redaction scheme.
+
+use crate::ir::{Lit, Netlist, Node, NodeId};
+use crate::opt::sweep;
+use std::collections::HashMap;
+
+/// Maximum cuts kept per node (priority cuts).
+const CUTS_PER_NODE: usize = 4;
+
+/// A source reference in the mapped netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappedSrc {
+    /// Constant value.
+    Const(bool),
+    /// Primary-input bit (index into [`MappedNetlist::input_names`]).
+    Pi(usize),
+    /// Output of LUT `i`.
+    Lut(usize),
+    /// Q output of flip-flop `i`.
+    Dff(usize),
+}
+
+/// A mapped k-input LUT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut {
+    /// Input sources, LSB-significant first (≤ k entries).
+    pub inputs: Vec<MappedSrc>,
+    /// Truth table over the inputs: bit `p` = output when input pattern `p`.
+    pub tt: u64,
+}
+
+impl Lut {
+    /// Evaluates the LUT for a given input pattern.
+    pub fn eval(&self, pattern: usize) -> bool {
+        (self.tt >> pattern) & 1 == 1
+    }
+}
+
+/// A mapped flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedDff {
+    /// Next-state source.
+    pub d: MappedSrc,
+    /// Power-on value.
+    pub init: bool,
+}
+
+/// The result of LUT mapping: a LUT+FF network ready for fabric packing.
+#[derive(Debug, Clone, Default)]
+pub struct MappedNetlist {
+    /// Design name.
+    pub name: String,
+    /// LUT input count (k).
+    pub k: u32,
+    /// Flat primary-input bit names.
+    pub input_names: Vec<String>,
+    /// Input ports: name and PI indices (LSB first).
+    pub inputs: Vec<(String, Vec<usize>)>,
+    /// Mapped LUTs in topological order.
+    pub luts: Vec<Lut>,
+    /// Mapped flip-flops.
+    pub dffs: Vec<MappedDff>,
+    /// Output ports: name and sources (LSB first).
+    pub outputs: Vec<(String, Vec<MappedSrc>)>,
+}
+
+impl MappedNetlist {
+    /// Number of LUTs in the cover.
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Primary I/O pin count (input bits + output bits).
+    pub fn io_pins(&self) -> usize {
+        let ins: usize = self.inputs.iter().map(|(_, b)| b.len()).sum();
+        let outs: usize = self.outputs.iter().map(|(_, b)| b.len()).sum();
+        ins + outs
+    }
+
+    /// Logic depth in LUT levels (0 when there is no logic).
+    pub fn depth(&self) -> u32 {
+        let mut levels = vec![0u32; self.luts.len()];
+        for (i, lut) in self.luts.iter().enumerate() {
+            let mut l = 0;
+            for inp in &lut.inputs {
+                if let MappedSrc::Lut(j) = inp {
+                    l = l.max(levels[*j] + 1);
+                }
+            }
+            levels[i] = l;
+        }
+        levels.iter().copied().max().map(|d| d + 1).unwrap_or(0)
+    }
+
+    /// Total configuration bits carried by the LUT truth tables.
+    pub fn config_bits(&self) -> usize {
+        self.luts.len() * (1usize << self.k)
+    }
+}
+
+/// Errors from mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// k outside the supported 2..=6 range.
+    BadK(u32),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::BadK(k) => write!(f, "unsupported LUT input count k={k} (need 2..=6)"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maps a netlist onto k-input LUTs.
+///
+/// The netlist is swept first (buffers removed, dead logic dropped).
+///
+/// # Errors
+///
+/// Returns [`MapError::BadK`] if `k` is outside 2..=6.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = alice_verilog::parse_source(
+///     "module m(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);\
+///      assign y = a + b; endmodule")?;
+/// let n = alice_netlist::elaborate::elaborate(&f, "m")?;
+/// let mapped = alice_netlist::lutmap::map_luts(&n, 4)?;
+/// assert!(mapped.lut_count() > 0);
+/// assert_eq!(mapped.io_pins(), 24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
+    if !(2..=6).contains(&k) {
+        return Err(MapError::BadK(k));
+    }
+    let n = sweep(netlist);
+    let order = n.comb_topo_order().expect("swept netlist is acyclic");
+
+    // ---- Phase 1: cut enumeration ----
+    #[derive(Debug, Clone)]
+    struct Cut {
+        leaves: Vec<NodeId>, // sorted
+        depth: u32,
+    }
+    let nn = n.len();
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); nn];
+    let mut depth: Vec<u32> = vec![0; nn];
+
+    let merge = |a: &[NodeId], b: &[NodeId]| -> Option<Vec<NodeId>> {
+        let mut out = Vec::with_capacity(k as usize);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) => {
+                    if x == y {
+                        i += 1;
+                        j += 1;
+                        x
+                    } else if x < y {
+                        i += 1;
+                        x
+                    } else {
+                        j += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            if out.len() == k as usize {
+                return None;
+            }
+            out.push(next);
+        }
+        Some(out)
+    };
+
+    for &id in &order {
+        let idx = id.0 as usize;
+        let node = n.node(id);
+        let is_leaf = matches!(
+            node,
+            Node::Const0 | Node::Input { .. } | Node::Dff { .. }
+        );
+        if is_leaf {
+            cuts[idx] = vec![Cut {
+                leaves: vec![id],
+                depth: 0,
+            }];
+            depth[idx] = 0;
+            continue;
+        }
+        let fanins = node.fanins();
+        let mut cands: Vec<Cut> = Vec::new();
+        // Cartesian product of fanin cut lists.
+        let fanin_cuts: Vec<&Vec<Cut>> =
+            fanins.iter().map(|f| &cuts[f.node().0 as usize]).collect();
+        let mut stack: Vec<(usize, Vec<NodeId>)> = vec![(0, Vec::new())];
+        while let Some((dim, acc)) = stack.pop() {
+            if dim == fanin_cuts.len() {
+                // Cut depth in LUT levels: one level on top of the deepest
+                // leaf (leaves are mapped LUT outputs or sources).
+                let d = acc
+                    .iter()
+                    .map(|l| depth[l.0 as usize])
+                    .max()
+                    .unwrap_or(0);
+                cands.push(Cut {
+                    leaves: acc,
+                    depth: d + 1,
+                });
+                continue;
+            }
+            for c in fanin_cuts[dim].iter() {
+                if let Some(merged) = merge(&acc, &c.leaves) {
+                    stack.push((dim + 1, merged));
+                }
+            }
+        }
+        // Deduplicate, rank by (depth, size), keep the best few.
+        cands.sort_by(|a, b| {
+            a.depth
+                .cmp(&b.depth)
+                .then(a.leaves.len().cmp(&b.leaves.len()))
+                .then(a.leaves.cmp(&b.leaves))
+        });
+        cands.dedup_by(|a, b| a.leaves == b.leaves);
+        cands.truncate(CUTS_PER_NODE);
+        depth[idx] = cands.first().map(|c| c.depth).unwrap_or(0);
+        // The trivial cut lets fanouts treat this node as a leaf.
+        cands.push(Cut {
+            leaves: vec![id],
+            depth: depth[idx],
+        });
+        cuts[idx] = cands;
+    }
+
+    // ---- Phase 2: cover extraction from the roots ----
+    let mut out = MappedNetlist {
+        name: n.name.clone(),
+        k,
+        ..MappedNetlist::default()
+    };
+    for (name, bits) in &n.inputs {
+        let mut idxs = Vec::with_capacity(bits.len());
+        for &b in bits {
+            let pi = out.input_names.len();
+            out.input_names.push(match n.node(b) {
+                Node::Input { name } => name.clone(),
+                _ => unreachable!("input list holds inputs"),
+            });
+            idxs.push(pi);
+        }
+        out.inputs.push((name.clone(), idxs));
+    }
+    let pi_index: HashMap<NodeId, usize> = n
+        .inputs
+        .iter()
+        .flat_map(|(_, bits)| bits.iter())
+        .enumerate()
+        .map(|(i, &b)| (b, i))
+        .collect();
+    let dff_ids = n.dffs();
+    let dff_index: HashMap<NodeId, usize> =
+        dff_ids.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+
+    // mapped (node, phase) -> source. Root complement is absorbed into the
+    // LUT truth table, so a complemented root costs nothing extra; only a
+    // complemented source node (PI/DFF used inverted at a root) needs a
+    // dedicated inverter LUT.
+    let mut mapped: HashMap<(NodeId, bool), MappedSrc> = HashMap::new();
+
+    // Resolve a literal (with complement) to a MappedSrc using an explicit
+    // post-order stack over the chosen cuts.
+    let resolve = |out: &mut MappedNetlist,
+                       mapped: &mut HashMap<(NodeId, bool), MappedSrc>,
+                       l: Lit|
+     -> MappedSrc {
+        let root = (l.node(), l.is_compl());
+        let mut stack: Vec<((NodeId, bool), bool)> = vec![(root, false)];
+        while let Some(((id, phase), expanded)) = stack.pop() {
+            if mapped.contains_key(&(id, phase)) {
+                continue;
+            }
+            let node = n.node(id);
+            let leaf_src = match node {
+                Node::Const0 => Some(MappedSrc::Const(phase)),
+                Node::Input { .. } => Some(MappedSrc::Pi(pi_index[&id])),
+                Node::Dff { .. } => Some(MappedSrc::Dff(dff_index[&id])),
+                _ => None,
+            };
+            if let Some(src) = leaf_src {
+                if phase && !matches!(node, Node::Const0) {
+                    // Inverted source: one inverter LUT, cached per node.
+                    let lut_idx = out.luts.len();
+                    out.luts.push(Lut {
+                        inputs: vec![src],
+                        tt: 0b01,
+                    });
+                    mapped.insert((id, true), MappedSrc::Lut(lut_idx));
+                } else {
+                    mapped.insert((id, phase), src);
+                }
+                continue;
+            }
+            let best = &cuts[id.0 as usize][0];
+            if !expanded {
+                stack.push(((id, phase), true));
+                for &leaf in &best.leaves {
+                    stack.push(((leaf, false), false));
+                }
+                continue;
+            }
+            // All leaves mapped in positive phase: build the LUT.
+            let mut tt = cone_truth_table(&n, id, &best.leaves);
+            if phase {
+                let patterns = 1u32 << best.leaves.len();
+                let mask = if patterns == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << patterns) - 1
+                };
+                tt = !tt & mask;
+            }
+            let inputs: Vec<MappedSrc> =
+                best.leaves.iter().map(|l| mapped[&(*l, false)]).collect();
+            let lut_idx = out.luts.len();
+            out.luts.push(Lut { inputs, tt });
+            mapped.insert((id, phase), MappedSrc::Lut(lut_idx));
+        }
+        mapped[&root]
+    };
+
+    // Roots: DFF D inputs first (so feedback resolves), then outputs.
+    let mut dff_out: Vec<MappedDff> = Vec::with_capacity(dff_ids.len());
+    for &d in &dff_ids {
+        let (dl, init) = match n.node(d) {
+            Node::Dff { d, init, .. } => (*d, *init),
+            _ => unreachable!("dff list"),
+        };
+        let src = resolve(&mut out, &mut mapped, dl);
+        dff_out.push(MappedDff { d: src, init });
+    }
+    out.dffs = dff_out;
+    let output_ports: Vec<(String, Vec<Lit>)> = n.outputs.clone();
+    for (name, bits) in output_ports {
+        let srcs: Vec<MappedSrc> = bits
+            .iter()
+            .map(|&l| resolve(&mut out, &mut mapped, l))
+            .collect();
+        out.outputs.push((name, srcs));
+    }
+    Ok(out)
+}
+
+/// Computes the truth table of `root` over the cut `leaves`.
+fn cone_truth_table(n: &Netlist, root: NodeId, leaves: &[NodeId]) -> u64 {
+    let patterns = 1usize << leaves.len();
+    // Masks: bit p of mask(var i) = value of var i in pattern p.
+    let mut masks: HashMap<NodeId, u64> = HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        let mut m = 0u64;
+        for p in 0..patterns {
+            if (p >> i) & 1 == 1 {
+                m |= 1 << p;
+            }
+        }
+        masks.insert(l, m);
+    }
+    let full = eval_mask(n, root, &mut masks);
+    if patterns == 64 {
+        full
+    } else {
+        full & ((1u64 << patterns) - 1)
+    }
+}
+
+fn eval_mask(n: &Netlist, id: NodeId, masks: &mut HashMap<NodeId, u64>) -> u64 {
+    if let Some(&m) = masks.get(&id) {
+        return m;
+    }
+    let lit_mask = |n: &Netlist, l: Lit, masks: &mut HashMap<NodeId, u64>| -> u64 {
+        let m = eval_mask(n, l.node(), masks);
+        if l.is_compl() {
+            !m
+        } else {
+            m
+        }
+    };
+    let m = match n.node(id) {
+        Node::Const0 => 0,
+        Node::Input { .. } | Node::Dff { .. } => {
+            unreachable!("cut leaves cover all sequential/PI boundaries")
+        }
+        Node::Buf(a) => lit_mask(n, *a, masks),
+        Node::And(a, b) => lit_mask(n, *a, masks) & lit_mask(n, *b, masks),
+        Node::Xor(a, b) => lit_mask(n, *a, masks) ^ lit_mask(n, *b, masks),
+        Node::Mux { s, t, e } => {
+            let sm = lit_mask(n, *s, masks);
+            let tm = lit_mask(n, *t, masks);
+            let em = lit_mask(n, *e, masks);
+            (sm & tm) | (!sm & em)
+        }
+    };
+    masks.insert(id, m);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+    use crate::sim::Simulator;
+    use alice_verilog::{parse_source, Bits};
+
+    fn map(src: &str, top: &str, k: u32) -> (Netlist, MappedNetlist) {
+        let f = parse_source(src).expect("parse");
+        let n = elaborate(&f, top).expect("elaborate");
+        let m = map_luts(&n, k).expect("map");
+        (n, m)
+    }
+
+    /// Software evaluation of a mapped netlist for equivalence checking.
+    fn eval_mapped(m: &MappedNetlist, pi: &[bool], state: &[bool]) -> Vec<(String, Vec<bool>)> {
+        let mut lut_vals = vec![false; m.luts.len()];
+        let src_val = |s: &MappedSrc, lut_vals: &[bool]| -> bool {
+            match s {
+                MappedSrc::Const(v) => *v,
+                MappedSrc::Pi(i) => pi[*i],
+                MappedSrc::Lut(i) => lut_vals[*i],
+                MappedSrc::Dff(i) => state[*i],
+            }
+        };
+        for i in 0..m.luts.len() {
+            let lut = &m.luts[i];
+            let mut pattern = 0usize;
+            for (b, inp) in lut.inputs.iter().enumerate() {
+                if src_val(inp, &lut_vals) {
+                    pattern |= 1 << b;
+                }
+            }
+            lut_vals[i] = lut.eval(pattern);
+        }
+        m.outputs
+            .iter()
+            .map(|(name, bits)| {
+                (
+                    name.clone(),
+                    bits.iter().map(|s| src_val(s, &lut_vals)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mapping_is_equivalent_for_comb_logic() {
+        let src = "module m(input wire [3:0] a, input wire [3:0] b, output wire [4:0] y);\
+                   assign y = {1'b0, a} + {1'b0, b}; endmodule";
+        let (n, m) = map(src, "m", 4);
+        let mut sim = Simulator::new(&n);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.set_input("a", &Bits::from_u64(a, 4));
+                sim.set_input("b", &Bits::from_u64(b, 4));
+                sim.settle();
+                let want = sim.output("y").to_u64().expect("fits");
+                let mut pi = vec![false; m.input_names.len()];
+                for i in 0..4 {
+                    pi[i] = (a >> i) & 1 == 1;
+                    pi[4 + i] = (b >> i) & 1 == 1;
+                }
+                let outs = eval_mapped(&m, &pi, &[]);
+                let got: u64 = outs[0]
+                    .1
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v as u64) << i)
+                    .sum();
+                assert_eq!(got, want, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_respect_k() {
+        let src = "module m(input wire [7:0] a, output wire y); assign y = &a; endmodule";
+        for k in 2..=6 {
+            let (_, m) = map(src, "m", k);
+            for lut in &m.luts {
+                assert!(lut.inputs.len() <= k as usize, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_and_needs_multiple_luts_at_k4() {
+        let src = "module m(input wire [15:0] a, output wire y); assign y = &a; endmodule";
+        let (_, m) = map(src, "m", 4);
+        // 16-input AND at k=4: 4 + 1 = 5 LUTs in a balanced cover.
+        assert!(m.lut_count() >= 5, "got {}", m.lut_count());
+        assert!(m.depth() >= 2);
+    }
+
+    #[test]
+    fn sequential_mapping_keeps_dffs() {
+        let src = r#"
+module c(input wire clk, input wire rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule
+"#;
+        let (_, m) = map(src, "c", 4);
+        assert_eq!(m.dff_count(), 4);
+        assert!(m.lut_count() > 0);
+        assert_eq!(m.io_pins(), 2 + 4);
+    }
+
+    #[test]
+    fn config_bits_scale_with_k() {
+        let src = "module m(input wire [7:0] a, output wire y); assign y = ^a; endmodule";
+        let (_, m4) = map(src, "m", 4);
+        assert_eq!(m4.config_bits(), m4.lut_count() * 16);
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let src = "module m(input wire a, output wire y); assign y = a; endmodule";
+        let f = parse_source(src).expect("parse");
+        let n = elaborate(&f, "m").expect("elab");
+        assert!(matches!(map_luts(&n, 9), Err(MapError::BadK(9))));
+    }
+}

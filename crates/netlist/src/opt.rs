@@ -1,0 +1,206 @@
+//! Netlist optimization passes: buffer removal, dead-code elimination and
+//! re-simplification through the structural-hashing builder.
+
+use crate::ir::{Lit, Netlist, Node, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Rebuilds a netlist: removes [`Node::Buf`] placeholders, drops logic not
+/// reachable from outputs (transitively through DFFs), and re-applies the
+/// builder's constant folding and structural hashing.
+///
+/// The result is a compact netlist in topological creation order.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational cycle (rejected by
+/// elaboration).
+///
+/// # Example
+///
+/// ```
+/// use alice_netlist::ir::Netlist;
+/// use alice_netlist::opt::sweep;
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a", 1)[0];
+/// let dead = n.and(a, a.compl()); // constant-folded to 0, never used
+/// let _ = dead;
+/// let b = n.buf_placeholder();
+/// n.set_buf_input(b, a);
+/// n.add_output("y", vec![b]);
+/// let swept = sweep(&n);
+/// assert_eq!(swept.stats().bufs, 0);
+/// ```
+pub fn sweep(old: &Netlist) -> Netlist {
+    let order = old
+        .comb_topo_order()
+        .expect("combinational cycle in netlist");
+
+    // Reachability from outputs, following DFF next-state edges.
+    let mut reachable: HashSet<NodeId> = HashSet::new();
+    let mut stack: Vec<NodeId> = old
+        .outputs
+        .iter()
+        .flat_map(|(_, bits)| bits.iter().map(|l| l.node()))
+        .collect();
+    while let Some(id) = stack.pop() {
+        if !reachable.insert(id) {
+            continue;
+        }
+        for f in old.node(id).fanins() {
+            stack.push(f.node());
+        }
+    }
+    // Inputs are always kept so the interface stays intact.
+    for (_, bits) in &old.inputs {
+        for &b in bits {
+            reachable.insert(b);
+        }
+    }
+
+    let mut new = Netlist::new(old.name.clone());
+    let mut map: HashMap<NodeId, Lit> = HashMap::new();
+    map.insert(NodeId(0), Lit::FALSE);
+
+    // Input ports keep their grouping and order.
+    for (name, bits) in &old.inputs {
+        let lits = new.add_input(name, bits.len() as u32);
+        for (oldb, newl) in bits.iter().zip(&lits) {
+            map.insert(*oldb, *newl);
+        }
+    }
+
+    // Create DFF shells first (they are sequential sources).
+    let mut dff_patches: Vec<(Lit, Lit)> = Vec::new(); // (new q, old d) resolved later
+    for id in &order {
+        if let Node::Dff { init, name, .. } = old.node(*id) {
+            if reachable.contains(id) {
+                let q = new.dff(name.clone(), *init);
+                map.insert(*id, q);
+            }
+        }
+    }
+
+    let tr = |map: &HashMap<NodeId, Lit>, l: Lit| -> Lit {
+        let base = map
+            .get(&l.node())
+            .copied()
+            .unwrap_or_else(|| panic!("unmapped node {:?}", l.node()));
+        if l.is_compl() {
+            base.compl()
+        } else {
+            base
+        }
+    };
+
+    for id in &order {
+        if !reachable.contains(id) || map.contains_key(id) {
+            continue;
+        }
+        let mapped = match old.node(*id) {
+            Node::Const0 | Node::Input { .. } | Node::Dff { .. } => continue,
+            Node::Buf(a) => tr(&map, *a),
+            Node::And(a, b) => {
+                let (a, b) = (tr(&map, *a), tr(&map, *b));
+                new.and(a, b)
+            }
+            Node::Xor(a, b) => {
+                let (a, b) = (tr(&map, *a), tr(&map, *b));
+                new.xor(a, b)
+            }
+            Node::Mux { s, t, e } => {
+                let (s, t, e) = (tr(&map, *s), tr(&map, *t), tr(&map, *e));
+                new.mux(s, t, e)
+            }
+        };
+        map.insert(*id, mapped);
+    }
+
+    // Patch DFF inputs.
+    for id in &order {
+        if let Node::Dff { d, .. } = old.node(*id) {
+            if reachable.contains(id) {
+                dff_patches.push((map[id], tr(&map, *d)));
+            }
+        }
+    }
+    for (q, d) in dff_patches {
+        new.set_dff_input(q, d);
+    }
+
+    for (name, bits) in &old.outputs {
+        let mapped = bits.iter().map(|l| tr(&map, *l)).collect();
+        new.add_output(name, mapped);
+    }
+    new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use alice_verilog::Bits;
+
+    #[test]
+    fn sweep_removes_bufs_and_dead_logic() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 2);
+        let live = n.xor(a[0], a[1]);
+        let _dead = n.and(a[0], a[1]);
+        let b = n.buf_placeholder();
+        n.set_buf_input(b, live);
+        n.add_output("y", vec![b]);
+        let s = sweep(&n);
+        assert_eq!(s.stats().bufs, 0);
+        assert_eq!(s.stats().ands, 0, "dead AND dropped");
+        assert_eq!(s.stats().xors, 1);
+    }
+
+    #[test]
+    fn sweep_preserves_behaviour_with_dffs() {
+        // q <= q ^ in, through a buffer chain
+        let mut n = Netlist::new("t");
+        let i = n.add_input("i", 1)[0];
+        let q = n.dff("q", false);
+        let b = n.buf_placeholder();
+        let x = n.xor(b, i);
+        n.set_buf_input(b, q);
+        n.set_dff_input(q, x);
+        n.add_output("q", vec![q]);
+
+        let s = sweep(&n);
+        let mut sim_old = Simulator::new(&n);
+        let mut sim_new = Simulator::new(&s);
+        for step in 0..8 {
+            let iv = Bits::from_u64((step % 3 == 0) as u64, 1);
+            sim_old.set_input("i", &iv);
+            sim_new.set_input("i", &iv);
+            sim_old.step();
+            sim_new.step();
+            assert_eq!(sim_old.output("q"), sim_new.output("q"), "step {step}");
+        }
+    }
+
+    #[test]
+    fn sweep_keeps_unused_inputs() {
+        let mut n = Netlist::new("t");
+        let _a = n.add_input("a", 4);
+        let b = n.add_input("b", 1);
+        n.add_output("y", vec![b[0]]);
+        let s = sweep(&n);
+        assert_eq!(s.inputs.len(), 2);
+        assert_eq!(s.stats().inputs, 5);
+    }
+
+    #[test]
+    fn sweep_is_idempotent() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 3);
+        let g1 = n.and(a[0], a[1]);
+        let g2 = n.xor(g1, a[2]);
+        n.add_output("y", vec![g2]);
+        let s1 = sweep(&n);
+        let s2 = sweep(&s1);
+        assert_eq!(s1.len(), s2.len());
+    }
+}

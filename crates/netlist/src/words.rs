@@ -1,0 +1,294 @@
+//! Word-level gate constructors: vectors of [`Lit`]s (LSB first) with
+//! Verilog-flavoured unsigned semantics. These are the building blocks the
+//! RTL elaborator lowers expressions onto.
+
+use crate::ir::{Lit, Netlist};
+use alice_verilog::Bits;
+
+/// A bit vector of literals, LSB first.
+pub type Word = Vec<Lit>;
+
+/// Builds a constant word from `bits`.
+pub fn const_word(bits: &Bits) -> Word {
+    bits.iter()
+        .map(|b| if b { Lit::TRUE } else { Lit::FALSE })
+        .collect()
+}
+
+/// Zero-extends or truncates `w` to `width`.
+pub fn resize(w: &Word, width: u32) -> Word {
+    let mut out = w.clone();
+    out.resize(width as usize, Lit::FALSE);
+    out.truncate(width as usize);
+    out
+}
+
+/// Bitwise AND of equal-width words (shorter operand zero-extended).
+pub fn and(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    a.iter().zip(&b).map(|(&x, &y)| n.and(x, y)).collect()
+}
+
+/// Bitwise OR.
+pub fn or(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    a.iter().zip(&b).map(|(&x, &y)| n.or(x, y)).collect()
+}
+
+/// Bitwise XOR.
+pub fn xor(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    a.iter().zip(&b).map(|(&x, &y)| n.xor(x, y)).collect()
+}
+
+/// Bitwise NOT.
+pub fn not(a: &Word) -> Word {
+    a.iter().map(|l| l.compl()).collect()
+}
+
+/// OR-reduction (non-zero test).
+pub fn reduce_or(n: &mut Netlist, a: &Word) -> Lit {
+    a.iter().copied().fold(Lit::FALSE, |acc, b| n.or(acc, b))
+}
+
+/// AND-reduction.
+pub fn reduce_and(n: &mut Netlist, a: &Word) -> Lit {
+    a.iter().copied().fold(Lit::TRUE, |acc, b| n.and(acc, b))
+}
+
+/// XOR-reduction (parity).
+pub fn reduce_xor(n: &mut Netlist, a: &Word) -> Lit {
+    a.iter().copied().fold(Lit::FALSE, |acc, b| n.xor(acc, b))
+}
+
+/// Per-bit 2:1 mux: `s ? t : e` (operands resized to the max width).
+pub fn mux(n: &mut Netlist, s: Lit, t: &Word, e: &Word) -> Word {
+    let w = t.len().max(e.len()) as u32;
+    let (t, e) = (resize(t, w), resize(e, w));
+    t.iter().zip(&e).map(|(&x, &y)| n.mux(s, x, y)).collect()
+}
+
+/// Ripple-carry adder; result has the width of the wider operand
+/// (carry-out dropped, as in a Verilog assignment of equal width).
+pub fn add(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    let mut carry = Lit::FALSE;
+    let mut out = Vec::with_capacity(w as usize);
+    for i in 0..w as usize {
+        let axb = n.xor(a[i], b[i]);
+        let sum = n.xor(axb, carry);
+        let c1 = n.and(a[i], b[i]);
+        let c2 = n.and(axb, carry);
+        carry = n.or(c1, c2);
+        out.push(sum);
+    }
+    out
+}
+
+/// Two's-complement subtraction `a - b` (borrow dropped).
+pub fn sub(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    let nb = not(&b);
+    let mut carry = Lit::TRUE;
+    let mut out = Vec::with_capacity(w as usize);
+    for i in 0..w as usize {
+        let axb = n.xor(a[i], nb[i]);
+        let sum = n.xor(axb, carry);
+        let c1 = n.and(a[i], nb[i]);
+        let c2 = n.and(axb, carry);
+        carry = n.or(c1, c2);
+        out.push(sum);
+    }
+    out
+}
+
+/// Arithmetic negation `-a`.
+pub fn neg(n: &mut Netlist, a: &Word) -> Word {
+    let zero = vec![Lit::FALSE; a.len()];
+    sub(n, &zero, a)
+}
+
+/// Shift-and-add array multiplier; result truncated to the wider width.
+pub fn mul(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    let w = a.len().max(b.len());
+    let mut acc = vec![Lit::FALSE; w];
+    for (i, &bi) in b.iter().enumerate() {
+        if i >= w {
+            break;
+        }
+        // partial = (a << i) & {w{bi}}
+        let mut partial = vec![Lit::FALSE; w];
+        for j in 0..w.saturating_sub(i) {
+            if j < a.len() {
+                partial[i + j] = n.and(a[j], bi);
+            }
+        }
+        acc = add(n, &acc, &partial);
+    }
+    acc
+}
+
+/// Equality comparison, 1-bit result.
+pub fn eq(n: &mut Netlist, a: &Word, b: &Word) -> Lit {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    let mut acc = Lit::TRUE;
+    for i in 0..w as usize {
+        let x = n.xor(a[i], b[i]);
+        acc = n.and(acc, x.compl());
+    }
+    acc
+}
+
+/// Unsigned less-than `a < b`, 1-bit result.
+pub fn lt(n: &mut Netlist, a: &Word, b: &Word) -> Lit {
+    let w = a.len().max(b.len()) as u32;
+    let (a, b) = (resize(a, w), resize(b, w));
+    // Iterate from LSB: lt = (!a & b) | (a==b) & lt_prev
+    let mut acc = Lit::FALSE;
+    for i in 0..w as usize {
+        let altb = n.and(a[i].compl(), b[i]);
+        let aeqb = n.xor(a[i], b[i]).compl();
+        let keep = n.and(aeqb, acc);
+        acc = n.or(altb, keep);
+    }
+    acc
+}
+
+/// Left shift by a constant amount.
+pub fn shl_const(a: &Word, amt: u32) -> Word {
+    let w = a.len();
+    let mut out = vec![Lit::FALSE; w];
+    for i in 0..w {
+        if i >= amt as usize {
+            out[i] = a[i - amt as usize];
+        }
+    }
+    out
+}
+
+/// Logical right shift by a constant amount.
+pub fn shr_const(a: &Word, amt: u32) -> Word {
+    let w = a.len();
+    let mut out = vec![Lit::FALSE; w];
+    for i in 0..w {
+        if i + (amt as usize) < w {
+            out[i] = a[i + amt as usize];
+        }
+    }
+    out
+}
+
+/// Barrel shifter for a dynamic left shift.
+pub fn shl_dyn(n: &mut Netlist, a: &Word, amt: &Word) -> Word {
+    let mut cur = a.clone();
+    for (k, &bit) in amt.iter().enumerate() {
+        let shift = 1u32 << k.min(31);
+        if shift as usize >= cur.len() * 2 {
+            // Further stages can only zero everything when the bit is set.
+            let z = vec![Lit::FALSE; cur.len()];
+            cur = mux(n, bit, &z, &cur);
+            continue;
+        }
+        let shifted = shl_const(&cur, shift);
+        cur = mux(n, bit, &shifted, &cur);
+    }
+    cur
+}
+
+/// Barrel shifter for a dynamic logical right shift.
+pub fn shr_dyn(n: &mut Netlist, a: &Word, amt: &Word) -> Word {
+    let mut cur = a.clone();
+    for (k, &bit) in amt.iter().enumerate() {
+        let shift = 1u32 << k.min(31);
+        if shift as usize >= cur.len() * 2 {
+            let z = vec![Lit::FALSE; cur.len()];
+            cur = mux(n, bit, &z, &cur);
+            continue;
+        }
+        let shifted = shr_const(&cur, shift);
+        cur = mux(n, bit, &shifted, &cur);
+    }
+    cur
+}
+
+/// Dynamic bit select `a[idx]` as a mux tree.
+pub fn bit_select(n: &mut Netlist, a: &Word, idx: &Word) -> Lit {
+    let shifted = shr_dyn(n, a, idx);
+    shifted.first().copied().unwrap_or(Lit::FALSE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use alice_verilog::Bits;
+
+    fn eval2(
+        f: impl Fn(&mut Netlist, &Word, &Word) -> Word,
+        wa: u32,
+        wb: u32,
+        a: u64,
+        b: u64,
+    ) -> u64 {
+        let mut n = Netlist::new("t");
+        let aw = n.add_input("a", wa);
+        let bw = n.add_input("b", wb);
+        let y = f(&mut n, &aw, &bw);
+        n.add_output("y", y);
+        let mut sim = Simulator::new(&n);
+        sim.set_input("a", &Bits::from_u64(a, wa));
+        sim.set_input("b", &Bits::from_u64(b, wb));
+        sim.settle();
+        sim.output("y").to_u64().expect("fits")
+    }
+
+    #[test]
+    fn adder_matches_reference() {
+        for (a, b) in [(0u64, 0u64), (1, 1), (13, 7), (255, 1), (200, 100)] {
+            assert_eq!(eval2(add, 8, 8, a, b), (a + b) & 0xff, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_reference() {
+        for (a, b) in [(5u64, 3u64), (3, 5), (0, 1), (255, 255)] {
+            assert_eq!(eval2(sub, 8, 8, a, b), a.wrapping_sub(b) & 0xff, "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_reference() {
+        for (a, b) in [(0u64, 7u64), (3, 5), (15, 15), (12, 10)] {
+            assert_eq!(eval2(mul, 8, 8, a, b), (a * b) & 0xff, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn comparisons_match_reference() {
+        for (a, b) in [(1u64, 2u64), (2, 1), (7, 7), (0, 255)] {
+            let lt_got = eval2(|n, a, b| vec![lt(n, a, b)], 8, 8, a, b);
+            assert_eq!(lt_got, (a < b) as u64, "{a}<{b}");
+            let eq_got = eval2(|n, a, b| vec![eq(n, a, b)], 8, 8, a, b);
+            assert_eq!(eq_got, (a == b) as u64, "{a}=={b}");
+        }
+    }
+
+    #[test]
+    fn dynamic_shifts_match_reference() {
+        for (a, s) in [(0b1011u64, 1u64), (0xff, 3), (1, 7), (0x80, 4)] {
+            assert_eq!(eval2(shl_dyn, 8, 3, a, s), (a << s) & 0xff, "{a}<<{s}");
+            assert_eq!(eval2(shr_dyn, 8, 3, a, s), a >> s, "{a}>>{s}");
+        }
+    }
+
+    #[test]
+    fn mixed_width_operands_zero_extend() {
+        assert_eq!(eval2(add, 4, 8, 0xf, 0xf0), 0xff);
+    }
+}

@@ -1,0 +1,459 @@
+//! Abstract syntax tree for the supported Verilog subset.
+
+use crate::bits::Bits;
+
+/// A parsed source file: an ordered list of module definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Creates an empty source file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Port/net direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Driven from outside the module.
+    Input,
+    /// Driven by the module.
+    Output,
+    /// Bidirectional (accepted but treated as both for pin counting).
+    Inout,
+}
+
+/// A vector range `[msb:lsb]`; scalar nets use `None`.
+///
+/// Bounds are expressions so parameterized widths like `[W-1:0]` parse;
+/// they must be constant after parameter binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    /// Most significant bit index expression.
+    pub msb: Expr,
+    /// Least significant bit index expression.
+    pub lsb: Expr,
+}
+
+/// An ANSI-style module port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Direction of the port.
+    pub dir: Direction,
+    /// Declared as `reg` (output regs only).
+    pub is_reg: bool,
+    /// Port name.
+    pub name: String,
+    /// Optional vector range.
+    pub range: Option<Range>,
+}
+
+/// Kind of net declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// A `wire`.
+    Wire,
+    /// A `reg` (or `integer`, normalized to a 32-bit reg).
+    Reg,
+}
+
+/// A net (wire/reg) declaration inside a module body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDecl {
+    /// Wire or reg.
+    pub kind: NetKind,
+    /// Net name.
+    pub name: String,
+    /// Optional vector range.
+    pub range: Option<Range>,
+    /// Optional initializer (for `wire x = expr;` sugar).
+    pub init: Option<Expr>,
+}
+
+/// A `parameter` or `localparam` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parameter {
+    /// Parameter name.
+    pub name: String,
+    /// Default/bound value expression (must be constant).
+    pub value: Expr,
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Header parameters (`#(parameter N = 4, ...)`).
+    pub params: Vec<Parameter>,
+    /// ANSI ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Body items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Finds a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Iterates over the instances declared in the module body.
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Instance(inst) => Some(inst),
+            _ => None,
+        })
+    }
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `wire`/`reg` declaration.
+    Net(NetDecl),
+    /// `parameter` inside the body.
+    Param(Parameter),
+    /// `localparam`.
+    Localparam(Parameter),
+    /// `assign lhs = rhs;`
+    Assign(Assign),
+    /// A child module instantiation.
+    Instance(Instance),
+    /// An `always` block.
+    Always(AlwaysBlock),
+}
+
+/// A continuous assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Assignment target.
+    pub lhs: LValue,
+    /// Driven expression.
+    pub rhs: Expr,
+}
+
+/// Port connections of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortConns {
+    /// `.port(expr)` style; `None` expression means explicitly unconnected.
+    Named(Vec<(String, Option<Expr>)>),
+    /// Positional style.
+    Ordered(Vec<Expr>),
+}
+
+/// A module instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Parameter overrides (`#(.N(8))`).
+    pub params: Vec<(String, Expr)>,
+    /// Port connections.
+    pub conns: PortConns,
+}
+
+/// Edge polarity in a sensitivity list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `posedge`.
+    Pos,
+    /// `negedge`.
+    Neg,
+}
+
+/// The sensitivity of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(*)` — combinational.
+    Comb,
+    /// `@(posedge a or negedge b ...)` — sequential.
+    Edges(Vec<(EdgeKind, String)>),
+}
+
+/// An `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlwaysBlock {
+    /// What triggers the block.
+    pub sensitivity: Sensitivity,
+    /// The body statement (often a `begin` block).
+    pub body: Stmt,
+}
+
+/// One arm of a `case` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseArm {
+    /// Match labels (comparison is equality on constant labels).
+    pub labels: Vec<Expr>,
+    /// The statement executed on match.
+    pub body: Stmt,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`.
+    Block(Vec<Stmt>),
+    /// `if (c) s1 [else s2]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_stmt: Box<Stmt>,
+        /// Optional else branch.
+        else_stmt: Option<Box<Stmt>>,
+    },
+    /// `case (expr) ... endcase`.
+    Case {
+        /// Scrutinee.
+        expr: Expr,
+        /// Labelled arms.
+        arms: Vec<CaseArm>,
+        /// Optional `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Blocking assignment `lhs = rhs;`.
+    Blocking(LValue, Expr),
+    /// Non-blocking assignment `lhs <= rhs;`.
+    NonBlocking(LValue, Expr),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A whole net.
+    Id(String),
+    /// A single bit `x[i]`.
+    Bit(String, Expr),
+    /// A constant part-select `x[msb:lsb]`.
+    Part(String, Expr, Expr),
+    /// A concatenation of lvalues `{a, b[3:0]}`.
+    Concat(Vec<LValue>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise not `~`.
+    Not,
+    /// Logical not `!`.
+    LogicNot,
+    /// Arithmetic negate `-`.
+    Neg,
+    /// Reduction AND `&`.
+    RedAnd,
+    /// Reduction OR `|`.
+    RedOr,
+    /// Reduction XOR `^`.
+    RedXor,
+    /// Reduction NAND `~&`.
+    RedNand,
+    /// Reduction NOR `~|`.
+    RedNor,
+    /// Reduction XNOR `~^`.
+    RedXnor,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `~^` / `^~`
+    Xnor,
+    /// `&&`
+    LogicAnd,
+    /// `||`
+    LogicOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// A numeric literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number {
+    /// Explicit width if sized (`8'hff`), `None` for bare decimals.
+    pub width: Option<u32>,
+    /// The two-state value.
+    pub value: Bits,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Net/port/parameter reference.
+    Id(String),
+    /// Numeric literal.
+    Literal(Number),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit select `base[index]` (index may be dynamic).
+    Bit(Box<Expr>, Box<Expr>),
+    /// Constant part select `base[msb:lsb]`.
+    Part(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Concatenation `{a, b, ...}` (MSB first, as in Verilog).
+    Concat(Vec<Expr>),
+    /// Replication `{n{expr, ...}}`.
+    Repeat(Box<Expr>, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized decimal literal.
+    pub fn num(v: u64) -> Expr {
+        Expr::Literal(Number {
+            width: None,
+            value: Bits::from_u64(v, 32),
+        })
+    }
+
+    /// Convenience constructor for a sized literal.
+    pub fn sized(v: u64, width: u32) -> Expr {
+        Expr::Literal(Number {
+            width: Some(width),
+            value: Bits::from_u64(v, width),
+        })
+    }
+
+    /// Convenience constructor for an identifier.
+    pub fn id(name: impl Into<String>) -> Expr {
+        Expr::Id(name.into())
+    }
+
+    /// Collects the identifiers referenced by this expression into `out`.
+    pub fn collect_ids<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Id(s) => out.push(s),
+            Expr::Literal(_) => {}
+            Expr::Unary(_, e) => e.collect_ids(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_ids(out);
+                b.collect_ids(out);
+            }
+            Expr::Ternary(c, a, b) => {
+                c.collect_ids(out);
+                a.collect_ids(out);
+                b.collect_ids(out);
+            }
+            Expr::Bit(b, i) => {
+                b.collect_ids(out);
+                i.collect_ids(out);
+            }
+            Expr::Part(b, m, l) => {
+                b.collect_ids(out);
+                m.collect_ids(out);
+                l.collect_ids(out);
+            }
+            Expr::Concat(es) => {
+                for e in es {
+                    e.collect_ids(out);
+                }
+            }
+            Expr::Repeat(n, es) => {
+                n.collect_ids(out);
+                for e in es {
+                    e.collect_ids(out);
+                }
+            }
+        }
+    }
+}
+
+impl LValue {
+    /// The base identifiers assigned by this lvalue.
+    pub fn targets(&self) -> Vec<&str> {
+        match self {
+            LValue::Id(s) | LValue::Bit(s, _) | LValue::Part(s, _, _) => vec![s],
+            LValue::Concat(ls) => ls.iter().flat_map(|l| l.targets()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_ids_walks_all_forms() {
+        let e = Expr::Ternary(
+            Box::new(Expr::id("c")),
+            Box::new(Expr::Binary(
+                BinaryOp::Add,
+                Box::new(Expr::id("a")),
+                Box::new(Expr::num(1)),
+            )),
+            Box::new(Expr::Concat(vec![Expr::id("b"), Expr::id("d")])),
+        );
+        let mut ids = Vec::new();
+        e.collect_ids(&mut ids);
+        assert_eq!(ids, vec!["c", "a", "b", "d"]);
+    }
+
+    #[test]
+    fn lvalue_targets() {
+        let lv = LValue::Concat(vec![
+            LValue::Id("x".into()),
+            LValue::Bit("y".into(), Expr::num(0)),
+        ]);
+        assert_eq!(lv.targets(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn module_lookup_helpers() {
+        let m = Module {
+            name: "m".into(),
+            params: vec![],
+            ports: vec![Port {
+                dir: Direction::Input,
+                is_reg: false,
+                name: "a".into(),
+                range: None,
+            }],
+            items: vec![],
+        };
+        assert!(m.port("a").is_some());
+        assert!(m.port("zz").is_none());
+    }
+}

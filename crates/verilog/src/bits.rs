@@ -1,0 +1,310 @@
+//! Arbitrary-width bit vectors for Verilog literal values.
+//!
+//! Verilog designs in this code base carry constants far wider than 128 bits
+//! (SHA-256 uses 256-bit state vectors), so literals are stored as a
+//! little-endian limb array. Only two-state values are supported: the ALICE
+//! flow operates on synthesizable designs, where `x`/`z` never survive
+//! synthesis.
+
+use std::fmt;
+
+/// An arbitrary-width two-state bit vector (bit 0 = LSB).
+///
+/// # Example
+///
+/// ```
+/// use alice_verilog::Bits;
+///
+/// let v = Bits::from_u64(0b1011, 4);
+/// assert_eq!(v.width(), 4);
+/// assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3));
+/// assert_eq!(v.to_u64(), Some(0b1011));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bits {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero vector of `width` bits.
+    pub fn zeros(width: u32) -> Self {
+        let n = Self::limb_count(width);
+        Bits {
+            width,
+            limbs: vec![0; n],
+        }
+    }
+
+    /// Creates an all-ones vector of `width` bits.
+    pub fn ones(width: u32) -> Self {
+        let mut b = Self::zeros(width);
+        for limb in &mut b.limbs {
+            *limb = u64::MAX;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector from the low `width` bits of `value`.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let mut b = Self::zeros(width);
+        if !b.limbs.is_empty() {
+            b.limbs[0] = value;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector from individual bits, index 0 being the LSB.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut b = Self::zeros(bits.len() as u32);
+        for (i, &v) in bits.iter().enumerate() {
+            b.set_bit(i as u32, v);
+        }
+        b
+    }
+
+    fn limb_count(width: u32) -> usize {
+        ((width as usize) + 63) / 64
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            if let Some(last) = self.limbs.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.width == 0 {
+            self.limbs.clear();
+        }
+    }
+
+    /// The number of bits in the vector.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns bit `i` (false if out of range, mirroring zero-extension).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= self.width {
+            return false;
+        }
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: u32, v: bool) {
+        assert!(i < self.width, "bit index {i} out of range {}", self.width);
+        let limb = &mut self.limbs[(i / 64) as usize];
+        if v {
+            *limb |= 1 << (i % 64);
+        } else {
+            *limb &= !(1 << (i % 64));
+        }
+    }
+
+    /// Returns the value as a `u64` if it fits (ignoring leading zeros).
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs.iter().skip(1).any(|&l| l != 0) {
+            return None;
+        }
+        Some(self.limbs.first().copied().unwrap_or(0))
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns a resized copy: truncated or zero-extended to `width`.
+    pub fn resized(&self, width: u32) -> Self {
+        let mut out = Self::zeros(width);
+        let n = out.limbs.len().min(self.limbs.len());
+        out.limbs[..n].copy_from_slice(&self.limbs[..n]);
+        out.mask_top();
+        out
+    }
+
+    /// Concatenates `hi` above `self` (`{hi, self}` in Verilog terms).
+    pub fn concat_with_high(&self, hi: &Bits) -> Self {
+        let mut out = Self::zeros(self.width + hi.width);
+        for i in 0..self.width {
+            out.set_bit(i, self.bit(i));
+        }
+        for i in 0..hi.width {
+            out.set_bit(self.width + i, hi.bit(i));
+        }
+        out
+    }
+
+    /// Extracts bits `[msb:lsb]` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msb < lsb`.
+    pub fn slice(&self, msb: u32, lsb: u32) -> Self {
+        assert!(msb >= lsb, "slice [{msb}:{lsb}] is reversed");
+        let mut out = Self::zeros(msb - lsb + 1);
+        for i in lsb..=msb {
+            out.set_bit(i - lsb, self.bit(i));
+        }
+        out
+    }
+
+    /// Parses a digit string in the given radix (2, 8, 10 or 16) into bits,
+    /// producing a vector of exactly `width` bits. Underscores are skipped.
+    ///
+    /// Returns `None` on an invalid digit or unsupported radix.
+    pub fn parse_radix(digits: &str, radix: u32, width: u32) -> Option<Self> {
+        let mut acc = Self::zeros(width.max(1));
+        for ch in digits.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch.to_digit(radix)? as u64;
+            acc = acc.mul_small(radix as u64).add_small(d);
+        }
+        acc.width = width;
+        acc.limbs.resize(Self::limb_count(width), 0);
+        acc.mask_top();
+        Some(acc)
+    }
+
+    fn mul_small(&self, m: u64) -> Self {
+        let mut out = Self::zeros(self.width);
+        let mut carry: u128 = 0;
+        for i in 0..self.limbs.len() {
+            let prod = self.limbs[i] as u128 * m as u128 + carry;
+            out.limbs[i] = prod as u64;
+            carry = prod >> 64;
+        }
+        out.mask_top();
+        out
+    }
+
+    fn add_small(&self, a: u64) -> Self {
+        let mut out = self.clone();
+        let mut carry = a as u128;
+        for limb in &mut out.limbs {
+            let sum = *limb as u128 + carry;
+            *limb = sum as u64;
+            carry = sum >> 64;
+            if carry == 0 {
+                break;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Iterator over bits from LSB to MSB.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(move |i| self.bit(i))
+    }
+
+    /// Formats as a Verilog sized hex literal, e.g. `8'hff`.
+    pub fn to_verilog(&self) -> String {
+        if self.width == 0 {
+            return "0".to_string();
+        }
+        let mut digits = String::new();
+        let nds = ((self.width + 3) / 4) as usize;
+        for d in (0..nds).rev() {
+            let mut v = 0u32;
+            for b in 0..4 {
+                let idx = (d * 4 + b) as u32;
+                if self.bit(idx) {
+                    v |= 1 << b;
+                }
+            }
+            digits.push(char::from_digit(v, 16).expect("hex digit"));
+        }
+        format!("{}'h{}", self.width, digits)
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits({})", self.to_verilog())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_verilog())
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_u64(v as u64, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bits::zeros(70);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 70);
+        let o = Bits::ones(70);
+        assert!((0..70).all(|i| o.bit(i)));
+        assert!(!o.bit(70));
+    }
+
+    #[test]
+    fn from_u64_masks_width() {
+        let b = Bits::from_u64(0xFF, 4);
+        assert_eq!(b.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn parse_hex_wide() {
+        let b = Bits::parse_radix("deadbeefdeadbeef00", 16, 72).expect("parse");
+        assert_eq!(b.width(), 72);
+        assert!(!b.bit(0));
+        assert!(b.bit(8)); // 0xef ends ...1110_1111 -> bit 8 of 0xef00 region
+    }
+
+    #[test]
+    fn parse_decimal() {
+        let b = Bits::parse_radix("1000000000000000000000", 10, 80).expect("parse");
+        // 10^21 = 0x3635C9ADC5DEA00000
+        assert_eq!(b.slice(63, 0).to_u64(), Some(0x35C9ADC5DEA00000));
+        assert_eq!(b.slice(79, 64).to_u64(), Some(0x36));
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let lo = Bits::from_u64(0b1010, 4);
+        let hi = Bits::from_u64(0b11, 2);
+        let cat = lo.concat_with_high(&hi);
+        assert_eq!(cat.width(), 6);
+        assert_eq!(cat.to_u64(), Some(0b11_1010));
+        assert_eq!(cat.slice(3, 0), lo);
+        assert_eq!(cat.slice(5, 4), hi);
+    }
+
+    #[test]
+    fn verilog_formatting() {
+        assert_eq!(Bits::from_u64(0xab, 8).to_verilog(), "8'hab");
+        assert_eq!(Bits::from_u64(1, 1).to_verilog(), "1'h1");
+        assert_eq!(Bits::from_u64(5, 3).to_verilog(), "3'h5");
+    }
+
+    #[test]
+    fn resize_truncates_and_extends() {
+        let b = Bits::from_u64(0b111, 3);
+        assert_eq!(b.resized(2).to_u64(), Some(0b11));
+        assert_eq!(b.resized(10).to_u64(), Some(0b111));
+    }
+}

@@ -1,0 +1,376 @@
+//! Module-hierarchy utilities: module tables, instance trees, top detection,
+//! and per-module I/O pin counting (the structural metric ALICE filters on).
+
+use crate::ast::{Direction, Expr, Module, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A fully qualified instance path, e.g. `top.u_core.u_alu`.
+pub type InstancePath = String;
+
+/// Summary of one module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleInfo {
+    /// The module name.
+    pub name: String,
+    /// Total I/O pin count (sum of port bit widths, including clock/reset).
+    pub io_pins: u32,
+    /// Number of input pins.
+    pub input_pins: u32,
+    /// Number of output pins.
+    pub output_pins: u32,
+    /// Names of child modules instantiated (with multiplicity).
+    pub children: Vec<String>,
+}
+
+/// A node in the elaborated instance tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceNode {
+    /// Hierarchical path of this instance (`top` for the root).
+    pub path: InstancePath,
+    /// Instance name (equal to the module name for the root).
+    pub inst_name: String,
+    /// The module this instance refers to.
+    pub module: String,
+    /// Child instances.
+    pub children: Vec<InstanceNode>,
+}
+
+impl InstanceNode {
+    /// Depth-first iteration over all nodes (including `self`).
+    pub fn walk(&self) -> Vec<&InstanceNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.walk());
+        }
+        out
+    }
+
+    /// Finds a node by hierarchical path.
+    pub fn find(&self, path: &str) -> Option<&InstanceNode> {
+        self.walk().into_iter().find(|n| n.path == path)
+    }
+}
+
+/// A design hierarchy extracted from a [`SourceFile`].
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Per-module summaries, keyed by module name.
+    pub modules: BTreeMap<String, ModuleInfo>,
+    /// The detected (or requested) top module.
+    pub top: String,
+    /// The elaborated instance tree rooted at `top`.
+    pub tree: InstanceNode,
+}
+
+/// Errors from hierarchy extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// The file contains no modules.
+    EmptyDesign,
+    /// No unique top candidate (give one explicitly).
+    AmbiguousTop(Vec<String>),
+    /// The requested top module does not exist.
+    UnknownTop(String),
+    /// An instance refers to an undefined module.
+    UndefinedModule {
+        /// The referring module.
+        parent: String,
+        /// The missing definition.
+        child: String,
+    },
+    /// The instance graph contains a cycle.
+    RecursiveInstantiation(String),
+    /// A port range bound did not evaluate to a constant.
+    NonConstantRange(String),
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::EmptyDesign => write!(f, "design contains no modules"),
+            HierarchyError::AmbiguousTop(cands) => {
+                write!(f, "ambiguous top module, candidates: {}", cands.join(", "))
+            }
+            HierarchyError::UnknownTop(t) => write!(f, "unknown top module `{t}`"),
+            HierarchyError::UndefinedModule { parent, child } => {
+                write!(f, "module `{parent}` instantiates undefined module `{child}`")
+            }
+            HierarchyError::RecursiveInstantiation(m) => {
+                write!(f, "recursive instantiation of module `{m}`")
+            }
+            HierarchyError::NonConstantRange(m) => {
+                write!(f, "non-constant port range in module `{m}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+/// Evaluates a constant expression using parameter bindings in `env`.
+///
+/// Supports the arithmetic/bitwise/comparison operators of the subset; used
+/// for port ranges and parameter values.
+pub fn const_eval(e: &Expr, env: &BTreeMap<String, i64>) -> Option<i64> {
+    use crate::ast::{BinaryOp, UnaryOp};
+    Some(match e {
+        Expr::Id(s) => *env.get(s)?,
+        Expr::Literal(n) => n.value.to_u64()? as i64,
+        Expr::Unary(op, a) => {
+            let a = const_eval(a, env)?;
+            match op {
+                UnaryOp::Neg => -a,
+                UnaryOp::Not => !a,
+                UnaryOp::LogicNot => (a == 0) as i64,
+                _ => return None,
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let a = const_eval(a, env)?;
+            let b = const_eval(b, env)?;
+            match op {
+                BinaryOp::Add => a + b,
+                BinaryOp::Sub => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a % b
+                }
+                BinaryOp::Shl => a << b,
+                BinaryOp::Shr => a >> b,
+                BinaryOp::And => a & b,
+                BinaryOp::Or => a | b,
+                BinaryOp::Xor => a ^ b,
+                BinaryOp::Eq => (a == b) as i64,
+                BinaryOp::Ne => (a != b) as i64,
+                BinaryOp::Lt => (a < b) as i64,
+                BinaryOp::Le => (a <= b) as i64,
+                BinaryOp::Gt => (a > b) as i64,
+                BinaryOp::Ge => (a >= b) as i64,
+                _ => return None,
+            }
+        }
+        Expr::Ternary(c, a, b) => {
+            if const_eval(c, env)? != 0 {
+                const_eval(a, env)?
+            } else {
+                const_eval(b, env)?
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Computes the bit width of a port given the module's parameter defaults.
+fn port_width(m: &Module, range: &Option<crate::ast::Range>) -> Option<u32> {
+    let env: BTreeMap<String, i64> = m
+        .params
+        .iter()
+        .filter_map(|p| Some((p.name.clone(), const_eval(&p.value, &BTreeMap::new())?)))
+        .collect();
+    match range {
+        None => Some(1),
+        Some(r) => {
+            let msb = const_eval(&r.msb, &env)?;
+            let lsb = const_eval(&r.lsb, &env)?;
+            Some((msb - lsb).unsigned_abs() as u32 + 1)
+        }
+    }
+}
+
+/// Builds per-module summaries and the instance tree.
+///
+/// If `top` is `None`, the unique module never instantiated by another is
+/// selected as top.
+///
+/// # Errors
+///
+/// See [`HierarchyError`] for the failure modes.
+pub fn build_hierarchy(
+    file: &SourceFile,
+    top: Option<&str>,
+) -> Result<Hierarchy, HierarchyError> {
+    if file.modules.is_empty() {
+        return Err(HierarchyError::EmptyDesign);
+    }
+    let mut modules = BTreeMap::new();
+    for m in &file.modules {
+        let mut io = 0u32;
+        let mut inp = 0u32;
+        let mut outp = 0u32;
+        for p in &m.ports {
+            let w = port_width(m, &p.range)
+                .ok_or_else(|| HierarchyError::NonConstantRange(m.name.clone()))?;
+            io += w;
+            match p.dir {
+                Direction::Input => inp += w,
+                Direction::Output => outp += w,
+                Direction::Inout => {
+                    inp += w;
+                    outp += w;
+                }
+            }
+        }
+        let children = m.instances().map(|i| i.module.clone()).collect();
+        modules.insert(
+            m.name.clone(),
+            ModuleInfo {
+                name: m.name.clone(),
+                io_pins: io,
+                input_pins: inp,
+                output_pins: outp,
+                children,
+            },
+        );
+    }
+    // check child references
+    for (name, info) in &modules {
+        for c in &info.children {
+            if !modules.contains_key(c) {
+                return Err(HierarchyError::UndefinedModule {
+                    parent: name.clone(),
+                    child: c.clone(),
+                });
+            }
+        }
+    }
+    let top = match top {
+        Some(t) => {
+            if !modules.contains_key(t) {
+                return Err(HierarchyError::UnknownTop(t.to_string()));
+            }
+            t.to_string()
+        }
+        None => {
+            let instantiated: BTreeSet<&String> =
+                modules.values().flat_map(|i| i.children.iter()).collect();
+            let roots: Vec<String> = modules
+                .keys()
+                .filter(|k| !instantiated.contains(k))
+                .cloned()
+                .collect();
+            match roots.len() {
+                1 => roots.into_iter().next().expect("len checked"),
+                _ => return Err(HierarchyError::AmbiguousTop(roots)),
+            }
+        }
+    };
+    let tree = build_tree(file, &top, &top, &top, &mut Vec::new())?;
+    Ok(Hierarchy { modules, top, tree })
+}
+
+fn build_tree(
+    file: &SourceFile,
+    module: &str,
+    path: &str,
+    inst_name: &str,
+    stack: &mut Vec<String>,
+) -> Result<InstanceNode, HierarchyError> {
+    if stack.iter().any(|m| m == module) {
+        return Err(HierarchyError::RecursiveInstantiation(module.to_string()));
+    }
+    stack.push(module.to_string());
+    let mdef = file.module(module).expect("validated by caller");
+    let mut children = Vec::new();
+    for inst in mdef.instances() {
+        let child_path = format!("{path}.{}", inst.name);
+        children.push(build_tree(file, &inst.module, &child_path, &inst.name, stack)?);
+    }
+    stack.pop();
+    Ok(InstanceNode {
+        path: path.to_string(),
+        inst_name: inst_name.to_string(),
+        module: module.to_string(),
+        children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_source;
+
+    const SRC: &str = r#"
+module leaf(input wire [3:0] a, output wire [3:0] y);
+  assign y = ~a;
+endmodule
+module mid(input wire [3:0] a, output wire [3:0] y);
+  wire [3:0] t;
+  leaf l0(.a(a), .y(t));
+  leaf l1(.a(t), .y(y));
+endmodule
+module top(input wire clk, input wire [3:0] a, output wire [3:0] y);
+  mid m0(.a(a), .y(y));
+endmodule
+"#;
+
+    #[test]
+    fn detects_top_and_counts_pins() {
+        let f = parse_source(SRC).expect("parse");
+        let h = build_hierarchy(&f, None).expect("hierarchy");
+        assert_eq!(h.top, "top");
+        assert_eq!(h.modules["leaf"].io_pins, 8);
+        assert_eq!(h.modules["top"].io_pins, 9);
+        assert_eq!(h.modules["leaf"].input_pins, 4);
+    }
+
+    #[test]
+    fn builds_instance_tree_paths() {
+        let f = parse_source(SRC).expect("parse");
+        let h = build_hierarchy(&f, None).expect("hierarchy");
+        let paths: Vec<&str> = h.tree.walk().iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, vec!["top", "top.m0", "top.m0.l0", "top.m0.l1"]);
+        assert!(h.tree.find("top.m0.l1").is_some());
+    }
+
+    #[test]
+    fn explicit_top_override() {
+        let f = parse_source(SRC).expect("parse");
+        let h = build_hierarchy(&f, Some("mid")).expect("hierarchy");
+        assert_eq!(h.top, "mid");
+        assert_eq!(h.tree.walk().len(), 3);
+    }
+
+    #[test]
+    fn undefined_module_is_reported() {
+        let f = parse_source("module a; b u0(); endmodule").expect("parse");
+        let err = build_hierarchy(&f, None).unwrap_err();
+        assert!(matches!(err, HierarchyError::UndefinedModule { .. }));
+    }
+
+    #[test]
+    fn recursion_is_reported() {
+        let f =
+            parse_source("module a; a u0(); endmodule").expect("parse");
+        let err = build_hierarchy(&f, Some("a")).unwrap_err();
+        assert!(matches!(err, HierarchyError::RecursiveInstantiation(_)));
+    }
+
+    #[test]
+    fn parameterized_port_width() {
+        let f = parse_source(
+            "module p #(parameter W = 8) (input wire [W-1:0] a, output wire y); assign y = ^a; endmodule",
+        )
+        .expect("parse");
+        let h = build_hierarchy(&f, None).expect("hierarchy");
+        assert_eq!(h.modules["p"].io_pins, 9);
+    }
+
+    #[test]
+    fn const_eval_operators() {
+        let f = parse_source(
+            "module q #(parameter W = 4) (input wire [(W*2)-1:0] a, output wire [W/2:0] y); endmodule",
+        )
+        .expect("parse");
+        let h = build_hierarchy(&f, None).expect("hierarchy");
+        assert_eq!(h.modules["q"].io_pins, 8 + 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! Hand-written lexer for the Verilog subset.
+
+use crate::bits::Bits;
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Lexes `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// Line (`//`) and block (`/* */`) comments are skipped. Numeric literals
+/// support the sized/based forms (`8'hff`, `4'b1010`, `12'o777`, `6'd42`)
+/// and unsized decimals (parsed at 32 bits, as in Verilog).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on stray characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            _src: src,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' || c == '\\' {
+                self.lex_ident()
+            } else if c.is_ascii_digit() || (c == '\'' && self.peek2().is_some()) {
+                self.lex_number(span)?
+            } else {
+                self.lex_punct(span)?
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(ParseError::new(
+                            ParseErrorKind::Unsupported("unterminated block comment".into()),
+                            start,
+                        ));
+                    }
+                }
+                Some('`') => {
+                    // Compiler directives (`timescale etc.) are skipped to end of line.
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        if self.peek() == Some('\\') {
+            // Escaped identifier: backslash up to whitespace.
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                s.push(c);
+                self.bump();
+            }
+            return TokenKind::Ident(s);
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&s) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(s),
+        }
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<TokenKind, ParseError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some('\'') {
+            self.bump();
+            let base = self.bump().ok_or_else(|| {
+                ParseError::new(ParseErrorKind::BadNumber("missing base".into()), span)
+            })?;
+            let radix = match base.to_ascii_lowercase() {
+                'b' => 2,
+                'o' => 8,
+                'd' => 10,
+                'h' => 16,
+                other => {
+                    return Err(ParseError::new(
+                        ParseErrorKind::BadNumber(format!("bad base `{other}`")),
+                        span,
+                    ))
+                }
+            };
+            let width: u32 = if digits.is_empty() {
+                32
+            } else {
+                digits.replace('_', "").parse().map_err(|_| {
+                    ParseError::new(ParseErrorKind::BadNumber(digits.clone()), span)
+                })?
+            };
+            let mut value_digits = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    value_digits.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let value = Bits::parse_radix(&value_digits, radix, width).ok_or_else(|| {
+                ParseError::new(ParseErrorKind::BadNumber(value_digits.clone()), span)
+            })?;
+            Ok(TokenKind::Number {
+                width: Some(width),
+                value,
+            })
+        } else {
+            let value = Bits::parse_radix(&digits, 10, 32)
+                .ok_or_else(|| ParseError::new(ParseErrorKind::BadNumber(digits.clone()), span))?;
+            Ok(TokenKind::Number { width: None, value })
+        }
+    }
+
+    fn lex_punct(&mut self, span: Span) -> Result<TokenKind, ParseError> {
+        const TWO: &[&str] = &[
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "~&", "~|", "~^", "^~", "**",
+        ];
+        const ONE: &[&str] = &[
+            "(", ")", "[", "]", "{", "}", ";", ",", ".", ":", "=", "+", "-", "*", "/", "%", "&",
+            "|", "^", "~", "!", "<", ">", "?", "@", "#",
+        ];
+        let c1 = self.peek().expect("peeked before");
+        let c2 = self.peek2();
+        if let Some(c2) = c2 {
+            let pair: String = [c1, c2].iter().collect();
+            if let Some(&p) = TWO.iter().find(|&&p| p == pair) {
+                self.bump();
+                self.bump();
+                return Ok(TokenKind::Punct(p));
+            }
+        }
+        let single: String = c1.to_string();
+        if let Some(&p) = ONE.iter().find(|&&p| p == single) {
+            self.bump();
+            return Ok(TokenKind::Punct(p));
+        }
+        Err(ParseError::new(ParseErrorKind::UnexpectedChar(c1), span))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lex")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lex_basic_module() {
+        let ks = kinds("module m(input wire a); endmodule");
+        assert_eq!(ks[0], TokenKind::Kw(Keyword::Module));
+        assert_eq!(ks[1], TokenKind::Ident("m".into()));
+        assert_eq!(ks[2], TokenKind::Punct("("));
+        assert!(matches!(ks.last(), Some(TokenKind::Eof)));
+    }
+
+    #[test]
+    fn lex_sized_literals() {
+        let ks = kinds("8'hff 4'b1010 16'd65535");
+        match &ks[0] {
+            TokenKind::Number { width, value } => {
+                assert_eq!(*width, Some(8));
+                assert_eq!(value.to_u64(), Some(0xff));
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
+        match &ks[1] {
+            TokenKind::Number { value, .. } => assert_eq!(value.to_u64(), Some(0b1010)),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lex_skips_comments_and_directives() {
+        let ks = kinds("`timescale 1ns/1ps\n// hi\n/* multi\nline */ module");
+        assert_eq!(ks[0], TokenKind::Kw(Keyword::Module));
+    }
+
+    #[test]
+    fn lex_two_char_ops() {
+        let ks = kinds("a <= b == c");
+        assert_eq!(ks[1], TokenKind::Punct("<="));
+        assert_eq!(ks[3], TokenKind::Punct("=="));
+    }
+
+    #[test]
+    fn lex_reports_position() {
+        let err = lex("module m;\n  $$$ @@").and(lex("\n  \x07")).unwrap_err();
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let ks = kinds("32'hdead_beef");
+        match &ks[0] {
+            TokenKind::Number { value, .. } => assert_eq!(value.to_u64(), Some(0xdead_beef)),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+}

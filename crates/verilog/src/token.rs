@@ -1,0 +1,168 @@
+//! Token definitions produced by the [`lexer`](crate::lexer).
+
+use crate::bits::Bits;
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Verilog keywords recognized by the subset grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Assign,
+    Always,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Endcase,
+    Default,
+    Posedge,
+    Negedge,
+    Or,
+    Parameter,
+    Localparam,
+    Integer,
+}
+
+impl Keyword {
+    /// Returns the keyword for an identifier-like lexeme, if any.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "integer" => Keyword::Integer,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Integer => "integer",
+        }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (module names, nets, ports...).
+    Ident(String),
+    /// A keyword from [`Keyword`].
+    Kw(Keyword),
+    /// A numeric literal; `width` is `None` for unsized decimals.
+    Number { width: Option<u32>, value: Bits },
+    /// Punctuation or operator, e.g. `"<="`, `"("`.
+    Punct(&'static str),
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Kw(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Number { value, .. } => write!(f, "number `{value}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Module,
+            Keyword::Endmodule,
+            Keyword::Posedge,
+            Keyword::Localparam,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn span_display() {
+        let s = Span { line: 3, col: 14 };
+        assert_eq!(s.to_string(), "3:14");
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end redaction with functional verification: redact a design,
+//! parse the regenerated Verilog (top ASIC + fabric netlists), shift the
+//! configuration bitstream through the chain, and prove the configured
+//! chip matches the original gate-for-gate — the property the legitimate
+//! user relies on after fabrication.
+//!
+//! ```text
+//! cargo run --example redact_and_verify
+//! ```
+
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::design::Design;
+use alice_redaction::core::flow::Flow;
+use alice_redaction::netlist::elaborate;
+use alice_redaction::netlist::sim::Simulator;
+use alice_redaction::verilog::{parse_source, Bits};
+
+const SRC: &str = r#"
+module mixer(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);
+  assign y = (a ^ b) + {b[3:0], a[7:4]};
+endmodule
+module scaler(input wire [7:0] a, output wire [7:0] y);
+  assign y = (a << 2) | (a >> 5);
+endmodule
+module top(input wire [7:0] p, input wire [7:0] q,
+           output wire [7:0] o1, output wire [7:0] o2);
+  mixer u_mix(.a(p), .b(q), .y(o1));
+  scaler u_scale(.a(p), .y(o2));
+endmodule
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = Design::from_source("demo", SRC, None)?;
+    let outcome = Flow::new(AliceConfig::cfg1()).run(&design)?;
+    let redacted = outcome.redacted.as_ref().expect("demo always redacts");
+    println!(
+        "redacted {:?} into {} eFPGA(s)",
+        redacted
+            .efpgas
+            .iter()
+            .flat_map(|e| e.instances.clone())
+            .collect::<Vec<_>>(),
+        redacted.efpgas.len()
+    );
+
+    // The foundry's view: redacted top + unconfigured fabrics.
+    let combined = redacted.combined_verilog();
+    let file = parse_source(&combined)?;
+    let chip = elaborate(&file, "top")?;
+    let original = elaborate(&design.file, "top")?;
+
+    // The user's step: shift each bitstream into its chain.
+    let mut sim = Simulator::new(&chip);
+    sim.set_input("cfg_en", &Bits::from_u64(1, 1));
+    let total = redacted
+        .efpgas
+        .iter()
+        .map(|e| e.config_stream.len())
+        .max()
+        .unwrap_or(0);
+    for t in 0..total {
+        for (i, e) in redacted.efpgas.iter().enumerate() {
+            let lead = total - e.config_stream.len();
+            let bit = if t >= lead { e.config_stream[t - lead] } else { false };
+            sim.set_input(&format!("cfg_in_e{i}"), &Bits::from_u64(bit as u64, 1));
+        }
+        sim.step();
+    }
+    sim.set_input("cfg_en", &Bits::from_u64(0, 1));
+    println!("configured {total} bit config chain");
+
+    // Compare against the original on exhaustive-ish input sweeps.
+    let mut reference = Simulator::new(&original);
+    let mut checked = 0u32;
+    for p in (0..=255u64).step_by(7) {
+        for q in (0..=255u64).step_by(11) {
+            sim.set_input("p", &Bits::from_u64(p, 8));
+            sim.set_input("q", &Bits::from_u64(q, 8));
+            sim.settle();
+            reference.set_input("p", &Bits::from_u64(p, 8));
+            reference.set_input("q", &Bits::from_u64(q, 8));
+            reference.settle();
+            assert_eq!(sim.output("o1"), reference.output("o1"), "o1 @ p={p} q={q}");
+            assert_eq!(sim.output("o2"), reference.output("o2"), "o2 @ p={p} q={q}");
+            checked += 1;
+        }
+    }
+    println!("configured chip matches the original on {checked} input vectors");
+    println!("(without the bitstream, the fabric computes all-zero functions)");
+    Ok(())
+}

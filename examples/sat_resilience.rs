@@ -1,0 +1,64 @@
+//! Security evaluation: mount the oracle-guided SAT attack of the paper's
+//! threat model (§2.1, reference [16]) against redacted clusters of
+//! different sizes, showing how bitstream length and attack effort grow
+//! with the fabric.
+//!
+//! ```text
+//! cargo run --release --example sat_resilience
+//! ```
+
+use alice_redaction::attacks::{sat_attack, AttackBudget, AttackStatus};
+use alice_redaction::netlist::{elaborate, map_luts};
+use alice_redaction::verilog::parse_source;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three cluster sizes: a toy function, a datapath slice, a multiplier.
+    let designs = [
+        (
+            "toy",
+            "module toy(input wire [3:0] a, output wire y);\
+             assign y = (a[0] & a[1]) | (a[2] ^ a[3]); endmodule",
+        ),
+        (
+            "adder8",
+            "module adder8(input wire [7:0] a, input wire [7:0] b, output wire [8:0] y);\
+             assign y = {1'b0, a} + {1'b0, b}; endmodule",
+        ),
+        (
+            "mul8",
+            "module mul8(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);\
+             assign y = a * b; endmodule",
+        ),
+    ];
+    let budget = AttackBudget {
+        max_dips: 300,
+        conflicts_per_call: 50_000,
+    };
+    println!(
+        "{:<8} {:>6} {:>9} {:>6} {:>10} {:>9}",
+        "design", "LUTs", "key bits", "DIPs", "conflicts", "status"
+    );
+    for (name, src) in designs {
+        let file = parse_source(src)?;
+        let netlist = elaborate(&file, name)?;
+        let mapped = map_luts(&netlist, 4)?;
+        let report = sat_attack(&mapped, budget);
+        let status = match report.status {
+            AttackStatus::KeyRecovered { .. } => "BROKEN",
+            AttackStatus::Resilient => "resilient",
+        };
+        println!(
+            "{:<8} {:>6} {:>9} {:>6} {:>10} {:>9}",
+            name,
+            mapped.lut_count(),
+            report.key_bits,
+            report.dips,
+            report.conflicts,
+            status
+        );
+    }
+    println!("\n(The paper's security argument: resilience grows with the");
+    println!("configuration-bit count and I/O complexity of the fabric, which");
+    println!("is why ALICE maximizes fabric utilization during selection.)");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! `alice` — the command-line front end of the flow, mirroring Figure 3:
+//! Verilog + YAML config in, redacted top + fabric netlists + bitstreams
+//! out.
+//!
+//! ```text
+//! alice <design.v> [--config flow.yaml] [--top NAME] [--out DIR]
+//!       [--cfg1 | --cfg2] [--report]
+//! ```
+
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::design::Design;
+use alice_redaction::core::flow::Flow;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    design: PathBuf,
+    config: Option<PathBuf>,
+    top: Option<String>,
+    out: PathBuf,
+    preset: Option<&'static str>,
+    report_only: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
+         [--out DIR] [--cfg1 | --cfg2] [--report]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        design: PathBuf::new(),
+        config: None,
+        top: None,
+        out: PathBuf::from("alice_out"),
+        preset: None,
+        report_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => args.config = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--top" => args.top = Some(it.next().unwrap_or_else(|| usage())),
+            "--out" => args.out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--cfg1" => args.preset = Some("cfg1"),
+            "--cfg2" => args.preset = Some("cfg2"),
+            "--report" => args.report_only = true,
+            "--help" | "-h" => usage(),
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() != 1 {
+        usage();
+    }
+    args.design = PathBuf::from(&positional[0]);
+    args
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let src = std::fs::read_to_string(&args.design)
+        .map_err(|e| format!("cannot read {}: {e}", args.design.display()))?;
+    let mut cfg = match args.preset {
+        Some("cfg2") => AliceConfig::cfg2(),
+        _ => AliceConfig::cfg1(),
+    };
+    if let Some(cpath) = &args.config {
+        let ctext = std::fs::read_to_string(cpath)
+            .map_err(|e| format!("cannot read {}: {e}", cpath.display()))?;
+        cfg = AliceConfig::from_yaml(&ctext)?;
+    }
+    let name = args
+        .design
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "design".to_string());
+    let top = cfg.top.clone().or(args.top.clone());
+    let design = Design::from_source(&name, &src, top.as_deref())?;
+    eprintln!(
+        "alice: {} ({} instances), config: {cfg}",
+        design.name,
+        design.instance_paths().len()
+    );
+    let outcome = Flow::new(cfg).run(&design)?;
+    println!("{}", outcome.report);
+    if args.report_only {
+        return Ok(());
+    }
+    let Some(redacted) = &outcome.redacted else {
+        eprintln!("alice: no feasible solution under this configuration");
+        return Ok(());
+    };
+    std::fs::create_dir_all(&args.out)?;
+    let top_path = args.out.join("top_asic.v");
+    std::fs::write(&top_path, redacted.top_asic_verilog())?;
+    let fabric_path = args.out.join("fabrics.v");
+    std::fs::write(&fabric_path, &redacted.fabric_verilog)?;
+    for (i, e) in redacted.efpgas.iter().enumerate() {
+        let bits: String = e
+            .config_stream
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        std::fs::write(args.out.join(format!("bitstream_e{i}.txt")), bits)?;
+        eprintln!(
+            "alice: eFPGA {i}: {} at `{}` redacting {:?} ({} config bits)",
+            e.size,
+            e.insertion_point,
+            e.instances,
+            e.config_stream.len()
+        );
+    }
+    eprintln!(
+        "alice: wrote {}, {} and {} bitstream file(s) — keep the bitstreams secret",
+        top_path.display(),
+        fabric_path.display(),
+        redacted.efpgas.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("alice: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

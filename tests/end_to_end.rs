@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the full ALICE flow on the paper's
+//! benchmark suite, with the Table 2 shape assertions from DESIGN.md.
+
+use alice_redaction::benchmarks;
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::flow::Flow;
+
+#[test]
+fn iir_is_infeasible_under_cfg1_but_solved_under_cfg2() {
+    let b = benchmarks::iir::benchmark();
+    let d = b.design().expect("load");
+    let cfg1 = Flow::new(b.config(AliceConfig::cfg1())).run(&d).expect("flow");
+    assert_eq!(cfg1.report.candidates, 0, "min module I/O is 66 > 64");
+    assert!(cfg1.redacted.is_none());
+
+    let cfg2 = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    assert_eq!(cfg2.report.candidates, 2);
+    assert_eq!(cfg2.report.clusters, 2);
+    assert_eq!(cfg2.report.solutions, 2);
+    let sizes = &cfg2.report.efpga_sizes;
+    assert_eq!(sizes.len(), 1);
+    assert!(sizes[0].width >= 14, "single large fabric, got {}", sizes[0]);
+}
+
+#[test]
+fn des3_cluster_counts_match_table2_exactly() {
+    let b = benchmarks::des3::benchmark();
+    let d = b.design().expect("load");
+    let cfg1 = Flow::new(b.config(AliceConfig::cfg1())).run(&d).expect("flow");
+    // Sum of C(8,k) for k = 1..=5 — five 12-pin S-boxes fit 64 pins.
+    assert_eq!(cfg1.report.clusters, 218);
+    assert_eq!(cfg1.report.candidates, 8);
+    let cfg2 = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    // 2^8 - 1 — all eight S-boxes fit 96 pins.
+    assert_eq!(cfg2.report.clusters, 255);
+    // cfg2 redacts all eight S-boxes on one fabric (paper: 14x14).
+    assert_eq!(cfg2.report.redacted_modules, 8);
+    assert_eq!(cfg2.report.efpga_sizes[0].to_string(), "14x14");
+}
+
+#[test]
+fn gcd_two_small_fabrics_vs_one_larger() {
+    let b = benchmarks::gcd::benchmark();
+    let d = b.design().expect("load");
+    let cfg1 = Flow::new(b.config(AliceConfig::cfg1())).run(&d).expect("flow");
+    assert_eq!(cfg1.report.candidates, 9, "swap (68 pins) excluded, lzc unranked");
+    assert_eq!(cfg1.report.efpga_sizes.len(), 2, "two eFPGAs under cfg1");
+    let cfg2 = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    assert_eq!(cfg2.report.candidates, 10);
+    assert_eq!(cfg2.report.efpga_sizes.len(), 1, "one eFPGA under cfg2");
+    // The single cfg2 fabric is at least as large as each cfg1 fabric.
+    let max1 = cfg1.report.efpga_sizes.iter().map(|s| s.clbs()).max().expect("two");
+    assert!(cfg2.report.efpga_sizes[0].clbs() >= max1);
+}
+
+#[test]
+fn single_candidate_designs_have_single_solutions() {
+    for (bench, expect_r) in [
+        (benchmarks::fir::benchmark(), 1usize),
+        (benchmarks::sha256::benchmark(), 1),
+        (benchmarks::sasc::benchmark(), 1),
+    ] {
+        let d = bench.design().expect("load");
+        let out = Flow::new(bench.config(AliceConfig::cfg1())).run(&d).expect("flow");
+        assert_eq!(out.report.candidates, expect_r, "{}", bench.name);
+        assert_eq!(out.report.clusters, 1, "{}", bench.name);
+        assert_eq!(out.report.solutions, 1, "{}", bench.name);
+        assert_eq!(out.report.redacted_modules, 1, "{}", bench.name);
+    }
+}
+
+#[test]
+fn usb_phy_invalid_fabrics_are_skipped() {
+    let b = benchmarks::usb_phy::benchmark();
+    let d = b.design().expect("load");
+    for cfg in [AliceConfig::cfg1(), AliceConfig::cfg2()] {
+        let out = Flow::new(b.config(cfg)).run(&d).expect("flow");
+        assert_eq!(out.report.candidates, 2, "rx and tx in the cones");
+        assert_eq!(out.report.clusters, 3, "two singles plus the pair");
+        assert_eq!(out.report.valid_efpgas, 1, "tx characterization fails");
+        assert_eq!(out.selection.failed.len(), 2, "tx single and the pair");
+        assert_eq!(out.report.solutions, 1);
+    }
+}
+
+#[test]
+fn every_redacted_design_reparses_with_its_fabrics() {
+    for b in benchmarks::suite() {
+        let d = b.design().expect("load");
+        let out = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+        let Some(redacted) = &out.redacted else { continue };
+        let combined = redacted.combined_verilog();
+        let parsed = alice_redaction::verilog::parse_source(&combined)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        // The fabric module exists and the secret never leaks: the fabric
+        // netlist must carry no constants beyond 1-bit ties (LUT tables
+        // arrive only through the config chain).
+        for e in &redacted.efpgas {
+            assert!(parsed.module(&e.module_name).is_some(), "{}", b.name);
+            assert!(!e.config_stream.is_empty(), "{}", b.name);
+        }
+        assert!(
+            !redacted.fabric_verilog.contains("16'h"),
+            "{}: LUT INIT leaked into the fabric netlist",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn selection_scores_favor_utilization_by_default() {
+    let b = benchmarks::gcd::benchmark();
+    let d = b.design().expect("load");
+    let out = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let best = out.selection.best.as_ref().expect("solution");
+    // Every chosen fabric must beat the median utilization of valid ones.
+    let mut utils: Vec<f64> = out
+        .selection
+        .valid
+        .iter()
+        .map(|v| v.efpga.io_util + v.efpga.clb_util)
+        .collect();
+    utils.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = utils[utils.len() / 2];
+    for &i in &best.efpgas {
+        let v = &out.selection.valid[i];
+        assert!(
+            v.efpga.io_util + v.efpga.clb_util >= median,
+            "chosen fabric below median utilization"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests on the substrates: the SAT solver against a
+//! brute-force reference, word-level gates against `u64` arithmetic, and
+//! dominator trees against a naive reachability definition.
+
+use alice_redaction::attacks::solver::{Lit, SatResult, Solver, Var};
+use alice_redaction::dataflow::{DiGraph, DomTree};
+use alice_redaction::netlist::ir::Netlist;
+use alice_redaction::netlist::sim::Simulator;
+use alice_redaction::netlist::words;
+use alice_redaction::verilog::Bits;
+use proptest::prelude::*;
+
+/// Brute-force SAT check for small variable counts.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    for assignment in 0u32..(1 << num_vars) {
+        let ok = clauses.iter().all(|c| {
+            c.iter().any(|&(v, neg)| {
+                let val = (assignment >> v) & 1 == 1;
+                val != neg
+            })
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CDCL answers match brute force on random 3-SAT-ish instances.
+    #[test]
+    fn solver_matches_brute_force(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..8, any::<bool>()), 1..4),
+            1..24
+        )
+    ) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            let lits: Vec<Lit> = c.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+            s.add_clause(&lits);
+        }
+        let got = s.solve();
+        let want = brute_force_sat(8, &clauses);
+        match got {
+            SatResult::Sat => {
+                prop_assert!(want, "solver said SAT, brute force disagrees");
+                // The model must actually satisfy every clause.
+                for c in &clauses {
+                    let ok = c.iter().any(|&(v, neg)| {
+                        s.value(vars[v]).map(|b| b != neg).unwrap_or(false)
+                    });
+                    prop_assert!(ok, "model violates clause {c:?}");
+                }
+            }
+            SatResult::Unsat => prop_assert!(!want, "solver said UNSAT, brute force disagrees"),
+            SatResult::Unknown => prop_assert!(false, "no budget set, Unknown impossible"),
+        }
+    }
+
+    /// Word-level arithmetic gates agree with u64 reference semantics.
+    #[test]
+    fn word_ops_match_u64(a in any::<u16>(), b in any::<u16>()) {
+        let mut n = Netlist::new("t");
+        let aw = n.add_input("a", 16);
+        let bw = n.add_input("b", 16);
+        let sum = words::add(&mut n, &aw, &bw);
+        let diff = words::sub(&mut n, &aw, &bw);
+        let prod = words::mul(&mut n, &aw, &bw);
+        let lt = words::lt(&mut n, &aw, &bw);
+        let eq = words::eq(&mut n, &aw, &bw);
+        n.add_output("sum", sum);
+        n.add_output("diff", diff);
+        n.add_output("prod", prod);
+        n.add_output("lt", vec![lt]);
+        n.add_output("eq", vec![eq]);
+        let mut sim = Simulator::new(&n);
+        sim.set_input("a", &Bits::from_u64(a as u64, 16));
+        sim.set_input("b", &Bits::from_u64(b as u64, 16));
+        sim.settle();
+        prop_assert_eq!(sim.output("sum").to_u64(), Some((a.wrapping_add(b)) as u64));
+        prop_assert_eq!(sim.output("diff").to_u64(), Some((a.wrapping_sub(b)) as u64));
+        prop_assert_eq!(sim.output("prod").to_u64(), Some((a.wrapping_mul(b)) as u64));
+        prop_assert_eq!(sim.output("lt").to_u64(), Some((a < b) as u64));
+        prop_assert_eq!(sim.output("eq").to_u64(), Some((a == b) as u64));
+    }
+
+    /// `dominates(a, b)` iff removing `a` cuts every path root→b.
+    #[test]
+    fn dominators_match_path_cutting(edges in prop::collection::vec((0usize..10, 0usize..10), 0..30)) {
+        let n = 10;
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            if u != v {
+                preds[v].push(u);
+            }
+        }
+        let g = DiGraph { preds: preds.clone(), root: 0 };
+        let dt = DomTree::compute(&g);
+        // succ adjacency for reachability
+        let reach = |skip: Option<usize>| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            if skip == Some(0) {
+                return seen;
+            }
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for v in 0..n {
+                    if preds[v].contains(&u) && !seen[v] && skip != Some(v) {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            seen
+        };
+        let reachable = reach(None);
+        for a in 0..n {
+            for b in 0..n {
+                if !reachable[a] || !reachable[b] || a == b {
+                    continue;
+                }
+                let cut = !reach(Some(a))[b];
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    cut,
+                    "a={} b={} edges={:?}", a, b, edges
+                );
+            }
+        }
+    }
+
+    /// Bits round-trips through Verilog hex formatting and re-parsing.
+    #[test]
+    fn bits_hex_round_trip(v in any::<u64>(), w in 1u32..64) {
+        let b = Bits::from_u64(v, w);
+        let text = b.to_verilog();
+        let src = format!("module m(output wire [{}:0] y); assign y = {text}; endmodule", w.max(1) - 1);
+        let f = alice_redaction::verilog::parse_source(&src).expect("literal parses");
+        let n = alice_redaction::netlist::elaborate(&f, "m").expect("elab");
+        let mut sim = Simulator::new(&n);
+        sim.settle();
+        prop_assert_eq!(sim.output("y"), b);
+    }
+}
