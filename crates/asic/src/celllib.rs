@@ -75,9 +75,7 @@ pub const BUF_X1: Cell = Cell {
 };
 
 /// All cells in the library.
-pub const ALL_CELLS: [Cell; 7] = [
-    INV_X1, NAND2_X1, NOR2_X1, XOR2_X1, MUX2_X1, DFF_X1, BUF_X1,
-];
+pub const ALL_CELLS: [Cell; 7] = [INV_X1, NAND2_X1, NOR2_X1, XOR2_X1, MUX2_X1, DFF_X1, BUF_X1];
 
 #[cfg(test)]
 mod tests {
@@ -91,7 +89,10 @@ mod tests {
             assert!(c.leakage_nw > 0.0, "{}", c.name);
         }
         // Sequential cells dominate area; XOR is bigger than NAND.
-        assert!(DFF_X1.area_um2 > XOR2_X1.area_um2);
-        assert!(XOR2_X1.area_um2 > NAND2_X1.area_um2);
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(DFF_X1.area_um2 > XOR2_X1.area_um2);
+            assert!(XOR2_X1.area_um2 > NAND2_X1.area_um2);
+        }
     }
 }

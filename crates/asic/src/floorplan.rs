@@ -89,10 +89,7 @@ impl Floorplan {
 /// Macros are square (fabric arrays) and placed on a single shelf from the
 /// left; standard-cell rows take the remaining space.
 pub fn floorplan(fabrics: &[FabricSize], stdcell_area_um2: f64, utilization: f64) -> Floorplan {
-    let sides: Vec<f64> = fabrics
-        .iter()
-        .map(|&s| fabric_area_um2(s).sqrt())
-        .collect();
+    let sides: Vec<f64> = fabrics.iter().map(|&s| fabric_area_um2(s).sqrt()).collect();
     let shelf_w: f64 = sides.iter().sum::<f64>() + 10.0 * (fabrics.len().max(1) - 1) as f64;
     let shelf_h: f64 = sides.iter().cloned().fold(0.0, f64::max);
     // Total needed area at the target utilization.

@@ -94,13 +94,7 @@ impl<'a> Encoder<'a> {
 
     /// Encodes one circuit copy with the given key variables. `pi` and
     /// `state` supply the input variables (shared or fixed by the caller).
-    fn encode_copy(
-        &self,
-        s: &mut Solver,
-        keys: &[Vec<Var>],
-        pi: &[Var],
-        state: &[Var],
-    ) -> Copy {
+    fn encode_copy(&self, s: &mut Solver, keys: &[Vec<Var>], pi: &[Var], state: &[Var]) -> Copy {
         let mut lut_vars: Vec<Var> = Vec::with_capacity(self.mapped.luts.len());
         let src = |v: &MappedSrc, lut_vars: &[Var]| -> Lit {
             match v {
@@ -114,6 +108,7 @@ impl<'a> Encoder<'a> {
         for (li, lut) in self.mapped.luts.iter().enumerate() {
             let o = s.new_var();
             let ins: Vec<Lit> = lut.inputs.iter().map(|i| src(i, &lut_vars)).collect();
+            #[allow(clippy::needless_range_loop)]
             for p in 0..(1usize << ins.len()) {
                 // match(p) & k_p -> o   and   match(p) & !k_p -> !o
                 let mut base: Vec<Lit> = Vec::with_capacity(ins.len() + 2);
@@ -203,11 +198,7 @@ impl<'a> Encoder<'a> {
 /// ```
 pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport {
     let start = Instant::now();
-    let key_bits: usize = mapped
-        .luts
-        .iter()
-        .map(|l| 1usize << l.inputs.len())
-        .sum();
+    let key_bits: usize = mapped.luts.iter().map(|l| 1usize << l.inputs.len()).sum();
     let n_pi = mapped.input_names.len();
     let n_st = mapped.dffs.len();
 
@@ -268,10 +259,8 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
             SatResult::Unsat => break,
             SatResult::Sat => {
                 // Extract the DIP before touching the solver again.
-                let dip_pi: Vec<bool> =
-                    pi.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
-                let dip_st: Vec<bool> =
-                    st.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
+                let dip_pi: Vec<bool> = pi.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
+                let dip_st: Vec<bool> = st.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
                 let resp = query(mapped, &dip_pi, &dip_st, None);
                 dips += 1;
                 // Both key copies must reproduce the oracle on this DIP.

@@ -55,7 +55,12 @@ impl Lit {
 
 impl fmt::Display for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var().0)
+        write!(
+            f,
+            "{}{}",
+            if self.is_neg() { "-" } else { "" },
+            self.var().0
+        )
     }
 }
 
@@ -520,6 +525,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {

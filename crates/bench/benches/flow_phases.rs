@@ -19,17 +19,15 @@ fn phase_benches(c: &mut Criterion) {
         let design = bench.design().expect("load");
         let cfg = bench.config(alice_core::config::AliceConfig::cfg1());
         let df = alice_dataflow::analyze(&design.file, &design.hierarchy.top).expect("df");
-        group.bench_with_input(
-            BenchmarkId::new("filter", bench.name),
-            &design,
-            |b, d| {
-                b.iter(|| {
-                    let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
-                    filter_modules(d, &df, &cfg).expect("filter")
-                })
-            },
-        );
-        let r = filter_modules(&design, &df, &cfg).expect("filter").candidates;
+        group.bench_with_input(BenchmarkId::new("filter", bench.name), &design, |b, d| {
+            b.iter(|| {
+                let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+                filter_modules(d, &df, &cfg).expect("filter")
+            })
+        });
+        let r = filter_modules(&design, &df, &cfg)
+            .expect("filter")
+            .candidates;
         group.bench_with_input(BenchmarkId::new("cluster", bench.name), &r, |b, r| {
             b.iter(|| identify_clusters(r, &cfg))
         });

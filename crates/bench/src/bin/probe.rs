@@ -17,7 +17,10 @@ fn main() {
                 continue;
             }
             let Ok(n) = elaborate(&design.file, &m.name) else {
-                println!("  {:<16} pins {:>4}  (elaboration fails)", m.name, m.io_pins);
+                println!(
+                    "  {:<16} pins {:>4}  (elaboration fails)",
+                    m.name, m.io_pins
+                );
                 continue;
             };
             let mapped = map_luts(&n, 4).expect("map");

@@ -62,7 +62,10 @@ fn main() {
             );
         }
     }
-    println!("\nBudget: {} DIPs / {} conflicts per call; * = beyond the", budget.max_dips, budget.conflicts_per_call);
+    println!(
+        "\nBudget: {} DIPs / {} conflicts per call; * = beyond the",
+        budget.max_dips, budget.conflicts_per_call
+    );
     println!("{LUT_CAP}-LUT budget class (attack cost grows with key bits).");
     println!("Larger fabrics stay resilient within budget, matching the");
     println!("paper's premise that security grows with fabric utilization.");

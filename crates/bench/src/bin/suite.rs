@@ -1,0 +1,109 @@
+//! One-command evaluation: regenerates Table 1 *and* Table 2 of the
+//! paper, running every benchmark × {cfg1, cfg2} concurrently.
+//!
+//! ```text
+//! suite [--jobs N]    # N = 0 (default) uses all available cores
+//! ```
+
+use alice_bench::run_suite;
+use std::process::ExitCode;
+
+fn parse_jobs() -> Result<usize, String> {
+    let mut jobs = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("missing value for `--jobs`")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("invalid value for `--jobs`: `{v}`"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (usage: suite [--jobs N])"
+                ))
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+fn main() -> ExitCode {
+    let jobs = match parse_jobs() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("suite: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("Table 1: Characteristics of the selected benchmarks");
+    println!(
+        "{:<10} {:<8} {:>8} {:>10} {:>14}",
+        "Suite", "Design", "Modules", "Instances", "I/O [min,max]"
+    );
+    for b in alice_benchmarks::suite() {
+        let design = b.design().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let (modules, instances, lo, hi) = b.table1_stats(&design);
+        println!(
+            "{:<10} {:<8} {:>8} {:>10} {:>14}",
+            b.suite,
+            b.name,
+            modules,
+            instances,
+            format!("[{lo}, {hi}]")
+        );
+    }
+    println!();
+
+    println!("Table 2: The ALICE flow on every benchmark (concurrent batch)");
+    for run in run_suite(jobs) {
+        println!(
+            "── {} ─────────────────────────────────────────────",
+            run.label
+        );
+        println!(
+            "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3}",
+            "Design",
+            "#Ins",
+            "filter t",
+            "|R|",
+            "cluster t",
+            "|C|",
+            "select t",
+            "#valid",
+            "|S|",
+            "eFPGA sizes",
+            "#red"
+        );
+        for out in &run.outcomes {
+            let r = &out.report;
+            let sizes = if r.efpga_sizes.is_empty() {
+                "- (n.a.)".to_string()
+            } else {
+                r.efpga_sizes
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!(
+                "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3}",
+                r.design,
+                r.instances,
+                format!("{:.2?}", r.filter_time),
+                r.candidates,
+                format!("{:.2?}", r.cluster_time),
+                r.clusters,
+                format!("{:.2?}", r.select_time),
+                r.valid_efpgas,
+                r.solutions,
+                sizes,
+                r.redacted_modules
+            );
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,8 @@
 //!
 //! Binaries:
 //!
+//! * `suite` — Table 1 **and** Table 2 in one command, running every
+//!   benchmark × {cfg1, cfg2} concurrently via [`run_suite`],
 //! * `table1` — benchmark characteristics (paper Table 1),
 //! * `table2` — the full flow under cfg1/cfg2 (paper Table 2),
 //! * `figure4` — GCD floorplans and die areas (paper Figure 4),
@@ -13,7 +15,9 @@
 
 use alice_benchmarks::Benchmark;
 use alice_core::config::AliceConfig;
+use alice_core::design::Design;
 use alice_core::flow::{Flow, FlowOutcome};
+use alice_core::par::shard;
 
 /// Runs one benchmark under a configuration, with its selected outputs.
 ///
@@ -25,8 +29,18 @@ pub fn run_flow(bench: &Benchmark, base: AliceConfig) -> FlowOutcome {
     let design = bench
         .design()
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    run_flow_on(bench, &design, base)
+}
+
+/// Like [`run_flow`], over an already-loaded design (so callers running
+/// one benchmark under several configurations parse it only once).
+///
+/// # Panics
+///
+/// Panics if the flow errors.
+pub fn run_flow_on(bench: &Benchmark, design: &Design, base: AliceConfig) -> FlowOutcome {
     Flow::new(bench.config(base))
-        .run(&design)
+        .run(design)
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name))
 }
 
@@ -36,4 +50,61 @@ pub fn paper_configs() -> [(&'static str, AliceConfig); 2] {
         ("cfg1: 64 I/O pins and 2 eFPGAs", AliceConfig::cfg1()),
         ("cfg2: 96 I/O pins and 1 eFPGA", AliceConfig::cfg2()),
     ]
+}
+
+/// One configuration's worth of suite results: every DAC'22 benchmark run
+/// under that configuration, in [`alice_benchmarks::suite`] order.
+pub struct SuiteRun {
+    /// Human-readable configuration label (see [`paper_configs`]).
+    pub label: &'static str,
+    /// The base configuration the benchmarks ran under.
+    pub config: AliceConfig,
+    /// One flow outcome per benchmark, in suite order.
+    pub outcomes: Vec<FlowOutcome>,
+}
+
+/// Runs the full evaluation batch — every DAC'22 benchmark × {cfg1, cfg2}
+/// — with up to `jobs` flows in parallel (`0` = all available cores).
+///
+/// Results are grouped per configuration and ordered deterministically
+/// (suite order within each config), independent of `jobs`. Note the
+/// per-flow select stage *also* parallelizes internally; for the batch
+/// driver each flow is pinned to one worker (`AliceConfig::jobs = 1` per
+/// flow) so the machine is not oversubscribed.
+///
+/// # Panics
+///
+/// Panics if any benchmark fails to load or any flow errors, like
+/// [`run_flow`] (the shipped suite must always run).
+pub fn run_suite(jobs: usize) -> Vec<SuiteRun> {
+    let benches = alice_benchmarks::suite();
+    let configs = paper_configs();
+    let jobs = alice_core::par::resolve_jobs(jobs);
+    // Parse each benchmark once (in parallel); both configs share it.
+    let designs: Vec<Design> = shard(benches.len(), jobs, |b| {
+        benches[b]
+            .design()
+            .unwrap_or_else(|e| panic!("{}: {e}", benches[b].name))
+    });
+    let tasks: Vec<(usize, usize)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| (0..benches.len()).map(move |bi| (ci, bi)))
+        .collect();
+    let mut outcomes = shard(tasks.len(), jobs, |t| {
+        let (ci, bi) = tasks[t];
+        let base = AliceConfig {
+            jobs: 1,
+            ..configs[ci].1.clone()
+        };
+        run_flow_on(&benches[bi], &designs[bi], base)
+    });
+    configs
+        .into_iter()
+        .map(|(label, config)| SuiteRun {
+            label,
+            config,
+            outcomes: outcomes.drain(..benches.len()).collect(),
+        })
+        .collect()
 }

@@ -197,7 +197,11 @@ pub fn benchmark() -> Benchmark {
         suite: "OpenROAD",
         source: source(),
         top: "gcd",
-        selected_outputs: vec!["result".to_string(), "done".to_string(), "par_out".to_string()],
+        selected_outputs: vec![
+            "result".to_string(),
+            "done".to_string(),
+            "par_out".to_string(),
+        ],
     }
 }
 

@@ -6,9 +6,27 @@
 //! must hold on arbitrary designs, not just the 7 paper benchmarks) and by
 //! the scaling benchmarks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write;
+use std::ops::RangeInclusive;
+
+/// Minimal seeded PRNG (splitmix64) so generation stays deterministic
+/// without an external `rand` dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, range: RangeInclusive<u32>) -> u32 {
+        let (lo, hi) = (*range.start(), *range.end());
+        lo + (self.next_u64() % u64::from(hi - lo + 1)) as u32
+    }
+}
 
 /// Parameters for the synthetic generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +62,7 @@ impl Default for GeneratorParams {
 /// assert_eq!(d.hierarchy.top, "synth_top");
 /// ```
 pub fn generate(seed: u64, params: GeneratorParams) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64(seed);
     let mut v = String::new();
     let mut widths = Vec::new();
     for i in 0..params.leaves {
@@ -56,15 +74,15 @@ pub fn generate(seed: u64, params: GeneratorParams) -> String {
             msb = w - 1
         );
         let _ = writeln!(v, "  wire [{}:0] s0;", w - 1);
-        let mut prev = format!("(a ^ b)");
+        let mut prev = "(a ^ b)".to_string();
         for s in 0..params.depth {
-            let op = match rng.gen_range(0..4) {
+            let op = match rng.gen_range(0..=3) {
                 0 => "+",
                 1 => "-",
                 2 => "&",
                 _ => "^",
             };
-            let shift = rng.gen_range(0..w.min(7));
+            let shift = rng.gen_range(0..=w.min(7) - 1);
             prev = format!("({prev} {op} (b >> {shift}))");
             let _ = s;
         }

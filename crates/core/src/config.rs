@@ -40,6 +40,11 @@ pub struct AliceConfig {
     pub max_solutions: usize,
     /// Optional top module override (default: auto-detect).
     pub top: Option<String>,
+    /// Worker threads for cluster characterization in the select stage
+    /// (Algorithm 3's dominant cost). `0` means "use all available
+    /// cores"; see [`AliceConfig::effective_jobs`]. Results are
+    /// independent of this value.
+    pub jobs: usize,
 }
 
 impl Default for AliceConfig {
@@ -54,6 +59,7 @@ impl Default for AliceConfig {
             score_model: ScoreModel::default(),
             max_solutions: 1_000_000,
             top: None,
+            jobs: 0,
         }
     }
 }
@@ -75,6 +81,12 @@ impl AliceConfig {
             max_efpgas: 1,
             ..AliceConfig::default()
         }
+    }
+
+    /// The worker-thread count to actually use: `jobs` itself, or the
+    /// machine's available parallelism when `jobs` is `0`.
+    pub fn effective_jobs(&self) -> usize {
+        crate::par::resolve_jobs(self.jobs)
     }
 
     /// Parses a YAML configuration file.
@@ -119,6 +131,9 @@ impl AliceConfig {
         if let Some(v) = y.get("beta") {
             cfg.beta = v.as_f64().ok_or_else(|| bad("beta"))?;
         }
+        if let Some(v) = y.get("jobs") {
+            cfg.jobs = v.as_u32().ok_or_else(|| bad("jobs"))? as usize;
+        }
         if let Some(v) = y.get("top") {
             cfg.top = Some(v.as_str().ok_or_else(|| bad("top"))?.to_string());
         }
@@ -144,15 +159,13 @@ impl AliceConfig {
                 cfg.arch.les_per_clb = v.as_u32().ok_or_else(|| bad("fabric.les_per_clb"))?;
             }
             if let Some(v) = f.get("gpio_per_tile") {
-                cfg.arch.gpio_per_tile =
-                    v.as_u32().ok_or_else(|| bad("fabric.gpio_per_tile"))?;
+                cfg.arch.gpio_per_tile = v.as_u32().ok_or_else(|| bad("fabric.gpio_per_tile"))?;
             }
             if let Some(v) = f.get("max_dim") {
                 cfg.arch.max_dim = v.as_u32().ok_or_else(|| bad("fabric.max_dim"))?;
             }
             if let Some(v) = f.get("channel_width") {
-                cfg.arch.channel_width =
-                    v.as_u32().ok_or_else(|| bad("fabric.channel_width"))?;
+                cfg.arch.channel_width = v.as_u32().ok_or_else(|| bad("fabric.channel_width"))?;
             }
         }
         Ok(cfg)
@@ -185,10 +198,9 @@ mod tests {
 
     #[test]
     fn yaml_overrides_fabric_params() {
-        let cfg = AliceConfig::from_yaml(
-            "max_io_pins: 128\nfabric:\n  max_dim: 30\n  channel_width: 12",
-        )
-        .expect("parse");
+        let cfg =
+            AliceConfig::from_yaml("max_io_pins: 128\nfabric:\n  max_dim: 30\n  channel_width: 12")
+                .expect("parse");
         assert_eq!(cfg.max_io_pins, 128);
         assert_eq!(cfg.arch.max_dim, 30);
         assert_eq!(cfg.arch.channel_width, 12);
@@ -200,5 +212,20 @@ mod tests {
     fn bad_value_is_error() {
         assert!(AliceConfig::from_yaml("max_io_pins: lots").is_err());
         assert!(AliceConfig::from_yaml("score_model: whatever").is_err());
+        assert!(AliceConfig::from_yaml("jobs: many").is_err());
+    }
+
+    #[test]
+    fn jobs_defaults_to_auto() {
+        let cfg = AliceConfig::default();
+        assert_eq!(cfg.jobs, 0);
+        assert!(cfg.effective_jobs() >= 1);
+        let fixed = AliceConfig {
+            jobs: 3,
+            ..AliceConfig::default()
+        };
+        assert_eq!(fixed.effective_jobs(), 3);
+        let parsed = AliceConfig::from_yaml("jobs: 2").expect("parse");
+        assert_eq!(parsed.jobs, 2);
     }
 }

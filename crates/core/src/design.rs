@@ -94,10 +94,7 @@ impl Design {
 
     /// The module name implemented by an instance path.
     pub fn module_of(&self, path: &str) -> Option<&str> {
-        self.hierarchy
-            .tree
-            .find(path)
-            .map(|n| n.module.as_str())
+        self.hierarchy.tree.find(path).map(|n| n.module.as_str())
     }
 
     /// I/O pin count of the module behind an instance path.

@@ -1,0 +1,70 @@
+//! The unified flow error type.
+//!
+//! Earlier revisions carried one error enum per phase (`FilterError`,
+//! `SelectError`, `RedactError`, plus a stringly dataflow wrapper) and a
+//! `FlowError` that wrapped each by hand. The staged pipeline uses one
+//! [`AliceError`] across every phase; [`AliceError::phase`] names the
+//! Figure 3 phase an error came from.
+
+use std::fmt;
+
+/// Any error the ALICE flow can produce, across all four phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AliceError {
+    /// Dataflow analysis failed (filter phase; Algorithm 1 needs the
+    /// output cones).
+    Dataflow(String),
+    /// A selected output does not exist on the top module (filter phase).
+    UnknownOutput(String),
+    /// A candidate module failed to elaborate or LUT-map (select phase).
+    Elaborate(String),
+    /// Redaction was asked to apply a selection with no solution.
+    NoSolution,
+    /// Internal inconsistency while rewriting the hierarchy (redact
+    /// phase; should not happen on flow-produced inputs).
+    Inconsistent(String),
+    /// A solution member failed to map onto the fabric (redact phase).
+    Map(String),
+}
+
+impl AliceError {
+    /// The Figure 3 phase this error belongs to.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            AliceError::Dataflow(_) | AliceError::UnknownOutput(_) => "filter",
+            AliceError::Elaborate(_) => "select",
+            AliceError::NoSolution | AliceError::Inconsistent(_) | AliceError::Map(_) => "redact",
+        }
+    }
+}
+
+impl fmt::Display for AliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.phase())?;
+        match self {
+            AliceError::Dataflow(e) => write!(f, "dataflow analysis failed: {e}"),
+            AliceError::UnknownOutput(o) => write!(f, "unknown selected output `{o}`"),
+            AliceError::Elaborate(m) => write!(f, "elaboration failed: {m}"),
+            AliceError::NoSolution => write!(f, "no solution selected"),
+            AliceError::Inconsistent(m) => write!(f, "inconsistent redaction state: {m}"),
+            AliceError::Map(m) => write!(f, "mapping failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AliceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_phase() {
+        assert_eq!(
+            AliceError::UnknownOutput("dout".into()).to_string(),
+            "filter: unknown selected output `dout`"
+        );
+        assert_eq!(AliceError::NoSolution.phase(), "redact");
+        assert_eq!(AliceError::Elaborate("m".into()).phase(), "select");
+    }
+}

@@ -6,8 +6,8 @@
 
 use crate::config::AliceConfig;
 use crate::design::Design;
+use crate::error::AliceError;
 use alice_dataflow::DesignDataflow;
-use std::fmt;
 
 /// A candidate redaction module (an instance that survived filtering).
 #[derive(Debug, Clone, PartialEq)]
@@ -32,23 +32,6 @@ pub struct FilterResult {
     pub candidates: Vec<Candidate>,
 }
 
-/// Errors from filtering.
-#[derive(Debug, Clone, PartialEq)]
-pub enum FilterError {
-    /// A selected output does not exist on the top module.
-    UnknownOutput(String),
-}
-
-impl fmt::Display for FilterError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FilterError::UnknownOutput(o) => write!(f, "unknown selected output `{o}`"),
-        }
-    }
-}
-
-impl std::error::Error for FilterError {}
-
 /// Runs Algorithm 1.
 ///
 /// `dataflow` must come from [`alice_dataflow::analyze`] on the same design.
@@ -57,12 +40,12 @@ impl std::error::Error for FilterError {}
 ///
 /// # Errors
 ///
-/// Returns [`FilterError::UnknownOutput`] for bad output names.
+/// Returns [`AliceError::UnknownOutput`] for bad output names.
 pub fn filter_modules(
     design: &Design,
     dataflow: &DesignDataflow,
     cfg: &AliceConfig,
-) -> Result<FilterResult, FilterError> {
+) -> Result<FilterResult, AliceError> {
     // Selected outputs O (default: all top outputs).
     let outputs: Vec<String> = if cfg.selected_outputs.is_empty() {
         let top = design
@@ -83,14 +66,12 @@ pub fn filter_modules(
         cfg.selected_outputs.clone()
     };
     // Lines 6-9: score instances by affected outputs.
-    let scores = dataflow
-        .score_instances(&outputs)
-        .map_err(|e| match e {
-            alice_dataflow::DataflowError::UnknownOutput(o) => FilterError::UnknownOutput(o),
-            alice_dataflow::DataflowError::UnknownModule(m) => {
-                unreachable!("design validated: {m}")
-            }
-        })?;
+    let scores = dataflow.score_instances(&outputs).map_err(|e| match e {
+        alice_dataflow::DataflowError::UnknownOutput(o) => AliceError::UnknownOutput(o),
+        alice_dataflow::DataflowError::UnknownModule(m) => {
+            unreachable!("design validated: {m}")
+        }
+    })?;
     // Line 10: rank and select (all instances with positive score).
     let mut functional: Vec<Candidate> = design
         .instance_paths()
@@ -179,7 +160,7 @@ endmodule
         };
         assert!(matches!(
             filter_modules(&d, &df, &cfg),
-            Err(FilterError::UnknownOutput(_))
+            Err(AliceError::UnknownOutput(_))
         ));
     }
 

@@ -1,18 +1,30 @@
 //! The end-to-end ALICE flow (Figure 3): module filtering → cluster
-//! identification → eFPGA selection → redacted-design generation, with
-//! per-phase wall-clock timing for the Table 2 columns.
+//! identification → eFPGA selection → redacted-design generation, run as
+//! the staged pipeline of [`crate::stage`] with per-stage instrumentation
+//! for the Table 2 columns.
 
-use crate::cluster::{identify_clusters, ClusterResult};
+use crate::cluster::ClusterResult;
 use crate::config::AliceConfig;
 use crate::design::Design;
-use crate::filter::{filter_modules, FilterError, FilterResult};
-use crate::redact::{redact, RedactError, RedactedDesign};
-use crate::select::{select_efpgas, SelectError, SelectionResult};
+use crate::error::AliceError;
+use crate::filter::FilterResult;
+use crate::redact::RedactedDesign;
+use crate::select::SelectionResult;
+use crate::stage::{
+    run_stage, ClusterStage, FilterStage, FlowContext, PhaseTimings, RedactStage, SelectStage,
+    Stage, CLUSTER, FILTER, SELECT,
+};
 use alice_fabric::FabricSize;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Summary of one flow run — one row of Table 2.
+/// The flow's error type: the unified [`AliceError`]. (The former
+/// `FlowError` wrapper enum is gone; every phase reports through
+/// `AliceError` directly.)
+pub type FlowError = AliceError;
+
+/// Summary of one flow run — one row of Table 2, derived from the
+/// pipeline's [`PhaseTimings`].
 #[derive(Debug, Clone)]
 pub struct FlowReport {
     /// Design name.
@@ -37,6 +49,37 @@ pub struct FlowReport {
     pub efpga_sizes: Vec<FabricSize>,
     /// Total redacted module instances in the chosen solution.
     pub redacted_modules: usize,
+}
+
+impl FlowReport {
+    /// Derives the report from a finished pipeline context and its
+    /// instrumentation (the only constructor the flow uses).
+    pub fn from_timings(cx: &FlowContext<'_>, timings: &PhaseTimings) -> Self {
+        let selection = cx.selection.as_ref();
+        let (efpga_sizes, redacted_modules) = match selection.and_then(|s| s.best.as_ref()) {
+            Some(best) => {
+                let valid = &selection.expect("best implies selection").valid;
+                let sizes: Vec<FabricSize> =
+                    best.efpgas.iter().map(|&i| valid[i].efpga.size).collect();
+                let n: usize = best.efpgas.iter().map(|&i| valid[i].cluster.len()).sum();
+                (sizes, n)
+            }
+            None => (Vec::new(), 0),
+        };
+        FlowReport {
+            design: cx.design.name.clone(),
+            instances: cx.design.instance_paths().len(),
+            filter_time: timings.duration_of(FILTER),
+            candidates: timings.items_of(FILTER),
+            cluster_time: timings.duration_of(CLUSTER),
+            clusters: timings.items_of(CLUSTER),
+            select_time: timings.duration_of(SELECT),
+            valid_efpgas: timings.items_of(SELECT),
+            solutions: selection.map(|s| s.solutions).unwrap_or(0),
+            efpga_sizes,
+            redacted_modules,
+        }
+    }
 }
 
 impl fmt::Display for FlowReport {
@@ -73,6 +116,8 @@ impl fmt::Display for FlowReport {
 pub struct FlowOutcome {
     /// Table-2-style metrics.
     pub report: FlowReport,
+    /// Per-stage wall-clock timings and counters.
+    pub timings: PhaseTimings,
     /// Phase results, exposed for inspection (C-INTERMEDIATE).
     pub filter: FilterResult,
     /// Cluster-identification output.
@@ -82,32 +127,6 @@ pub struct FlowOutcome {
     /// The redacted design, when a solution exists.
     pub redacted: Option<RedactedDesign>,
 }
-
-/// Flow errors (any phase).
-#[derive(Debug, Clone)]
-pub enum FlowError {
-    /// Dataflow analysis failed.
-    Dataflow(String),
-    /// Filtering failed.
-    Filter(FilterError),
-    /// Selection failed.
-    Select(SelectError),
-    /// Redaction failed.
-    Redact(RedactError),
-}
-
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Dataflow(e) => write!(f, "dataflow: {e}"),
-            FlowError::Filter(e) => write!(f, "filter: {e}"),
-            FlowError::Select(e) => write!(f, "select: {e}"),
-            FlowError::Redact(e) => write!(f, "redact: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for FlowError {}
 
 /// The ALICE flow driver.
 ///
@@ -147,80 +166,34 @@ impl Flow {
         &self.cfg
     }
 
-    /// Runs all phases on `design`.
+    /// The pipeline's stages, in execution order.
+    pub fn stages() -> [&'static dyn Stage; 4] {
+        [&FilterStage, &ClusterStage, &SelectStage, &RedactStage]
+    }
+
+    /// Runs all phases on `design` through the staged pipeline.
     ///
     /// A design where no module survives filtering (like IIR under cfg1 in
     /// the paper) is *not* an error: the outcome simply has no solution.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError`] on analysis failures (bad output names,
+    /// Returns [`AliceError`] on analysis failures (bad output names,
     /// unsupported constructs, internal inconsistencies).
-    pub fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError> {
-        // Phase 1: module filtering (timed together with dataflow analysis,
-        // matching the paper's accounting).
-        let t0 = Instant::now();
-        let dataflow = alice_dataflow::analyze(&design.file, &design.hierarchy.top)
-            .map_err(|e| FlowError::Dataflow(e.to_string()))?;
-        let filter =
-            filter_modules(design, &dataflow, &self.cfg).map_err(FlowError::Filter)?;
-        let filter_time = t0.elapsed();
-
-        // Phase 2: cluster identification.
-        let t1 = Instant::now();
-        let clusters = identify_clusters(&filter.candidates, &self.cfg);
-        let cluster_time = t1.elapsed();
-
-        // Phase 3: characterization + selection.
-        let t2 = Instant::now();
-        let selection = select_efpgas(design, &filter.candidates, &clusters.clusters, &self.cfg)
-            .map_err(FlowError::Select)?;
-        let select_time = t2.elapsed();
-
-        // Redaction (when a solution exists).
-        let redacted = match &selection.best {
-            Some(_) => Some(
-                redact(design, &filter.candidates, &selection, &self.cfg)
-                    .map_err(FlowError::Redact)?,
-            ),
-            None => None,
-        };
-
-        let (efpga_sizes, redacted_modules) = match &selection.best {
-            Some(best) => {
-                let sizes: Vec<FabricSize> = best
-                    .efpgas
-                    .iter()
-                    .map(|&i| selection.valid[i].efpga.size)
-                    .collect();
-                let n: usize = best
-                    .efpgas
-                    .iter()
-                    .map(|&i| selection.valid[i].cluster.len())
-                    .sum();
-                (sizes, n)
-            }
-            None => (Vec::new(), 0),
-        };
-        let report = FlowReport {
-            design: design.name.clone(),
-            instances: design.instance_paths().len(),
-            filter_time,
-            candidates: filter.candidates.len(),
-            cluster_time,
-            clusters: clusters.clusters.len(),
-            select_time,
-            valid_efpgas: selection.valid.len(),
-            solutions: selection.solutions,
-            efpga_sizes,
-            redacted_modules,
-        };
+    pub fn run(&self, design: &Design) -> Result<FlowOutcome, AliceError> {
+        let mut cx = FlowContext::new(design, &self.cfg);
+        let mut timings = PhaseTimings::default();
+        for stage in Self::stages() {
+            run_stage(stage, &mut cx, &mut timings)?;
+        }
+        let report = FlowReport::from_timings(&cx, &timings);
         Ok(FlowOutcome {
             report,
-            filter,
-            clusters,
-            selection,
-            redacted,
+            timings,
+            filter: cx.filter.unwrap_or_default(),
+            clusters: cx.clusters.unwrap_or_default(),
+            selection: cx.selection.unwrap_or_default(),
+            redacted: cx.redacted,
         })
     }
 }
@@ -228,6 +201,7 @@ impl Flow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::REDACT;
 
     const SRC: &str = r#"
 module blk_a(input wire [7:0] a, output wire [7:0] y); assign y = a + 8'd3; endmodule
@@ -273,5 +247,18 @@ endmodule
         let line = out.report.to_string();
         assert!(line.contains("demo"));
         assert_eq!(line.lines().count(), 1);
+    }
+
+    #[test]
+    fn report_times_come_from_stage_timings() {
+        let d = Design::from_source("demo", SRC, None).expect("flow");
+        let out = Flow::new(AliceConfig::cfg1()).run(&d).expect("flow");
+        // All four stages ran and the report mirrors their records.
+        let names: Vec<&str> = out.timings.records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT]);
+        assert_eq!(out.report.filter_time, out.timings.duration_of(FILTER));
+        assert_eq!(out.report.select_time, out.timings.duration_of(SELECT));
+        assert_eq!(out.report.valid_efpgas, out.timings.items_of(SELECT));
+        assert_eq!(out.report.candidates, out.filter.candidates.len());
     }
 }

@@ -12,6 +12,9 @@
 //!   scoring, branch-and-bound solution enumeration,
 //! * [`redact`] — redacted top-module regeneration with GPIO remapping
 //!   and dominator-guided eFPGA insertion,
+//! * [`stage`] — the staged pipeline (`Stage` trait, `FlowContext`,
+//!   `PhaseTimings` instrumentation) the driver is built on,
+//! * [`error`] — the unified [`AliceError`] used by every phase,
 //! * [`flow`] — the end-to-end driver with Table-2-style reporting.
 //!
 //! # Example
@@ -37,16 +40,21 @@
 pub mod cluster;
 pub mod config;
 pub mod design;
+pub mod error;
 pub mod filter;
 pub mod flow;
+pub mod par;
 pub mod redact;
 pub mod select;
+pub mod stage;
 pub mod yaml;
 
 pub use cluster::{identify_clusters, Cluster, ClusterResult};
 pub use config::{AliceConfig, ScoreModel};
 pub use design::{Design, DesignError};
+pub use error::AliceError;
 pub use filter::{filter_modules, Candidate, FilterResult};
 pub use flow::{Flow, FlowError, FlowOutcome, FlowReport};
 pub use redact::{redact, RedactedDesign, RedactedEfpga};
 pub use select::{select_efpgas, SelectionResult, Solution, ValidEfpga};
+pub use stage::{FlowContext, PhaseTimings, Stage, StageRecord};

@@ -15,16 +15,16 @@
 //!   secret and never appear in the ASIC-bound output.
 
 use crate::config::AliceConfig;
+use crate::design::Design;
+use crate::error::AliceError;
 use crate::filter::Candidate;
 use crate::select::{sanitize, ClusterMapper, SelectionResult};
-use crate::design::Design;
 use alice_fabric::emit::{config_stream, fabric_netlist, le_primitive};
 use alice_fabric::{Bitstream, FabricSize};
 use alice_verilog::ast::*;
 use alice_verilog::hierarchy::const_eval;
 use alice_verilog::print_source;
 use std::collections::BTreeMap;
-use std::fmt;
 
 /// One deployed eFPGA in the redacted design.
 #[derive(Debug, Clone)]
@@ -67,29 +67,6 @@ impl RedactedDesign {
     }
 }
 
-/// Errors during redaction.
-#[derive(Debug, Clone)]
-pub enum RedactError {
-    /// The selection has no solution to apply.
-    NoSolution,
-    /// Internal inconsistency (should not happen on flow-produced inputs).
-    Inconsistent(String),
-    /// A member module failed to map.
-    Map(String),
-}
-
-impl fmt::Display for RedactError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RedactError::NoSolution => write!(f, "no solution selected"),
-            RedactError::Inconsistent(m) => write!(f, "inconsistent redaction state: {m}"),
-            RedactError::Map(m) => write!(f, "mapping failed: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for RedactError {}
-
 /// Per-member port rerouting record.
 #[derive(Debug, Clone)]
 struct PunchPort {
@@ -106,14 +83,14 @@ struct PunchPort {
 ///
 /// # Errors
 ///
-/// Returns [`RedactError::NoSolution`] when the selection found nothing.
+/// Returns [`AliceError::NoSolution`] when the selection found nothing.
 pub fn redact(
     design: &Design,
     r: &[Candidate],
     selection: &SelectionResult,
     cfg: &AliceConfig,
-) -> Result<RedactedDesign, RedactError> {
-    let best = selection.best.as_ref().ok_or(RedactError::NoSolution)?;
+) -> Result<RedactedDesign, AliceError> {
+    let best = selection.best.as_ref().ok_or(AliceError::NoSolution)?;
     let mut file = design.file.clone();
     let mut fabric_verilog = le_primitive();
     let mut efpgas = Vec::new();
@@ -122,15 +99,11 @@ pub fn redact(
 
     for (e_idx, &vi) in best.efpgas.iter().enumerate() {
         let chosen = &selection.valid[vi];
-        let members: Vec<String> = chosen
-            .cluster
-            .iter()
-            .map(|&i| r[i].path.clone())
-            .collect();
+        let members: Vec<String> = chosen.cluster.iter().map(|&i| r[i].path.clone()).collect();
         // Re-map the cluster to regenerate netlist + streams.
         let network = mapper
             .cluster_network(&chosen.cluster, r)
-            .map_err(|e| RedactError::Map(e.to_string()))?;
+            .map_err(|e| AliceError::Map(e.to_string()))?;
         let fabric_mod = format!("alice_efpga{e_idx}_{}", chosen.efpga.size);
         fabric_verilog.push('\n');
         fabric_verilog.push_str(&fabric_netlist(
@@ -147,14 +120,14 @@ pub fn redact(
         for m in &members {
             let module = design
                 .module_of(m)
-                .ok_or_else(|| RedactError::Inconsistent(format!("no module for {m}")))?;
+                .ok_or_else(|| AliceError::Inconsistent(format!("no module for {m}")))?;
             let mdef = design
                 .file
                 .module(module)
-                .ok_or_else(|| RedactError::Inconsistent(format!("no def for {module}")))?;
+                .ok_or_else(|| AliceError::Inconsistent(format!("no def for {module}")))?;
             for p in &mdef.ports {
                 let width = port_width_of(mdef, p)
-                    .ok_or_else(|| RedactError::Inconsistent(format!("width of {}", p.name)))?;
+                    .ok_or_else(|| AliceError::Inconsistent(format!("width of {}", p.name)))?;
                 punches.push(PunchPort {
                     name: format!("{}_{}", sanitize(m), p.name),
                     fabric_dir: match p.dir {
@@ -261,7 +234,7 @@ fn rewrite_tree(
     fabric_inst: &str,
     e_idx: usize,
     uniq_counter: &mut usize,
-) -> Result<(), RedactError> {
+) -> Result<(), AliceError> {
     // Recursive rewrite; returns the punched ports this node exposes.
     #[allow(clippy::too_many_arguments)]
     fn go(
@@ -276,10 +249,10 @@ fn rewrite_tree(
         fabric_inst: &str,
         e_idx: usize,
         uniq_counter: &mut usize,
-    ) -> Result<(String, Vec<PunchPort>), RedactError> {
+    ) -> Result<(String, Vec<PunchPort>), AliceError> {
         let mdef = file
             .module(node_module)
-            .ok_or_else(|| RedactError::Inconsistent(format!("missing module {node_module}")))?
+            .ok_or_else(|| AliceError::Inconsistent(format!("missing module {node_module}")))?
             .clone();
         let mut new = mdef.clone();
         // Uniquify everything below the top (the top has a single instance).
@@ -305,9 +278,10 @@ fn rewrite_tree(
             let child_path = format!("{node_path}.{}", inst.name);
             if members.contains(&child_path) {
                 // Remove this member; its connections feed the punch list.
-                let child_mod = design.file.module(&inst.module).ok_or_else(|| {
-                    RedactError::Inconsistent(format!("missing {}", inst.module))
-                })?;
+                let child_mod = design
+                    .file
+                    .module(&inst.module)
+                    .ok_or_else(|| AliceError::Inconsistent(format!("missing {}", inst.module)))?;
                 let conns = normalize(child_mod, &inst);
                 for pp in punches.iter().filter(|p| p.member_path == child_path) {
                     let conn = conns
@@ -341,7 +315,7 @@ fn rewrite_tree(
                                 }
                                 Some(expr) => {
                                     let lv = expr_to_lvalue(&expr).ok_or_else(|| {
-                                        RedactError::Inconsistent(format!(
+                                        AliceError::Inconsistent(format!(
                                             "output `{}` of {} connects to a non-lvalue",
                                             pp.member_port, child_path
                                         ))
@@ -467,7 +441,10 @@ fn rewrite_tree(
                 ("cfg_clk".into(), Some(Expr::id("cfg_clk"))),
                 ("cfg_en".into(), Some(Expr::id("cfg_en"))),
                 ("cfg_in".into(), Some(Expr::id(format!("cfg_in_e{e_idx}")))),
-                ("cfg_out".into(), Some(Expr::id(format!("cfg_out_e{e_idx}")))),
+                (
+                    "cfg_out".into(),
+                    Some(Expr::id(format!("cfg_out_e{e_idx}"))),
+                ),
             ];
             // Fabric clock: reuse a redacted clock signal when one exists.
             let clk_conn = fabric_conns
@@ -508,7 +485,7 @@ fn rewrite_tree(
         uniq_counter,
     )?;
     if !exposed.is_empty() {
-        return Err(RedactError::Inconsistent(
+        return Err(AliceError::Inconsistent(
             "LCA must not expose punched ports".into(),
         ));
     }
@@ -534,21 +511,17 @@ fn rewrite_tree(
 
 /// Follows the (possibly rewritten) hierarchy to find the module
 /// implementing `path` in the current file.
-fn resolve_module_at(
-    file: &SourceFile,
-    design: &Design,
-    path: &str,
-) -> Result<String, RedactError> {
+fn resolve_module_at(file: &SourceFile, design: &Design, path: &str) -> Result<String, AliceError> {
     let segs: Vec<&str> = path.split('.').collect();
     let mut cur = design.hierarchy.top.clone();
     for seg in segs.iter().skip(1) {
         let m = file
             .module(&cur)
-            .ok_or_else(|| RedactError::Inconsistent(format!("missing module {cur}")))?;
+            .ok_or_else(|| AliceError::Inconsistent(format!("missing module {cur}")))?;
         let inst = m
             .instances()
             .find(|i| i.name == *seg)
-            .ok_or_else(|| RedactError::Inconsistent(format!("no instance {seg} in {cur}")))?;
+            .ok_or_else(|| AliceError::Inconsistent(format!("no instance {seg} in {cur}")))?;
         cur = inst.module.clone();
     }
     Ok(cur)
@@ -561,7 +534,7 @@ fn repoint_instance(
     design: &Design,
     path: &str,
     new_module: &str,
-) -> Result<(), RedactError> {
+) -> Result<(), AliceError> {
     let segs: Vec<&str> = path.split('.').collect();
     let parent_path = segs[..segs.len() - 1].join(".");
     let parent_mod = resolve_module_at(file, design, &parent_path)?;
@@ -569,7 +542,7 @@ fn repoint_instance(
         .modules
         .iter_mut()
         .find(|m| m.name == parent_mod)
-        .ok_or_else(|| RedactError::Inconsistent(format!("missing module {parent_mod}")))?;
+        .ok_or_else(|| AliceError::Inconsistent(format!("missing module {parent_mod}")))?;
     for item in &mut pm.items {
         if let Item::Instance(inst) = item {
             if inst.name == *segs.last().expect("non-empty path") {
@@ -578,7 +551,7 @@ fn repoint_instance(
             }
         }
     }
-    Err(RedactError::Inconsistent(format!(
+    Err(AliceError::Inconsistent(format!(
         "instance {path} not found for repointing"
     )))
 }
@@ -589,7 +562,7 @@ fn punch_cfg_up(
     design: &Design,
     lca: &str,
     e_idx: usize,
-) -> Result<(), RedactError> {
+) -> Result<(), AliceError> {
     if lca == design.hierarchy.top {
         return Ok(());
     }
@@ -603,7 +576,7 @@ fn punch_cfg_up(
             .modules
             .iter_mut()
             .find(|m| m.name == holder_mod)
-            .ok_or_else(|| RedactError::Inconsistent(format!("missing {holder_mod}")))?;
+            .ok_or_else(|| AliceError::Inconsistent(format!("missing {holder_mod}")))?;
         for (name, dir) in [
             ("cfg_clk".to_string(), Direction::Input),
             ("cfg_en".to_string(), Direction::Input),

@@ -5,15 +5,23 @@
 //! Eq. 1, and a branch-and-bound enumeration finds all solutions (sets of
 //! disjoint clusters, at most `max_efpgas` of them). The best solution is
 //! the one maximizing the summed score.
+//!
+//! Characterization is the flow's dominant cost (the `select t` column of
+//! Table 2), so it is sharded across [`AliceConfig::jobs`] scoped worker
+//! threads: module LUT-mapping first (one task per distinct module), then
+//! per-cluster merge + fabric sizing (one task per cluster). Workers pull
+//! indices from a shared counter and results are reassembled in cluster
+//! order, so the output is byte-identical for any thread count.
 
 use crate::cluster::Cluster;
 use crate::config::{AliceConfig, ScoreModel};
 use crate::design::Design;
+use crate::error::AliceError;
 use crate::filter::Candidate;
+use crate::par::shard;
 use alice_fabric::{create_efpga, EfpgaImpl};
 use alice_netlist::lutmap::{map_luts, MappedNetlist};
 use std::collections::{BTreeSet, HashMap};
-use std::fmt;
 
 /// A cluster with a valid fabric implementation and its Eq. 1 score.
 #[derive(Debug, Clone)]
@@ -49,22 +57,12 @@ pub struct SelectionResult {
     pub best: Option<Solution>,
 }
 
-/// Errors during selection.
-#[derive(Debug, Clone)]
-pub enum SelectError {
-    /// A cluster module failed to elaborate (subset violation etc.).
-    Elaborate(String),
+/// LUT-maps one module of the design (elaborate + map).
+fn map_module(design: &Design, module: &str, arch_k: u32) -> Result<MappedNetlist, AliceError> {
+    let netlist = alice_netlist::elaborate::elaborate(&design.file, module)
+        .map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))?;
+    map_luts(&netlist, arch_k).map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))
 }
-
-impl fmt::Display for SelectError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SelectError::Elaborate(m) => write!(f, "elaboration failed: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for SelectError {}
 
 /// Maps each distinct module among the candidates to LUTs, memoized.
 ///
@@ -88,12 +86,9 @@ impl<'a> ClusterMapper<'a> {
     }
 
     /// LUT-maps one module (memoized by module name; instances share it).
-    pub fn module(&mut self, module: &str) -> Result<&MappedNetlist, SelectError> {
+    pub fn module(&mut self, module: &str) -> Result<&MappedNetlist, AliceError> {
         if !self.cache.contains_key(module) {
-            let netlist = alice_netlist::elaborate::elaborate(&self.design.file, module)
-                .map_err(|e| SelectError::Elaborate(format!("{module}: {e}")))?;
-            let mapped = map_luts(&netlist, self.arch_k)
-                .map_err(|e| SelectError::Elaborate(format!("{module}: {e}")))?;
+            let mapped = map_module(self.design, module, self.arch_k)?;
             self.cache.insert(module.to_string(), mapped);
         }
         Ok(&self.cache[module])
@@ -105,15 +100,42 @@ impl<'a> ClusterMapper<'a> {
         &mut self,
         cluster: &Cluster,
         r: &[Candidate],
-    ) -> Result<MappedNetlist, SelectError> {
-        let mut parts: Vec<MappedNetlist> = Vec::new();
+    ) -> Result<MappedNetlist, AliceError> {
         for &i in cluster {
-            let cand = &r[i];
-            let base = self.module(&cand.module)?.clone();
-            parts.push(prefix_ports(&base, &sanitize(&cand.path)));
+            self.module(&r[i].module)?;
         }
-        Ok(merge(&parts))
+        let cache = &self.cache;
+        build_cluster_network(|m| Ok(&cache[m]), cluster, r)
     }
+}
+
+/// Pre-mapped module table shared read-only by characterization workers.
+type ModuleCache = HashMap<String, Result<MappedNetlist, AliceError>>;
+
+/// Builds a cluster's merged network from mapped modules supplied by
+/// `lookup`, failing on the cluster's first unmappable member. The single
+/// implementation behind both the memoized ([`ClusterMapper`]) and the
+/// pre-mapped parallel paths, so their merge semantics cannot drift.
+fn build_cluster_network<'a>(
+    lookup: impl Fn(&str) -> Result<&'a MappedNetlist, AliceError>,
+    cluster: &Cluster,
+    r: &[Candidate],
+) -> Result<MappedNetlist, AliceError> {
+    let mut parts: Vec<MappedNetlist> = Vec::new();
+    for &i in cluster {
+        let cand = &r[i];
+        parts.push(prefix_ports(lookup(&cand.module)?, &sanitize(&cand.path)));
+    }
+    Ok(merge(&parts))
+}
+
+/// [`build_cluster_network`] over the workers' pre-mapped module table.
+fn cluster_network_cached(
+    cache: &ModuleCache,
+    cluster: &Cluster,
+    r: &[Candidate],
+) -> Result<MappedNetlist, AliceError> {
+    build_cluster_network(|m| cache[m].as_ref().map_err(Clone::clone), cluster, r)
 }
 
 /// Replaces `.` with `_` so hierarchical paths become legal identifiers.
@@ -193,13 +215,7 @@ pub fn merge(parts: &[MappedNetlist]) -> MappedNetlist {
 /// over all characterized fabrics. The [`ScoreModel`] picks between the
 /// formula as printed and the utilization-rewarding variant matching the
 /// paper's prose (see DESIGN.md).
-pub fn eq1_score(
-    cfg: &AliceConfig,
-    io: f64,
-    clb: f64,
-    max_io: f64,
-    max_clb: f64,
-) -> f64 {
+pub fn eq1_score(cfg: &AliceConfig, io: f64, clb: f64, max_io: f64, max_clb: f64) -> f64 {
     let (max_io, max_clb) = (max_io.max(1e-9), max_clb.max(1e-9));
     match cfg.score_model {
         ScoreModel::AsPrinted => {
@@ -211,38 +227,56 @@ pub fn eq1_score(
 
 /// Runs Algorithm 3: characterize clusters, score, enumerate solutions.
 ///
+/// Characterization is sharded over [`AliceConfig::jobs`] worker threads;
+/// the result is identical for every thread count (see the module docs).
+///
 /// # Errors
 ///
-/// Propagates [`SelectError`] if a module cannot be elaborated at all;
-/// clusters whose fabrics are infeasible are silently dropped (they are
-/// simply not valid implementations, mirroring OpenFPGA errors).
+/// This function currently always succeeds: clusters whose elaboration,
+/// mapping, or fabric sizing fails are recorded in
+/// [`SelectionResult::failed`] and dropped (they are simply not valid
+/// implementations, mirroring OpenFPGA errors). The `Result` is kept for
+/// staged-pipeline uniformity and future hard failures.
 pub fn select_efpgas(
     design: &Design,
     r: &[Candidate],
     clusters: &[Cluster],
     cfg: &AliceConfig,
-) -> Result<SelectionResult, SelectError> {
-    let mut mapper = ClusterMapper::new(design, cfg.arch.lut_inputs);
+) -> Result<SelectionResult, AliceError> {
+    let jobs = cfg.effective_jobs();
+    // LUT-map every distinct module once (instances share the mapping),
+    // one worker task per module, deterministic order via BTreeSet.
+    let modules: Vec<&str> = clusters
+        .iter()
+        .flat_map(|c| c.iter().map(|&i| r[i].module.as_str()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let cache: ModuleCache = shard(modules.len(), jobs, |m| {
+        map_module(design, modules[m], cfg.arch.lut_inputs)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(m, res)| (modules[m].to_string(), res))
+    .collect();
     // Lines 2-7: characterize every cluster; keep the valid fabrics. A
     // cluster whose synthesis or sizing fails is simply not a valid
     // implementation ("OpenFPGA returns ... an error otherwise", §6).
+    let characterized = shard(clusters.len(), jobs, |c| {
+        let cluster = &clusters[c];
+        let network = cluster_network_cached(&cache, cluster, r).map_err(|e| e.to_string())?;
+        create_efpga(&network, &cfg.arch).map_err(|e| e.to_string())
+    });
     let mut valid: Vec<ValidEfpga> = Vec::new();
     let mut failed: Vec<(Cluster, String)> = Vec::new();
-    for cluster in clusters {
-        let network = match mapper.cluster_network(cluster, r) {
-            Ok(n) => n,
-            Err(e) => {
-                failed.push((cluster.clone(), e.to_string()));
-                continue;
-            }
-        };
-        match create_efpga(&network, &cfg.arch) {
+    for (cluster, res) in clusters.iter().zip(characterized) {
+        match res {
             Ok(efpga) => valid.push(ValidEfpga {
                 cluster: cluster.clone(),
                 efpga,
                 score: 0.0,
             }),
-            Err(e) => failed.push((cluster.clone(), e.to_string())),
+            Err(e) => failed.push((cluster.clone(), e)),
         }
     }
     // Line 8: Eq. 1 scores, normalized by the maxima over F.
@@ -259,6 +293,7 @@ pub fn select_efpgas(
     let mut work: Vec<(Vec<usize>, BTreeSet<usize>)> = vec![(Vec::new(), BTreeSet::new())];
     while let Some((partial, used)) = work.pop() {
         let start = partial.last().map(|&i| i + 1).unwrap_or(0);
+        #[allow(clippy::needless_range_loop)]
         for f in start..valid.len() {
             if solutions.len() >= cfg.max_solutions {
                 break;
@@ -271,8 +306,7 @@ pub fn select_efpgas(
             new_used.extend(cl.iter().copied());
             let mut sol = partial.clone();
             sol.push(f);
-            let is_final =
-                sol.len() as u32 == cfg.max_efpgas || new_used.len() == all_insts.len();
+            let is_final = sol.len() as u32 == cfg.max_efpgas || new_used.len() == all_insts.len();
             if is_final {
                 solutions.push(sol);
             } else {

@@ -1,0 +1,288 @@
+//! The staged pipeline behind [`Flow`](crate::flow::Flow).
+//!
+//! Figure 3's four phases are modelled as [`Stage`] implementations —
+//! [`FilterStage`] (Algorithm 1, timed together with dataflow analysis as
+//! in the paper), [`ClusterStage`] (Algorithm 2), [`SelectStage`]
+//! (Algorithm 3, the parallel hot path), and [`RedactStage`] — run in
+//! order over a shared [`FlowContext`]. [`run_stage`] wraps each run
+//! with wall-clock timing and an item counter, accumulating a
+//! [`PhaseTimings`] record that the flow report is derived from; no
+//! stage or driver keeps ad-hoc `Instant` pairs.
+
+use crate::cluster::{identify_clusters, ClusterResult};
+use crate::config::AliceConfig;
+use crate::design::Design;
+use crate::error::AliceError;
+use crate::filter::{filter_modules, FilterResult};
+use crate::redact::{redact, RedactedDesign};
+use crate::select::{select_efpgas, SelectionResult};
+use std::time::{Duration, Instant};
+
+/// Mutable state threaded through the pipeline: the immutable inputs plus
+/// each phase's artifact, filled in as its stage runs.
+#[derive(Debug)]
+pub struct FlowContext<'a> {
+    /// The design under redaction.
+    pub design: &'a Design,
+    /// The run configuration.
+    pub cfg: &'a AliceConfig,
+    /// Output cones and instance scoring (set by [`FilterStage`]).
+    pub dataflow: Option<alice_dataflow::DesignDataflow>,
+    /// Algorithm 1 output (set by [`FilterStage`]).
+    pub filter: Option<FilterResult>,
+    /// Algorithm 2 output (set by [`ClusterStage`]).
+    pub clusters: Option<ClusterResult>,
+    /// Algorithm 3 output (set by [`SelectStage`]).
+    pub selection: Option<SelectionResult>,
+    /// The redacted design, when a solution exists (set by
+    /// [`RedactStage`]).
+    pub redacted: Option<RedactedDesign>,
+}
+
+impl<'a> FlowContext<'a> {
+    /// A fresh context with no phase artifacts.
+    pub fn new(design: &'a Design, cfg: &'a AliceConfig) -> Self {
+        FlowContext {
+            design,
+            cfg,
+            dataflow: None,
+            filter: None,
+            clusters: None,
+            selection: None,
+            redacted: None,
+        }
+    }
+
+    /// The candidate list `R`, empty before filtering ran.
+    pub fn candidates(&self) -> &[crate::filter::Candidate] {
+        self.filter
+            .as_ref()
+            .map(|f| f.candidates.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// One phase of the pipeline.
+pub trait Stage {
+    /// Stable stage name, used as the [`PhaseTimings`] key.
+    fn name(&self) -> &'static str;
+
+    /// Runs the phase, reading earlier artifacts from `cx` and writing
+    /// its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AliceError`] on analysis failure; infeasibility (no
+    /// candidates, no solution) is *not* an error.
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError>;
+
+    /// How many items the phase produced (|R|, |C|, |F|, #eFPGAs) —
+    /// the counter recorded next to the stage's wall-clock time.
+    fn items(&self, cx: &FlowContext<'_>) -> usize;
+}
+
+/// Phase 1: dataflow analysis + module filtering (Algorithm 1). The two
+/// are one stage because the paper's Table 2 accounts them together.
+pub struct FilterStage;
+
+/// [`FilterStage`]'s timing key.
+pub const FILTER: &str = "filter";
+
+impl Stage for FilterStage {
+    fn name(&self) -> &'static str {
+        FILTER
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
+        let dataflow = alice_dataflow::analyze(&cx.design.file, &cx.design.hierarchy.top)
+            .map_err(|e| AliceError::Dataflow(e.to_string()))?;
+        cx.filter = Some(filter_modules(cx.design, &dataflow, cx.cfg)?);
+        cx.dataflow = Some(dataflow);
+        Ok(())
+    }
+
+    fn items(&self, cx: &FlowContext<'_>) -> usize {
+        cx.candidates().len()
+    }
+}
+
+/// Phase 2: cluster identification (Algorithm 2).
+pub struct ClusterStage;
+
+/// [`ClusterStage`]'s timing key.
+pub const CLUSTER: &str = "cluster";
+
+impl Stage for ClusterStage {
+    fn name(&self) -> &'static str {
+        CLUSTER
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
+        cx.clusters = Some(identify_clusters(cx.candidates(), cx.cfg));
+        Ok(())
+    }
+
+    fn items(&self, cx: &FlowContext<'_>) -> usize {
+        cx.clusters.as_ref().map(|c| c.clusters.len()).unwrap_or(0)
+    }
+}
+
+/// Phase 3: parallel fabric characterization + selection (Algorithm 3).
+pub struct SelectStage;
+
+/// [`SelectStage`]'s timing key.
+pub const SELECT: &str = "select";
+
+impl Stage for SelectStage {
+    fn name(&self) -> &'static str {
+        SELECT
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
+        let clusters = cx
+            .clusters
+            .as_ref()
+            .map(|c| c.clusters.as_slice())
+            .unwrap_or(&[]);
+        let selection = select_efpgas(cx.design, cx.candidates(), clusters, cx.cfg)?;
+        cx.selection = Some(selection);
+        Ok(())
+    }
+
+    fn items(&self, cx: &FlowContext<'_>) -> usize {
+        cx.selection.as_ref().map(|s| s.valid.len()).unwrap_or(0)
+    }
+}
+
+/// Phase 4: redacted-design generation. A selection without a solution
+/// makes this a no-op (the outcome simply has no redacted design).
+pub struct RedactStage;
+
+/// [`RedactStage`]'s timing key.
+pub const REDACT: &str = "redact";
+
+impl Stage for RedactStage {
+    fn name(&self) -> &'static str {
+        REDACT
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
+        let Some(selection) = cx.selection.as_ref() else {
+            return Ok(());
+        };
+        if selection.best.is_some() {
+            cx.redacted = Some(redact(cx.design, cx.candidates(), selection, cx.cfg)?);
+        }
+        Ok(())
+    }
+
+    fn items(&self, cx: &FlowContext<'_>) -> usize {
+        cx.redacted.as_ref().map(|r| r.efpgas.len()).unwrap_or(0)
+    }
+}
+
+/// One stage's instrumentation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name ([`FILTER`], [`CLUSTER`], [`SELECT`], [`REDACT`]).
+    pub name: &'static str,
+    /// Wall-clock time of the stage's `run`.
+    pub duration: Duration,
+    /// The stage's item counter after it ran.
+    pub items: usize,
+}
+
+/// Per-stage wall-clock timings and counters for one flow run — the
+/// single source the flow report's time columns are derived from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Records in execution order.
+    pub records: Vec<StageRecord>,
+}
+
+impl PhaseTimings {
+    /// The recorded duration of `name` (zero when the stage never ran).
+    pub fn duration_of(&self, name: &str) -> Duration {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.duration)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// The recorded item counter of `name` (zero when the stage never
+    /// ran).
+    pub fn items_of(&self, name: &str) -> usize {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.items)
+            .unwrap_or(0)
+    }
+
+    /// Total wall-clock time across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.records.iter().map(|r| r.duration).sum()
+    }
+}
+
+/// Runs one stage, appending its timing/counter record to `timings`.
+///
+/// # Errors
+///
+/// Propagates the stage's [`AliceError`]; nothing is recorded for a
+/// failed stage.
+pub fn run_stage(
+    stage: &dyn Stage,
+    cx: &mut FlowContext<'_>,
+    timings: &mut PhaseTimings,
+) -> Result<(), AliceError> {
+    let start = Instant::now();
+    stage.run(cx)?;
+    timings.records.push(StageRecord {
+        name: stage.name(),
+        duration: start.elapsed(),
+        items: stage.items(cx),
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+module inv(input wire [3:0] a, output wire [3:0] y); assign y = ~a; endmodule
+module top(input wire [3:0] a, output wire [3:0] y);
+  inv u0(.a(a), .y(y));
+endmodule";
+
+    #[test]
+    fn stages_fill_the_context_in_order() {
+        let design = Design::from_source("demo", SRC, None).expect("load");
+        let cfg = AliceConfig::cfg1();
+        let mut cx = FlowContext::new(&design, &cfg);
+        let mut timings = PhaseTimings::default();
+        let stages: [&dyn Stage; 4] = [&FilterStage, &ClusterStage, &SelectStage, &RedactStage];
+        for stage in stages {
+            run_stage(stage, &mut cx, &mut timings).expect("stage");
+        }
+        assert!(cx.filter.is_some());
+        assert!(cx.clusters.is_some());
+        assert!(cx.selection.is_some());
+        assert!(cx.redacted.is_some());
+        let names: Vec<&str> = timings.records.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT]);
+        assert_eq!(timings.items_of(FILTER), 1);
+        assert_eq!(timings.items_of(REDACT), 1);
+        assert!(timings.total() >= timings.duration_of(SELECT));
+    }
+
+    #[test]
+    fn timings_default_to_zero_for_unrun_stages() {
+        let t = PhaseTimings::default();
+        assert_eq!(t.duration_of(SELECT), Duration::ZERO);
+        assert_eq!(t.items_of(REDACT), 0);
+        assert_eq!(t.total(), Duration::ZERO);
+    }
+}

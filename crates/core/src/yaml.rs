@@ -215,7 +215,10 @@ selected_outputs:
         assert_eq!(y.get("alpha").and_then(Yaml::as_f64), Some(1.0));
         let fabric = y.get("fabric").expect("fabric");
         assert_eq!(fabric.get("lut_inputs").and_then(Yaml::as_u32), Some(4));
-        let outs = y.get("selected_outputs").and_then(Yaml::as_list).expect("list");
+        let outs = y
+            .get("selected_outputs")
+            .and_then(Yaml::as_list)
+            .expect("list");
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0].as_str(), Some("dout"));
     }

@@ -220,11 +220,10 @@ impl<'a> Analyzer<'a> {
                 if child.port(&port).map(|p| p.dir) == Some(Direction::Input) {
                     let mut ids = Vec::new();
                     expr.collect_ids(&mut ids);
-                    inst_in_srcs
-                        .insert((inst.name.clone(), port.clone()), ids
-                            .into_iter()
-                            .map(|s| s.to_string())
-                            .collect());
+                    inst_in_srcs.insert(
+                        (inst.name.clone(), port.clone()),
+                        ids.into_iter().map(|s| s.to_string()).collect(),
+                    );
                 }
             }
         }
@@ -252,7 +251,9 @@ impl<'a> Analyzer<'a> {
                 if input_ports.contains(&net) {
                     need_in.insert(net.clone());
                 }
-                let Some(srcs) = preds.get(&net) else { continue };
+                let Some(srcs) = preds.get(&net) else {
+                    continue;
+                };
                 for s in srcs {
                     match s {
                         Source::Net(n) => {

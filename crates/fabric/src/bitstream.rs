@@ -206,8 +206,7 @@ mod tests {
     fn bigger_fabric_longer_stream() {
         let arch = FabricArch::default();
         assert!(
-            expected_len(&arch, FabricSize::square(5))
-                > expected_len(&arch, FabricSize::square(4))
+            expected_len(&arch, FabricSize::square(5)) > expected_len(&arch, FabricSize::square(4))
         );
     }
 }

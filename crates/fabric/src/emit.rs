@@ -198,11 +198,7 @@ pub fn config_stream(mapped: &MappedNetlist, packing: &Packing) -> Vec<bool> {
         };
         let bypass = le.dff.is_none();
         for b in 0..17usize {
-            let bit = if b < 16 {
-                (tt >> b) & 1 == 1
-            } else {
-                bypass
-            };
+            let bit = if b < 16 { (tt >> b) & 1 == 1 } else { bypass };
             // After `total` shifts, chain position 17j+b holds the bit that
             // entered at time total-1-(17j+b).
             stream[total - 1 - (17 * j + b)] = bit;
@@ -243,7 +239,13 @@ mod tests {
         let text = format!(
             "{}{}",
             le_primitive(),
-            fabric_netlist("m_efpga", &m, &p, &FabricArch::default(), crate::arch::FabricSize::square(2))
+            fabric_netlist(
+                "m_efpga",
+                &m,
+                &p,
+                &FabricArch::default(),
+                crate::arch::FabricSize::square(2)
+            )
         );
         let f = parse_source(&text).expect("emitted fabric must parse");
         assert!(f.module("m_efpga").is_some());

@@ -185,7 +185,8 @@ mod tests {
 
     #[test]
     fn utilization_in_unit_range() {
-        let src = "module m(input wire [7:0] a, output wire [7:0] y); assign y = a + 8'd7; endmodule";
+        let src =
+            "module m(input wire [7:0] a, output wire [7:0] y); assign y = a + 8'd7; endmodule";
         let m = mapped(src, "m");
         let e = create_efpga(&m, &FabricArch::default()).expect("fits");
         assert!(e.io_util > 0.0 && e.io_util <= 1.0);

@@ -152,9 +152,7 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist, ElabError> {
         }
     }
     // Cross-instance combinational loops are only visible globally.
-    netlist
-        .comb_topo_order()
-        .map_err(|e| ElabError::CombLoop(e))?;
+    netlist.comb_topo_order().map_err(ElabError::CombLoop)?;
     Ok(netlist)
 }
 
@@ -228,10 +226,13 @@ impl<'a> Elaborator<'a> {
         let mut scope = self.build_scope(m, params, path)?;
         // Seed input-port values.
         for (name, word) in inputs {
-            let w = *scope.widths.get(&name).ok_or_else(|| ElabError::UnknownNet {
-                module: m.name.clone(),
-                net: name.clone(),
-            })?;
+            let w = *scope
+                .widths
+                .get(&name)
+                .ok_or_else(|| ElabError::UnknownNet {
+                    module: m.name.clone(),
+                    net: name.clone(),
+                })?;
             let word = words::resize(&word, w);
             let slot = scope.values.get_mut(&name).expect("declared");
             for (i, l) in word.iter().enumerate() {
@@ -288,9 +289,15 @@ impl<'a> Elaborator<'a> {
         for (idx, item) in m.items.iter().enumerate() {
             match item {
                 Item::Assign(a) => {
-                    Self::mark_lvalue(&m.name, &path, &params, &widths, &mut drivers, &a.lhs, || {
-                        Driver::Assign(idx)
-                    })?;
+                    Self::mark_lvalue(
+                        &m.name,
+                        &path,
+                        &params,
+                        &widths,
+                        &mut drivers,
+                        &a.lhs,
+                        || Driver::Assign(idx),
+                    )?;
                 }
                 Item::Net(d) if d.init.is_some() => {
                     let w = widths[&d.name];
@@ -311,7 +318,12 @@ impl<'a> Elaborator<'a> {
                         if matches!(pd.dir, Direction::Output | Direction::Inout) {
                             if let Some(expr) = expr {
                                 Self::mark_expr_as_sink(
-                                    &m.name, &path, &params, &widths, &mut drivers, &expr,
+                                    &m.name,
+                                    &path,
+                                    &params,
+                                    &widths,
+                                    &mut drivers,
+                                    &expr,
                                     || Driver::InstPort(idx),
                                 )?;
                             }
@@ -332,6 +344,7 @@ impl<'a> Elaborator<'a> {
                         // Whole reg is driven by this block; allow the same
                         // block to be marked repeatedly (multiple statements).
                         let slots = drivers.get_mut(&t).expect("declared");
+                        #[allow(clippy::needless_range_loop)]
                         for b in 0..w as usize {
                             match &slots[b] {
                                 None => slots[b] = Some(Driver::Always(idx)),
@@ -413,9 +426,11 @@ impl<'a> Elaborator<'a> {
         e: &Expr,
         mk: impl Fn() -> Driver + Copy,
     ) -> Result<(), ElabError> {
-        let lv = expr_to_lvalue(e).ok_or_else(|| ElabError::Unsupported(format!(
-            "instance output connected to non-lvalue expression in `{module}`"
-        )))?;
+        let lv = expr_to_lvalue(e).ok_or_else(|| {
+            ElabError::Unsupported(format!(
+                "instance output connected to non-lvalue expression in `{module}`"
+            ))
+        })?;
         Self::mark_lvalue(module, path, params, widths, drivers, &lv, mk)
     }
 
@@ -456,10 +471,7 @@ impl<'a> Elaborator<'a> {
         }
         let key = (name.to_string(), bit);
         if !scope.resolving.insert(key.clone()) {
-            return Err(ElabError::CombLoop(format!(
-                "{}.{name}[{bit}]",
-                scope.path
-            )));
+            return Err(ElabError::CombLoop(format!("{}.{name}[{bit}]", scope.path)));
         }
         let driver = scope
             .drivers
@@ -767,6 +779,7 @@ impl<'a> Elaborator<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn merge_envs(
         &mut self,
         n: &mut Netlist,
@@ -786,7 +799,10 @@ impl<'a> Elaborator<'a> {
                 module: scope.module.name.clone(),
                 net: t.clone(),
             })?;
-            let fallback = |me: &mut Self, n: &mut Netlist, scope: &mut Scope<'_>| -> Result<Word, ElabError> {
+            let fallback = |me: &mut Self,
+                            n: &mut Netlist,
+                            scope: &mut Scope<'_>|
+             -> Result<Word, ElabError> {
                 if seq {
                     me.word_value(n, scope, &t)
                 } else {
@@ -824,10 +840,13 @@ impl<'a> Elaborator<'a> {
     ) -> Result<(), ElabError> {
         match lv {
             LValue::Id(name) => {
-                let w = *scope.widths.get(name).ok_or_else(|| ElabError::UnknownNet {
-                    module: scope.module.name.clone(),
-                    net: name.clone(),
-                })?;
+                let w = *scope
+                    .widths
+                    .get(name)
+                    .ok_or_else(|| ElabError::UnknownNet {
+                        module: scope.module.name.clone(),
+                        net: name.clone(),
+                    })?;
                 env.insert(name.clone(), words::resize(value, w));
                 Ok(())
             }

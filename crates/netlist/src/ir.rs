@@ -58,7 +58,12 @@ impl fmt::Debug for Lit {
         if *self == Lit::TRUE {
             return write!(f, "1");
         }
-        write!(f, "{}n{}", if self.is_compl() { "!" } else { "" }, self.node().0)
+        write!(
+            f,
+            "{}n{}",
+            if self.is_compl() { "!" } else { "" },
+            self.node().0
+        )
     }
 }
 
@@ -483,7 +488,7 @@ mod tests {
         let l = Lit::new(NodeId(5), true);
         assert_eq!(l.node(), NodeId(5));
         assert!(l.is_compl());
-        assert_eq!(l.compl().is_compl(), false);
+        assert!(!l.compl().is_compl());
         assert_eq!(Lit::FALSE.compl(), Lit::TRUE);
     }
 

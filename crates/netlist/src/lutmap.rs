@@ -205,10 +205,7 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
     for &id in &order {
         let idx = id.0 as usize;
         let node = n.node(id);
-        let is_leaf = matches!(
-            node,
-            Node::Const0 | Node::Input { .. } | Node::Dff { .. }
-        );
+        let is_leaf = matches!(node, Node::Const0 | Node::Input { .. } | Node::Dff { .. });
         if is_leaf {
             cuts[idx] = vec![Cut {
                 leaves: vec![id],
@@ -227,11 +224,7 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
             if dim == fanin_cuts.len() {
                 // Cut depth in LUT levels: one level on top of the deepest
                 // leaf (leaves are mapped LUT outputs or sources).
-                let d = acc
-                    .iter()
-                    .map(|l| depth[l.0 as usize])
-                    .max()
-                    .unwrap_or(0);
+                let d = acc.iter().map(|l| depth[l.0 as usize]).max().unwrap_or(0);
                 cands.push(Cut {
                     leaves: acc,
                     depth: d + 1,
@@ -300,8 +293,8 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
     // Resolve a literal (with complement) to a MappedSrc using an explicit
     // post-order stack over the chosen cuts.
     let resolve = |out: &mut MappedNetlist,
-                       mapped: &mut HashMap<(NodeId, bool), MappedSrc>,
-                       l: Lit|
+                   mapped: &mut HashMap<(NodeId, bool), MappedSrc>,
+                   l: Lit|
      -> MappedSrc {
         let root = (l.node(), l.is_compl());
         let mut stack: Vec<((NodeId, bool), bool)> = vec![(root, false)];
@@ -349,8 +342,7 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
                 };
                 tt = !tt & mask;
             }
-            let inputs: Vec<MappedSrc> =
-                best.leaves.iter().map(|l| mapped[&(*l, false)]).collect();
+            let inputs: Vec<MappedSrc> = best.leaves.iter().map(|l| mapped[&(*l, false)]).collect();
             let lut_idx = out.luts.len();
             out.luts.push(Lut { inputs, tt });
             mapped.insert((id, phase), MappedSrc::Lut(lut_idx));

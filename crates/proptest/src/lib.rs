@@ -1,0 +1,275 @@
+//! A minimal, dependency-free stand-in for the [proptest] crate.
+//!
+//! The workspace builds offline, so the real `proptest` is unavailable;
+//! this crate implements the slice of its API that the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (`#![proptest_config(...)]` plus
+//!   `#[test] fn name(arg in strategy, ...)` items — one block per file),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto `assert!`),
+//! * integer-range, `any::<T>()`, tuple, and `prop::collection::vec`
+//!   strategies.
+//!
+//! Sampling is deterministic: each test derives its RNG seed from its own
+//! name, so failures reproduce exactly across runs. There is no shrinking
+//! — a failing case panics with the sampled values left to the assertion
+//! message.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+use std::ops::Range;
+
+/// Run-count configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic splitmix64 RNG seeded from the test name.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test name), FNV-1a style.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value source: proptest's `Strategy`, without shrinking.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Samples one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                // i128 arithmetic so signed ranges with negative bounds
+                // sample correctly instead of sign-extending into u128.
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(hi > lo, "empty range strategy");
+                (lo + (rng.next_u64() as i128).rem_euclid(hi - lo)) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u16, u32, u64, usize, i32, i64);
+
+/// Marker produced by [`any`], sampling the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_uint_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn pick(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+
+/// Collection strategies (`prop::collection` in real proptest).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` strategy with a length range and an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+/// Everything the property tests import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Mirrors `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Property assertion; panics on failure (no rejection machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports one block per file: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` inner attribute
+/// followed by `#[test] fn name(arg in strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        fn __proptest_cases() -> u32 {
+            let c: $crate::ProptestConfig = $cfg;
+            c.cases
+        }
+        $crate::__proptest_impl! { $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        fn __proptest_cases() -> u32 {
+            $crate::ProptestConfig::default().cases
+        }
+        $crate::__proptest_impl! { $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = __proptest_cases();
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).pick(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_sample_negative_bounds() {
+        let mut rng = TestRng::deterministic("signed");
+        let mut saw_negative = false;
+        for _ in 0..1000 {
+            let v = (-8i32..8).pick(&mut rng);
+            assert!((-8..8).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+        for _ in 0..100 {
+            let v = (i64::MIN..0).pick(&mut rng);
+            assert!(v < 0);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = collection::vec((0usize..8, any::<bool>()), 1..4);
+        for _ in 0..100 {
+            let v = s.pick(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&(i, _)| i < 8));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = TestRng::deterministic("y").next_u64();
+        assert_ne!(a[0], c);
+    }
+}

@@ -66,7 +66,7 @@ impl Bits {
     }
 
     fn limb_count(width: u32) -> usize {
-        ((width as usize) + 63) / 64
+        (width as usize).div_ceil(64)
     }
 
     fn mask_top(&mut self) {
@@ -214,7 +214,7 @@ impl Bits {
             return "0".to_string();
         }
         let mut digits = String::new();
-        let nds = ((self.width + 3) / 4) as usize;
+        let nds = self.width.div_ceil(4) as usize;
         for d in (0..nds).rev() {
             let mut v = 0u32;
             for b in 0..4 {

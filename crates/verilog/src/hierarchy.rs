@@ -93,7 +93,10 @@ impl std::fmt::Display for HierarchyError {
             }
             HierarchyError::UnknownTop(t) => write!(f, "unknown top module `{t}`"),
             HierarchyError::UndefinedModule { parent, child } => {
-                write!(f, "module `{parent}` instantiates undefined module `{child}`")
+                write!(
+                    f,
+                    "module `{parent}` instantiates undefined module `{child}`"
+                )
             }
             HierarchyError::RecursiveInstantiation(m) => {
                 write!(f, "recursive instantiation of module `{m}`")
@@ -194,10 +197,7 @@ fn port_width(m: &Module, range: &Option<crate::ast::Range>) -> Option<u32> {
 /// # Errors
 ///
 /// See [`HierarchyError`] for the failure modes.
-pub fn build_hierarchy(
-    file: &SourceFile,
-    top: Option<&str>,
-) -> Result<Hierarchy, HierarchyError> {
+pub fn build_hierarchy(file: &SourceFile, top: Option<&str>) -> Result<Hierarchy, HierarchyError> {
     if file.modules.is_empty() {
         return Err(HierarchyError::EmptyDesign);
     }
@@ -282,7 +282,13 @@ fn build_tree(
     let mut children = Vec::new();
     for inst in mdef.instances() {
         let child_path = format!("{path}.{}", inst.name);
-        children.push(build_tree(file, &inst.module, &child_path, &inst.name, stack)?);
+        children.push(build_tree(
+            file,
+            &inst.module,
+            &child_path,
+            &inst.name,
+            stack,
+        )?);
     }
     stack.pop();
     Ok(InstanceNode {
@@ -348,8 +354,7 @@ endmodule
 
     #[test]
     fn recursion_is_reported() {
-        let f =
-            parse_source("module a; a u0(); endmodule").expect("parse");
+        let f = parse_source("module a; a u0(); endmodule").expect("parse");
         let err = build_hierarchy(&f, Some("a")).unwrap_err();
         assert!(matches!(err, HierarchyError::RecursiveInstantiation(_)));
     }

@@ -189,9 +189,10 @@ impl<'a> Lexer<'a> {
             let width: u32 = if digits.is_empty() {
                 32
             } else {
-                digits.replace('_', "").parse().map_err(|_| {
-                    ParseError::new(ParseErrorKind::BadNumber(digits.clone()), span)
-                })?
+                digits
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| ParseError::new(ParseErrorKind::BadNumber(digits.clone()), span))?
             };
             let mut value_digits = String::new();
             while let Some(c) = self.peek() {
@@ -248,11 +249,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src)
-            .expect("lex")
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        lex(src).expect("lex").into_iter().map(|t| t.kind).collect()
     }
 
     #[test]

@@ -137,16 +137,14 @@ impl Parser {
             self.expect_punct(")")?;
         }
         let mut ports = Vec::new();
-        if self.eat_punct("(") {
-            if !self.eat_punct(")") {
-                loop {
-                    ports.push(self.ansi_port(ports.last())?);
-                    if !self.eat_punct(",") {
-                        break;
-                    }
+        if self.eat_punct("(") && !self.eat_punct(")") {
+            loop {
+                ports.push(self.ansi_port(ports.last())?);
+                if !self.eat_punct(",") {
+                    break;
                 }
-                self.expect_punct(")")?;
             }
+            self.expect_punct(")")?;
         }
         self.expect_punct(";")?;
         let mut items = Vec::new();
@@ -544,11 +542,7 @@ impl Parser {
         }
     }
 
-    fn binary_level<F>(
-        &mut self,
-        next: F,
-        ops: &[(&str, BinaryOp)],
-    ) -> Result<Expr, ParseError>
+    fn binary_level<F>(&mut self, next: F, ops: &[(&str, BinaryOp)]) -> Result<Expr, ParseError>
     where
         F: Fn(&mut Self) -> Result<Expr, ParseError>,
     {

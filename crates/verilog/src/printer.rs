@@ -102,7 +102,12 @@ fn print_item(out: &mut String, item: &Item) {
             let _ = writeln!(out, "  localparam {} = {};", p.name, expr_str(&p.value));
         }
         Item::Assign(a) => {
-            let _ = writeln!(out, "  assign {} = {};", lvalue_str(&a.lhs), expr_str(&a.rhs));
+            let _ = writeln!(
+                out,
+                "  assign {} = {};",
+                lvalue_str(&a.lhs),
+                expr_str(&a.rhs)
+            );
         }
         Item::Instance(inst) => {
             let params = if inst.params.is_empty() {
@@ -124,11 +129,7 @@ fn print_item(out: &mut String, item: &Item) {
                     })
                     .collect::<Vec<_>>()
                     .join(", "),
-                PortConns::Ordered(es) => es
-                    .iter()
-                    .map(expr_str)
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                PortConns::Ordered(es) => es.iter().map(expr_str).collect::<Vec<_>>().join(", "),
             };
             let _ = writeln!(out, "  {}{params} {} ({conns});", inst.module, inst.name);
         }
@@ -255,7 +256,11 @@ pub fn expr_str(e: &Expr) -> String {
 
 fn atom(e: &Expr) -> String {
     match e {
-        Expr::Id(_) | Expr::Literal(_) | Expr::Concat(_) | Expr::Repeat(..) | Expr::Bit(..)
+        Expr::Id(_)
+        | Expr::Literal(_)
+        | Expr::Concat(_)
+        | Expr::Repeat(..)
+        | Expr::Bit(..)
         | Expr::Part(..) => expr_str(e),
         _ => format!("({})", expr_str(e)),
     }

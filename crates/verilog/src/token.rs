@@ -48,6 +48,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Returns the keyword for an identifier-like lexeme, if any.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "module" => Keyword::Module,

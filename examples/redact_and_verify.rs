@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in 0..total {
         for (i, e) in redacted.efpgas.iter().enumerate() {
             let lead = total - e.config_stream.len();
-            let bit = if t >= lead { e.config_stream[t - lead] } else { false };
+            let bit = if t >= lead {
+                e.config_stream[t - lead]
+            } else {
+                false
+            };
             sim.set_input(&format!("cfg_in_e{i}"), &Bits::from_u64(bit as u64, 1));
         }
         sim.step();

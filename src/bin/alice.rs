@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! alice <design.v> [--config flow.yaml] [--top NAME] [--out DIR]
-//!       [--cfg1 | --cfg2] [--report]
+//!       [--cfg1 | --cfg2] [--jobs N] [--report]
 //! ```
 
 use alice_redaction::core::config::AliceConfig;
@@ -13,55 +13,74 @@ use alice_redaction::core::flow::Flow;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
+                     [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report]";
+
 struct Args {
     design: PathBuf,
     config: Option<PathBuf>,
     top: Option<String>,
     out: PathBuf,
     preset: Option<&'static str>,
+    jobs: Option<usize>,
     report_only: bool,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
-         [--out DIR] [--cfg1 | --cfg2] [--report]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
+/// Parses the command line; every error names the offending flag.
+/// `Ok(None)` means `--help` was requested (print usage, exit 0).
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
     let mut args = Args {
         design: PathBuf::new(),
         config: None,
         top: None,
         out: PathBuf::from("alice_out"),
         preset: None,
+        jobs: None,
         report_only: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     let mut positional = Vec::new();
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .ok_or_else(|| format!("missing value for `{flag}`"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--config" => args.config = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--top" => args.top = Some(it.next().unwrap_or_else(|| usage())),
-            "--out" => args.out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--config" => args.config = Some(PathBuf::from(value(&mut it, "--config")?)),
+            "--top" => args.top = Some(value(&mut it, "--top")?),
+            "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                args.jobs = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid value for `--jobs`: `{v}`"))?,
+                );
+            }
             "--cfg1" => args.preset = Some("cfg1"),
             "--cfg2" => args.preset = Some("cfg2"),
             "--report" => args.report_only = true,
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
             _ => positional.push(a),
         }
     }
-    if positional.len() != 1 {
-        usage();
+    match positional.len() {
+        0 => return Err("missing <design.v> argument".to_string()),
+        1 => args.design = PathBuf::from(&positional[0]),
+        _ => {
+            return Err(format!(
+                "expected one design file, got {}: {}",
+                positional.len(),
+                positional.join(", ")
+            ))
+        }
     }
-    args.design = PathBuf::from(&positional[0]);
-    args
+    Ok(Some(args))
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args();
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&args.design)
         .map_err(|e| format!("cannot read {}: {e}", args.design.display()))?;
     let mut cfg = match args.preset {
@@ -73,17 +92,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|e| format!("cannot read {}: {e}", cpath.display()))?;
         cfg = AliceConfig::from_yaml(&ctext)?;
     }
+    if let Some(jobs) = args.jobs {
+        cfg.jobs = jobs;
+    }
     let name = args
         .design
         .file_stem()
         .map(|s| s.to_string_lossy().to_string())
         .unwrap_or_else(|| "design".to_string());
-    let top = cfg.top.clone().or(args.top.clone());
+    // The command line wins over the config file for the top module.
+    let top = args.top.clone().or(cfg.top.clone());
     let design = Design::from_source(&name, &src, top.as_deref())?;
     eprintln!(
-        "alice: {} ({} instances), config: {cfg}",
+        "alice: {} ({} instances), config: {cfg}, {} characterization job(s)",
         design.name,
-        design.instance_paths().len()
+        design.instance_paths().len(),
+        cfg.effective_jobs()
     );
     let outcome = Flow::new(cfg).run(&design)?;
     println!("{}", outcome.report);
@@ -124,7 +148,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("alice: error: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("alice: error: {e}");

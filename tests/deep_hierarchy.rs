@@ -32,12 +32,17 @@ fn des3_redaction_punches_through_crp() {
 fn des3_redaction_punches_through_crp_impl() {
     let b = benchmarks::des3::benchmark();
     let d = b.design().expect("load");
-    let out = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let out = Flow::new(b.config(AliceConfig::cfg2()))
+        .run(&d)
+        .expect("flow");
     let redacted = out.redacted.as_ref().expect("cfg2 redacts all sboxes");
     assert_eq!(redacted.efpgas.len(), 1);
     let e = &redacted.efpgas[0];
     assert_eq!(e.instances.len(), 8, "all eight S-boxes");
-    assert_eq!(e.insertion_point, "des3.u_crp", "LCA is inside the hierarchy");
+    assert_eq!(
+        e.insertion_point, "des3.u_crp",
+        "LCA is inside the hierarchy"
+    );
 
     // The regenerated design must parse and re-elaborate its hierarchy.
     let combined = redacted.combined_verilog();
@@ -71,7 +76,9 @@ fn configured_des3_matches_original() {
 fn configured_des3_matches_original_impl() {
     let b = benchmarks::des3::benchmark();
     let d = b.design().expect("load");
-    let out = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let out = Flow::new(b.config(AliceConfig::cfg2()))
+        .run(&d)
+        .expect("flow");
     let redacted = out.redacted.as_ref().expect("redacts");
     let e = &redacted.efpgas[0];
 
@@ -89,7 +96,7 @@ fn configured_des3_matches_original_impl() {
     }
     sim.set_input("cfg_en", &Bits::from_u64(0, 1));
 
-    let mut run = |sim: &mut Simulator, key: u64, din: u64| -> Bits {
+    let run = |sim: &mut Simulator, key: u64, din: u64| -> Bits {
         sim.set_input("rst", &Bits::from_u64(1, 1));
         sim.set_input("start", &Bits::from_u64(0, 1));
         sim.step();

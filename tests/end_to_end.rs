@@ -9,28 +9,40 @@ use alice_redaction::core::flow::Flow;
 fn iir_is_infeasible_under_cfg1_but_solved_under_cfg2() {
     let b = benchmarks::iir::benchmark();
     let d = b.design().expect("load");
-    let cfg1 = Flow::new(b.config(AliceConfig::cfg1())).run(&d).expect("flow");
+    let cfg1 = Flow::new(b.config(AliceConfig::cfg1()))
+        .run(&d)
+        .expect("flow");
     assert_eq!(cfg1.report.candidates, 0, "min module I/O is 66 > 64");
     assert!(cfg1.redacted.is_none());
 
-    let cfg2 = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let cfg2 = Flow::new(b.config(AliceConfig::cfg2()))
+        .run(&d)
+        .expect("flow");
     assert_eq!(cfg2.report.candidates, 2);
     assert_eq!(cfg2.report.clusters, 2);
     assert_eq!(cfg2.report.solutions, 2);
     let sizes = &cfg2.report.efpga_sizes;
     assert_eq!(sizes.len(), 1);
-    assert!(sizes[0].width >= 14, "single large fabric, got {}", sizes[0]);
+    assert!(
+        sizes[0].width >= 14,
+        "single large fabric, got {}",
+        sizes[0]
+    );
 }
 
 #[test]
 fn des3_cluster_counts_match_table2_exactly() {
     let b = benchmarks::des3::benchmark();
     let d = b.design().expect("load");
-    let cfg1 = Flow::new(b.config(AliceConfig::cfg1())).run(&d).expect("flow");
+    let cfg1 = Flow::new(b.config(AliceConfig::cfg1()))
+        .run(&d)
+        .expect("flow");
     // Sum of C(8,k) for k = 1..=5 — five 12-pin S-boxes fit 64 pins.
     assert_eq!(cfg1.report.clusters, 218);
     assert_eq!(cfg1.report.candidates, 8);
-    let cfg2 = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let cfg2 = Flow::new(b.config(AliceConfig::cfg2()))
+        .run(&d)
+        .expect("flow");
     // 2^8 - 1 — all eight S-boxes fit 96 pins.
     assert_eq!(cfg2.report.clusters, 255);
     // cfg2 redacts all eight S-boxes on one fabric (paper: 14x14).
@@ -42,14 +54,27 @@ fn des3_cluster_counts_match_table2_exactly() {
 fn gcd_two_small_fabrics_vs_one_larger() {
     let b = benchmarks::gcd::benchmark();
     let d = b.design().expect("load");
-    let cfg1 = Flow::new(b.config(AliceConfig::cfg1())).run(&d).expect("flow");
-    assert_eq!(cfg1.report.candidates, 9, "swap (68 pins) excluded, lzc unranked");
+    let cfg1 = Flow::new(b.config(AliceConfig::cfg1()))
+        .run(&d)
+        .expect("flow");
+    assert_eq!(
+        cfg1.report.candidates, 9,
+        "swap (68 pins) excluded, lzc unranked"
+    );
     assert_eq!(cfg1.report.efpga_sizes.len(), 2, "two eFPGAs under cfg1");
-    let cfg2 = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let cfg2 = Flow::new(b.config(AliceConfig::cfg2()))
+        .run(&d)
+        .expect("flow");
     assert_eq!(cfg2.report.candidates, 10);
     assert_eq!(cfg2.report.efpga_sizes.len(), 1, "one eFPGA under cfg2");
     // The single cfg2 fabric is at least as large as each cfg1 fabric.
-    let max1 = cfg1.report.efpga_sizes.iter().map(|s| s.clbs()).max().expect("two");
+    let max1 = cfg1
+        .report
+        .efpga_sizes
+        .iter()
+        .map(|s| s.clbs())
+        .max()
+        .expect("two");
     assert!(cfg2.report.efpga_sizes[0].clbs() >= max1);
 }
 
@@ -61,7 +86,9 @@ fn single_candidate_designs_have_single_solutions() {
         (benchmarks::sasc::benchmark(), 1),
     ] {
         let d = bench.design().expect("load");
-        let out = Flow::new(bench.config(AliceConfig::cfg1())).run(&d).expect("flow");
+        let out = Flow::new(bench.config(AliceConfig::cfg1()))
+            .run(&d)
+            .expect("flow");
         assert_eq!(out.report.candidates, expect_r, "{}", bench.name);
         assert_eq!(out.report.clusters, 1, "{}", bench.name);
         assert_eq!(out.report.solutions, 1, "{}", bench.name);
@@ -87,8 +114,12 @@ fn usb_phy_invalid_fabrics_are_skipped() {
 fn every_redacted_design_reparses_with_its_fabrics() {
     for b in benchmarks::suite() {
         let d = b.design().expect("load");
-        let out = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
-        let Some(redacted) = &out.redacted else { continue };
+        let out = Flow::new(b.config(AliceConfig::cfg2()))
+            .run(&d)
+            .expect("flow");
+        let Some(redacted) = &out.redacted else {
+            continue;
+        };
         let combined = redacted.combined_verilog();
         let parsed = alice_redaction::verilog::parse_source(&combined)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
@@ -111,7 +142,9 @@ fn every_redacted_design_reparses_with_its_fabrics() {
 fn selection_scores_favor_utilization_by_default() {
     let b = benchmarks::gcd::benchmark();
     let d = b.design().expect("load");
-    let out = Flow::new(b.config(AliceConfig::cfg2())).run(&d).expect("flow");
+    let out = Flow::new(b.config(AliceConfig::cfg2()))
+        .run(&d)
+        .expect("flow");
     let best = out.selection.best.as_ref().expect("solution");
     // Every chosen fabric must beat the median utilization of valid ones.
     let mut utils: Vec<f64> = out

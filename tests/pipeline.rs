@@ -1,0 +1,130 @@
+//! Integration tests for the staged, parallel pipeline: selection must be
+//! deterministic across worker counts, infeasible configs must flow
+//! through every stage without error, and the report must be derived from
+//! the stage instrumentation.
+
+use alice_redaction::benchmarks::generator::{generate, GeneratorParams};
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::design::Design;
+use alice_redaction::core::flow::Flow;
+use alice_redaction::core::select::select_efpgas;
+use alice_redaction::core::stage;
+
+fn synthetic_design() -> Design {
+    // 6 leaves with mixed widths: enough clusters for the enumeration to
+    // be non-trivial while staying fast.
+    let src = generate(3, GeneratorParams::default());
+    Design::from_source("synth", &src, None).expect("load")
+}
+
+#[test]
+fn selection_is_deterministic_across_job_counts() {
+    let design = synthetic_design();
+    let base = AliceConfig::cfg1();
+    let df =
+        alice_redaction::dataflow::analyze(&design.file, &design.hierarchy.top).expect("dataflow");
+    let r = alice_redaction::core::filter::filter_modules(&design, &df, &base)
+        .expect("filter")
+        .candidates;
+    let clusters = alice_redaction::core::cluster::identify_clusters(&r, &base).clusters;
+    assert!(!clusters.is_empty(), "test needs clusters to characterize");
+
+    let run = |jobs: usize| {
+        let cfg = AliceConfig {
+            jobs,
+            ..base.clone()
+        };
+        select_efpgas(&design, &r, &clusters, &cfg).expect("select")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+
+    // Byte-identical output: same valid set (clusters, fabrics, scores),
+    // same failures, same enumeration, same best solution.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    // And the key fields again, for a readable failure if Debug ever
+    // diverges from semantics:
+    assert_eq!(serial.solutions, parallel.solutions);
+    assert_eq!(serial.valid.len(), parallel.valid.len());
+    for (a, b) in serial.valid.iter().zip(&parallel.valid) {
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.score, b.score);
+    }
+    let (sb, pb) = (serial.best.expect("best"), parallel.best.expect("best"));
+    assert_eq!(sb.efpgas, pb.efpgas);
+    assert_eq!(sb.score, pb.score);
+}
+
+#[test]
+fn full_flow_is_deterministic_across_job_counts() {
+    let design = synthetic_design();
+    let run = |jobs: usize| {
+        Flow::new(AliceConfig {
+            jobs,
+            ..AliceConfig::cfg1()
+        })
+        .run(&design)
+        .expect("flow")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        format!("{:?}", serial.selection),
+        format!("{:?}", parallel.selection)
+    );
+    let (sr, pr) = (&serial.redacted, &parallel.redacted);
+    assert_eq!(sr.is_some(), pr.is_some());
+    if let (Some(a), Some(b)) = (sr, pr) {
+        assert_eq!(a.combined_verilog(), b.combined_verilog());
+        let bits = |r: &alice_redaction::core::redact::RedactedDesign| -> Vec<Vec<bool>> {
+            r.efpgas.iter().map(|e| e.config_stream.clone()).collect()
+        };
+        assert_eq!(bits(a), bits(b));
+    }
+}
+
+#[test]
+fn infeasible_config_flows_through_every_stage() {
+    let design = synthetic_design();
+    let cfg = AliceConfig {
+        max_io_pins: 1, // nothing fits
+        jobs: 4,
+        ..AliceConfig::cfg1()
+    };
+    let out = Flow::new(cfg)
+        .run(&design)
+        .expect("infeasible is not an error");
+    assert_eq!(out.report.candidates, 0);
+    assert_eq!(out.report.clusters, 0);
+    assert_eq!(out.report.valid_efpgas, 0);
+    assert_eq!(out.report.solutions, 0);
+    assert!(out.selection.best.is_none());
+    assert!(out.redacted.is_none());
+    // The staged path still ran (and timed) all four stages.
+    let names: Vec<&str> = out.timings.records.iter().map(|r| r.name).collect();
+    assert_eq!(
+        names,
+        vec![stage::FILTER, stage::CLUSTER, stage::SELECT, stage::REDACT]
+    );
+}
+
+#[test]
+fn report_is_derived_from_phase_timings() {
+    let design = synthetic_design();
+    let out = Flow::new(AliceConfig::cfg1()).run(&design).expect("flow");
+    assert_eq!(
+        out.report.filter_time,
+        out.timings.duration_of(stage::FILTER)
+    );
+    assert_eq!(
+        out.report.cluster_time,
+        out.timings.duration_of(stage::CLUSTER)
+    );
+    assert_eq!(
+        out.report.select_time,
+        out.timings.duration_of(stage::SELECT)
+    );
+    assert_eq!(out.report.candidates, out.timings.items_of(stage::FILTER));
+    assert_eq!(out.report.clusters, out.timings.items_of(stage::CLUSTER));
+    assert_eq!(out.report.valid_efpgas, out.timings.items_of(stage::SELECT));
+}
