@@ -1,10 +1,12 @@
 //! A CDCL SAT solver built from scratch for the attack harness.
 //!
 //! Implements the standard architecture: two-watched-literal propagation,
-//! first-UIP conflict analysis with clause learning, VSIDS-style variable
-//! activities, phase saving, and Luby restarts. Clause deletion is not
-//! implemented — attack instances stay small enough that the learned-clause
-//! database is never the bottleneck.
+//! first-UIP conflict analysis with clause learning, VSIDS variable
+//! activities on an indexed order heap, phase saving, Luby restarts, and
+//! incremental solving under assumptions ([`Solver::solve_with`]).
+//! Clause deletion is not implemented — attack and CEC instances stay
+//! small enough that the learned-clause database is never the
+//! bottleneck.
 
 use std::fmt;
 
@@ -82,6 +84,97 @@ enum Assign {
     False,
 }
 
+/// Indexed max-heap over variable activities (MiniSat's `order_heap`),
+/// so picking the next decision variable is O(log n) instead of a linear
+/// scan — the difference between seconds and hours on CEC miters with
+/// tens of thousands of variables.
+#[derive(Debug, Default)]
+struct OrderHeap {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NONE`.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl OrderHeap {
+    fn grow(&mut self) {
+        self.pos.push(NONE);
+    }
+
+    fn in_heap(&self, v: u32) -> bool {
+        self.pos[v as usize] != NONE
+    }
+
+    fn percolate_up(&mut self, activity: &[f64], mut i: usize) {
+        let v = self.heap[i];
+        while i > 0 {
+            let p = (i - 1) >> 1;
+            if activity[self.heap[p] as usize] >= activity[v as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[p];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = p;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn percolate_down(&mut self, activity: &[f64], mut i: usize) {
+        let v = self.heap[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[l] as usize]
+            {
+                r
+            } else {
+                l
+            };
+            if activity[self.heap[c] as usize] <= activity[v as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[c];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn insert(&mut self, activity: &[f64], v: u32) {
+        if self.in_heap(v) {
+            return;
+        }
+        self.heap.push(v);
+        self.percolate_up(activity, self.heap.len() - 1);
+    }
+
+    fn bumped(&mut self, activity: &[f64], v: u32) {
+        let p = self.pos[v as usize];
+        if p != NONE {
+            self.percolate_up(activity, p as usize);
+        }
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.percolate_down(activity, 0);
+        }
+        Some(top)
+    }
+}
+
 /// The CDCL solver.
 ///
 /// # Example
@@ -110,6 +203,7 @@ pub struct Solver {
     qhead: usize,
     activity: Vec<f64>,
     act_inc: f64,
+    order: OrderHeap,
     unsat: bool,
     /// Conflict budget for [`Solver::solve`]; `None` = unlimited.
     pub conflict_budget: Option<u64>,
@@ -137,6 +231,8 @@ impl Solver {
         self.activity.push(0.0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.grow();
+        self.order.insert(&self.activity, v.0);
         v
     }
 
@@ -287,11 +383,13 @@ impl Solver {
     fn bump(&mut self, v: Var) {
         self.activity[v.0 as usize] += self.act_inc;
         if self.activity[v.0 as usize] > 1e100 {
+            // Uniform rescale preserves the heap order.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.act_inc *= 1e-100;
         }
+        self.order.bumped(&self.activity, v.0);
     }
 
     /// First-UIP conflict analysis; returns (learned clause, backjump level).
@@ -363,22 +461,20 @@ impl Solver {
                 let v = l.var().0 as usize;
                 self.assigns[v] = Assign::Unassigned;
                 self.reason[v] = None;
+                self.order.insert(&self.activity, v as u32);
             }
         }
         self.qhead = self.trail.len();
     }
 
     fn decide(&mut self) -> Option<Lit> {
-        let mut best: Option<(f64, usize)> = None;
-        for v in 0..self.num_vars() {
-            if self.assigns[v] == Assign::Unassigned {
-                let a = self.activity[v];
-                if best.map(|(ba, _)| a > ba).unwrap_or(true) {
-                    best = Some((a, v));
-                }
+        // Lazy deletion: assigned variables are dropped as they surface.
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v as usize] == Assign::Unassigned {
+                return Some(Lit::new(Var(v), !self.phase[v as usize]));
             }
         }
-        best.map(|(_, v)| Lit::new(Var(v as u32), !self.phase[v]))
+        None
     }
 
     /// Solves the current formula.
@@ -387,6 +483,20 @@ impl Solver {
     /// exhausted — the attack harness uses this as its "resilient within
     /// budget" signal.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves the current formula under `assumptions` (incremental
+    /// MiniSat-style interface).
+    ///
+    /// Each assumption literal is forced as a decision before the free
+    /// search starts. [`SatResult::Unsat`] then means *unsatisfiable
+    /// under these assumptions* — the formula itself stays usable and
+    /// later calls with different assumptions may be SAT. This is what
+    /// lets equivalence checking discharge thousands of per-output and
+    /// per-candidate-pair queries against one shared clause database,
+    /// reusing everything learned between queries.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -432,13 +542,40 @@ impl Solver {
                         self.cancel_until(0);
                     }
                 }
-                None => match self.decide() {
-                    None => return SatResult::Sat,
-                    Some(l) => {
-                        self.trail_lim.push(self.trail.len());
-                        self.enqueue(l, None);
+                None => {
+                    // Re-apply assumptions first: one decision level per
+                    // literal (restarts and backjumps may have popped
+                    // them). An already-false assumption is a conflict
+                    // with what has been learned: UNSAT under
+                    // assumptions, but not globally.
+                    let mut enqueued = false;
+                    while self.trail_lim.len() < assumptions.len() {
+                        let p = assumptions[self.trail_lim.len()];
+                        match self.lit_value(p) {
+                            Assign::True => self.trail_lim.push(self.trail.len()),
+                            Assign::False => {
+                                self.cancel_until(0);
+                                return SatResult::Unsat;
+                            }
+                            Assign::Unassigned => {
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(p, None);
+                                enqueued = true;
+                                break;
+                            }
+                        }
                     }
-                },
+                    if enqueued {
+                        continue;
+                    }
+                    match self.decide() {
+                        None => return SatResult::Sat,
+                        Some(l) => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(l, None);
+                        }
+                    }
+                }
             }
         }
     }
@@ -579,6 +716,68 @@ mod tests {
         s.conflict_budget = Some(1);
         let r = s.solve();
         assert!(r == SatResult::Sat || r == SatResult::Unknown);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        // (a | b) & (!a | c): assuming !b forces a and c; assuming
+        // (!a, !b) is UNSAT under assumptions but the formula survives.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(c)]);
+        assert_eq!(s.solve_with(&[Lit::neg(b)]), SatResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert_eq!(s.value(c), Some(true));
+        assert_eq!(s.solve_with(&[Lit::neg(a), Lit::neg(b)]), SatResult::Unsat);
+        // Not globally unsat: a plain solve still succeeds.
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.solve_with(&[Lit::pos(b)]), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn assumption_conflicting_with_learned_units_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        // a and b are root-level implied; assuming !b must fail cleanly.
+        assert_eq!(s.solve_with(&[Lit::neg(b)]), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn incremental_queries_share_learned_clauses() {
+        // Pigeonhole core plus a relaxing selector: with the selector
+        // assumed true the instance is UNSAT, without it SAT.
+        let mut s = Solver::new();
+        let sel = s.new_var();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::neg(sel), Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        for _ in 0..3 {
+            assert_eq!(s.solve_with(&[Lit::pos(sel)]), SatResult::Unsat);
+            assert_eq!(s.solve_with(&[Lit::neg(sel)]), SatResult::Sat);
+        }
     }
 
     #[test]

@@ -1,42 +1,67 @@
 //! One-command evaluation: regenerates Table 1 *and* Table 2 of the
-//! paper, running every benchmark × {cfg1, cfg2} concurrently.
+//! paper, running every benchmark × {cfg1, cfg2} concurrently. With
+//! `--verify`, every redaction is additionally proven equivalent to its
+//! original (SAT CEC) and swept with wrong bitstreams, reported in an
+//! extra verification table.
 //!
 //! ```text
-//! suite [--jobs N]    # N = 0 (default) uses all available cores
+//! suite [--jobs N] [--verify] [--wrong-keys N]
+//!     # omit --jobs to use all available cores
 //! ```
 
-use alice_bench::run_suite;
+use alice_bench::run_suite_verified;
 use std::process::ExitCode;
 
-fn parse_jobs() -> Result<usize, String> {
-    let mut jobs = 0usize;
+const USAGE: &str = "usage: suite [--jobs N] [--verify] [--wrong-keys N]";
+
+struct SuiteArgs {
+    jobs: usize,
+    verify: bool,
+    wrong_keys: usize,
+}
+
+fn parse_args() -> Result<SuiteArgs, String> {
+    let mut args = SuiteArgs {
+        jobs: 0,
+        verify: false,
+        wrong_keys: 0,
+    };
     let mut it = std::env::args().skip(1);
+    let number = |flag: &str, v: Option<String>, min: usize| -> Result<usize, String> {
+        let v = v.ok_or_else(|| format!("missing value for `{flag}`"))?;
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("invalid value for `{flag}`: `{v}`"))?;
+        if n < min {
+            return Err(format!(
+                "invalid value for `{flag}`: `{v}` (must be at least {min})"
+            ));
+        }
+        Ok(n)
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" => {
-                let v = it.next().ok_or("missing value for `--jobs`")?;
-                jobs = v
-                    .parse()
-                    .map_err(|_| format!("invalid value for `--jobs`: `{v}`"))?;
+            "--jobs" => args.jobs = number("--jobs", it.next(), 1)?,
+            "--verify" => args.verify = true,
+            "--wrong-keys" => {
+                args.wrong_keys = number("--wrong-keys", it.next(), 1)?;
+                args.verify = true;
             }
-            other => {
-                return Err(format!(
-                    "unknown argument `{other}` (usage: suite [--jobs N])"
-                ))
-            }
+            other => return Err(format!("unknown argument `{other}` ({USAGE})")),
         }
     }
-    Ok(jobs)
+    Ok(args)
 }
 
 fn main() -> ExitCode {
-    let jobs = match parse_jobs() {
-        Ok(j) => j,
+    let args = match parse_args() {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("suite: error: {e}");
             return ExitCode::from(2);
         }
     };
+    let jobs = args.jobs;
 
     println!("Table 1: Characteristics of the selected benchmarks");
     println!(
@@ -58,7 +83,8 @@ fn main() -> ExitCode {
     println!();
 
     println!("Table 2: The ALICE flow on every benchmark (concurrent batch)");
-    for run in run_suite(jobs) {
+    let runs = run_suite_verified(jobs, args.wrong_keys, args.verify);
+    for run in &runs {
         println!(
             "── {} ─────────────────────────────────────────────",
             run.label
@@ -104,6 +130,41 @@ fn main() -> ExitCode {
             );
         }
         println!();
+    }
+
+    if args.verify {
+        println!("Verification: CEC proof + wrong-key corruptibility");
+        for run in &runs {
+            println!(
+                "── {} ─────────────────────────────────────────────",
+                run.label
+            );
+            println!(
+                "{:<8} {:>12} {:>8} {:>10} {:>10} {:>11}",
+                "Design", "verdict", "points", "cnf vars", "corrupt", "verify t"
+            );
+            for out in &run.outcomes {
+                let r = &out.report;
+                let Some(v) = &out.verify else {
+                    println!("{:<8} {:>12}", r.design, "-");
+                    continue;
+                };
+                let corrupt = v
+                    .corruption_fraction()
+                    .map(|f| format!("{f:.3}"))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "{:<8} {:>12} {:>8} {:>10} {:>10} {:>11}",
+                    r.design,
+                    v.outcome.to_string().split(' ').next().unwrap_or("-"),
+                    v.diff_points,
+                    v.cnf_vars,
+                    corrupt,
+                    format!("{:.2?}", r.verify_time)
+                );
+            }
+            println!();
+        }
     }
     ExitCode::SUCCESS
 }

@@ -77,6 +77,18 @@ pub struct SuiteRun {
 /// Panics if any benchmark fails to load or any flow errors, like
 /// [`run_flow`] (the shipped suite must always run).
 pub fn run_suite(jobs: usize) -> Vec<SuiteRun> {
+    run_suite_verified(jobs, 0, false)
+}
+
+/// Like [`run_suite`], optionally with the post-redaction `verify` stage
+/// enabled on every flow: each redaction is proven equivalent to its
+/// original via the `alice-cec` SAT miter, and `wrong_keys` wrong
+/// bitstreams are swept for output corruptibility.
+///
+/// # Panics
+///
+/// Panics like [`run_suite`].
+pub fn run_suite_verified(jobs: usize, wrong_keys: usize, verify: bool) -> Vec<SuiteRun> {
     let benches = alice_benchmarks::suite();
     let configs = paper_configs();
     let jobs = alice_core::par::resolve_jobs(jobs);
@@ -95,6 +107,8 @@ pub fn run_suite(jobs: usize) -> Vec<SuiteRun> {
         let (ci, bi) = tasks[t];
         let base = AliceConfig {
             jobs: 1,
+            verify,
+            verify_wrong_keys: wrong_keys,
             ..configs[ci].1.clone()
         };
         run_flow_on(&benches[bi], &designs[bi], base)

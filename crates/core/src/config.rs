@@ -45,6 +45,18 @@ pub struct AliceConfig {
     /// cores"; see [`AliceConfig::effective_jobs`]. Results are
     /// independent of this value.
     pub jobs: usize,
+    /// Run the post-redaction `verify` stage: a SAT equivalence proof of
+    /// the redacted design (with the correct bitstream pinned) against
+    /// the original, via `alice-cec`.
+    pub verify: bool,
+    /// Wrong bitstreams to try in the verify stage's corruptibility
+    /// sweep (`0` disables the sweep). Each flips a few truth-table key
+    /// bits and measures the fraction of outputs provably corrupted.
+    pub verify_wrong_keys: usize,
+    /// Solver conflict budget per verify-stage SAT query; `None` is
+    /// unlimited (the proof either finishes or runs forever — prefer a
+    /// budget on untrusted inputs).
+    pub verify_conflict_budget: Option<u64>,
 }
 
 impl Default for AliceConfig {
@@ -60,6 +72,9 @@ impl Default for AliceConfig {
             max_solutions: 1_000_000,
             top: None,
             jobs: 0,
+            verify: false,
+            verify_wrong_keys: 0,
+            verify_conflict_budget: Some(5_000_000),
         }
     }
 }
@@ -133,6 +148,20 @@ impl AliceConfig {
         }
         if let Some(v) = y.get("jobs") {
             cfg.jobs = v.as_u32().ok_or_else(|| bad("jobs"))? as usize;
+        }
+        if let Some(v) = y.get("verify") {
+            cfg.verify = v.as_bool().ok_or_else(|| bad("verify"))?;
+        }
+        if let Some(v) = y.get("wrong_keys") {
+            cfg.verify_wrong_keys = v.as_u32().ok_or_else(|| bad("wrong_keys"))? as usize;
+        }
+        if let Some(v) = y.get("verify_budget") {
+            let budget = v.as_u32().ok_or_else(|| bad("verify_budget"))?;
+            cfg.verify_conflict_budget = if budget == 0 {
+                None
+            } else {
+                Some(u64::from(budget))
+            };
         }
         if let Some(v) = y.get("top") {
             cfg.top = Some(v.as_str().ok_or_else(|| bad("top"))?.to_string());
@@ -213,6 +242,20 @@ mod tests {
         assert!(AliceConfig::from_yaml("max_io_pins: lots").is_err());
         assert!(AliceConfig::from_yaml("score_model: whatever").is_err());
         assert!(AliceConfig::from_yaml("jobs: many").is_err());
+    }
+
+    #[test]
+    fn verify_keys_parse() {
+        let cfg = AliceConfig::from_yaml("verify: true\nwrong_keys: 3\nverify_budget: 1000")
+            .expect("parse");
+        assert!(cfg.verify);
+        assert_eq!(cfg.verify_wrong_keys, 3);
+        assert_eq!(cfg.verify_conflict_budget, Some(1000));
+        let unlimited = AliceConfig::from_yaml("verify_budget: 0").expect("parse");
+        assert_eq!(unlimited.verify_conflict_budget, None);
+        assert!(!unlimited.verify, "verify defaults to off");
+        assert!(AliceConfig::from_yaml("verify: maybe").is_err());
+        assert!(AliceConfig::from_yaml("wrong_keys: lots").is_err());
     }
 
     #[test]

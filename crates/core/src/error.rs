@@ -25,6 +25,11 @@ pub enum AliceError {
     Inconsistent(String),
     /// A solution member failed to map onto the fabric (redact phase).
     Map(String),
+    /// The post-redaction equivalence check could not be set up (verify
+    /// phase): the redacted output failed to re-parse/elaborate or its
+    /// boundary could not be paired with the original. An *inequivalence*
+    /// is not an error — it is reported in the verify artifact.
+    Verify(String),
 }
 
 impl AliceError {
@@ -34,6 +39,7 @@ impl AliceError {
             AliceError::Dataflow(_) | AliceError::UnknownOutput(_) => "filter",
             AliceError::Elaborate(_) => "select",
             AliceError::NoSolution | AliceError::Inconsistent(_) | AliceError::Map(_) => "redact",
+            AliceError::Verify(_) => "verify",
         }
     }
 }
@@ -48,6 +54,7 @@ impl fmt::Display for AliceError {
             AliceError::NoSolution => write!(f, "no solution selected"),
             AliceError::Inconsistent(m) => write!(f, "inconsistent redaction state: {m}"),
             AliceError::Map(m) => write!(f, "mapping failed: {m}"),
+            AliceError::Verify(m) => write!(f, "equivalence check setup failed: {m}"),
         }
     }
 }

@@ -12,8 +12,9 @@ use crate::redact::RedactedDesign;
 use crate::select::SelectionResult;
 use crate::stage::{
     run_stage, ClusterStage, FilterStage, FlowContext, PhaseTimings, RedactStage, SelectStage,
-    Stage, CLUSTER, FILTER, SELECT,
+    Stage, VerifyStage, CLUSTER, FILTER, SELECT, VERIFY,
 };
+use crate::verify::VerifyReport;
 use alice_fabric::FabricSize;
 use std::fmt;
 use std::time::Duration;
@@ -49,6 +50,14 @@ pub struct FlowReport {
     pub efpga_sizes: Vec<FabricSize>,
     /// Total redacted module instances in the chosen solution.
     pub redacted_modules: usize,
+    /// Equivalence-check time (zero when the verify stage is off).
+    pub verify_time: Duration,
+    /// Equivalence verdict: `Some(true)` proven equivalent, `Some(false)`
+    /// disproven, `None` when verification did not run to a verdict
+    /// (disabled, no redaction, unsupported, or budget exhausted).
+    pub verified: Option<bool>,
+    /// Mean wrong-key corruption fraction from the sweep, if it ran.
+    pub wrong_key_corruption: Option<f64>,
 }
 
 impl FlowReport {
@@ -66,6 +75,11 @@ impl FlowReport {
             }
             None => (Vec::new(), 0),
         };
+        let verified = cx.verify.as_ref().and_then(|v| match &v.outcome {
+            crate::verify::VerifyOutcome::Equivalent => Some(true),
+            crate::verify::VerifyOutcome::NotEquivalent(_) => Some(false),
+            _ => None,
+        });
         FlowReport {
             design: cx.design.name.clone(),
             instances: cx.design.instance_paths().len(),
@@ -78,6 +92,9 @@ impl FlowReport {
             solutions: selection.map(|s| s.solutions).unwrap_or(0),
             efpga_sizes,
             redacted_modules,
+            verify_time: timings.duration_of(VERIFY),
+            verified,
+            wrong_key_corruption: cx.verify.as_ref().and_then(|v| v.corruption_fraction()),
         }
     }
 }
@@ -107,7 +124,16 @@ impl fmt::Display for FlowReport {
             self.solutions,
             sizes,
             self.redacted_modules
-        )
+        )?;
+        match self.verified {
+            Some(true) => write!(f, " | cec ok ({:.2?})", self.verify_time)?,
+            Some(false) => write!(f, " | cec FAIL ({:.2?})", self.verify_time)?,
+            None => {}
+        }
+        if let Some(c) = self.wrong_key_corruption {
+            write!(f, " corr={c:.2}")?;
+        }
+        Ok(())
     }
 }
 
@@ -126,6 +152,9 @@ pub struct FlowOutcome {
     pub selection: SelectionResult,
     /// The redacted design, when a solution exists.
     pub redacted: Option<RedactedDesign>,
+    /// Equivalence-check report (when [`AliceConfig::verify`] is on and a
+    /// redacted design exists).
+    pub verify: Option<VerifyReport>,
 }
 
 /// The ALICE flow driver.
@@ -167,8 +196,14 @@ impl Flow {
     }
 
     /// The pipeline's stages, in execution order.
-    pub fn stages() -> [&'static dyn Stage; 4] {
-        [&FilterStage, &ClusterStage, &SelectStage, &RedactStage]
+    pub fn stages() -> [&'static dyn Stage; 5] {
+        [
+            &FilterStage,
+            &ClusterStage,
+            &SelectStage,
+            &RedactStage,
+            &VerifyStage,
+        ]
     }
 
     /// Runs all phases on `design` through the staged pipeline.
@@ -194,6 +229,7 @@ impl Flow {
             clusters: cx.clusters.unwrap_or_default(),
             selection: cx.selection.unwrap_or_default(),
             redacted: cx.redacted,
+            verify: cx.verify,
         })
     }
 }
@@ -253,9 +289,9 @@ endmodule
     fn report_times_come_from_stage_timings() {
         let d = Design::from_source("demo", SRC, None).expect("flow");
         let out = Flow::new(AliceConfig::cfg1()).run(&d).expect("flow");
-        // All four stages ran and the report mirrors their records.
+        // All five stages ran and the report mirrors their records.
         let names: Vec<&str> = out.timings.records.iter().map(|r| r.name).collect();
-        assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT]);
+        assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT, VERIFY]);
         assert_eq!(out.report.filter_time, out.timings.duration_of(FILTER));
         assert_eq!(out.report.select_time, out.timings.duration_of(SELECT));
         assert_eq!(out.report.valid_efpgas, out.timings.items_of(SELECT));

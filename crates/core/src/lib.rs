@@ -12,6 +12,9 @@
 //!   scoring, branch-and-bound solution enumeration,
 //! * [`redact`] — redacted top-module regeneration with GPIO remapping
 //!   and dominator-guided eFPGA insertion,
+//! * [`verify`] — the opt-in post-redaction equivalence proof (SAT miter
+//!   via `alice-cec`, correct-bitstream binding) and the wrong-key
+//!   corruptibility sweep,
 //! * [`stage`] — the staged pipeline (`Stage` trait, `FlowContext`,
 //!   `PhaseTimings` instrumentation) the driver is built on,
 //! * [`error`] — the unified [`AliceError`] used by every phase,
@@ -47,6 +50,7 @@ pub mod par;
 pub mod redact;
 pub mod select;
 pub mod stage;
+pub mod verify;
 pub mod yaml;
 
 pub use cluster::{identify_clusters, Cluster, ClusterResult};
@@ -55,6 +59,7 @@ pub use design::{Design, DesignError};
 pub use error::AliceError;
 pub use filter::{filter_modules, Candidate, FilterResult};
 pub use flow::{Flow, FlowError, FlowOutcome, FlowReport};
-pub use redact::{redact, RedactedDesign, RedactedEfpga};
+pub use redact::{redact, RedactedDesign, RedactedEfpga, VerifyBinding};
 pub use select::{select_efpgas, SelectionResult, Solution, ValidEfpga};
 pub use stage::{FlowContext, PhaseTimings, Stage, StageRecord};
+pub use verify::{verify_redaction, VerifyOutcome, VerifyReport, WrongKeyOutcome};

@@ -19,7 +19,7 @@ use crate::design::Design;
 use crate::error::AliceError;
 use crate::filter::Candidate;
 use crate::select::{sanitize, ClusterMapper, SelectionResult};
-use alice_fabric::emit::{config_stream, fabric_netlist, le_primitive};
+use alice_fabric::emit::{config_stream, fabric_netlist, le_configs, le_primitive};
 use alice_fabric::{Bitstream, FabricSize};
 use alice_verilog::ast::*;
 use alice_verilog::hierarchy::const_eval;
@@ -41,6 +41,27 @@ pub struct RedactedEfpga {
     pub config_stream: Vec<bool>,
     /// Hierarchy path where the fabric was inserted.
     pub insertion_point: String,
+    /// Bitstream/state binding for equivalence checking.
+    pub binding: VerifyBinding,
+}
+
+/// How a deployed fabric's elaborated state maps back onto the original
+/// design — the glue between [`alice_fabric::emit::le_configs`] and the
+/// CEC miter's name-based pairing.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyBinding {
+    /// Configuration-register pins: hierarchical DFF bit name in the
+    /// *redacted* elaboration (e.g. `top.u_alice_efpga0.le3.cfg[7]`) →
+    /// the value the correct bitstream loads there.
+    pub cfg_pins: Vec<(String, bool)>,
+    /// Fabric FF → original register: hierarchical DFF name in the
+    /// redacted elaboration (`…le3.ff[0]`) → the original design's
+    /// register-bit name it replaces (e.g. `top.u_rega.q[2]`).
+    pub state_map: Vec<(String, String)>,
+    /// Indices into `cfg_pins` of *meaningful* key bits: truth-table bits
+    /// at input patterns the configured LUT can actually see. Wrong-key
+    /// sweeps flip these (flipping padding bits would prove nothing).
+    pub key_bits: Vec<usize>,
 }
 
 /// The output of the redaction phase.
@@ -143,6 +164,14 @@ pub fn redact(
 
         let lca = common_parent(&members);
         let inst_name = format!("u_alice_efpga{e_idx}");
+        let binding = build_binding(
+            &mut mapper,
+            &chosen.cluster,
+            r,
+            &network,
+            &chosen.efpga.packing,
+            &format!("{lca}.{inst_name}"),
+        )?;
         rewrite_tree(
             &mut file,
             design,
@@ -164,6 +193,7 @@ pub fn redact(
             bitstream: chosen.efpga.bitstream.clone(),
             config_stream: stream,
             insertion_point: lca,
+            binding,
         });
     }
     Ok(RedactedDesign {
@@ -171,6 +201,61 @@ pub fn redact(
         fabric_verilog,
         efpgas,
     })
+}
+
+/// Builds the [`VerifyBinding`] for one deployed fabric: resolves each
+/// emitted LE's configuration ([`le_configs`]) to the hierarchical
+/// `cfg`-register names of the redacted elaboration, and pairs each
+/// FF-hosting LE with the original register bit it replaces.
+fn build_binding(
+    mapper: &mut ClusterMapper<'_>,
+    cluster: &crate::cluster::Cluster,
+    r: &[Candidate],
+    network: &alice_netlist::lutmap::MappedNetlist,
+    packing: &alice_fabric::pack::Packing,
+    inst_path: &str,
+) -> Result<VerifyBinding, AliceError> {
+    // Original-design register names for the merged cluster's DFFs, in
+    // the same member-by-member order the merge concatenated them.
+    let mut orig_dff_names: Vec<String> = Vec::new();
+    for &ci in cluster.iter() {
+        let module = r[ci].module.clone();
+        let mm = mapper.module(&module)?;
+        for local in &mm.dff_names {
+            // Standalone elaboration names registers `{module}.{reg}[{b}]`;
+            // in the full design that instance lives at the member path.
+            let rest = local
+                .strip_prefix(&format!("{module}."))
+                .unwrap_or(local.as_str());
+            orig_dff_names.push(format!("{}.{rest}", r[ci].path));
+        }
+    }
+    if orig_dff_names.len() != network.dffs.len() {
+        return Err(AliceError::Inconsistent(format!(
+            "cluster DFF name count {} != merged DFF count {}",
+            orig_dff_names.len(),
+            network.dffs.len()
+        )));
+    }
+    let mut binding = VerifyBinding::default();
+    for (i, lc) in le_configs(network, packing).iter().enumerate() {
+        let base = format!("{inst_path}.le{i}");
+        let pin_base = binding.cfg_pins.len();
+        for (b, &v) in lc.cfg_bits().iter().enumerate() {
+            binding.cfg_pins.push((format!("{base}.cfg[{b}]"), v));
+        }
+        if let Some(l) = lc.lut {
+            // Only patterns the wired inputs can reach are real key bits.
+            let patterns = (1usize << network.luts[l].inputs.len()).min(16);
+            binding.key_bits.extend((0..patterns).map(|p| pin_base + p));
+        }
+        if let Some(d) = lc.dff {
+            binding
+                .state_map
+                .push((format!("{base}.ff[0]"), orig_dff_names[d].clone()));
+        }
+    }
+    Ok(binding)
 }
 
 /// Constant port width with the module's default parameters.
@@ -321,19 +406,17 @@ fn rewrite_tree(
                                         ))
                                     })?;
                                     if is_lca {
-                                        // Local wire carries the fabric output.
-                                        new_items.push(Item::Net(NetDecl {
-                                            kind: NetKind::Wire,
-                                            name: pp.name.clone(),
-                                            range: range_of(pp.width),
-                                            init: None,
-                                        }));
-                                        new_items.push(Item::Assign(Assign {
-                                            lhs: lv,
-                                            rhs: Expr::id(pp.name.clone()),
-                                        }));
-                                        fabric_conns
-                                            .push((pp.name.clone(), Some(Expr::id(&pp.name))));
+                                        // Connect the fabric output port
+                                        // straight to the member's old
+                                        // target expression, exactly like
+                                        // the removed instance did. (A
+                                        // wire + assign indirection here
+                                        // breaks feedback-through-instance
+                                        // elaboration: instance outputs
+                                        // are stored eagerly, assigns are
+                                        // not.)
+                                        let _ = lv;
+                                        fabric_conns.push((pp.name.clone(), Some(expr)));
                                     } else {
                                         new_items.push(Item::Assign(Assign {
                                             lhs: lv,

@@ -201,6 +201,7 @@ pub fn merge(parts: &[MappedNetlist]) -> MappedNetlist {
                 init: d.init,
             });
         }
+        out.dff_names.extend(p.dff_names.iter().cloned());
         for (n, bits) in &p.outputs {
             out.outputs
                 .push((n.clone(), bits.iter().map(&shift).collect()));

@@ -3,11 +3,13 @@
 //! Figure 3's four phases are modelled as [`Stage`] implementations —
 //! [`FilterStage`] (Algorithm 1, timed together with dataflow analysis as
 //! in the paper), [`ClusterStage`] (Algorithm 2), [`SelectStage`]
-//! (Algorithm 3, the parallel hot path), and [`RedactStage`] — run in
-//! order over a shared [`FlowContext`]. [`run_stage`] wraps each run
-//! with wall-clock timing and an item counter, accumulating a
-//! [`PhaseTimings`] record that the flow report is derived from; no
-//! stage or driver keeps ad-hoc `Instant` pairs.
+//! (Algorithm 3, the parallel hot path), and [`RedactStage`] — followed
+//! by the opt-in [`VerifyStage`] (SAT equivalence proof of the redacted
+//! output, `AliceConfig::verify`) — run in order over a shared
+//! [`FlowContext`]. [`run_stage`] wraps each run with wall-clock timing
+//! and an item counter, accumulating a [`PhaseTimings`] record that the
+//! flow report is derived from; no stage or driver keeps ad-hoc
+//! `Instant` pairs.
 
 use crate::cluster::{identify_clusters, ClusterResult};
 use crate::config::AliceConfig;
@@ -16,6 +18,7 @@ use crate::error::AliceError;
 use crate::filter::{filter_modules, FilterResult};
 use crate::redact::{redact, RedactedDesign};
 use crate::select::{select_efpgas, SelectionResult};
+use crate::verify::{verify_redaction, VerifyReport};
 use std::time::{Duration, Instant};
 
 /// Mutable state threaded through the pipeline: the immutable inputs plus
@@ -37,6 +40,9 @@ pub struct FlowContext<'a> {
     /// The redacted design, when a solution exists (set by
     /// [`RedactStage`]).
     pub redacted: Option<RedactedDesign>,
+    /// Equivalence-check report (set by [`VerifyStage`] when
+    /// [`AliceConfig::verify`] is on and a redacted design exists).
+    pub verify: Option<VerifyReport>,
 }
 
 impl<'a> FlowContext<'a> {
@@ -50,6 +56,7 @@ impl<'a> FlowContext<'a> {
             clusters: None,
             selection: None,
             redacted: None,
+            verify: None,
         }
     }
 
@@ -181,6 +188,36 @@ impl Stage for RedactStage {
     }
 }
 
+/// Phase 5 (opt-in): SAT equivalence check of the redacted output
+/// against the original design, plus the wrong-key corruptibility sweep.
+/// A no-op unless [`AliceConfig::verify`] is set and a redacted design
+/// exists.
+pub struct VerifyStage;
+
+/// [`VerifyStage`]'s timing key.
+pub const VERIFY: &str = "verify";
+
+impl Stage for VerifyStage {
+    fn name(&self) -> &'static str {
+        VERIFY
+    }
+
+    fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
+        if !cx.cfg.verify {
+            return Ok(());
+        }
+        let Some(redacted) = cx.redacted.as_ref() else {
+            return Ok(());
+        };
+        cx.verify = Some(verify_redaction(cx.design, redacted, cx.cfg)?);
+        Ok(())
+    }
+
+    fn items(&self, cx: &FlowContext<'_>) -> usize {
+        cx.verify.as_ref().map(|v| v.diff_points).unwrap_or(0)
+    }
+}
+
 /// One stage's instrumentation record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageRecord {
@@ -260,10 +297,19 @@ endmodule";
     #[test]
     fn stages_fill_the_context_in_order() {
         let design = Design::from_source("demo", SRC, None).expect("load");
-        let cfg = AliceConfig::cfg1();
+        let cfg = AliceConfig {
+            verify: true,
+            ..AliceConfig::cfg1()
+        };
         let mut cx = FlowContext::new(&design, &cfg);
         let mut timings = PhaseTimings::default();
-        let stages: [&dyn Stage; 4] = [&FilterStage, &ClusterStage, &SelectStage, &RedactStage];
+        let stages: [&dyn Stage; 5] = [
+            &FilterStage,
+            &ClusterStage,
+            &SelectStage,
+            &RedactStage,
+            &VerifyStage,
+        ];
         for stage in stages {
             run_stage(stage, &mut cx, &mut timings).expect("stage");
         }
@@ -271,11 +317,26 @@ endmodule";
         assert!(cx.clusters.is_some());
         assert!(cx.selection.is_some());
         assert!(cx.redacted.is_some());
+        assert!(cx.verify.is_some());
         let names: Vec<&str> = timings.records.iter().map(|r| r.name).collect();
-        assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT]);
+        assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT, VERIFY]);
         assert_eq!(timings.items_of(FILTER), 1);
         assert_eq!(timings.items_of(REDACT), 1);
+        assert!(timings.items_of(VERIFY) >= 4, "output bits compared");
         assert!(timings.total() >= timings.duration_of(SELECT));
+    }
+
+    #[test]
+    fn verify_stage_is_a_noop_when_disabled() {
+        let design = Design::from_source("demo", SRC, None).expect("load");
+        let cfg = AliceConfig::cfg1();
+        let mut cx = FlowContext::new(&design, &cfg);
+        let mut timings = PhaseTimings::default();
+        for stage in crate::flow::Flow::stages() {
+            run_stage(stage, &mut cx, &mut timings).expect("stage");
+        }
+        assert!(cx.verify.is_none());
+        assert_eq!(timings.items_of(VERIFY), 0);
     }
 
     #[test]

@@ -177,6 +177,55 @@ pub fn fabric_netlist(
     v
 }
 
+/// The resolved configuration of one emitted logic element: what its
+/// `cfg` register holds once the chain has been shifted in. This is the
+/// bitstream-to-key binding used by equivalence checking — `cfg[b]` for
+/// `b < 16` is truth-table bit `b` and `cfg[16]` is the FF-bypass flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeConfig {
+    /// LUT truth table (identity `0xAAAA` for a lone-FF LE, 0 if unused).
+    pub tt: u64,
+    /// FF-bypass flag (`cfg[16]`): true = combinational output.
+    pub bypass: bool,
+    /// The mapped LUT this LE implements, if any.
+    pub lut: Option<usize>,
+    /// The mapped flip-flop this LE hosts, if any.
+    pub dff: Option<usize>,
+}
+
+impl LeConfig {
+    /// The 17 `cfg` register bit values, LSB first.
+    pub fn cfg_bits(&self) -> [bool; 17] {
+        let mut bits = [false; 17];
+        for (b, slot) in bits.iter_mut().enumerate().take(16) {
+            *slot = (self.tt >> b) & 1 == 1;
+        }
+        bits[16] = self.bypass;
+        bits
+    }
+}
+
+/// Resolves the per-LE configuration for an emitted fabric, in chain
+/// order (the same LE order as [`fabric_netlist`]'s `le{i}` instances
+/// and [`config_stream`]'s shift schedule).
+pub fn le_configs(mapped: &MappedNetlist, packing: &Packing) -> Vec<LeConfig> {
+    packing
+        .clbs
+        .iter()
+        .flat_map(|c| c.les.iter())
+        .map(|le| LeConfig {
+            tt: match (le.lut, le.dff) {
+                (Some(l), _) => mapped.luts[l].tt,
+                (None, Some(_)) => 0xAAAA,
+                (None, None) => 0,
+            },
+            bypass: le.dff.is_none(),
+            lut: le.lut,
+            dff: le.dff,
+        })
+        .collect()
+}
+
 /// Builds the serial configuration stream for the *emitted* netlist (one
 /// `alice_le` per used LE, 17 bits each: 16 truth-table bits then the
 /// FF-bypass flag). Shift the returned bits in order on `cfg_in`, one per
@@ -186,19 +235,11 @@ pub fn fabric_netlist(
 /// This is the functional subset of the full fabric [`crate::bitstream`]
 /// (which also carries routing bits and pads unused LEs).
 pub fn config_stream(mapped: &MappedNetlist, packing: &Packing) -> Vec<bool> {
-    let les: Vec<_> = packing.clbs.iter().flat_map(|c| c.les.iter()).collect();
-    let total = les.len() * 17;
+    let configs = le_configs(mapped, packing);
+    let total = configs.len() * 17;
     let mut stream = vec![false; total];
-    for (j, le) in les.iter().enumerate() {
-        // Identity table for lone-FF LEs: out follows in[0].
-        let tt: u64 = match (le.lut, le.dff) {
-            (Some(l), _) => mapped.luts[l].tt,
-            (None, Some(_)) => 0xAAAA,
-            (None, None) => 0,
-        };
-        let bypass = le.dff.is_none();
-        for b in 0..17usize {
-            let bit = if b < 16 { (tt >> b) & 1 == 1 } else { bypass };
+    for (j, cfg) in configs.iter().enumerate() {
+        for (b, &bit) in cfg.cfg_bits().iter().enumerate() {
             // After `total` shifts, chain position 17j+b holds the bit that
             // entered at time total-1-(17j+b).
             stream[total - 1 - (17 * j + b)] = bit;
@@ -318,6 +359,31 @@ mod tests {
                 assert_eq!(sim.output("y"), oref.output("y"), "a={a} b={b}");
             }
         }
+    }
+
+    #[test]
+    fn le_configs_agree_with_the_shifted_stream() {
+        let (m, p) = fixture(
+            "module r(input wire clk, input wire [3:0] d, output reg [3:0] q);\
+             always @(posedge clk) q <= d ^ {d[0], d[3:1]}; endmodule",
+            "r",
+        );
+        let configs = le_configs(&m, &p);
+        let stream = config_stream(&m, &p);
+        assert_eq!(stream.len(), configs.len() * 17);
+        // Shifting the stream leaves cfg[b] of LE j = configs[j].cfg_bits()[b].
+        for (j, cfg) in configs.iter().enumerate() {
+            for (b, &bit) in cfg.cfg_bits().iter().enumerate() {
+                assert_eq!(
+                    stream[stream.len() - 1 - (17 * j + b)],
+                    bit,
+                    "le{j} cfg[{b}]"
+                );
+            }
+        }
+        // Every mapped FF is hosted by exactly one LE.
+        let hosted: Vec<usize> = configs.iter().filter_map(|c| c.dff).collect();
+        assert_eq!(hosted.len(), m.dff_count());
     }
 
     #[test]

@@ -424,6 +424,40 @@ impl Netlist {
             .collect()
     }
 
+    /// `(id, name, d, init)` for every DFF, in [`Netlist::dffs`] order.
+    ///
+    /// The names are the hierarchical register-bit names assigned at
+    /// elaboration (e.g. `top.u0.q[3]`), which is what equivalence
+    /// checking uses to pair state elements across two netlists.
+    pub fn dff_records(&self) -> Vec<(NodeId, &str, Lit, bool)> {
+        self.iter()
+            .filter_map(|(id, n)| match n {
+                Node::Dff { d, init, name } => Some((id, name.as_str(), *d, *init)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Iterates over combinational gates only (AND/XOR/MUX).
+    pub fn gates(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.iter().filter(|(_, n)| n.is_gate())
+    }
+
+    /// Maps every primary-input node to its `(port index, bit index)`
+    /// position in [`Netlist::inputs`].
+    pub fn input_positions(&self) -> HashMap<NodeId, (usize, usize)> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, (_, bits))| bits.iter().enumerate().map(move |(b, &id)| (id, (p, b))))
+            .collect()
+    }
+
+    /// Total primary-output bits across all output ports.
+    pub fn output_bits(&self) -> usize {
+        self.outputs.iter().map(|(_, b)| b.len()).sum()
+    }
+
     /// Gate-count statistics.
     pub fn stats(&self) -> NetlistStats {
         let mut s = NetlistStats::default();

@@ -67,6 +67,10 @@ pub struct MappedNetlist {
     pub luts: Vec<Lut>,
     /// Mapped flip-flops.
     pub dffs: Vec<MappedDff>,
+    /// Hierarchical register-bit names, parallel to [`MappedNetlist::dffs`]
+    /// (carried through from elaboration so redaction can pair fabric FFs
+    /// with the original design's registers for equivalence checking).
+    pub dff_names: Vec<String>,
     /// Output ports: name and sources (LSB first).
     pub outputs: Vec<(String, Vec<MappedSrc>)>,
 }
@@ -283,6 +287,13 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
     let dff_ids = n.dffs();
     let dff_index: HashMap<NodeId, usize> =
         dff_ids.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+    out.dff_names = dff_ids
+        .iter()
+        .map(|&d| match n.node(d) {
+            Node::Dff { name, .. } => name.clone(),
+            _ => unreachable!("dff list holds DFFs"),
+        })
+        .collect();
 
     // mapped (node, phase) -> source. Root complement is absorbed into the
     // LUT truth table, so a complemented root costs nothing extra; only a

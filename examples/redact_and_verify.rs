@@ -1,19 +1,21 @@
-//! End-to-end redaction with functional verification: redact a design,
-//! parse the regenerated Verilog (top ASIC + fabric netlists), shift the
-//! configuration bitstream through the chain, and prove the configured
-//! chip matches the original gate-for-gate — the property the legitimate
-//! user relies on after fabrication.
+//! End-to-end redaction with *proven* functional verification: redact a
+//! design and let the flow's CEC verify stage build a SAT miter of the
+//! regenerated Verilog (top ASIC + fabric netlists) against the
+//! original, with the configuration registers pinned to the correct
+//! bitstream — a proof over all inputs, not a simulation sweep. A
+//! wrong-key pass then shows the converse: corrupt bitstreams provably
+//! corrupt outputs.
 //!
 //! ```text
 //! cargo run --example redact_and_verify
 //! ```
 
+use alice_redaction::cec::{CecResult, Miter, MiterOptions};
 use alice_redaction::core::config::AliceConfig;
 use alice_redaction::core::design::Design;
 use alice_redaction::core::flow::Flow;
 use alice_redaction::netlist::elaborate;
-use alice_redaction::netlist::sim::Simulator;
-use alice_redaction::verilog::{parse_source, Bits};
+use alice_redaction::verilog::parse_source;
 
 const SRC: &str = r#"
 module mixer(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);
@@ -31,7 +33,14 @@ endmodule
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = Design::from_source("demo", SRC, None)?;
-    let outcome = Flow::new(AliceConfig::cfg1()).run(&design)?;
+    // `verify: true` appends the CEC stage to the pipeline; the wrong-key
+    // sweep flips truth-table bits and measures provable corruption.
+    let cfg = AliceConfig {
+        verify: true,
+        verify_wrong_keys: 3,
+        ..AliceConfig::cfg1()
+    };
+    let outcome = Flow::new(cfg).run(&design)?;
     let redacted = outcome.redacted.as_ref().expect("demo always redacts");
     println!(
         "redacted {:?} into {} eFPGA(s)",
@@ -43,53 +52,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         redacted.efpgas.len()
     );
 
-    // The foundry's view: redacted top + unconfigured fabrics.
-    let combined = redacted.combined_verilog();
-    let file = parse_source(&combined)?;
-    let chip = elaborate(&file, "top")?;
-    let original = elaborate(&design.file, "top")?;
-
-    // The user's step: shift each bitstream into its chain.
-    let mut sim = Simulator::new(&chip);
-    sim.set_input("cfg_en", &Bits::from_u64(1, 1));
-    let total = redacted
-        .efpgas
-        .iter()
-        .map(|e| e.config_stream.len())
-        .max()
-        .unwrap_or(0);
-    for t in 0..total {
-        for (i, e) in redacted.efpgas.iter().enumerate() {
-            let lead = total - e.config_stream.len();
-            let bit = if t >= lead {
-                e.config_stream[t - lead]
-            } else {
-                false
-            };
-            sim.set_input(&format!("cfg_in_e{i}"), &Bits::from_u64(bit as u64, 1));
-        }
-        sim.step();
+    let verify = outcome.verify.as_ref().expect("verify stage ran");
+    println!(
+        "CEC: {} over {} difference points ({} vars, {} clauses)",
+        verify.outcome, verify.diff_points, verify.cnf_vars, verify.cnf_clauses
+    );
+    assert!(verify.outcome.is_equivalent(), "redaction must be correct");
+    for wk in &verify.wrong_keys {
+        println!(
+            "wrong bitstream (flipping {} key bit(s)): {}/{} outputs provably corrupted",
+            wk.flipped.len(),
+            wk.corrupted,
+            wk.total
+        );
     }
-    sim.set_input("cfg_en", &Bits::from_u64(0, 1));
-    println!("configured {total} bit config chain");
 
-    // Compare against the original on exhaustive-ish input sweeps.
-    let mut reference = Simulator::new(&original);
-    let mut checked = 0u32;
-    for p in (0..=255u64).step_by(7) {
-        for q in (0..=255u64).step_by(11) {
-            sim.set_input("p", &Bits::from_u64(p, 8));
-            sim.set_input("q", &Bits::from_u64(q, 8));
-            sim.settle();
-            reference.set_input("p", &Bits::from_u64(p, 8));
-            reference.set_input("q", &Bits::from_u64(q, 8));
-            reference.settle();
-            assert_eq!(sim.output("o1"), reference.output("o1"), "o1 @ p={p} q={q}");
-            assert_eq!(sim.output("o2"), reference.output("o2"), "o2 @ p={p} q={q}");
-            checked += 1;
-        }
+    // The same check through the raw `alice-cec` API: an *unconfigured*
+    // attacker view — every configuration register left free — is NOT
+    // equivalent: some key assignment corrupts some output.
+    let golden = elaborate(&design.file, "top")?;
+    let revised = elaborate(&parse_source(&redacted.combined_verilog())?, "top")?;
+    let mut opts = MiterOptions::default();
+    opts.pin_inputs.push(("cfg_en".to_string(), vec![false]));
+    for e in &redacted.efpgas {
+        // Pair the fabric flip-flops with the registers they replaced,
+        // but leave `cfg` registers free instead of pinning the secret.
+        opts.state_rename.extend(
+            e.binding
+                .state_map
+                .iter()
+                .map(|(ff, orig)| (ff.clone(), orig.clone())),
+        );
     }
-    println!("configured chip matches the original on {checked} input vectors");
-    println!("(without the bitstream, the fabric computes all-zero functions)");
+    match Miter::build(&golden, &revised, &opts)?.prove() {
+        CecResult::NotEquivalent(cex) => println!(
+            "free-key miter: NOT equivalent, witness corrupts {:?} (as redaction intends)",
+            cex.diffs
+        ),
+        other => println!("free-key miter: unexpected verdict {other:?}"),
+    }
+    println!("(the correct bitstream is the only thing separating the two results)");
     Ok(())
 }

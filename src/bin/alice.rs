@@ -5,6 +5,7 @@
 //! ```text
 //! alice <design.v> [--config flow.yaml] [--top NAME] [--out DIR]
 //!       [--cfg1 | --cfg2] [--jobs N] [--report]
+//!       [--verify] [--wrong-keys N]
 //! ```
 
 use alice_redaction::core::config::AliceConfig;
@@ -14,8 +15,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
-                     [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report]";
+                     [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report] \
+                     [--verify] [--wrong-keys N]";
 
+#[derive(Debug)]
 struct Args {
     design: PathBuf,
     config: Option<PathBuf>,
@@ -24,6 +27,22 @@ struct Args {
     preset: Option<&'static str>,
     jobs: Option<usize>,
     report_only: bool,
+    verify: bool,
+    wrong_keys: Option<usize>,
+}
+
+/// Parses a numeric flag value, rejecting out-of-range values with an
+/// error that names the flag (`min` is the smallest accepted value).
+fn parse_count(flag: &str, v: &str, min: usize) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("invalid value for `{flag}`: `{v}`"))?;
+    if n < min {
+        return Err(format!(
+            "invalid value for `{flag}`: `{v}` (must be at least {min})"
+        ));
+    }
+    Ok(n)
 }
 
 /// Parses the command line; every error names the offending flag.
@@ -37,6 +56,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         preset: None,
         jobs: None,
         report_only: false,
+        verify: false,
+        wrong_keys: None,
     };
     let mut it = argv;
     let mut positional = Vec::new();
@@ -50,12 +71,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--top" => args.top = Some(value(&mut it, "--top")?),
             "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
             "--jobs" => {
+                // 0 ("auto") is spelled by omitting the flag, not `--jobs 0`.
                 let v = value(&mut it, "--jobs")?;
-                args.jobs = Some(
-                    v.parse()
-                        .map_err(|_| format!("invalid value for `--jobs`: `{v}`"))?,
-                );
+                args.jobs = Some(parse_count("--jobs", &v, 1)?);
             }
+            "--wrong-keys" => {
+                let v = value(&mut it, "--wrong-keys")?;
+                args.wrong_keys = Some(parse_count("--wrong-keys", &v, 1)?);
+                args.verify = true; // the sweep implies verification
+            }
+            "--verify" => args.verify = true,
             "--cfg1" => args.preset = Some("cfg1"),
             "--cfg2" => args.preset = Some("cfg2"),
             "--report" => args.report_only = true,
@@ -95,6 +120,12 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(jobs) = args.jobs {
         cfg.jobs = jobs;
     }
+    if args.verify {
+        cfg.verify = true;
+    }
+    if let Some(n) = args.wrong_keys {
+        cfg.verify_wrong_keys = n;
+    }
     let name = args
         .design
         .file_stem()
@@ -111,6 +142,24 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     let outcome = Flow::new(cfg).run(&design)?;
     println!("{}", outcome.report);
+    if let Some(v) = &outcome.verify {
+        eprintln!(
+            "alice: verify: {} ({} points, {} vars, {} clauses)",
+            v.outcome, v.diff_points, v.cnf_vars, v.cnf_clauses
+        );
+        for wk in &v.wrong_keys {
+            eprintln!(
+                "alice: wrong key (flipping {} bit(s)): {}/{} outputs corrupted{}",
+                wk.flipped.len(),
+                wk.corrupted,
+                wk.total,
+                if wk.complete { "" } else { " (budget hit)" }
+            );
+        }
+        if !v.outcome.is_equivalent() {
+            return Err(format!("verification did not prove equivalence: {}", v.outcome).into());
+        }
+    }
     if args.report_only {
         return Ok(());
     }
@@ -166,5 +215,55 @@ fn main() -> ExitCode {
             eprintln!("alice: error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<Args>, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected_with_the_flag_named() {
+        let err = parse(&["d.v", "--jobs", "0"]).expect_err("must reject");
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["d.v", "--jobs", "many"]).expect_err("must reject");
+        assert!(err.contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn wrong_keys_zero_is_rejected_with_the_flag_named() {
+        let err = parse(&["d.v", "--wrong-keys", "0"]).expect_err("must reject");
+        assert!(err.contains("--wrong-keys"), "{err}");
+    }
+
+    #[test]
+    fn verify_flags_parse() {
+        let a = parse(&["d.v", "--verify"]).expect("ok").expect("args");
+        assert!(a.verify);
+        assert_eq!(a.wrong_keys, None);
+        let a = parse(&["d.v", "--wrong-keys", "5"])
+            .expect("ok")
+            .expect("args");
+        assert!(a.verify, "--wrong-keys implies --verify");
+        assert_eq!(a.wrong_keys, Some(5));
+    }
+
+    #[test]
+    fn valid_jobs_still_parse() {
+        let a = parse(&["d.v", "--jobs", "3"]).expect("ok").expect("args");
+        assert_eq!(a.jobs, Some(3));
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_name_the_flag() {
+        let err = parse(&["d.v", "--wrong-keys"]).expect_err("must reject");
+        assert!(err.contains("--wrong-keys"), "{err}");
+        let err = parse(&["d.v", "--frobnicate"]).expect_err("must reject");
+        assert!(err.contains("--frobnicate"), "{err}");
     }
 }

@@ -14,6 +14,8 @@
 //! * [`fabric`] — eFPGA architecture, packing, sizing, bitstream
 //! * [`asic`] — standard-cell cost model and floorplanning
 //! * [`attacks`] — CDCL SAT solver and oracle-guided SAT attack
+//! * [`cec`] — SAT-based combinational equivalence checking (miter,
+//!   bitstream binding, wrong-key corruptibility)
 //! * [`core`] — the ALICE flow itself (filtering, clustering, selection)
 //! * [`benchmarks`] — the DAC'22 benchmark suite (Table 1)
 //!
@@ -37,6 +39,7 @@
 pub use alice_asic as asic;
 pub use alice_attacks as attacks;
 pub use alice_benchmarks as benchmarks;
+pub use alice_cec as cec;
 pub use alice_core as core;
 pub use alice_dataflow as dataflow;
 pub use alice_fabric as fabric;

@@ -1,0 +1,69 @@
+//! Suite-wide CEC acceptance: `prove_equivalent(original, redacted +
+//! correct bitstream)` for every DAC'22 benchmark, plus the wrong-key
+//! corruptibility floor for DES3 and GCD.
+//!
+//! SAT-heavy (IIR's redacted multipliers alone take ~2 minutes of
+//! sweeping): ignored in debug builds, run by CI's release matrix entry.
+
+use alice_redaction::benchmarks;
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::flow::{Flow, FlowOutcome};
+use alice_redaction::core::verify::VerifyOutcome;
+
+fn verified_run(b: &benchmarks::Benchmark, wrong_keys: usize) -> FlowOutcome {
+    let d = b.design().expect("load");
+    let mk = |base: AliceConfig| AliceConfig {
+        verify: true,
+        verify_wrong_keys: wrong_keys,
+        ..b.config(base)
+    };
+    // cfg1 where feasible, cfg2 otherwise (IIR has no cfg1 solution).
+    let out = Flow::new(mk(AliceConfig::cfg1())).run(&d).expect("flow");
+    if out.redacted.is_some() {
+        out
+    } else {
+        Flow::new(mk(AliceConfig::cfg2())).run(&d).expect("flow")
+    }
+}
+
+#[cfg_attr(debug_assertions, ignore = "SAT-heavy; run with --release")]
+#[test]
+fn every_benchmark_redaction_is_proven_equivalent() {
+    for b in benchmarks::suite() {
+        let out = verified_run(&b, 0);
+        let v = out.verify.as_ref().expect("verify stage ran");
+        match &v.outcome {
+            VerifyOutcome::Equivalent => {
+                assert!(v.diff_points > 0, "{}: nothing compared", b.name);
+            }
+            VerifyOutcome::Unsupported(why) => {
+                // The one known gap: usb_phy's top divides by a signal.
+                assert_eq!(
+                    b.name, "USB_PHY",
+                    "{}: unexpectedly unsupported: {why}",
+                    b.name
+                );
+            }
+            other => panic!("{}: redaction not proven equivalent: {other}", b.name),
+        }
+    }
+}
+
+#[cfg_attr(debug_assertions, ignore = "SAT-heavy; run with --release")]
+#[test]
+fn wrong_keys_provably_corrupt_des3_and_gcd() {
+    for (bench, floor) in [
+        (benchmarks::des3::benchmark(), 0.0),
+        (benchmarks::gcd::benchmark(), 0.0),
+    ] {
+        let out = verified_run(&bench, 3);
+        let v = out.verify.as_ref().expect("verify stage ran");
+        assert_eq!(v.outcome, VerifyOutcome::Equivalent, "{}", bench.name);
+        let corr = v.corruption_fraction().expect("sweep ran");
+        assert!(
+            corr > floor,
+            "{}: wrong-key corruption fraction {corr} must be nonzero",
+            bench.name
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Golden end-to-end tests: the full flow on GCD and on a generated
+//! benchmark with a fixed seed, with the FlowReport snapshot pinned and
+//! redacted+correct-bitstream equivalence established by the CEC verify
+//! stage — not just simulation.
+
+use alice_redaction::benchmarks;
+use alice_redaction::benchmarks::generator::{generate, GeneratorParams};
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::design::Design;
+use alice_redaction::core::flow::Flow;
+use alice_redaction::core::stage::{CLUSTER, FILTER, REDACT, SELECT, VERIFY};
+use alice_redaction::core::verify::VerifyOutcome;
+
+#[test]
+fn gcd_golden_flow_with_cec_proof() {
+    let b = benchmarks::gcd::benchmark();
+    let d = b.design().expect("load");
+    let cfg = AliceConfig {
+        verify: true,
+        verify_wrong_keys: 2,
+        ..b.config(AliceConfig::cfg1())
+    };
+    let out = Flow::new(cfg).run(&d).expect("flow");
+
+    // --- FlowReport snapshot (stable: the flow is deterministic). ---
+    let r = &out.report;
+    assert_eq!(r.design, "GCD");
+    assert_eq!(r.instances, 11);
+    assert_eq!(r.candidates, 9);
+    assert_eq!(r.clusters, 35);
+    assert_eq!(r.solutions, 334);
+    assert_eq!(r.efpga_sizes.len(), 2, "two eFPGAs under cfg1");
+    assert_eq!(r.redacted_modules, 4);
+    assert_eq!(r.verified, Some(true));
+
+    // --- Timings: all five stages recorded, report mirrors them. ---
+    let names: Vec<&str> = out.timings.records.iter().map(|t| t.name).collect();
+    assert_eq!(names, vec![FILTER, CLUSTER, SELECT, REDACT, VERIFY]);
+    assert_eq!(r.verify_time, out.timings.duration_of(VERIFY));
+    assert!(r.verify_time > std::time::Duration::ZERO);
+
+    // --- The CEC proof, not simulation, is the equivalence oracle. ---
+    let v = out.verify.as_ref().expect("verify ran");
+    assert_eq!(v.outcome, VerifyOutcome::Equivalent, "{}", v.outcome);
+    assert!(v.diff_points >= 72, "output bits + next-states compared");
+    assert!(v.cnf_clauses > 0);
+
+    // --- Wrong keys provably corrupt GCD outputs. ---
+    let corr = v.corruption_fraction().expect("sweep ran");
+    assert!(corr > 0.0, "wrong bitstreams must corrupt GCD");
+    assert_eq!(v.wrong_keys.len(), 2);
+    for wk in &v.wrong_keys {
+        assert!(wk.complete, "corruption analysis must be exact on GCD");
+    }
+}
+
+#[test]
+fn generated_benchmark_golden_flow_with_cec_proof() {
+    let src = generate(11, GeneratorParams::default());
+    let d = Design::from_source("synth", &src, None).expect("load");
+    let cfg = AliceConfig {
+        verify: true,
+        ..AliceConfig::cfg1()
+    };
+    let out = Flow::new(cfg).run(&d).expect("flow");
+
+    // Snapshot for seed 11 (deterministic generator + flow).
+    let r = &out.report;
+    assert!(r.candidates > 0, "seed 11 has redactable modules");
+    assert!(out.redacted.is_some(), "seed 11 redacts");
+    assert_eq!(r.verified, Some(true));
+    let v = out.verify.as_ref().expect("verify ran");
+    assert_eq!(v.outcome, VerifyOutcome::Equivalent, "{}", v.outcome);
+    assert!(v.diff_points > 0);
+
+    // Same seed, same flow: the report is reproducible run-to-run.
+    let out2 = Flow::new(AliceConfig {
+        verify: true,
+        ..AliceConfig::cfg1()
+    })
+    .run(&d)
+    .expect("flow");
+    assert_eq!(out2.report.candidates, r.candidates);
+    assert_eq!(out2.report.clusters, r.clusters);
+    assert_eq!(out2.report.solutions, r.solutions);
+    assert_eq!(out2.report.efpga_sizes, r.efpga_sizes);
+    assert_eq!(out2.report.verified, Some(true));
+}

@@ -100,11 +100,17 @@ fn infeasible_config_flows_through_every_stage() {
     assert_eq!(out.report.solutions, 0);
     assert!(out.selection.best.is_none());
     assert!(out.redacted.is_none());
-    // The staged path still ran (and timed) all four stages.
+    // The staged path still ran (and timed) all five stages.
     let names: Vec<&str> = out.timings.records.iter().map(|r| r.name).collect();
     assert_eq!(
         names,
-        vec![stage::FILTER, stage::CLUSTER, stage::SELECT, stage::REDACT]
+        vec![
+            stage::FILTER,
+            stage::CLUSTER,
+            stage::SELECT,
+            stage::REDACT,
+            stage::VERIFY
+        ]
     );
 }
 
