@@ -6,7 +6,7 @@
 //!
 //! * [`celllib`] — the embedded NanGate45-flavour cell library,
 //! * [`report`] — gate→cell mapping plus area/timing/power reports,
-//! * [`floorplan`] — macro placement and die-area accounting behind
+//! * [`mod@floorplan`] — macro placement and die-area accounting behind
 //!   Figure 4, including an ASCII layout renderer.
 //!
 //! # Example

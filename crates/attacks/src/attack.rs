@@ -1,6 +1,6 @@
 //! Oracle-guided SAT attack on eFPGA-redacted logic.
 //!
-//! Implements the attack of Subramanyan et al. (reference [16] of the
+//! Implements the attack of Subramanyan et al. (reference \[16\] of the
 //! paper) against a redacted cluster: the attacker knows the fabric
 //! netlist (LUT topology) but not the configuration bitstream, and owns a
 //! fully-scanned unlocked chip as an oracle. The LUT truth-table bits are

@@ -1,5 +1,5 @@
 //! Security evaluation substrate: a from-scratch CDCL SAT solver and the
-//! oracle-guided SAT attack of Subramanyan et al. ([16] in the paper),
+//! oracle-guided SAT attack of Subramanyan et al. (\[16\] in the paper),
 //! specialized to eFPGA-redacted LUT networks.
 //!
 //! The paper's threat model (§2.1) assumes an attacker with the chip

@@ -50,7 +50,7 @@ fn ablation_benches(c: &mut Criterion) {
     // DES3 between cfg1 and cfg2).
     let des3 = alice_benchmarks::des3::benchmark();
     let ddes = des3.design().expect("load");
-    let df = alice_dataflow::analyze(&ddes.file, &ddes.hierarchy.top).expect("df");
+    let df = alice_dataflow::analyze(&ddes.file, ddes.hierarchy.top.as_str()).expect("df");
     let mut group = c.benchmark_group("cluster_fixed_point");
     group.sample_size(10);
     for max_io in [24u32, 48, 64, 96] {
@@ -60,7 +60,7 @@ fn ablation_benches(c: &mut Criterion) {
         };
         let r = filter_modules(&ddes, &df, &cfg).expect("filter").candidates;
         group.bench_with_input(BenchmarkId::from_parameter(max_io), &r, |b, r| {
-            b.iter(|| identify_clusters(r, &cfg))
+            b.iter(|| identify_clusters(r, &ddes.paths, &cfg))
         });
     }
     group.finish();

@@ -18,10 +18,10 @@ fn phase_benches(c: &mut Criterion) {
         }
         let design = bench.design().expect("load");
         let cfg = bench.config(alice_core::config::AliceConfig::cfg1());
-        let df = alice_dataflow::analyze(&design.file, &design.hierarchy.top).expect("df");
+        let df = alice_dataflow::analyze(&design.file, design.hierarchy.top.as_str()).expect("df");
         group.bench_with_input(BenchmarkId::new("filter", bench.name), &design, |b, d| {
             b.iter(|| {
-                let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+                let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
                 filter_modules(d, &df, &cfg).expect("filter")
             })
         });
@@ -29,13 +29,24 @@ fn phase_benches(c: &mut Criterion) {
             .expect("filter")
             .candidates;
         group.bench_with_input(BenchmarkId::new("cluster", bench.name), &r, |b, r| {
-            b.iter(|| identify_clusters(r, &cfg))
+            b.iter(|| identify_clusters(r, &design.paths, &cfg))
         });
-        let clusters = identify_clusters(&r, &cfg).clusters;
+        let clusters = identify_clusters(&r, &design.paths, &cfg).clusters;
         group.bench_with_input(
             BenchmarkId::new("select", bench.name),
             &clusters,
-            |b, cl| b.iter(|| select_efpgas(&design, &r, cl, &cfg).expect("select")),
+            |b, cl| {
+                b.iter(|| {
+                    select_efpgas(
+                        &design,
+                        &r,
+                        cl,
+                        &cfg,
+                        &alice_core::db::DesignDb::new_disabled(),
+                    )
+                    .expect("select")
+                })
+            },
         );
     }
     group.finish();

@@ -1,0 +1,82 @@
+//! Pipeline substrate benches: elaboration, LUT mapping, select-stage
+//! characterization (cold vs warm `DesignDb`), and CEC miter encoding.
+//!
+//! These are the flow's hot paths after the interned-symbol/`DesignDb`
+//! refactor; `pipeline_bench` (the `BENCH_pipeline.json` runner) reports
+//! the same operations as machine-readable numbers for the perf
+//! trajectory.
+
+use alice_cec::{Miter, MiterOptions};
+use alice_core::cluster::identify_clusters;
+use alice_core::config::AliceConfig;
+use alice_core::db::DesignDb;
+use alice_core::filter::filter_modules;
+use alice_core::select::select_efpgas;
+use alice_netlist::elaborate::elaborate;
+use alice_netlist::lutmap::map_luts;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let gcd = alice_benchmarks::gcd::benchmark();
+    let design = gcd.design().expect("load GCD");
+    let top = design.hierarchy.top.as_str();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_with_input(
+        criterion::BenchmarkId::new("elaborate", "GCD"),
+        &design,
+        |b, d| b.iter(|| elaborate(&d.file, black_box(top)).expect("elaborate")),
+    );
+
+    let netlist = elaborate(&design.file, top).expect("elaborate");
+    g.bench_with_input(
+        criterion::BenchmarkId::new("lutmap", "GCD"),
+        &netlist,
+        |b, n| b.iter(|| map_luts(black_box(n), 4).expect("map")),
+    );
+
+    // Select-stage characterization, cold (fresh db each iteration) vs
+    // warm (one shared db, first iteration fills it).
+    let cfg = gcd.config(AliceConfig::cfg1());
+    let df = alice_dataflow::analyze(&design.file, top).expect("df");
+    let r = filter_modules(&design, &df, &cfg)
+        .expect("filter")
+        .candidates;
+    let clusters = identify_clusters(&r, &design.paths, &cfg).clusters;
+    g.bench_with_input(
+        criterion::BenchmarkId::new("select", "GCD-cold"),
+        &clusters,
+        |b, cl| {
+            b.iter(|| {
+                let db = DesignDb::new();
+                select_efpgas(&design, &r, cl, &cfg, &db).expect("select")
+            })
+        },
+    );
+    let warm = DesignDb::new();
+    select_efpgas(&design, &r, &clusters, &cfg, &warm).expect("warm fill");
+    g.bench_with_input(
+        criterion::BenchmarkId::new("select", "GCD-warm"),
+        &clusters,
+        |b, cl| b.iter(|| select_efpgas(&design, &r, cl, &cfg, &warm).expect("select")),
+    );
+
+    // CEC encoding: building the self-miter (Tseitin + cross-netlist
+    // strashing + sweeping setup) without solving it.
+    g.bench_with_input(
+        criterion::BenchmarkId::new("cec-encode", "GCD"),
+        &netlist,
+        |b, n| {
+            b.iter(|| {
+                Miter::build(black_box(n), black_box(n), &MiterOptions::default()).expect("miter")
+            })
+        },
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -21,14 +21,14 @@ fn main() {
             .collect();
         // Residual ASIC logic: the unredacted modules of the design.
         let design = gcd.design().expect("load");
-        let redacted: Vec<String> = best
+        let redacted: Vec<alice_intern::Symbol> = best
             .efpgas
             .iter()
             .flat_map(|&i| {
                 out.selection.valid[i]
                     .cluster
                     .iter()
-                    .map(|&c| out.filter.candidates[c].path.clone())
+                    .map(|&c| out.filter.candidates[c].path)
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -37,8 +37,8 @@ fn main() {
             if redacted.contains(&path) {
                 continue;
             }
-            let module = design.module_of(&path).expect("module");
-            if let Ok(n) = elaborate(&design.file, module) {
+            let module = design.module_of(path).expect("module");
+            if let Ok(n) = elaborate(&design.file, module.as_str()) {
                 residual += synthesize(&n).area_um2;
             }
         }

@@ -1,0 +1,184 @@
+//! `pipeline_bench` — the perf-trajectory runner: times the flow's hot
+//! paths and writes `BENCH_pipeline.json` so future changes have a
+//! machine-readable baseline.
+//!
+//! ```text
+//! pipeline_bench [--out BENCH_pipeline.json] [--samples N] [--smoke]
+//! ```
+//!
+//! Sections:
+//!
+//! * `elaborate_ms` / `lutmap_ms` — per-benchmark substrate timings,
+//! * `cec_encode_ms` — GCD self-miter construction,
+//! * `select_stage` — the headline number: total select-stage time over
+//!   the whole benchmarks × {cfg1, cfg2} matrix, run **cold** (every
+//!   flow gets its own private enabled [`DesignDb`], the `Flow::new`
+//!   default) and **warm** (every flow shares one already-filled db),
+//!   with the relative improvement,
+//! * `cache` — hit/miss totals of the shared-db pass.
+//!
+//! `--smoke` shrinks everything to one sample for CI.
+
+use alice_bench::{run_suite_private, run_suite_with_db};
+use alice_cec::{Miter, MiterOptions};
+use alice_core::db::DesignDb;
+use alice_netlist::elaborate::elaborate;
+use alice_netlist::lutmap::map_luts;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: pipeline_bench [--out FILE] [--samples N] [--smoke]";
+
+fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2].as_secs_f64() * 1e3
+}
+
+fn json_map(pairs: &[(String, f64)]) -> String {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.3}"))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_pipeline.json".to_string();
+    let mut samples = 5usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("pipeline_bench: error: missing value for `--out`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => samples = v,
+                _ => {
+                    eprintln!(
+                        "pipeline_bench: error: invalid value for `--samples` \
+                         (must be at least 1)\n{USAGE}"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--smoke" => samples = 1,
+            other => {
+                eprintln!("pipeline_bench: error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // --- Substrates: elaboration + LUT mapping per benchmark. ---
+    let mut elab_ms: Vec<(String, f64)> = Vec::new();
+    let mut lutmap_ms: Vec<(String, f64)> = Vec::new();
+    for b in alice_benchmarks::suite() {
+        let design = b.design().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let top = design.hierarchy.top.as_str();
+        if elaborate(&design.file, top).is_err() {
+            continue; // usb_phy-style designs without a gate-level model
+        }
+        elab_ms.push((
+            b.name.to_string(),
+            median_ms(samples, || {
+                elaborate(&design.file, top).expect("elaborates");
+            }),
+        ));
+        let netlist = elaborate(&design.file, top).expect("elaborates");
+        lutmap_ms.push((
+            b.name.to_string(),
+            median_ms(samples, || {
+                map_luts(&netlist, 4).expect("maps");
+            }),
+        ));
+    }
+
+    // --- CEC encoding (GCD self-miter construction). ---
+    let gcd = alice_benchmarks::gcd::benchmark()
+        .design()
+        .expect("load GCD");
+    let gcd_netlist = elaborate(&gcd.file, gcd.hierarchy.top.as_str()).expect("elaborate GCD");
+    let cec_encode = median_ms(samples, || {
+        Miter::build(&gcd_netlist, &gcd_netlist, &MiterOptions::default()).expect("miter");
+    });
+
+    // --- Select stage over the benchmarks × configs matrix. ---
+    // Cold: every flow gets its own private enabled db (the default
+    // `Flow::new` behaviour — intra-run reuse, no cross-cell sharing).
+    let select_total = |runs: &[alice_bench::SuiteRun]| -> f64 {
+        runs.iter()
+            .flat_map(|r| r.outcomes.iter())
+            .map(|o| o.report.select_time.as_secs_f64() * 1e3)
+            .sum()
+    };
+    let t = Instant::now();
+    let cold_runs = run_suite_private(0, 0, false);
+    let cold_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cold_ms = select_total(&cold_runs);
+
+    // Warm: fill a shared db with one pass, then measure a second pass.
+    let shared = Arc::new(DesignDb::new());
+    run_suite_with_db(0, 0, false, shared.clone());
+    let t = Instant::now();
+    let warm_runs = run_suite_with_db(0, 0, false, shared.clone());
+    let warm_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let warm_ms = select_total(&warm_runs);
+    let counts = shared.counts();
+    let improvement = if cold_ms > 0.0 {
+        1.0 - warm_ms / cold_ms
+    } else {
+        0.0
+    };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"alice-bench-pipeline-v1\",");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"elaborate_ms\": {},", json_map(&elab_ms));
+    let _ = writeln!(json, "  \"lutmap_ms\": {},", json_map(&lutmap_ms));
+    let _ = writeln!(json, "  \"cec_encode_ms\": {cec_encode:.3},");
+    let _ = writeln!(json, "  \"select_stage\": {{");
+    let _ = writeln!(json, "    \"matrix\": \"benchmarks x {{cfg1, cfg2}}\",");
+    let _ = writeln!(json, "    \"cold_total_ms\": {cold_ms:.3},");
+    let _ = writeln!(json, "    \"warm_total_ms\": {warm_ms:.3},");
+    let _ = writeln!(json, "    \"cold_wall_ms\": {cold_wall_ms:.3},");
+    let _ = writeln!(json, "    \"warm_wall_ms\": {warm_wall_ms:.3},");
+    let _ = writeln!(json, "    \"warm_vs_cold_improvement\": {improvement:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {} }}",
+        counts.hits, counts.misses
+    );
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("pipeline_bench: error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "pipeline_bench: select stage cold {cold_ms:.1} ms vs warm {warm_ms:.1} ms \
+         ({:.1}% faster warm); wrote {out}",
+        improvement * 100.0
+    );
+    if improvement < 0.30 {
+        eprintln!(
+            "pipeline_bench: WARNING: warm-cache select improvement {:.1}% is below the 30% target",
+            improvement * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -16,7 +16,7 @@ fn main() {
             if m.name == b.top {
                 continue;
             }
-            let Ok(n) = elaborate(&design.file, &m.name) else {
+            let Ok(n) = elaborate(&design.file, m.name.as_str()) else {
                 println!(
                     "  {:<16} pins {:>4}  (elaboration fails)",
                     m.name, m.io_pins

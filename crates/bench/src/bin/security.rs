@@ -1,4 +1,4 @@
-//! Security evaluation (threat-model extension, §2.1/[16]): mounts the
+//! Security evaluation (threat-model extension, §2.1/\[16\]): mounts the
 //! oracle-guided SAT attack against the fabric contents selected by the
 //! flow for each benchmark, reporting key size and attack effort.
 
@@ -26,7 +26,8 @@ fn main() {
             continue;
         };
         let design = b.design().expect("load");
-        let mut mapper = ClusterMapper::new(&design, 4);
+        let db = alice_core::db::DesignDb::new();
+        let mut mapper = ClusterMapper::new(&design, 4, &db);
         for &vi in &best.efpgas {
             let chosen = &out.selection.valid[vi];
             let network = mapper

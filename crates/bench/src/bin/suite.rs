@@ -9,8 +9,10 @@
 //!     # omit --jobs to use all available cores
 //! ```
 
-use alice_bench::run_suite_verified;
+use alice_bench::run_suite_with_db;
+use alice_core::db::DesignDb;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage: suite [--jobs N] [--verify] [--wrong-keys N]";
 
@@ -83,14 +85,15 @@ fn main() -> ExitCode {
     println!();
 
     println!("Table 2: The ALICE flow on every benchmark (concurrent batch)");
-    let runs = run_suite_verified(jobs, args.wrong_keys, args.verify);
+    let db = Arc::new(DesignDb::new());
+    let runs = run_suite_with_db(jobs, args.wrong_keys, args.verify, db.clone());
     for run in &runs {
         println!(
             "── {} ─────────────────────────────────────────────",
             run.label
         );
         println!(
-            "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3}",
+            "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3} | {:>11}",
             "Design",
             "#Ins",
             "filter t",
@@ -101,7 +104,8 @@ fn main() -> ExitCode {
             "#valid",
             "|S|",
             "eFPGA sizes",
-            "#red"
+            "#red",
+            "cache h/m"
         );
         for out in &run.outcomes {
             let r = &out.report;
@@ -115,7 +119,7 @@ fn main() -> ExitCode {
                     .join(", ")
             };
             println!(
-                "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3}",
+                "{:<8} {:>4} | {:>11} {:>4} | {:>11} {:>5} | {:>11} {:>6} {:>6} | {:<14} {:>3} | {:>11}",
                 r.design,
                 r.instances,
                 format!("{:.2?}", r.filter_time),
@@ -126,9 +130,29 @@ fn main() -> ExitCode {
                 r.valid_efpgas,
                 r.solutions,
                 sizes,
-                r.redacted_modules
+                r.redacted_modules,
+                format!("{}/{}", r.cache_hits, r.cache_misses)
             );
         }
+        println!();
+    }
+    {
+        // Matrix totals come from the shared db's own counters: the
+        // per-run `cache h/m` columns are wall-clock attribution windows
+        // that overlap when flows run concurrently, so summing them
+        // would double-count.
+        let counts = db.counts();
+        let total = counts.hits + counts.misses;
+        println!(
+            "Characterization cache over the whole matrix: {} hit(s), {} miss(es){}",
+            counts.hits,
+            counts.misses,
+            if total > 0 {
+                format!(" ({:.1}% hit rate)", 100.0 * counts.hit_rate())
+            } else {
+                String::new()
+            }
+        );
         println!();
     }
 

@@ -9,15 +9,17 @@
 //! * `table2` — the full flow under cfg1/cfg2 (paper Table 2),
 //! * `figure4` — GCD floorplans and die areas (paper Figure 4),
 //! * `security` — SAT-attack resilience of selected fabrics (threat-model
-//!   extension; §2.1/[16]).
+//!   extension; §2.1/\[16\]).
 //!
 //! Benches (Criterion): `flow_phases`, `substrates`, `ablation`.
 
 use alice_benchmarks::Benchmark;
 use alice_core::config::AliceConfig;
+use alice_core::db::DesignDb;
 use alice_core::design::Design;
 use alice_core::flow::{Flow, FlowOutcome};
 use alice_core::par::shard;
+use std::sync::Arc;
 
 /// Runs one benchmark under a configuration, with its selected outputs.
 ///
@@ -40,6 +42,19 @@ pub fn run_flow(bench: &Benchmark, base: AliceConfig) -> FlowOutcome {
 /// Panics if the flow errors.
 pub fn run_flow_on(bench: &Benchmark, design: &Design, base: AliceConfig) -> FlowOutcome {
     Flow::new(bench.config(base))
+        .run(design)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name))
+}
+
+/// Like [`run_flow_on`], against a shared [`DesignDb`] so repeated runs
+/// (benchmarks × configurations) reuse characterizations.
+pub fn run_flow_on_db(
+    bench: &Benchmark,
+    design: &Design,
+    base: AliceConfig,
+    db: Arc<DesignDb>,
+) -> FlowOutcome {
+    Flow::with_db(bench.config(base), db)
         .run(design)
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name))
 }
@@ -89,6 +104,38 @@ pub fn run_suite(jobs: usize) -> Vec<SuiteRun> {
 ///
 /// Panics like [`run_suite`].
 pub fn run_suite_verified(jobs: usize, wrong_keys: usize, verify: bool) -> Vec<SuiteRun> {
+    run_suite_with_db(jobs, wrong_keys, verify, Arc::new(DesignDb::new()))
+}
+
+/// Like [`run_suite_verified`], against a caller-supplied [`DesignDb`]
+/// shared by every flow in the matrix — a module characterized for one
+/// benchmark × config cell is never LUT-mapped or sized again in any
+/// other cell. Pass [`DesignDb::new_disabled`] for a no-cache baseline.
+pub fn run_suite_with_db(
+    jobs: usize,
+    wrong_keys: usize,
+    verify: bool,
+    db: Arc<DesignDb>,
+) -> Vec<SuiteRun> {
+    run_suite_matrix(jobs, wrong_keys, verify, Some(db))
+}
+
+/// Like [`run_suite_verified`] but with a *private* enabled [`DesignDb`]
+/// per flow — intra-run reuse only, no cross-cell sharing. This is the
+/// honest "cold" baseline `pipeline_bench` measures the shared-db warm
+/// pass against.
+pub fn run_suite_private(jobs: usize, wrong_keys: usize, verify: bool) -> Vec<SuiteRun> {
+    run_suite_matrix(jobs, wrong_keys, verify, None)
+}
+
+/// The matrix driver behind every suite entry point: `db = Some` shares
+/// one database across all cells, `None` gives each flow its own.
+fn run_suite_matrix(
+    jobs: usize,
+    wrong_keys: usize,
+    verify: bool,
+    db: Option<Arc<DesignDb>>,
+) -> Vec<SuiteRun> {
     let benches = alice_benchmarks::suite();
     let configs = paper_configs();
     let jobs = alice_core::par::resolve_jobs(jobs);
@@ -111,7 +158,10 @@ pub fn run_suite_verified(jobs: usize, wrong_keys: usize, verify: bool) -> Vec<S
             verify_wrong_keys: wrong_keys,
             ..configs[ci].1.clone()
         };
-        run_flow_on(&benches[bi], &designs[bi], base)
+        match &db {
+            Some(db) => run_flow_on_db(&benches[bi], &designs[bi], base, db.clone()),
+            None => run_flow_on(&benches[bi], &designs[bi], base),
+        }
     });
     configs
         .into_iter()

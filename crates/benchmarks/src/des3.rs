@@ -93,7 +93,7 @@ fn sbox_module(i: usize) -> String {
     v
 }
 
-/// The Verilog source (S-box bodies generated from [`SBOX_TABLES`]).
+/// The Verilog source (S-box bodies generated from `SBOX_TABLES`).
 pub fn source() -> String {
     let mut v = String::new();
     for i in 0..8 {
@@ -253,11 +253,19 @@ mod tests {
         let b = benchmark();
         let d = b.design().expect("load");
         let sbox_pins: Vec<u32> = (1..=8)
-            .map(|i| d.hierarchy.modules[&format!("des3_sbox{i}")].io_pins)
+            .map(|i| {
+                d.hierarchy
+                    .module_info(format!("des3_sbox{i}").as_str())
+                    .expect("sbox")
+                    .io_pins
+            })
             .collect();
         assert!(sbox_pins.iter().all(|&p| p == 12), "{sbox_pins:?}");
         for m in ["des3_roundf", "des3_key_sel", "des3_crp"] {
-            assert!(d.hierarchy.modules[m].io_pins > 96, "{m}");
+            assert!(
+                d.hierarchy.module_info(m).expect("module").io_pins > 96,
+                "{m}"
+            );
         }
     }
 

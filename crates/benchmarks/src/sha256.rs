@@ -191,11 +191,14 @@ mod tests {
     fn round_unit_fits_both_configs() {
         let b = benchmark();
         let d = b.design().expect("load");
-        let round = &d.hierarchy.modules["sha_round"];
+        let round = d.hierarchy.module_info("sha_round").expect("sha_round");
         assert!(round.io_pins <= 64);
         // The other two exceed even cfg2's 96-pin budget.
         for m in ["sha_w_mem", "sha_core"] {
-            assert!(d.hierarchy.modules[m].io_pins > 96, "{m}");
+            assert!(
+                d.hierarchy.module_info(m).expect("module").io_pins > 96,
+                "{m}"
+            );
         }
     }
 }

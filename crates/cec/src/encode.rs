@@ -15,6 +15,7 @@
 //! configured LUT function before the solver ever sees it.
 
 use alice_attacks::solver::{Lit, Solver, Var};
+use alice_intern::Symbol;
 use alice_netlist::ir::{Lit as NLit, Netlist, Node};
 use std::collections::HashMap;
 
@@ -22,8 +23,8 @@ use std::collections::HashMap;
 /// the encoded next-state function.
 #[derive(Debug, Clone)]
 pub struct EncodedDff {
-    /// Hierarchical register-bit name from elaboration.
-    pub name: String,
+    /// Hierarchical register-bit name from elaboration (interned).
+    pub name: Symbol,
     /// Current-state (Q) literal.
     pub q: Lit,
     /// Next-state (D) literal.
@@ -36,9 +37,9 @@ pub struct EncodedDff {
 #[derive(Debug, Clone)]
 pub struct EncodedNetlist {
     /// Input ports: name and per-bit literals (LSB first).
-    pub inputs: Vec<(String, Vec<Lit>)>,
+    pub inputs: Vec<(Symbol, Vec<Lit>)>,
     /// Output ports: name and per-bit literals (LSB first).
-    pub outputs: Vec<(String, Vec<Lit>)>,
+    pub outputs: Vec<(Symbol, Vec<Lit>)>,
     /// Flip-flops in [`Netlist::dffs`] order.
     pub dffs: Vec<EncodedDff>,
     /// The solver literal of every netlist node, indexed by
@@ -242,8 +243,8 @@ impl Encoder {
         &mut self,
         s: &mut Solver,
         n: &Netlist,
-        input_bind: &HashMap<String, Vec<Lit>>,
-        state_bind: &HashMap<String, Lit>,
+        input_bind: &HashMap<Symbol, Vec<Lit>>,
+        state_bind: &HashMap<Symbol, Lit>,
     ) -> EncodedNetlist {
         let order = n
             .comb_topo_order()
@@ -263,14 +264,14 @@ impl Encoder {
             for (&id, &l) in bits.iter().zip(&lits) {
                 node_lit[id.0 as usize] = Some(l);
             }
-            inputs.push((name.clone(), lits));
+            inputs.push((*name, lits));
         }
 
         // DFF Q literals: bound (shared with the twin or pinned) or fresh.
         let records = n.dff_records();
         for &(id, name, _, _) in &records {
             let q = state_bind
-                .get(name)
+                .get(&name)
                 .copied()
                 .unwrap_or_else(|| self.fresh(s));
             node_lit[id.0 as usize] = Some(q);
@@ -317,17 +318,12 @@ impl Encoder {
         let outputs = n
             .outputs
             .iter()
-            .map(|(name, bits)| {
-                (
-                    name.clone(),
-                    bits.iter().map(|&l| resolve(&node_lit, l)).collect(),
-                )
-            })
+            .map(|(name, bits)| (*name, bits.iter().map(|&l| resolve(&node_lit, l)).collect()))
             .collect();
         let dffs = records
             .into_iter()
             .map(|(id, name, d, init)| EncodedDff {
-                name: name.to_string(),
+                name,
                 q: node_lit[id.0 as usize].expect("assigned above"),
                 next: resolve(&node_lit, d),
                 init,
@@ -387,8 +383,11 @@ mod tests {
 
         let mut s = Solver::new();
         let mut enc = Encoder::new(&mut s);
-        let shared: HashMap<String, Vec<Lit>> =
-            [("a".to_string(), vec![enc.fresh(&mut s), enc.fresh(&mut s)])].into();
+        let shared: HashMap<Symbol, Vec<Lit>> = [(
+            Symbol::intern("a"),
+            vec![enc.fresh(&mut s), enc.fresh(&mut s)],
+        )]
+        .into();
         let e1 = enc.encode(&mut s, &n, &shared, &HashMap::new());
         let e2 = enc.encode(&mut s, &n, &shared, &HashMap::new());
         assert_eq!(e1.outputs[0].1, e2.outputs[0].1);
@@ -431,7 +430,7 @@ mod tests {
         let mut s = Solver::new();
         let mut enc = Encoder::new(&mut s);
         let t = enc.tru();
-        let state: HashMap<String, Lit> = [("r[0]".to_string(), t)].into();
+        let state: HashMap<Symbol, Lit> = [(Symbol::intern("r[0]"), t)].into();
         let e = enc.encode(&mut s, &n, &HashMap::new(), &state);
         assert_eq!(e.outputs[0].1[0], t, "pinned Q folds to constant");
         assert_eq!(e.dffs[0].name, "r[0]");

@@ -17,6 +17,7 @@
 use crate::encode::{model_value, Encoder};
 use crate::sweep::{const_sig, random_sig, sweep, Sig, SweepSide, SweepStats};
 use alice_attacks::solver::{Lit, SatResult, Solver};
+use alice_intern::Symbol;
 use alice_netlist::ir::Netlist;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -63,13 +64,13 @@ impl std::error::Error for MiterError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
     /// Shared primary-input values, per golden port (LSB first).
-    pub inputs: Vec<(String, Vec<bool>)>,
+    pub inputs: Vec<(Symbol, Vec<bool>)>,
     /// Shared state values, by golden register name.
-    pub state: Vec<(String, bool)>,
+    pub state: Vec<(Symbol, bool)>,
     /// Free key-input values, per revised-only port.
-    pub key_inputs: Vec<(String, Vec<bool>)>,
+    pub key_inputs: Vec<(Symbol, Vec<bool>)>,
     /// Free key-state values, by revised-only register name.
-    pub key_state: Vec<(String, bool)>,
+    pub key_state: Vec<(Symbol, bool)>,
     /// Names of the difference points that disagree under this assignment
     /// (`port[bit]` for outputs, `next(reg)` for next-state functions).
     pub diffs: Vec<String>,
@@ -130,11 +131,11 @@ pub struct MiterOptions {
     /// Renames applied to revised-netlist register names before pairing
     /// (`revised name` → `golden name`); this is how redaction maps each
     /// fabric FF back onto the register it replaced.
-    pub state_rename: HashMap<String, String>,
+    pub state_rename: HashMap<Symbol, Symbol>,
     /// Revised-netlist input ports pinned to constants (LSB first).
-    pub pin_inputs: Vec<(String, Vec<bool>)>,
+    pub pin_inputs: Vec<(Symbol, Vec<bool>)>,
     /// Revised-netlist registers pinned to constants — the bitstream.
-    pub pin_state: Vec<(String, bool)>,
+    pub pin_state: Vec<(Symbol, bool)>,
     /// Compare next-state functions of paired flip-flops (the scan
     /// model). Disable only for purely combinational netlists.
     pub check_next_state: bool,
@@ -164,9 +165,10 @@ impl Default for MiterOptions {
     }
 }
 
-fn is_key_name(name: &str, prefixes: &[String]) -> bool {
+fn is_key_name(name: Symbol, prefixes: &[String]) -> bool {
     // A key name matches a prefix on its last hierarchical segment (the
     // register or port's own name) or on the whole path.
+    let name = name.as_str();
     let last = name.rsplit('.').next().unwrap_or(name);
     prefixes
         .iter()
@@ -176,10 +178,10 @@ fn is_key_name(name: &str, prefixes: &[String]) -> bool {
 /// The composed miter, ready to solve.
 pub struct Miter {
     solver: Solver,
-    shared_inputs: Vec<(String, Vec<Lit>)>,
-    shared_state: Vec<(String, Lit)>,
-    key_inputs: Vec<(String, Vec<Lit>)>,
-    key_state: Vec<(String, Lit)>,
+    shared_inputs: Vec<(Symbol, Vec<Lit>)>,
+    shared_state: Vec<(Symbol, Lit)>,
+    key_inputs: Vec<(Symbol, Vec<Lit>)>,
+    key_state: Vec<(Symbol, Lit)>,
     /// Difference points: `(name, xor-literal)`.
     diffs: Vec<(String, Lit)>,
     /// The encoder's constant-true literal (to recognize folded diffs).
@@ -202,47 +204,46 @@ impl Miter {
         // lockstep with the literal bindings: shared literal ⇒ shared
         // word, pinned literal ⇒ constant word.
         let mut rng: u64 = 0x5EED_A11C_E000_0001 ^ (a.len() as u64) << 1 ^ b.len() as u64;
-        let mut wbind_a: HashMap<String, Vec<Sig>> = HashMap::new();
-        let mut wbind_b: HashMap<String, Vec<Sig>> = HashMap::new();
+        let mut wbind_a: HashMap<Symbol, Vec<Sig>> = HashMap::new();
+        let mut wbind_b: HashMap<Symbol, Vec<Sig>> = HashMap::new();
 
         // --- Shared inputs: allocate once, bind into both encodes. ---
-        let b_in_widths: HashMap<&str, usize> = b
-            .inputs
-            .iter()
-            .map(|(n, bits)| (n.as_str(), bits.len()))
-            .collect();
-        let mut bind_a: HashMap<String, Vec<Lit>> = HashMap::new();
-        let mut bind_b: HashMap<String, Vec<Lit>> = HashMap::new();
+        let b_in_widths: HashMap<Symbol, usize> =
+            b.inputs.iter().map(|(n, bits)| (*n, bits.len())).collect();
+        let mut bind_a: HashMap<Symbol, Vec<Lit>> = HashMap::new();
+        let mut bind_b: HashMap<Symbol, Vec<Lit>> = HashMap::new();
         let mut shared_inputs = Vec::new();
         for (name, bits) in &a.inputs {
-            match b_in_widths.get(name.as_str()) {
-                None => return Err(MiterError::MissingInput(name.clone())),
-                Some(&w) if w != bits.len() => return Err(MiterError::WidthMismatch(name.clone())),
+            match b_in_widths.get(name) {
+                None => return Err(MiterError::MissingInput(name.to_string())),
+                Some(&w) if w != bits.len() => {
+                    return Err(MiterError::WidthMismatch(name.to_string()))
+                }
                 Some(_) => {}
             }
             let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut solver)).collect();
             let words: Vec<Sig> = bits.iter().map(|_| random_sig(&mut rng)).collect();
-            bind_a.insert(name.clone(), lits.clone());
-            bind_b.insert(name.clone(), lits.clone());
-            wbind_a.insert(name.clone(), words.clone());
-            wbind_b.insert(name.clone(), words);
-            shared_inputs.push((name.clone(), lits));
+            bind_a.insert(*name, lits.clone());
+            bind_b.insert(*name, lits.clone());
+            wbind_a.insert(*name, words.clone());
+            wbind_b.insert(*name, words);
+            shared_inputs.push((*name, lits));
         }
 
         // --- Pinned revised inputs (e.g. cfg_en = 0). ---
         for (name, vals) in &opts.pin_inputs {
-            let Some(&w) = b_in_widths.get(name.as_str()) else {
-                return Err(MiterError::UnknownPin(name.clone()));
+            let Some(&w) = b_in_widths.get(name) else {
+                return Err(MiterError::UnknownPin(name.to_string()));
             };
             if w != vals.len() {
-                return Err(MiterError::WidthMismatch(name.clone()));
+                return Err(MiterError::WidthMismatch(name.to_string()));
             }
             let consts: Vec<Lit> = vals
                 .iter()
                 .map(|&v| if v { enc.tru() } else { enc.fls() })
                 .collect();
-            bind_b.insert(name.clone(), consts);
-            wbind_b.insert(name.clone(), vals.iter().map(|&v| const_sig(v)).collect());
+            bind_b.insert(*name, consts);
+            wbind_b.insert(*name, vals.iter().map(|&v| const_sig(v)).collect());
         }
 
         // --- Remaining revised-only inputs are free key inputs. ---
@@ -255,70 +256,59 @@ impl Miter {
             // input can only produce spurious differences, never a false
             // Equivalent, so this is conservative for non-key extras.
             let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut solver)).collect();
-            bind_b.insert(name.clone(), lits.clone());
-            wbind_b.insert(
-                name.clone(),
-                bits.iter().map(|_| random_sig(&mut rng)).collect(),
-            );
-            key_inputs.push((name.clone(), lits));
+            bind_b.insert(*name, lits.clone());
+            wbind_b.insert(*name, bits.iter().map(|_| random_sig(&mut rng)).collect());
+            key_inputs.push((*name, lits));
         }
 
         // --- Golden state: fresh shared Q variables. ---
-        let mut state_a: HashMap<String, Lit> = HashMap::new();
-        let mut wstate_a: HashMap<String, Sig> = HashMap::new();
+        let mut state_a: HashMap<Symbol, Lit> = HashMap::new();
+        let mut wstate_a: HashMap<Symbol, Sig> = HashMap::new();
         let mut shared_state = Vec::new();
         for (_, name, _, _) in a.dff_records() {
             let q = enc.fresh(&mut solver);
-            state_a.insert(name.to_string(), q);
-            wstate_a.insert(name.to_string(), random_sig(&mut rng));
-            shared_state.push((name.to_string(), q));
+            state_a.insert(name, q);
+            wstate_a.insert(name, random_sig(&mut rng));
+            shared_state.push((name, q));
         }
 
         // --- Revised state: renamed pairing, pins, free key state. ---
-        let pin_state: HashMap<&str, bool> = opts
-            .pin_state
-            .iter()
-            .map(|(n, v)| (n.as_str(), *v))
-            .collect();
+        let pin_state: HashMap<Symbol, bool> = opts.pin_state.iter().copied().collect();
         let b_records = b.dff_records();
-        let b_names: BTreeSet<&str> = b_records.iter().map(|&(_, n, _, _)| n).collect();
+        let b_names: BTreeSet<Symbol> = b_records.iter().map(|&(_, n, _, _)| n).collect();
         for name in pin_state.keys() {
             if !b_names.contains(name) {
-                return Err(MiterError::UnknownPin((*name).to_string()));
+                return Err(MiterError::UnknownPin(name.to_string()));
             }
         }
-        let mut state_b: HashMap<String, Lit> = HashMap::new();
-        let mut wstate_b: HashMap<String, Sig> = HashMap::new();
+        let mut state_b: HashMap<Symbol, Lit> = HashMap::new();
+        let mut wstate_b: HashMap<Symbol, Sig> = HashMap::new();
         let mut key_state = Vec::new();
-        let mut paired: Vec<(String, String)> = Vec::new(); // (golden, revised)
+        let mut paired: Vec<(Symbol, Symbol)> = Vec::new(); // (golden, revised)
         for &(_, name, _, _) in &b_records {
-            let golden = opts
-                .state_rename
-                .get(name)
-                .map(|s| s.as_str())
-                .unwrap_or(name);
-            if let Some(&v) = pin_state.get(name) {
+            let golden = opts.state_rename.get(&name).copied().unwrap_or(name);
+            if let Some(&v) = pin_state.get(&name) {
                 let l = if v { enc.tru() } else { enc.fls() };
-                state_b.insert(name.to_string(), l);
-                wstate_b.insert(name.to_string(), const_sig(v));
-                key_state.push((name.to_string(), l));
-            } else if let Some(&q) = state_a.get(golden) {
-                state_b.insert(name.to_string(), q);
-                wstate_b.insert(name.to_string(), wstate_a[golden]);
-                paired.push((golden.to_string(), name.to_string()));
+                state_b.insert(name, l);
+                wstate_b.insert(name, const_sig(v));
+                key_state.push((name, l));
+            } else if let Some(&q) = state_a.get(&golden) {
+                state_b.insert(name, q);
+                wstate_b.insert(name, wstate_a[&golden]);
+                paired.push((golden, name));
             } else {
                 let q = enc.fresh(&mut solver);
-                state_b.insert(name.to_string(), q);
-                wstate_b.insert(name.to_string(), random_sig(&mut rng));
-                key_state.push((name.to_string(), q));
+                state_b.insert(name, q);
+                wstate_b.insert(name, random_sig(&mut rng));
+                key_state.push((name, q));
             }
         }
         // Every golden register must be covered, or its next-state check
         // would silently vanish.
-        let covered: BTreeSet<&str> = paired.iter().map(|(g, _)| g.as_str()).collect();
-        for (name, _) in &shared_state {
-            if !covered.contains(name.as_str()) {
-                return Err(MiterError::UnpairedState(name.clone()));
+        let covered: BTreeSet<Symbol> = paired.iter().map(|&(g, _)| g).collect();
+        for &(name, _) in &shared_state {
+            if !covered.contains(&name) {
+                return Err(MiterError::UnpairedState(name.to_string()));
             }
         }
 
@@ -354,42 +344,36 @@ impl Miter {
         };
 
         // --- Difference points: outputs... ---
-        let b_outs: HashMap<&str, &Vec<Lit>> =
-            enc_b.outputs.iter().map(|(n, l)| (n.as_str(), l)).collect();
+        let b_outs: HashMap<Symbol, &Vec<Lit>> =
+            enc_b.outputs.iter().map(|(n, l)| (*n, l)).collect();
         let mut diffs = Vec::new();
         for (name, lits_a) in &enc_a.outputs {
-            let Some(lits_b) = b_outs.get(name.as_str()) else {
-                return Err(MiterError::MissingOutput(name.clone()));
+            let Some(lits_b) = b_outs.get(name) else {
+                return Err(MiterError::MissingOutput(name.to_string()));
             };
             if lits_b.len() != lits_a.len() {
-                return Err(MiterError::WidthMismatch(name.clone()));
+                return Err(MiterError::WidthMismatch(name.to_string()));
             }
             for (bit, (&la, &lb)) in lits_a.iter().zip(lits_b.iter()).enumerate() {
                 let d = enc.xor(&mut solver, la, lb);
                 diffs.push((format!("{name}[{bit}]"), d));
             }
         }
-        let a_out_names: BTreeSet<&str> = enc_a.outputs.iter().map(|(n, _)| n.as_str()).collect();
-        for (name, _) in &enc_b.outputs {
-            if !a_out_names.contains(name.as_str()) && !is_key_name(name, &opts.key_prefixes) {
-                return Err(MiterError::ExtraOutput(name.clone()));
+        let a_out_names: BTreeSet<Symbol> = enc_a.outputs.iter().map(|(n, _)| *n).collect();
+        for &(name, _) in &enc_b.outputs {
+            if !a_out_names.contains(&name) && !is_key_name(name, &opts.key_prefixes) {
+                return Err(MiterError::ExtraOutput(name.to_string()));
             }
         }
 
         // --- ... and next-state functions of paired registers. ---
         if opts.check_next_state {
-            let next_a: HashMap<&str, Lit> = enc_a
-                .dffs
-                .iter()
-                .map(|d| (d.name.as_str(), d.next))
-                .collect();
-            let next_b: HashMap<&str, Lit> = enc_b
-                .dffs
-                .iter()
-                .map(|d| (d.name.as_str(), d.next))
-                .collect();
-            for (golden, revised) in &paired {
-                let (na, nb) = (next_a[golden.as_str()], next_b[revised.as_str()]);
+            let next_a: HashMap<Symbol, Lit> =
+                enc_a.dffs.iter().map(|d| (d.name, d.next)).collect();
+            let next_b: HashMap<Symbol, Lit> =
+                enc_b.dffs.iter().map(|d| (d.name, d.next)).collect();
+            for &(golden, revised) in &paired {
+                let (na, nb) = (next_a[&golden], next_b[&revised]);
                 let d = enc.xor(&mut solver, na, nb);
                 diffs.push((format!("next({golden})"), d));
             }
@@ -421,16 +405,14 @@ impl Miter {
 
     fn extract_cex(&self, diffs_true: Vec<String>) -> Box<Counterexample> {
         let s = &self.solver;
-        let port = |ports: &[(String, Vec<Lit>)]| -> Vec<(String, Vec<bool>)> {
+        let port = |ports: &[(Symbol, Vec<Lit>)]| -> Vec<(Symbol, Vec<bool>)> {
             ports
                 .iter()
-                .map(|(n, lits)| (n.clone(), lits.iter().map(|&l| model_value(s, l)).collect()))
+                .map(|(n, lits)| (*n, lits.iter().map(|&l| model_value(s, l)).collect()))
                 .collect()
         };
-        let bits = |regs: &[(String, Lit)]| -> Vec<(String, bool)> {
-            regs.iter()
-                .map(|(n, l)| (n.clone(), model_value(s, *l)))
-                .collect()
+        let bits = |regs: &[(Symbol, Lit)]| -> Vec<(Symbol, bool)> {
+            regs.iter().map(|(n, l)| (*n, model_value(s, *l))).collect()
         };
         Box::new(Counterexample {
             inputs: port(&self.shared_inputs),
@@ -663,7 +645,7 @@ mod tests {
         assert!(matches!(free, CecResult::NotEquivalent(_)));
 
         let opts = MiterOptions {
-            pin_state: vec![("top.le0.cfg[0]".to_string(), false)],
+            pin_state: vec![(Symbol::intern("top.le0.cfg[0]"), false)],
             ..MiterOptions::default()
         };
         let pinned = Miter::build(&a_nl, &b_nl, &opts).expect("builds").prove();

@@ -25,6 +25,7 @@
 
 use crate::encode::{model_value, Encoder};
 use alice_attacks::solver::{Lit, SatResult, Solver};
+use alice_intern::Symbol;
 use alice_netlist::ir::{Lit as NLit, Netlist, Node};
 use std::collections::{HashMap, HashSet};
 
@@ -33,9 +34,9 @@ use std::collections::{HashMap, HashSet};
 pub(crate) type Sig = [u64; 2];
 
 /// Per-port signature words (one growable word vector per bit).
-type PortWords = HashMap<String, Vec<Vec<u64>>>;
+type PortWords = HashMap<Symbol, Vec<Vec<u64>>>;
 /// Per-register signature words.
-type StateWords = HashMap<String, Vec<u64>>;
+type StateWords = HashMap<Symbol, Vec<u64>>;
 
 /// Refinement rounds (beyond the first) before giving up on remaining
 /// false candidates.
@@ -84,7 +85,7 @@ pub(crate) fn sim_words(
         }
     }
     for (id, name, _, _) in n.dff_records() {
-        val[id.0 as usize] = state_words[name].clone();
+        val[id.0 as usize] = state_words[&name].clone();
     }
     let get = |val: &[Vec<u64>], l: NLit, k: usize| -> u64 {
         let w = val[l.node().0 as usize][k];
@@ -158,10 +159,10 @@ pub struct SweepStats {
 /// read counterexample models) and base signature words, in lockstep.
 pub(crate) struct SweepSide<'a> {
     pub n: &'a Netlist,
-    pub input_lits: &'a HashMap<String, Vec<Lit>>,
-    pub state_lits: &'a HashMap<String, Lit>,
-    pub input_base: &'a HashMap<String, Vec<Sig>>,
-    pub state_base: &'a HashMap<String, Sig>,
+    pub input_lits: &'a HashMap<Symbol, Vec<Lit>>,
+    pub state_lits: &'a HashMap<Symbol, Lit>,
+    pub input_base: &'a HashMap<Symbol, Vec<Sig>>,
+    pub state_base: &'a HashMap<Symbol, Sig>,
     pub node_lits: &'a [Lit],
 }
 
@@ -195,7 +196,7 @@ impl SweepSide<'_> {
             .map(|(name, lits)| {
                 let base = &self.input_base[name];
                 (
-                    name.clone(),
+                    *name,
                     lits.iter()
                         .zip(base)
                         .map(|(&l, b)| extend(l, b))
@@ -206,7 +207,7 @@ impl SweepSide<'_> {
         let state = self
             .state_lits
             .iter()
-            .map(|(name, &l)| (name.clone(), extend(l, &self.state_base[name])))
+            .map(|(name, &l)| (*name, extend(l, &self.state_base[name])))
             .collect();
         (inputs, state)
     }
@@ -338,9 +339,9 @@ mod tests {
         let mut rng = 7u64;
         let wa = random_sig(&mut rng);
         let wb = random_sig(&mut rng);
-        let inputs: HashMap<String, Vec<Vec<u64>>> = [
-            ("a".to_string(), vec![wa.to_vec()]),
-            ("b".to_string(), vec![wb.to_vec()]),
+        let inputs: HashMap<Symbol, Vec<Vec<u64>>> = [
+            (Symbol::intern("a"), vec![wa.to_vec()]),
+            (Symbol::intern("b"), vec![wb.to_vec()]),
         ]
         .into();
         let vals = sim_words(&n, &inputs, &HashMap::new(), 2);

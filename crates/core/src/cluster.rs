@@ -8,9 +8,15 @@
 //!   multi-module redaction) respects the designer's limit, and
 //! * its members are pairwise *independent*: no member instance is nested
 //!   inside another (redacting an ancestor already swallows the child).
+//!
+//! Independence is decided on the design's [`PathTree`] — the real
+//! instance hierarchy — not on path-string prefixes, so sibling instances
+//! whose names share a textual prefix (`top.a` vs `top.ab`) can never be
+//! mistaken for ancestor/descendant pairs.
 
 use crate::config::AliceConfig;
 use crate::filter::Candidate;
+use alice_intern::PathTree;
 use std::collections::BTreeSet;
 
 /// A cluster: indices into the candidate list `R`.
@@ -36,17 +42,13 @@ impl ClusterResult {
     }
 }
 
-/// True if `a` is `b` or an ancestor of `b` in the instance hierarchy.
-fn is_ancestor_or_self(a: &str, b: &str) -> bool {
-    b == a || b.starts_with(&format!("{a}."))
-}
-
-/// True if every pair of members is hierarchy-independent.
-fn independent(cluster: &Cluster, r: &[Candidate]) -> bool {
-    let paths: Vec<&str> = cluster.iter().map(|&i| r[i].path.as_str()).collect();
-    for (i, a) in paths.iter().enumerate() {
-        for b in paths.iter().skip(i + 1) {
-            if is_ancestor_or_self(a, b) || is_ancestor_or_self(b, a) {
+/// True if every pair of members is hierarchy-independent (no member is
+/// an ancestor of another in `tree`).
+fn independent(cluster: &Cluster, r: &[Candidate], tree: &PathTree) -> bool {
+    let paths: Vec<_> = cluster.iter().map(|&i| r[i].path).collect();
+    for (i, &a) in paths.iter().enumerate() {
+        for &b in paths.iter().skip(i + 1) {
+            if tree.is_ancestor_or_self(a, b) || tree.is_ancestor_or_self(b, a) {
                 return false;
             }
         }
@@ -55,12 +57,14 @@ fn independent(cluster: &Cluster, r: &[Candidate]) -> bool {
 }
 
 /// The `CheckParameters` predicate for clusters (line 12 of Algorithm 2).
-pub fn admissible(cluster: &Cluster, r: &[Candidate], cfg: &AliceConfig) -> bool {
+/// `tree` is the design's instance hierarchy ([`crate::design::Design::paths`]).
+pub fn admissible(cluster: &Cluster, r: &[Candidate], tree: &PathTree, cfg: &AliceConfig) -> bool {
     let pins: u32 = cluster.iter().map(|&i| r[i].io_pins).sum();
-    pins <= cfg.max_io_pins && independent(cluster, r)
+    pins <= cfg.max_io_pins && independent(cluster, r, tree)
 }
 
-/// Runs Algorithm 2 on the candidate set `R`.
+/// Runs Algorithm 2 on the candidate set `R`; `tree` is the design's
+/// instance hierarchy (see [`crate::design::Design::paths`]).
 ///
 /// # Example
 ///
@@ -68,21 +72,23 @@ pub fn admissible(cluster: &Cluster, r: &[Candidate], cfg: &AliceConfig) -> bool
 /// use alice_core::cluster::identify_clusters;
 /// use alice_core::config::AliceConfig;
 /// use alice_core::filter::Candidate;
+/// use alice_intern::{PathTree, Symbol};
 ///
 /// let r: Vec<Candidate> = (0..3)
 ///     .map(|i| Candidate {
-///         path: format!("top.u{i}"),
-///         module: "m".into(),
+///         path: Symbol::intern(&format!("top.u{i}")),
+///         module: Symbol::intern("m"),
 ///         io_pins: 20,
 ///         score: 1,
 ///     })
 ///     .collect();
+/// let tree = PathTree::from_paths(r.iter().map(|c| c.path));
 /// let cfg = AliceConfig { max_io_pins: 64, ..AliceConfig::default() };
 /// // 3 singletons + 3 pairs + 1 triple = 7 clusters (3*20 <= 64).
-/// let c = identify_clusters(&r, &cfg);
+/// let c = identify_clusters(&r, &tree, &cfg);
 /// assert_eq!(c.clusters.len(), 7);
 /// ```
-pub fn identify_clusters(r: &[Candidate], cfg: &AliceConfig) -> ClusterResult {
+pub fn identify_clusters(r: &[Candidate], tree: &PathTree, cfg: &AliceConfig) -> ClusterResult {
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut seen: BTreeSet<Cluster> = BTreeSet::new();
     // Lines 2-4: singletons.
@@ -101,7 +107,7 @@ pub fn identify_clusters(r: &[Candidate], cfg: &AliceConfig) -> ClusterResult {
                 if seen.contains(&n) {
                     continue;
                 }
-                if admissible(&n, r, cfg) {
+                if admissible(&n, r, tree, cfg) {
                     seen.insert(n.clone());
                     fresh.push(n);
                 }
@@ -119,13 +125,19 @@ pub fn identify_clusters(r: &[Candidate], cfg: &AliceConfig) -> ClusterResult {
 mod tests {
     use super::*;
 
+    use alice_intern::Symbol;
+
     fn cand(path: &str, pins: u32) -> Candidate {
         Candidate {
-            path: path.to_string(),
-            module: "m".into(),
+            path: Symbol::intern(path),
+            module: Symbol::intern("m"),
             io_pins: pins,
             score: 1,
         }
+    }
+
+    fn tree_of(r: &[Candidate]) -> PathTree {
+        PathTree::from_paths(r.iter().map(|c| c.path))
     }
 
     fn cfg(max_io: u32) -> AliceConfig {
@@ -139,18 +151,18 @@ mod tests {
     fn des3_style_counts() {
         // 8 identical 12-pin sboxes: at 64 pins, clusters of up to 5 fit.
         let r: Vec<Candidate> = (0..8).map(|i| cand(&format!("top.s{i}"), 12)).collect();
-        let c = identify_clusters(&r, &cfg(64));
+        let c = identify_clusters(&r, &tree_of(&r), &cfg(64));
         // sum_{k=1..5} C(8,k) = 8 + 28 + 56 + 70 + 56 = 218 (Table 2, DES3 cfg1).
         assert_eq!(c.clusters.len(), 218);
         // At 96 pins all 8 fit: 2^8 - 1 = 255 (Table 2, DES3 cfg2).
-        let c2 = identify_clusters(&r, &cfg(96));
+        let c2 = identify_clusters(&r, &tree_of(&r), &cfg(96));
         assert_eq!(c2.clusters.len(), 255);
     }
 
     #[test]
     fn pin_budget_prunes_pairs() {
         let r = vec![cand("top.a", 40), cand("top.b", 30), cand("top.c", 20)];
-        let c = identify_clusters(&r, &cfg(64));
+        let c = identify_clusters(&r, &tree_of(&r), &cfg(64));
         // singles: 3; pairs: a+b=70 (no), a+c=60 (yes), b+c=50 (yes); triple 90 (no).
         assert_eq!(c.clusters.len(), 5);
     }
@@ -158,7 +170,7 @@ mod tests {
     #[test]
     fn nested_instances_never_cluster() {
         let r = vec![cand("top.u", 10), cand("top.u.v", 10), cand("top.w", 10)];
-        let c = identify_clusters(&r, &cfg(64));
+        let c = identify_clusters(&r, &tree_of(&r), &cfg(64));
         let has = |members: &[usize]| {
             let target: Cluster = members.iter().copied().collect();
             c.clusters.contains(&target)
@@ -171,14 +183,30 @@ mod tests {
 
     #[test]
     fn empty_candidates_empty_clusters() {
-        let c = identify_clusters(&[], &cfg(64));
+        let c = identify_clusters(&[], &PathTree::new(), &cfg(64));
         assert!(c.clusters.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_textual_prefixes_still_cluster() {
+        // `top.a` is a textual prefix of `top.ab`; a string-prefix
+        // ancestor check can conflate them. The PathTree never does:
+        // they are siblings and must pair.
+        let r = vec![cand("top.a", 10), cand("top.ab", 10), cand("top.a.b", 10)];
+        let c = identify_clusters(&r, &tree_of(&r), &cfg(64));
+        let has = |members: &[usize]| {
+            let target: Cluster = members.iter().copied().collect();
+            c.clusters.contains(&target)
+        };
+        assert!(has(&[0, 1]), "siblings `top.a` + `top.ab` must pair");
+        assert!(has(&[1, 2]), "`top.ab` + `top.a.b` are independent");
+        assert!(!has(&[0, 2]), "`top.a` is an ancestor of `top.a.b`");
     }
 
     #[test]
     fn helpers_report_pins_and_paths() {
         let r = vec![cand("top.a", 10), cand("top.b", 20)];
-        let c = identify_clusters(&r, &cfg(64));
+        let c = identify_clusters(&r, &tree_of(&r), &cfg(64));
         let pair: Cluster = [0, 1].into_iter().collect();
         assert_eq!(c.io_pins(&pair, &r), 30);
         assert_eq!(c.paths(&pair, &r), vec!["top.a", "top.b"]);

@@ -57,6 +57,10 @@ pub struct AliceConfig {
     /// unlimited (the proof either finishes or runs forever — prefer a
     /// budget on untrusted inputs).
     pub verify_conflict_budget: Option<u64>,
+    /// Use the content-addressed characterization cache (the
+    /// [`DesignDb`](crate::db::DesignDb)). On by default; the `alice`
+    /// CLI's `--no-cache` turns it off for A/B measurements.
+    pub cache: bool,
 }
 
 impl Default for AliceConfig {
@@ -75,6 +79,7 @@ impl Default for AliceConfig {
             verify: false,
             verify_wrong_keys: 0,
             verify_conflict_budget: Some(5_000_000),
+            cache: true,
         }
     }
 }
@@ -151,6 +156,9 @@ impl AliceConfig {
         }
         if let Some(v) = y.get("verify") {
             cfg.verify = v.as_bool().ok_or_else(|| bad("verify"))?;
+        }
+        if let Some(v) = y.get("cache") {
+            cfg.cache = v.as_bool().ok_or_else(|| bad("cache"))?;
         }
         if let Some(v) = y.get("wrong_keys") {
             cfg.verify_wrong_keys = v.as_u32().ok_or_else(|| bad("wrong_keys"))? as usize;

@@ -1,0 +1,365 @@
+//! The shared design database: a content-addressed characterization cache.
+//!
+//! Algorithm 3 fabric characterization dominates the flow's runtime (the
+//! `select t` column of Table 2), and it keeps redoing identical work:
+//! every instance of a module re-elaborates and re-LUT-maps the same RTL,
+//! every same-shaped cluster re-runs the same fabric sizing, and a
+//! benchmarks × configurations sweep (the `suite` binary, ARIANNA-style
+//! fabric-customization loops) repeats all of it per configuration.
+//!
+//! [`DesignDb`] memoizes the three expensive oracles behind
+//! **content-addressed** keys, so results are shared wherever the inputs
+//! are structurally identical — across instances, across clusters, across
+//! flow runs, and across designs:
+//!
+//! | cached step | key |
+//! |---|---|
+//! | RTL elaboration | hash of the module's source closure (its printed definition plus every module it transitively instantiates) |
+//! | LUT mapping | elaborated-netlist [structural hash](alice_netlist::ir::Netlist::structural_hash) + LUT input count `k` |
+//! | fabric sizing ([`create_efpga`]) | *name-free* [structural hash](alice_netlist::lutmap::MappedNetlist::structural_hash) of the merged cluster network + the fabric architecture parameters |
+//!
+//! The fabric key deliberately ignores port and register names: packing,
+//! sizing, bitstream generation, and the cost model never read them, so
+//! two clusters that merge to the same shape — say `{sbox0, sbox1}` and
+//! `{sbox2, sbox5}` in DES3 — share one characterization even though
+//! their prefixed port names differ. All caches are thread-safe; the
+//! select stage's sharded workers and concurrent suite flows hit them
+//! freely.
+
+use crate::error::AliceError;
+use alice_fabric::{create_efpga, EfpgaImpl, FabricArch};
+use alice_intern::StableHasher;
+use alice_netlist::ir::Netlist;
+use alice_netlist::lutmap::{map_luts, MappedNetlist};
+use alice_verilog::ast::SourceFile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A 128-bit content key.
+type Key = (u64, u64);
+
+/// One cache slot: cloned out of the map so the map lock is never held
+/// during computation, while [`OnceLock::get_or_init`] guarantees a
+/// missed key is computed exactly once — concurrent workers that race on
+/// the same key block on the first computation instead of redoing it.
+type Cell<V> = Arc<OnceLock<V>>;
+
+/// A keyed once-cache: map lock only guards slot lookup, the slot itself
+/// serializes computation.
+type CacheMap<K, V> = Mutex<HashMap<K, Cell<V>>>;
+
+/// Cumulative hit/miss counters of one [`DesignDb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populated the cache).
+    pub misses: u64,
+}
+
+impl CacheCounts {
+    /// Counter difference since an earlier snapshot (for per-run
+    /// reporting against a long-lived shared db).
+    #[must_use]
+    pub fn since(&self, earlier: CacheCounts) -> CacheCounts {
+        CacheCounts {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+
+    /// Hit fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Stats {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The shared per-run (or per-suite) design database. See the module
+/// docs for what is cached and how keys are formed.
+///
+/// Cheap to share: wrap it in an [`Arc`] and hand clones to every flow
+/// that should reuse characterizations ([`Flow::with_db`]).
+///
+/// [`Flow::with_db`]: crate::flow::Flow::with_db
+#[derive(Debug, Default)]
+pub struct DesignDb {
+    disabled: bool,
+    netlists: CacheMap<Key, Result<Arc<Netlist>, AliceError>>,
+    lutmaps: CacheMap<(Key, u32), Result<Arc<MappedNetlist>, AliceError>>,
+    fabrics: CacheMap<(Key, Key), Result<Arc<EfpgaImpl>, String>>,
+    stats: Stats,
+}
+
+/// Looks `key` up in `map`, computing (exactly once per key, even under
+/// contention) and recording a miss, or cloning the stored value and
+/// recording a hit. Workers that block on another worker's in-flight
+/// computation count as hits — they were served without computing.
+fn cached<K: std::hash::Hash + Eq, V: Clone>(
+    map: &CacheMap<K, V>,
+    stats: &Stats,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> V {
+    let cell = map
+        .lock()
+        .expect("cache map")
+        .entry(key)
+        .or_insert_with(|| Arc::new(OnceLock::new()))
+        .clone();
+    let mut computed = false;
+    let value = cell.get_or_init(|| {
+        computed = true;
+        compute()
+    });
+    if computed {
+        stats.miss();
+    } else {
+        stats.hit();
+    }
+    value.clone()
+}
+
+/// Hashes the fabric architecture parameters into a cache key lane.
+fn arch_key(arch: &FabricArch) -> Key {
+    let mut h = StableHasher::new();
+    h.write_u32(arch.lut_inputs);
+    h.write_u32(arch.les_per_clb);
+    h.write_u32(arch.gpio_per_tile);
+    h.write_u32(arch.max_dim);
+    h.write_u32(arch.channel_width);
+    h.finish()
+}
+
+/// Content key of a module: its printed definition plus the printed
+/// definitions of every module it transitively instantiates, in
+/// name-sorted order. Two textually identical module closures — even in
+/// different designs — get the same key.
+pub fn module_fingerprint(file: &SourceFile, module: &str) -> Key {
+    let mut names: Vec<&str> = Vec::new();
+    let mut stack = vec![module];
+    while let Some(m) = stack.pop() {
+        if names.contains(&m) {
+            continue;
+        }
+        names.push(m);
+        if let Some(def) = file.module(m) {
+            for inst in def.instances() {
+                stack.push(&inst.module);
+            }
+        }
+    }
+    names.sort_unstable();
+    let mut h = StableHasher::new();
+    for name in names {
+        h.write_str(name);
+        match file.module(name) {
+            Some(def) => h.write_str(&alice_verilog::print_module_to_string(def)),
+            None => h.write_str(""),
+        }
+    }
+    h.finish()
+}
+
+impl DesignDb {
+    /// A fresh, empty, enabled database.
+    pub fn new() -> DesignDb {
+        DesignDb::default()
+    }
+
+    /// A database that never stores or returns anything (the `--no-cache`
+    /// A/B baseline); its counters stay zero.
+    pub fn new_disabled() -> DesignDb {
+        DesignDb {
+            disabled: true,
+            ..DesignDb::default()
+        }
+    }
+
+    /// Whether lookups are live (false only for [`DesignDb::new_disabled`]).
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Snapshot of the cumulative hit/miss counters.
+    pub fn counts(&self) -> CacheCounts {
+        CacheCounts {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Elaborates `module` (memoized by source-closure fingerprint;
+    /// failures are cached too — elaboration is deterministic, so the
+    /// same source always produces the same error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AliceError::Elaborate`] when elaboration fails.
+    pub fn elaborate(&self, file: &SourceFile, module: &str) -> Result<Arc<Netlist>, AliceError> {
+        let run = || {
+            alice_netlist::elaborate::elaborate(file, module)
+                .map(Arc::new)
+                .map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))
+        };
+        if self.disabled {
+            return run();
+        }
+        let key = module_fingerprint(file, module);
+        cached(&self.netlists, &self.stats, key, run)
+    }
+
+    /// Elaborates and LUT-maps `module` (both steps memoized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AliceError::Elaborate`] when elaboration or mapping
+    /// fails.
+    pub fn map_module(
+        &self,
+        file: &SourceFile,
+        module: &str,
+        k: u32,
+    ) -> Result<Arc<MappedNetlist>, AliceError> {
+        let netlist = self.elaborate(file, module)?;
+        let run = || {
+            map_luts(&netlist, k)
+                .map(Arc::new)
+                .map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))
+        };
+        if self.disabled {
+            return run();
+        }
+        let key = (netlist.structural_hash(), k);
+        cached(&self.lutmaps, &self.stats, key, run)
+    }
+
+    /// Runs the fabric oracle on a merged cluster network (memoized by
+    /// name-free structure + architecture). The `Err` branch carries the
+    /// oracle's message and *is* cached — infeasible shapes stay
+    /// infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fabric oracle's error text when the cluster fits no
+    /// permitted fabric.
+    pub fn characterize(
+        &self,
+        network: &MappedNetlist,
+        arch: &FabricArch,
+    ) -> Result<Arc<EfpgaImpl>, String> {
+        let run = || {
+            create_efpga(network, arch)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        };
+        if self.disabled {
+            return run();
+        }
+        let key = (network.structural_hash(), arch_key(arch));
+        cached(&self.fabrics, &self.stats, key, run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alice_verilog::parse_source;
+
+    const SRC: &str = r#"
+module add8(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);
+  assign y = a + b;
+endmodule
+module top(input wire [7:0] p, input wire [7:0] q, output wire [7:0] o1, output wire [7:0] o2);
+  add8 u0(.a(p), .b(q), .y(o1));
+  add8 u1(.a(q), .b(p), .y(o2));
+endmodule
+"#;
+
+    #[test]
+    fn repeated_mapping_hits_the_cache() {
+        let f = parse_source(SRC).expect("parse");
+        let db = DesignDb::new();
+        let m1 = db.map_module(&f, "add8", 4).expect("map");
+        let c0 = db.counts();
+        assert_eq!(c0.hits, 0);
+        assert!(c0.misses >= 2, "elaborate + map are both misses");
+        let m2 = db.map_module(&f, "add8", 4).expect("map");
+        let c1 = db.counts();
+        assert!(c1.hits >= 2, "second call hits elaborate + map");
+        assert_eq!(c1.misses, c0.misses);
+        assert_eq!(m1.lut_count(), m2.lut_count());
+        assert!(Arc::ptr_eq(&m1, &m2), "cache returns the same Arc");
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed_across_files() {
+        let f1 = parse_source(SRC).expect("parse");
+        // A different design containing a textually identical add8.
+        let f2 = parse_source(
+            "module add8(input wire [7:0] a, input wire [7:0] b, output wire [7:0] y);\n  assign y = a + b;\nendmodule",
+        )
+        .expect("parse");
+        assert_eq!(
+            module_fingerprint(&f1, "add8"),
+            module_fingerprint(&f2, "add8")
+        );
+        assert_ne!(
+            module_fingerprint(&f1, "add8"),
+            module_fingerprint(&f1, "top")
+        );
+    }
+
+    #[test]
+    fn characterization_shares_same_shaped_networks() {
+        let f = parse_source(SRC).expect("parse");
+        let db = DesignDb::new();
+        let m = db.map_module(&f, "add8", 4).expect("map");
+        let arch = FabricArch::default();
+        let a = db.characterize(&m, &arch).expect("fits");
+        let before = db.counts();
+        let b = db.characterize(&m, &arch).expect("fits");
+        let after = db.counts();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(a.size, b.size);
+        assert_eq!(a.bitstream, b.bitstream);
+    }
+
+    #[test]
+    fn disabled_db_computes_but_never_counts() {
+        let f = parse_source(SRC).expect("parse");
+        let db = DesignDb::new_disabled();
+        assert!(!db.is_enabled());
+        db.map_module(&f, "add8", 4).expect("map");
+        db.map_module(&f, "add8", 4).expect("map");
+        assert_eq!(db.counts(), CacheCounts::default());
+    }
+
+    #[test]
+    fn counts_since_subtracts() {
+        let a = CacheCounts { hits: 5, misses: 3 };
+        let b = CacheCounts { hits: 2, misses: 1 };
+        assert_eq!(a.since(b), CacheCounts { hits: 3, misses: 2 });
+        assert!((a.hit_rate() - 5.0 / 8.0).abs() < 1e-12);
+    }
+}

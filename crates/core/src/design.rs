@@ -1,5 +1,6 @@
 //! A loaded design: parsed source plus hierarchy, the flow's input.
 
+use alice_intern::{PathTree, Symbol};
 use alice_verilog::hierarchy::{build_hierarchy, Hierarchy, HierarchyError};
 use alice_verilog::{parse_source, ParseError, SourceFile};
 use std::fmt;
@@ -13,6 +14,9 @@ pub struct Design {
     pub file: SourceFile,
     /// Elaborated hierarchy (instance tree, pin counts).
     pub hierarchy: Hierarchy,
+    /// Parent-pointer tree over the instance paths (built from the real
+    /// hierarchy edges; the structural oracle for ancestor queries).
+    pub paths: PathTree,
 }
 
 /// Errors while loading a design.
@@ -74,33 +78,35 @@ impl Design {
     ) -> Result<Design, DesignError> {
         let file = parse_source(src)?;
         let hierarchy = build_hierarchy(&file, top)?;
+        let paths = hierarchy.tree.path_tree();
         Ok(Design {
             name: name.into(),
             file,
             hierarchy,
+            paths,
         })
     }
 
     /// All redactable instance paths (every instance except the root).
-    pub fn instance_paths(&self) -> Vec<String> {
+    pub fn instance_paths(&self) -> Vec<Symbol> {
         self.hierarchy
             .tree
             .walk()
             .iter()
             .skip(1)
-            .map(|n| n.path.clone())
+            .map(|n| n.path)
             .collect()
     }
 
     /// The module name implemented by an instance path.
-    pub fn module_of(&self, path: &str) -> Option<&str> {
-        self.hierarchy.tree.find(path).map(|n| n.module.as_str())
+    pub fn module_of(&self, path: impl Into<Symbol>) -> Option<Symbol> {
+        self.hierarchy.tree.find(path).map(|n| n.module)
     }
 
     /// I/O pin count of the module behind an instance path.
-    pub fn io_pins_of(&self, path: &str) -> Option<u32> {
+    pub fn io_pins_of(&self, path: impl Into<Symbol>) -> Option<u32> {
         let m = self.module_of(path)?;
-        self.hierarchy.modules.get(m).map(|i| i.io_pins)
+        self.hierarchy.modules.get(&m).map(|i| i.io_pins)
     }
 }
 
@@ -120,9 +126,15 @@ endmodule
     #[test]
     fn loads_and_lists_instances() {
         let d = Design::from_source("t", SRC, None).expect("load");
-        assert_eq!(d.instance_paths(), vec!["top.u0", "top.u1"]);
-        assert_eq!(d.module_of("top.u1"), Some("a"));
+        assert_eq!(
+            d.instance_paths(),
+            ["top.u0", "top.u1"].map(Symbol::intern).to_vec()
+        );
+        assert_eq!(d.module_of("top.u1"), Some(Symbol::intern("a")));
         assert_eq!(d.io_pins_of("top.u0"), Some(2));
+        assert!(d
+            .paths
+            .is_ancestor_or_self(Symbol::intern("top"), Symbol::intern("top.u1")));
     }
 
     #[test]

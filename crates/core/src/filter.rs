@@ -8,14 +8,15 @@ use crate::config::AliceConfig;
 use crate::design::Design;
 use crate::error::AliceError;
 use alice_dataflow::DesignDataflow;
+use alice_intern::Symbol;
 
 /// A candidate redaction module (an instance that survived filtering).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
-    /// Full instance path (e.g. `des3.u_crp.u_sbox1`).
-    pub path: String,
-    /// Module name the instance implements.
-    pub module: String,
+    /// Full instance path (e.g. `des3.u_crp.u_sbox1`), interned.
+    pub path: Symbol,
+    /// Module name the instance implements (interned).
+    pub module: Symbol,
     /// Module I/O pin count (structural metric).
     pub io_pins: u32,
     /// Functional score: number of selected outputs affected.
@@ -50,7 +51,7 @@ pub fn filter_modules(
     let outputs: Vec<String> = if cfg.selected_outputs.is_empty() {
         let top = design
             .file
-            .module(&design.hierarchy.top)
+            .module(design.hierarchy.top.as_str())
             .expect("hierarchy was built from this file");
         top.ports
             .iter()
@@ -81,8 +82,8 @@ pub fn filter_modules(
             if score == 0 {
                 return None;
             }
-            let module = design.module_of(&path)?.to_string();
-            let io_pins = design.io_pins_of(&path)?;
+            let module = design.module_of(path)?;
+            let io_pins = design.io_pins_of(path)?;
             Some(Candidate {
                 path,
                 module,
@@ -124,7 +125,7 @@ endmodule
     #[test]
     fn structural_filter_drops_wide_modules() {
         let d = design();
-        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let cfg = AliceConfig {
             max_io_pins: 16,
             ..AliceConfig::default()
@@ -138,7 +139,7 @@ endmodule
     #[test]
     fn selected_outputs_restrict_candidates() {
         let d = design();
-        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let cfg = AliceConfig {
             max_io_pins: 200,
             selected_outputs: vec!["o1".to_string()],
@@ -153,7 +154,7 @@ endmodule
     #[test]
     fn unknown_output_reported() {
         let d = design();
-        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let cfg = AliceConfig {
             selected_outputs: vec!["bogus".to_string()],
             ..AliceConfig::default()
@@ -167,7 +168,7 @@ endmodule
     #[test]
     fn empty_when_nothing_fits() {
         let d = design();
-        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let cfg = AliceConfig {
             max_io_pins: 2, // even `small` (6 pins) is too big
             ..AliceConfig::default()

@@ -5,6 +5,7 @@
 
 use crate::cluster::ClusterResult;
 use crate::config::AliceConfig;
+use crate::db::{CacheCounts, DesignDb};
 use crate::design::Design;
 use crate::error::AliceError;
 use crate::filter::FilterResult;
@@ -17,6 +18,7 @@ use crate::stage::{
 use crate::verify::VerifyReport;
 use alice_fabric::FabricSize;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The flow's error type: the unified [`AliceError`]. (The former
@@ -58,12 +60,24 @@ pub struct FlowReport {
     pub verified: Option<bool>,
     /// Mean wrong-key corruption fraction from the sweep, if it ran.
     pub wrong_key_corruption: Option<f64>,
+    /// Characterization-cache lookups answered from the [`DesignDb`]
+    /// during this run's wall-clock window (elaborations, LUT mappings,
+    /// fabric sizings). When the db is shared with *concurrently*
+    /// running flows their lookups land in the window too, so treat
+    /// per-run numbers as attribution, not an exact ledger — exact
+    /// totals come from [`DesignDb::counts`] on the shared db.
+    pub cache_hits: u64,
+    /// Characterization-cache lookups computed (not served) during this
+    /// run's window; same attribution caveat as
+    /// [`FlowReport::cache_hits`].
+    pub cache_misses: u64,
 }
 
 impl FlowReport {
     /// Derives the report from a finished pipeline context and its
-    /// instrumentation (the only constructor the flow uses).
-    pub fn from_timings(cx: &FlowContext<'_>, timings: &PhaseTimings) -> Self {
+    /// instrumentation (the only constructor the flow uses). `cache` is
+    /// this run's hit/miss delta against the shared [`DesignDb`].
+    pub fn from_timings(cx: &FlowContext<'_>, timings: &PhaseTimings, cache: CacheCounts) -> Self {
         let selection = cx.selection.as_ref();
         let (efpga_sizes, redacted_modules) = match selection.and_then(|s| s.best.as_ref()) {
             Some(best) => {
@@ -95,6 +109,8 @@ impl FlowReport {
             verify_time: timings.duration_of(VERIFY),
             verified,
             wrong_key_corruption: cx.verify.as_ref().and_then(|v| v.corruption_fraction()),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
         }
     }
 }
@@ -132,6 +148,9 @@ impl fmt::Display for FlowReport {
         }
         if let Some(c) = self.wrong_key_corruption {
             write!(f, " corr={c:.2}")?;
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            write!(f, " | cache {}h/{}m", self.cache_hits, self.cache_misses)?;
         }
         Ok(())
     }
@@ -182,17 +201,43 @@ pub struct FlowOutcome {
 #[derive(Debug, Clone)]
 pub struct Flow {
     cfg: AliceConfig,
+    db: Arc<DesignDb>,
 }
 
 impl Flow {
-    /// Creates a flow with the given configuration.
+    /// Creates a flow with the given configuration and a private
+    /// [`DesignDb`] (disabled when [`AliceConfig::cache`] is off).
     pub fn new(cfg: AliceConfig) -> Self {
-        Flow { cfg }
+        let db = Arc::new(if cfg.cache {
+            DesignDb::new()
+        } else {
+            DesignDb::new_disabled()
+        });
+        Flow { cfg, db }
+    }
+
+    /// Creates a flow sharing a long-lived [`DesignDb`], so
+    /// characterizations are reused across runs (the `suite` binary
+    /// shares one db over its whole benchmarks × configs matrix).
+    ///
+    /// [`AliceConfig::cache`] still wins: with `cache: false` the shared
+    /// db is set aside and a disabled one is used, so a no-cache config
+    /// means no cache on every construction path.
+    pub fn with_db(cfg: AliceConfig, db: Arc<DesignDb>) -> Self {
+        if !cfg.cache {
+            return Flow::new(cfg);
+        }
+        Flow { cfg, db }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &AliceConfig {
         &self.cfg
+    }
+
+    /// The characterization cache this flow runs against.
+    pub fn db(&self) -> &Arc<DesignDb> {
+        &self.db
     }
 
     /// The pipeline's stages, in execution order.
@@ -216,12 +261,14 @@ impl Flow {
     /// Returns [`AliceError`] on analysis failures (bad output names,
     /// unsupported constructs, internal inconsistencies).
     pub fn run(&self, design: &Design) -> Result<FlowOutcome, AliceError> {
-        let mut cx = FlowContext::new(design, &self.cfg);
+        let before = self.db.counts();
+        let mut cx = FlowContext::new(design, &self.cfg, &self.db);
         let mut timings = PhaseTimings::default();
         for stage in Self::stages() {
             run_stage(stage, &mut cx, &mut timings)?;
         }
-        let report = FlowReport::from_timings(&cx, &timings);
+        let cache = self.db.counts().since(before);
+        let report = FlowReport::from_timings(&cx, &timings, cache);
         Ok(FlowOutcome {
             report,
             timings,

@@ -10,7 +10,7 @@
 //! * [`cluster`] — **Algorithm 2**: fixed-point cluster identification,
 //! * [`select`] — **Algorithm 3**: fabric characterization, Eq. 1
 //!   scoring, branch-and-bound solution enumeration,
-//! * [`redact`] — redacted top-module regeneration with GPIO remapping
+//! * [`mod@redact`] — redacted top-module regeneration with GPIO remapping
 //!   and dominator-guided eFPGA insertion,
 //! * [`verify`] — the opt-in post-redaction equivalence proof (SAT miter
 //!   via `alice-cec`, correct-bitstream binding) and the wrong-key
@@ -42,6 +42,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod db;
 pub mod design;
 pub mod error;
 pub mod filter;
@@ -55,6 +56,7 @@ pub mod yaml;
 
 pub use cluster::{identify_clusters, Cluster, ClusterResult};
 pub use config::{AliceConfig, ScoreModel};
+pub use db::{CacheCounts, DesignDb};
 pub use design::{Design, DesignError};
 pub use error::AliceError;
 pub use filter::{filter_modules, Candidate, FilterResult};

@@ -15,12 +15,14 @@
 //!   secret and never appear in the ASIC-bound output.
 
 use crate::config::AliceConfig;
+use crate::db::DesignDb;
 use crate::design::Design;
 use crate::error::AliceError;
 use crate::filter::Candidate;
 use crate::select::{sanitize, ClusterMapper, SelectionResult};
 use alice_fabric::emit::{config_stream, fabric_netlist, le_configs, le_primitive};
 use alice_fabric::{Bitstream, FabricSize};
+use alice_intern::Symbol;
 use alice_verilog::ast::*;
 use alice_verilog::hierarchy::const_eval;
 use alice_verilog::print_source;
@@ -53,11 +55,11 @@ pub struct VerifyBinding {
     /// Configuration-register pins: hierarchical DFF bit name in the
     /// *redacted* elaboration (e.g. `top.u_alice_efpga0.le3.cfg[7]`) →
     /// the value the correct bitstream loads there.
-    pub cfg_pins: Vec<(String, bool)>,
+    pub cfg_pins: Vec<(Symbol, bool)>,
     /// Fabric FF → original register: hierarchical DFF name in the
     /// redacted elaboration (`…le3.ff[0]`) → the original design's
     /// register-bit name it replaces (e.g. `top.u_rega.q[2]`).
-    pub state_map: Vec<(String, String)>,
+    pub state_map: Vec<(Symbol, Symbol)>,
     /// Indices into `cfg_pins` of *meaningful* key bits: truth-table bits
     /// at input patterns the configured LUT can actually see. Wrong-key
     /// sweeps flip these (flipping padding bits would prove nothing).
@@ -110,17 +112,22 @@ pub fn redact(
     r: &[Candidate],
     selection: &SelectionResult,
     cfg: &AliceConfig,
+    db: &DesignDb,
 ) -> Result<RedactedDesign, AliceError> {
     let best = selection.best.as_ref().ok_or(AliceError::NoSolution)?;
     let mut file = design.file.clone();
     let mut fabric_verilog = le_primitive();
     let mut efpgas = Vec::new();
-    let mut mapper = ClusterMapper::new(design, cfg.arch.lut_inputs);
+    let mut mapper = ClusterMapper::new(design, cfg.arch.lut_inputs, db);
     let mut uniq_counter = 0usize;
 
     for (e_idx, &vi) in best.efpgas.iter().enumerate() {
         let chosen = &selection.valid[vi];
-        let members: Vec<String> = chosen.cluster.iter().map(|&i| r[i].path.clone()).collect();
+        let members: Vec<String> = chosen
+            .cluster
+            .iter()
+            .map(|&i| r[i].path.to_string())
+            .collect();
         // Re-map the cluster to regenerate netlist + streams.
         let network = mapper
             .cluster_network(&chosen.cluster, r)
@@ -140,11 +147,11 @@ pub fn redact(
         let mut punches: Vec<PunchPort> = Vec::new();
         for m in &members {
             let module = design
-                .module_of(m)
+                .module_of(m.as_str())
                 .ok_or_else(|| AliceError::Inconsistent(format!("no module for {m}")))?;
             let mdef = design
                 .file
-                .module(module)
+                .module(module.as_str())
                 .ok_or_else(|| AliceError::Inconsistent(format!("no def for {module}")))?;
             for p in &mdef.ports {
                 let width = port_width_of(mdef, p)
@@ -217,17 +224,16 @@ fn build_binding(
 ) -> Result<VerifyBinding, AliceError> {
     // Original-design register names for the merged cluster's DFFs, in
     // the same member-by-member order the merge concatenated them.
-    let mut orig_dff_names: Vec<String> = Vec::new();
+    let mut orig_dff_names: Vec<Symbol> = Vec::new();
     for &ci in cluster.iter() {
-        let module = r[ci].module.clone();
-        let mm = mapper.module(&module)?;
+        let module = r[ci].module;
+        let mm = mapper.module(module)?;
         for local in &mm.dff_names {
             // Standalone elaboration names registers `{module}.{reg}[{b}]`;
             // in the full design that instance lives at the member path.
-            let rest = local
-                .strip_prefix(&format!("{module}."))
-                .unwrap_or(local.as_str());
-            orig_dff_names.push(format!("{}.{rest}", r[ci].path));
+            let local = local.as_str();
+            let rest = local.strip_prefix(&format!("{module}.")).unwrap_or(local);
+            orig_dff_names.push(Symbol::intern(&format!("{}.{rest}", r[ci].path)));
         }
     }
     if orig_dff_names.len() != network.dffs.len() {
@@ -242,7 +248,9 @@ fn build_binding(
         let base = format!("{inst_path}.le{i}");
         let pin_base = binding.cfg_pins.len();
         for (b, &v) in lc.cfg_bits().iter().enumerate() {
-            binding.cfg_pins.push((format!("{base}.cfg[{b}]"), v));
+            binding
+                .cfg_pins
+                .push((Symbol::intern(&format!("{base}.cfg[{b}]")), v));
         }
         if let Some(l) = lc.lut {
             // Only patterns the wired inputs can reach are real key bits.
@@ -252,7 +260,7 @@ fn build_binding(
         if let Some(d) = lc.dff {
             binding
                 .state_map
-                .push((format!("{base}.ff[0]"), orig_dff_names[d].clone()));
+                .push((Symbol::intern(&format!("{base}.ff[0]")), orig_dff_names[d]));
         }
     }
     Ok(binding)
@@ -341,7 +349,7 @@ fn rewrite_tree(
             .clone();
         let mut new = mdef.clone();
         // Uniquify everything below the top (the top has a single instance).
-        let new_name = if is_lca && node_path == design.hierarchy.top {
+        let new_name = if is_lca && node_path == design.hierarchy.top.as_str() {
             mdef.name.clone()
         } else {
             *uniq_counter += 1;
@@ -573,12 +581,12 @@ fn rewrite_tree(
         ));
     }
     // Re-point the instance referring to the old LCA module (if not top).
-    if lca != design.hierarchy.top {
+    if lca != design.hierarchy.top.as_str() {
         repoint_instance(file, design, lca, &new_lca_mod)?;
     } else {
         // Replace the top definition: the rewritten copy keeps the name, so
         // drop the stale original (the rewritten one was pushed last).
-        let top_name = design.hierarchy.top.clone();
+        let top_name = design.hierarchy.top.to_string();
         let last_idx = file.modules.len() - 1;
         let first_idx = file
             .modules
@@ -596,7 +604,7 @@ fn rewrite_tree(
 /// implementing `path` in the current file.
 fn resolve_module_at(file: &SourceFile, design: &Design, path: &str) -> Result<String, AliceError> {
     let segs: Vec<&str> = path.split('.').collect();
-    let mut cur = design.hierarchy.top.clone();
+    let mut cur = design.hierarchy.top.to_string();
     for seg in segs.iter().skip(1) {
         let m = file
             .module(&cur)
@@ -646,7 +654,7 @@ fn punch_cfg_up(
     lca: &str,
     e_idx: usize,
 ) -> Result<(), AliceError> {
-    if lca == design.hierarchy.top {
+    if lca == design.hierarchy.top.as_str() {
         return Ok(());
     }
     let segs: Vec<&str> = lca.split('.').collect();
@@ -759,11 +767,12 @@ endmodule
 
     fn run_redact(cfg: &AliceConfig) -> (Design, RedactedDesign) {
         let d = Design::from_source("t", SRC, None).expect("load");
-        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let db = crate::db::DesignDb::new();
+        let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let r = filter_modules(&d, &df, cfg).expect("filter").candidates;
-        let c = identify_clusters(&r, cfg).clusters;
-        let sel = select_efpgas(&d, &r, &c, cfg).expect("select");
-        let rd = redact(&d, &r, &sel, cfg).expect("redact");
+        let c = identify_clusters(&r, &d.paths, cfg).clusters;
+        let sel = select_efpgas(&d, &r, &c, cfg, &db).expect("select");
+        let rd = redact(&d, &r, &sel, cfg, &db).expect("redact");
         (d, rd)
     }
 

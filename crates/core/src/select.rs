@@ -15,21 +15,26 @@
 
 use crate::cluster::Cluster;
 use crate::config::{AliceConfig, ScoreModel};
+use crate::db::DesignDb;
 use crate::design::Design;
 use crate::error::AliceError;
 use crate::filter::Candidate;
 use crate::par::shard;
-use alice_fabric::{create_efpga, EfpgaImpl};
-use alice_netlist::lutmap::{map_luts, MappedNetlist};
+use alice_fabric::EfpgaImpl;
+use alice_intern::Symbol;
+use alice_netlist::lutmap::MappedNetlist;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A cluster with a valid fabric implementation and its Eq. 1 score.
 #[derive(Debug, Clone)]
 pub struct ValidEfpga {
     /// The cluster (indices into `R`).
     pub cluster: Cluster,
-    /// The fabric implementation returned by the oracle.
-    pub efpga: EfpgaImpl,
+    /// The fabric implementation returned by the oracle (shared with the
+    /// [`DesignDb`] cache — a hit is a pointer copy, not a bitstream
+    /// clone).
+    pub efpga: Arc<EfpgaImpl>,
     /// Eq. 1 score (filled in once all fabrics are characterized).
     pub score: f64,
 }
@@ -57,14 +62,9 @@ pub struct SelectionResult {
     pub best: Option<Solution>,
 }
 
-/// LUT-maps one module of the design (elaborate + map).
-fn map_module(design: &Design, module: &str, arch_k: u32) -> Result<MappedNetlist, AliceError> {
-    let netlist = alice_netlist::elaborate::elaborate(&design.file, module)
-        .map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))?;
-    map_luts(&netlist, arch_k).map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))
-}
-
-/// Maps each distinct module among the candidates to LUTs, memoized.
+/// Maps each distinct module among the candidates to LUTs via the
+/// [`DesignDb`] content-addressed cache (instances — and equal modules in
+/// other designs — share the mapping).
 ///
 /// The cluster's merged network is what the fabric oracle sizes; members
 /// are independent, so the merge is a disjoint union (§6's synthetic top
@@ -72,26 +72,30 @@ fn map_module(design: &Design, module: &str, arch_k: u32) -> Result<MappedNetlis
 pub struct ClusterMapper<'a> {
     design: &'a Design,
     arch_k: u32,
-    cache: HashMap<String, MappedNetlist>,
+    db: &'a DesignDb,
+    cache: HashMap<Symbol, Arc<MappedNetlist>>,
 }
 
 impl<'a> ClusterMapper<'a> {
-    /// Creates a mapper for the design.
-    pub fn new(design: &'a Design, lut_inputs: u32) -> Self {
+    /// Creates a mapper for the design, backed by `db`.
+    pub fn new(design: &'a Design, lut_inputs: u32, db: &'a DesignDb) -> Self {
         ClusterMapper {
             design,
             arch_k: lut_inputs,
+            db,
             cache: HashMap::new(),
         }
     }
 
-    /// LUT-maps one module (memoized by module name; instances share it).
-    pub fn module(&mut self, module: &str) -> Result<&MappedNetlist, AliceError> {
-        if !self.cache.contains_key(module) {
-            let mapped = map_module(self.design, module, self.arch_k)?;
-            self.cache.insert(module.to_string(), mapped);
+    /// LUT-maps one module (memoized; instances share it).
+    pub fn module(&mut self, module: Symbol) -> Result<&MappedNetlist, AliceError> {
+        if !self.cache.contains_key(&module) {
+            let mapped = self
+                .db
+                .map_module(&self.design.file, module.as_str(), self.arch_k)?;
+            self.cache.insert(module, mapped);
         }
-        Ok(&self.cache[module])
+        Ok(&self.cache[&module])
     }
 
     /// Builds the merged network for a cluster, with instance-path
@@ -102,29 +106,32 @@ impl<'a> ClusterMapper<'a> {
         r: &[Candidate],
     ) -> Result<MappedNetlist, AliceError> {
         for &i in cluster {
-            self.module(&r[i].module)?;
+            self.module(r[i].module)?;
         }
         let cache = &self.cache;
-        build_cluster_network(|m| Ok(&cache[m]), cluster, r)
+        build_cluster_network(|m| Ok(&cache[&m]), cluster, r)
     }
 }
 
 /// Pre-mapped module table shared read-only by characterization workers.
-type ModuleCache = HashMap<String, Result<MappedNetlist, AliceError>>;
+type ModuleCache = HashMap<Symbol, Result<Arc<MappedNetlist>, AliceError>>;
 
 /// Builds a cluster's merged network from mapped modules supplied by
 /// `lookup`, failing on the cluster's first unmappable member. The single
 /// implementation behind both the memoized ([`ClusterMapper`]) and the
 /// pre-mapped parallel paths, so their merge semantics cannot drift.
 fn build_cluster_network<'a>(
-    lookup: impl Fn(&str) -> Result<&'a MappedNetlist, AliceError>,
+    lookup: impl Fn(Symbol) -> Result<&'a MappedNetlist, AliceError>,
     cluster: &Cluster,
     r: &[Candidate],
 ) -> Result<MappedNetlist, AliceError> {
     let mut parts: Vec<MappedNetlist> = Vec::new();
     for &i in cluster {
         let cand = &r[i];
-        parts.push(prefix_ports(lookup(&cand.module)?, &sanitize(&cand.path)));
+        parts.push(prefix_ports(
+            lookup(cand.module)?,
+            &sanitize(cand.path.as_str()),
+        ));
     }
     Ok(merge(&parts))
 }
@@ -135,7 +142,11 @@ fn cluster_network_cached(
     cluster: &Cluster,
     r: &[Candidate],
 ) -> Result<MappedNetlist, AliceError> {
-    build_cluster_network(|m| cache[m].as_ref().map_err(Clone::clone), cluster, r)
+    build_cluster_network(
+        |m| cache[&m].as_ref().map(Arc::as_ref).map_err(Clone::clone),
+        cluster,
+        r,
+    )
 }
 
 /// Replaces `.` with `_` so hierarchical paths become legal identifiers.
@@ -145,22 +156,11 @@ pub fn sanitize(path: &str) -> String {
 
 /// Prefixes every port name with `{prefix}_`.
 fn prefix_ports(m: &MappedNetlist, prefix: &str) -> MappedNetlist {
+    let pre = |n: &Symbol| Symbol::intern(&format!("{prefix}_{n}"));
     let mut out = m.clone();
-    out.inputs = m
-        .inputs
-        .iter()
-        .map(|(n, b)| (format!("{prefix}_{n}"), b.clone()))
-        .collect();
-    out.outputs = m
-        .outputs
-        .iter()
-        .map(|(n, b)| (format!("{prefix}_{n}"), b.clone()))
-        .collect();
-    out.input_names = m
-        .input_names
-        .iter()
-        .map(|n| format!("{prefix}_{n}"))
-        .collect();
+    out.inputs = m.inputs.iter().map(|(n, b)| (pre(n), b.clone())).collect();
+    out.outputs = m.outputs.iter().map(|(n, b)| (pre(n), b.clone())).collect();
+    out.input_names = m.input_names.iter().map(pre).collect();
     out
 }
 
@@ -184,10 +184,10 @@ pub fn merge(parts: &[MappedNetlist]) -> MappedNetlist {
                 MappedSrc::Dff(i) => MappedSrc::Dff(i + dff_base),
             }
         };
-        out.input_names.extend(p.input_names.iter().cloned());
+        out.input_names.extend(p.input_names.iter().copied());
         for (n, idxs) in &p.inputs {
             out.inputs
-                .push((n.clone(), idxs.iter().map(|i| i + pi_base).collect()));
+                .push((*n, idxs.iter().map(|i| i + pi_base).collect()));
         }
         for lut in &p.luts {
             out.luts.push(alice_netlist::lutmap::Lut {
@@ -201,10 +201,9 @@ pub fn merge(parts: &[MappedNetlist]) -> MappedNetlist {
                 init: d.init,
             });
         }
-        out.dff_names.extend(p.dff_names.iter().cloned());
+        out.dff_names.extend(p.dff_names.iter().copied());
         for (n, bits) in &p.outputs {
-            out.outputs
-                .push((n.clone(), bits.iter().map(&shift).collect()));
+            out.outputs.push((*n, bits.iter().map(&shift).collect()));
         }
     }
     out
@@ -243,30 +242,34 @@ pub fn select_efpgas(
     r: &[Candidate],
     clusters: &[Cluster],
     cfg: &AliceConfig,
+    db: &DesignDb,
 ) -> Result<SelectionResult, AliceError> {
     let jobs = cfg.effective_jobs();
-    // LUT-map every distinct module once (instances share the mapping),
-    // one worker task per module, deterministic order via BTreeSet.
-    let modules: Vec<&str> = clusters
+    // LUT-map every distinct module once (instances share the mapping,
+    // the DesignDb shares it across runs), one worker task per module,
+    // deterministic order via BTreeSet.
+    let modules: Vec<Symbol> = clusters
         .iter()
-        .flat_map(|c| c.iter().map(|&i| r[i].module.as_str()))
+        .flat_map(|c| c.iter().map(|&i| r[i].module))
         .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
     let cache: ModuleCache = shard(modules.len(), jobs, |m| {
-        map_module(design, modules[m], cfg.arch.lut_inputs)
+        db.map_module(&design.file, modules[m].as_str(), cfg.arch.lut_inputs)
     })
     .into_iter()
     .enumerate()
-    .map(|(m, res)| (modules[m].to_string(), res))
+    .map(|(m, res)| (modules[m], res))
     .collect();
     // Lines 2-7: characterize every cluster; keep the valid fabrics. A
     // cluster whose synthesis or sizing fails is simply not a valid
     // implementation ("OpenFPGA returns ... an error otherwise", §6).
+    // Characterization goes through the DesignDb: same-shaped clusters
+    // (equal name-free structural hash) share one fabric sizing.
     let characterized = shard(clusters.len(), jobs, |c| {
         let cluster = &clusters[c];
         let network = cluster_network_cached(&cache, cluster, r).map_err(|e| e.to_string())?;
-        create_efpga(&network, &cfg.arch).map_err(|e| e.to_string())
+        db.characterize(&network, &cfg.arch)
     });
     let mut valid: Vec<ValidEfpga> = Vec::new();
     let mut failed: Vec<(Cluster, String)> = Vec::new();
@@ -367,9 +370,9 @@ endmodule
 
     fn pipeline(cfg: &AliceConfig) -> (Design, Vec<Candidate>, Vec<Cluster>) {
         let d = Design::from_source("t", SRC, None).expect("load");
-        let df = alice_dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let r = filter_modules(&d, &df, cfg).expect("filter").candidates;
-        let c = identify_clusters(&r, cfg).clusters;
+        let c = identify_clusters(&r, &d.paths, cfg).clusters;
         (d, r, c)
     }
 
@@ -384,7 +387,7 @@ endmodule
         assert_eq!(r.len(), 2);
         // singles + the pair (24+24 <= 64)
         assert_eq!(c.len(), 3);
-        let sel = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        let sel = select_efpgas(&d, &r, &c, &cfg, &DesignDb::new()).expect("select");
         assert_eq!(sel.valid.len(), 3);
         // solutions: {x}, {a}, {xa-pair}, {x,a} = 4
         assert_eq!(sel.solutions, 4);
@@ -400,7 +403,7 @@ endmodule
             ..AliceConfig::default()
         };
         let (d, r, c) = pipeline(&cfg);
-        let sel = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        let sel = select_efpgas(&d, &r, &c, &cfg, &DesignDb::new()).expect("select");
         // {x}, {a}, {pair} — no two-fabric combos.
         assert_eq!(sel.solutions, 3);
     }
@@ -413,9 +416,10 @@ endmodule
             ..AliceConfig::default()
         };
         let (d, r, c) = pipeline(&cfg);
-        let reward = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        let db = DesignDb::new();
+        let reward = select_efpgas(&d, &r, &c, &cfg, &db).expect("select");
         cfg.score_model = ScoreModel::AsPrinted;
-        let printed = select_efpgas(&d, &r, &c, &cfg).expect("select");
+        let printed = select_efpgas(&d, &r, &c, &cfg, &db).expect("select");
         let high = reward.best.clone().expect("best");
         let low = printed.best.clone().expect("best");
         // The two models pick differently scored solutions.
@@ -443,9 +447,16 @@ endmodule
     #[test]
     fn merge_is_disjoint_union() {
         let d = Design::from_source("t", SRC, None).expect("load");
-        let mut mapper = ClusterMapper::new(&d, 4);
-        let x = mapper.module("xorblk").expect("map").clone();
-        let a = mapper.module("addblk").expect("map").clone();
+        let db = DesignDb::new();
+        let mut mapper = ClusterMapper::new(&d, 4, &db);
+        let x = mapper
+            .module(Symbol::intern("xorblk"))
+            .expect("map")
+            .clone();
+        let a = mapper
+            .module(Symbol::intern("addblk"))
+            .expect("map")
+            .clone();
         let m = merge(&[x.clone(), a.clone()]);
         assert_eq!(m.lut_count(), x.lut_count() + a.lut_count());
         assert_eq!(m.io_pins(), x.io_pins() + a.io_pins());

@@ -13,6 +13,7 @@
 
 use crate::cluster::{identify_clusters, ClusterResult};
 use crate::config::AliceConfig;
+use crate::db::DesignDb;
 use crate::design::Design;
 use crate::error::AliceError;
 use crate::filter::{filter_modules, FilterResult};
@@ -29,6 +30,9 @@ pub struct FlowContext<'a> {
     pub design: &'a Design,
     /// The run configuration.
     pub cfg: &'a AliceConfig,
+    /// The shared characterization cache (possibly long-lived, shared
+    /// across runs; see [`DesignDb`]).
+    pub db: &'a DesignDb,
     /// Output cones and instance scoring (set by [`FilterStage`]).
     pub dataflow: Option<alice_dataflow::DesignDataflow>,
     /// Algorithm 1 output (set by [`FilterStage`]).
@@ -47,10 +51,11 @@ pub struct FlowContext<'a> {
 
 impl<'a> FlowContext<'a> {
     /// A fresh context with no phase artifacts.
-    pub fn new(design: &'a Design, cfg: &'a AliceConfig) -> Self {
+    pub fn new(design: &'a Design, cfg: &'a AliceConfig, db: &'a DesignDb) -> Self {
         FlowContext {
             design,
             cfg,
+            db,
             dataflow: None,
             filter: None,
             clusters: None,
@@ -101,7 +106,7 @@ impl Stage for FilterStage {
     }
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
-        let dataflow = alice_dataflow::analyze(&cx.design.file, &cx.design.hierarchy.top)
+        let dataflow = alice_dataflow::analyze(&cx.design.file, cx.design.hierarchy.top.as_str())
             .map_err(|e| AliceError::Dataflow(e.to_string()))?;
         cx.filter = Some(filter_modules(cx.design, &dataflow, cx.cfg)?);
         cx.dataflow = Some(dataflow);
@@ -125,7 +130,7 @@ impl Stage for ClusterStage {
     }
 
     fn run(&self, cx: &mut FlowContext<'_>) -> Result<(), AliceError> {
-        cx.clusters = Some(identify_clusters(cx.candidates(), cx.cfg));
+        cx.clusters = Some(identify_clusters(cx.candidates(), &cx.design.paths, cx.cfg));
         Ok(())
     }
 
@@ -151,7 +156,7 @@ impl Stage for SelectStage {
             .as_ref()
             .map(|c| c.clusters.as_slice())
             .unwrap_or(&[]);
-        let selection = select_efpgas(cx.design, cx.candidates(), clusters, cx.cfg)?;
+        let selection = select_efpgas(cx.design, cx.candidates(), clusters, cx.cfg, cx.db)?;
         cx.selection = Some(selection);
         Ok(())
     }
@@ -178,7 +183,13 @@ impl Stage for RedactStage {
             return Ok(());
         };
         if selection.best.is_some() {
-            cx.redacted = Some(redact(cx.design, cx.candidates(), selection, cx.cfg)?);
+            cx.redacted = Some(redact(
+                cx.design,
+                cx.candidates(),
+                selection,
+                cx.cfg,
+                cx.db,
+            )?);
         }
         Ok(())
     }
@@ -209,7 +220,7 @@ impl Stage for VerifyStage {
         let Some(redacted) = cx.redacted.as_ref() else {
             return Ok(());
         };
-        cx.verify = Some(verify_redaction(cx.design, redacted, cx.cfg)?);
+        cx.verify = Some(verify_redaction(cx.design, redacted, cx.cfg, cx.db)?);
         Ok(())
     }
 
@@ -301,7 +312,8 @@ endmodule";
             verify: true,
             ..AliceConfig::cfg1()
         };
-        let mut cx = FlowContext::new(&design, &cfg);
+        let db = DesignDb::new();
+        let mut cx = FlowContext::new(&design, &cfg, &db);
         let mut timings = PhaseTimings::default();
         let stages: [&dyn Stage; 5] = [
             &FilterStage,
@@ -330,7 +342,8 @@ endmodule";
     fn verify_stage_is_a_noop_when_disabled() {
         let design = Design::from_source("demo", SRC, None).expect("load");
         let cfg = AliceConfig::cfg1();
-        let mut cx = FlowContext::new(&design, &cfg);
+        let db = DesignDb::new();
+        let mut cx = FlowContext::new(&design, &cfg, &db);
         let mut timings = PhaseTimings::default();
         for stage in crate::flow::Flow::stages() {
             run_stage(stage, &mut cx, &mut timings).expect("stage");

@@ -8,7 +8,7 @@
 //! `alice-cec` with
 //!
 //! * every fabric configuration register pinned to the bitstream value
-//!   the chain would load ([`RedactedEfpga::binding`]),
+//!   the chain would load ([`crate::redact::RedactedEfpga::binding`]),
 //! * `cfg_en` pinned low (functional mode) and the remaining config pins
 //!   free,
 //! * each fabric FF paired with the original register it replaced, so
@@ -23,14 +23,21 @@
 //! characterization.
 
 use crate::config::AliceConfig;
+use crate::db::DesignDb;
 use crate::design::Design;
 use crate::error::AliceError;
 use crate::par::shard;
 use crate::redact::RedactedDesign;
 use alice_cec::{CecResult, Counterexample, Miter, MiterOptions};
+use alice_intern::Symbol;
 use alice_netlist::ir::Netlist;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// Both sides of the check, elaborated; the inner `Err` is the
+/// "unsupported at gate level" reason, not a flow error.
+type ElaboratedSides = Result<(Arc<Netlist>, Arc<Netlist>), String>;
 
 /// The verdict of the verify stage's equivalence proof.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,15 +132,12 @@ fn base_options(redacted: &RedactedDesign, cfg: &AliceConfig) -> MiterOptions {
         conflict_budget: cfg.verify_conflict_budget,
         ..MiterOptions::default()
     };
-    opts.pin_inputs.push(("cfg_en".to_string(), vec![false]));
+    opts.pin_inputs
+        .push((Symbol::intern("cfg_en"), vec![false]));
     for e in &redacted.efpgas {
-        opts.pin_state.extend(e.binding.cfg_pins.iter().cloned());
-        opts.state_rename.extend(
-            e.binding
-                .state_map
-                .iter()
-                .map(|(ff, orig)| (ff.clone(), orig.clone())),
-        );
+        opts.pin_state.extend(e.binding.cfg_pins.iter().copied());
+        opts.state_rename
+            .extend(e.binding.state_map.iter().copied());
     }
     opts
 }
@@ -146,16 +150,20 @@ fn base_options(redacted: &RedactedDesign, cfg: &AliceConfig) -> MiterOptions {
 fn elaborate_sides(
     design: &Design,
     redacted: &RedactedDesign,
-) -> Result<Result<(Netlist, Netlist), String>, AliceError> {
-    let top = &design.hierarchy.top;
-    let golden = match alice_netlist::elaborate::elaborate(&design.file, top) {
+    db: &DesignDb,
+) -> Result<ElaboratedSides, AliceError> {
+    let top = design.hierarchy.top.as_str();
+    // Both sides go through the DesignDb, so suite-style repeat runs
+    // re-elaborate neither the original nor an identical redaction.
+    let golden = match db.elaborate(&design.file, top) {
         Ok(n) => n,
         Err(e) => return Ok(Err(format!("original does not elaborate: {e}"))),
     };
     let combined = redacted.combined_verilog();
     let parsed = alice_verilog::parse_source(&combined)
         .map_err(|e| AliceError::Verify(format!("redacted output does not re-parse: {e}")))?;
-    let revised = alice_netlist::elaborate::elaborate(&parsed, top)
+    let revised = db
+        .elaborate(&parsed, top)
         .map_err(|e| AliceError::Verify(format!("redacted output does not elaborate: {e}")))?;
     Ok(Ok((golden, revised)))
 }
@@ -173,8 +181,9 @@ pub fn verify_redaction(
     design: &Design,
     redacted: &RedactedDesign,
     cfg: &AliceConfig,
+    db: &DesignDb,
 ) -> Result<VerifyReport, AliceError> {
-    let (golden, revised) = match elaborate_sides(design, redacted)? {
+    let (golden, revised) = match elaborate_sides(design, redacted, db)? {
         Ok(pair) => pair,
         Err(reason) => {
             return Ok(VerifyReport {
@@ -233,15 +242,10 @@ fn wrong_key_sweep(
 ) -> Result<Vec<WrongKeyOutcome>, alice_cec::MiterError> {
     // Global key-bit table: (cfg-register name, correct value), over all
     // fabrics, restricted to reachable truth-table bits.
-    let key_bits: Vec<(String, bool)> = redacted
+    let key_bits: Vec<(Symbol, bool)> = redacted
         .efpgas
         .iter()
-        .flat_map(|e| {
-            e.binding
-                .key_bits
-                .iter()
-                .map(|&i| e.binding.cfg_pins[i].clone())
-        })
+        .flat_map(|e| e.binding.key_bits.iter().map(|&i| e.binding.cfg_pins[i]))
         .collect();
     if key_bits.is_empty() {
         return Ok(Vec::new());
@@ -266,12 +270,12 @@ fn wrong_key_sweep(
     let results = shard(n, cfg.effective_jobs(), |k| {
         let mut opts = base.clone();
         // Flip the chosen key bits relative to the correct bitstream.
-        let flipped: HashMap<&str, bool> = flips[k]
+        let flipped: HashMap<Symbol, bool> = flips[k]
             .iter()
-            .map(|&i| (key_bits[i].0.as_str(), !key_bits[i].1))
+            .map(|&i| (key_bits[i].0, !key_bits[i].1))
             .collect();
         for (name, v) in &mut opts.pin_state {
-            if let Some(&nv) = flipped.get(name.as_str()) {
+            if let Some(&nv) = flipped.get(name) {
                 *v = nv;
             }
         }
@@ -365,7 +369,7 @@ endmodule
         let bind = &mut redacted.efpgas[0].binding;
         let key = bind.key_bits[0];
         bind.cfg_pins[key].1 = !bind.cfg_pins[key].1;
-        let report = verify_redaction(&d, &redacted, &cfg).expect("check runs");
+        let report = verify_redaction(&d, &redacted, &cfg, &DesignDb::new()).expect("check runs");
         match report.outcome {
             VerifyOutcome::NotEquivalent(cex) => assert!(!cex.diffs.is_empty()),
             other => panic!("sabotage must be caught, got {other}"),

@@ -7,6 +7,7 @@
 //! target the block assigns) and descends the hierarchy using per-module
 //! summaries computed bottom-up.
 
+use alice_intern::Symbol;
 use alice_verilog::ast::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
@@ -24,10 +25,10 @@ pub struct ModuleDeps {
 /// Whole-design dataflow: per-module summaries plus the top name.
 #[derive(Debug, Clone)]
 pub struct DesignDataflow {
-    /// Summaries keyed by module name.
-    pub modules: BTreeMap<String, ModuleDeps>,
+    /// Summaries keyed by interned module name.
+    pub modules: BTreeMap<Symbol, ModuleDeps>,
     /// Top module name.
-    pub top: String,
+    pub top: Symbol,
 }
 
 /// Errors from dataflow analysis.
@@ -71,7 +72,7 @@ pub fn analyze(file: &SourceFile, top: &str) -> Result<DesignDataflow, DataflowE
     analyzer.module_deps(top)?;
     Ok(DesignDataflow {
         modules: analyzer.done,
-        top: top.to_string(),
+        top: Symbol::intern(top),
     })
 }
 
@@ -82,7 +83,7 @@ impl DesignDataflow {
     ///
     /// Returns [`DataflowError::UnknownOutput`] if `output` is not an output
     /// port of the top module.
-    pub fn cone_of(&self, output: &str) -> Result<BTreeSet<String>, DataflowError> {
+    pub fn cone_of(&self, output: &str) -> Result<BTreeSet<Symbol>, DataflowError> {
         let deps = self
             .modules
             .get(&self.top)
@@ -93,7 +94,7 @@ impl DesignDataflow {
             .ok_or_else(|| DataflowError::UnknownOutput(output.to_string()))?;
         Ok(insts
             .iter()
-            .map(|rel| format!("{}.{rel}", self.top))
+            .map(|rel| Symbol::intern(&format!("{}.{rel}", self.top)))
             .collect())
     }
 
@@ -106,8 +107,8 @@ impl DesignDataflow {
     pub fn score_instances(
         &self,
         outputs: &[String],
-    ) -> Result<BTreeMap<String, u32>, DataflowError> {
-        let mut scores: BTreeMap<String, u32> = BTreeMap::new();
+    ) -> Result<BTreeMap<Symbol, u32>, DataflowError> {
+        let mut scores: BTreeMap<Symbol, u32> = BTreeMap::new();
         for o in outputs {
             for inst in self.cone_of(o)? {
                 *scores.entry(inst).or_insert(0) += 1;
@@ -119,12 +120,12 @@ impl DesignDataflow {
 
 struct Analyzer<'a> {
     file: &'a SourceFile,
-    done: BTreeMap<String, ModuleDeps>,
+    done: BTreeMap<Symbol, ModuleDeps>,
 }
 
 impl<'a> Analyzer<'a> {
     fn module_deps(&mut self, name: &str) -> Result<(), DataflowError> {
-        if self.done.contains_key(name) {
+        if self.done.contains_key(&Symbol::intern(name)) {
             return Ok(());
         }
         let m = self
@@ -266,8 +267,8 @@ impl<'a> Analyzer<'a> {
                                 continue;
                             }
                             insts.insert(inst.clone());
-                            let child_mod = &inst_module[inst];
-                            let cdeps = &self.done[child_mod];
+                            let child_mod = Symbol::intern(&inst_module[inst]);
+                            let cdeps = &self.done[&child_mod];
                             // instances inside the child on this port's cone
                             if let Some(sub) = cdeps.out_to_insts.get(cport) {
                                 for rel in sub {
@@ -295,7 +296,7 @@ impl<'a> Analyzer<'a> {
             deps.out_to_in.insert(port.name.clone(), need_in);
             deps.out_to_insts.insert(port.name.clone(), insts);
         }
-        self.done.insert(name.to_string(), deps);
+        self.done.insert(Symbol::intern(name), deps);
         Ok(())
     }
 }
@@ -409,12 +410,12 @@ endmodule
         let f = parse_source(SRC).expect("parse");
         let df = analyze(&f, "top").expect("analyze");
         let c1 = df.cone_of("o1").expect("o1");
-        assert!(c1.contains("top.m0"), "{c1:?}");
-        assert!(c1.contains("top.s0"));
-        assert!(!c1.contains("top.s1"));
+        assert!(c1.contains(&Symbol::intern("top.m0")), "{c1:?}");
+        assert!(c1.contains(&Symbol::intern("top.s0")));
+        assert!(!c1.contains(&Symbol::intern("top.s1")));
         let c2 = df.cone_of("o2").expect("o2");
         assert_eq!(c2.len(), 1);
-        assert!(c2.contains("top.s1"));
+        assert!(c2.contains(&Symbol::intern("top.s1")));
     }
 
     #[test]
@@ -424,16 +425,16 @@ endmodule
         let scores = df
             .score_instances(&["o1".to_string(), "o2".to_string()])
             .expect("scores");
-        assert_eq!(scores.get("top.m0"), Some(&1));
-        assert_eq!(scores.get("top.s0"), Some(&1));
-        assert_eq!(scores.get("top.s1"), Some(&1));
+        assert_eq!(scores.get(&Symbol::intern("top.m0")), Some(&1));
+        assert_eq!(scores.get(&Symbol::intern("top.s0")), Some(&1));
+        assert_eq!(scores.get(&Symbol::intern("top.s1")), Some(&1));
     }
 
     #[test]
     fn out_to_in_summary() {
         let f = parse_source(SRC).expect("parse");
         let df = analyze(&f, "top").expect("analyze");
-        let mixer = &df.modules["mixer"];
+        let mixer = &df.modules[&Symbol::intern("mixer")];
         let ins = &mixer.out_to_in["y"];
         assert!(ins.contains("a") && ins.contains("b"));
     }
@@ -452,8 +453,8 @@ endmodule
         let f = parse_source(src).expect("parse");
         let df = analyze(&f, "top").expect("analyze");
         let cone = df.cone_of("o").expect("cone");
-        assert!(cone.contains("top.m0"));
-        assert!(cone.contains("top.m0.l0"), "{cone:?}");
+        assert!(cone.contains(&Symbol::intern("top.m0")));
+        assert!(cone.contains(&Symbol::intern("top.m0.l0")), "{cone:?}");
     }
 
     #[test]
@@ -480,7 +481,7 @@ endmodule
 "#;
         let f = parse_source(src).expect("parse");
         let df = analyze(&f, "top").expect("analyze");
-        let seq = &df.modules["seq"];
+        let seq = &df.modules[&Symbol::intern("seq")];
         let ins = &seq.out_to_in["q"];
         assert!(ins.contains("en") && ins.contains("d") && ins.contains("clk"));
     }

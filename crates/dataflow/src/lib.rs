@@ -18,7 +18,7 @@
 //! endmodule";
 //! let file = alice_verilog::parse_source(src)?;
 //! let df = alice_dataflow::analyze(&file, "top")?;
-//! assert!(df.cone_of("o")?.contains("top.i0"));
+//! assert!(df.cone_of("o")?.contains(&alice_intern::Symbol::intern("top.i0")));
 //! # Ok(())
 //! # }
 //! ```
@@ -29,6 +29,7 @@ pub mod domtree;
 pub use cone::{analyze, DataflowError, DesignDataflow, ModuleDeps};
 pub use domtree::{DiGraph, DomTree};
 
+use alice_intern::Symbol;
 use alice_verilog::hierarchy::InstanceNode;
 
 /// Builds a [`DiGraph`] over the instance tree (edges parent → child),
@@ -37,19 +38,16 @@ use alice_verilog::hierarchy::InstanceNode;
 /// In a pure tree, each node's immediate dominator is its parent, so the
 /// common dominator of a set of instances is their lowest common ancestor —
 /// the insertion point ALICE uses for a multi-module eFPGA.
-pub fn hierarchy_graph(root: &InstanceNode) -> (DiGraph, Vec<String>) {
+pub fn hierarchy_graph(root: &InstanceNode) -> (DiGraph, Vec<Symbol>) {
     let nodes = root.walk();
-    let paths: Vec<String> = nodes.iter().map(|n| n.path.clone()).collect();
-    let index: std::collections::HashMap<&str, usize> = paths
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (p.as_str(), i))
-        .collect();
+    let paths: Vec<Symbol> = nodes.iter().map(|n| n.path).collect();
+    let index: std::collections::HashMap<Symbol, usize> =
+        paths.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); paths.len()];
     for n in &nodes {
-        let pi = index[n.path.as_str()];
+        let pi = index[&n.path];
         for c in &n.children {
-            preds[index[c.path.as_str()]].push(pi);
+            preds[index[&c.path]].push(pi);
         }
     }
     (DiGraph { preds, root: 0 }, paths)
@@ -78,7 +76,7 @@ endmodule
         let h = build_hierarchy(&f, None).expect("hierarchy");
         let (g, paths) = hierarchy_graph(&h.tree);
         let dt = DomTree::compute(&g);
-        let idx = |p: &str| paths.iter().position(|x| x == p).expect("path");
+        let idx = |p: &str| paths.iter().position(|x| *x == p).expect("path");
         let lca = dt.common_dominator(&[idx("top.m0.l0"), idx("top.m0.l1")]);
         assert_eq!(paths[lca], "top.m0");
         let lca2 = dt.common_dominator(&[idx("top.m0.l0"), idx("top.m0")]);

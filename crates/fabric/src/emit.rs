@@ -104,7 +104,7 @@ pub fn fabric_netlist(
                 return if bits.len() > 1 {
                     format!("{pname}[{bit}]")
                 } else {
-                    pname.clone()
+                    pname.to_string()
                 };
             }
             acc += bits.len();
@@ -168,7 +168,7 @@ pub fn fabric_netlist(
             let lhs = if bits.len() > 1 {
                 format!("{pname}[{b}]")
             } else {
-                pname.clone()
+                pname.to_string()
             };
             let _ = writeln!(v, "  assign {lhs} = {};", src_expr(s));
         }

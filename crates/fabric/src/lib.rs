@@ -5,7 +5,7 @@
 //!
 //! * [`arch`] — the fabric architecture family (CLB = four 4-input LUTs,
 //!   8-GPIO I/O tiles, `8·(W+H)` pins for a W×H array),
-//! * [`pack`] — LUT/FF packing into CLBs,
+//! * [`mod@pack`] — LUT/FF packing into CLBs,
 //! * [`sizing`] — minimal-fabric search ([`create_efpga`], the
 //!   `CreateEFPGA` oracle of Algorithm 3) with I/O and CLB utilization,
 //! * [`bitstream`] — configuration stream generation (the redaction

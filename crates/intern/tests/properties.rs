@@ -1,0 +1,87 @@
+//! Property tests for the interner: round-tripping, identity, ordering,
+//! and path-tree ancestor semantics on arbitrary generated names.
+
+use alice_intern::{PathTree, StableHasher, Symbol};
+use proptest::prelude::*;
+
+/// Deterministically decodes a code vector into an identifier-ish name
+/// (letters, digits, `_`, `$` — the Verilog identifier alphabet).
+fn name_of(codes: &[u32]) -> String {
+    const ALPHABET: &[u8; 64] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$";
+    codes
+        .iter()
+        .map(|&c| ALPHABET[(c as usize) % ALPHABET.len()] as char)
+        .collect()
+}
+
+/// A dotted instance path from segment code vectors.
+fn path_of(segs: &[Vec<u32>]) -> String {
+    segs.iter()
+        .map(|s| name_of(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning round-trips arbitrary names and is idempotent: the same
+    /// text always yields the same symbol, and the symbol always yields
+    /// the text back.
+    #[test]
+    fn intern_round_trips(codes in prop::collection::vec(0u32..64, 1..40)) {
+        let name = name_of(&codes);
+        let a = Symbol::intern(&name);
+        let b = Symbol::intern(&name);
+        prop_assert_eq!(a, b);
+        prop_assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        prop_assert_eq!(a.as_str(), name.as_str());
+        prop_assert_eq!(a.to_string(), name);
+    }
+
+    /// Symbol equality coincides with string equality, and symbol `Ord`
+    /// coincides with string `Ord` regardless of interning order.
+    #[test]
+    fn symbol_order_mirrors_string_order(
+        a in prop::collection::vec(0u32..64, 1..24),
+        b in prop::collection::vec(0u32..64, 1..24),
+    ) {
+        let (sa, sb) = (name_of(&a), name_of(&b));
+        let (xa, xb) = (Symbol::intern(&sa), Symbol::intern(&sb));
+        prop_assert_eq!(xa == xb, sa == sb);
+        prop_assert_eq!(xa.cmp(&xb), sa.cmp(&sb));
+    }
+
+    /// A path tree built from dotted paths answers ancestor queries
+    /// exactly like segment-prefix comparison (the specification the old
+    /// string code approximated).
+    #[test]
+    fn path_tree_matches_segment_prefix_semantics(
+        a in prop::collection::vec(prop::collection::vec(0u32..8, 1..3), 1..5),
+        b in prop::collection::vec(prop::collection::vec(0u32..8, 1..3), 1..5),
+    ) {
+        let (pa, pb) = (path_of(&a), path_of(&b));
+        let (xa, xb) = (Symbol::intern(&pa), Symbol::intern(&pb));
+        let tree = PathTree::from_paths([xa, xb]);
+        let segs = |p: &str| p.split('.').map(str::to_string).collect::<Vec<_>>();
+        let (ga, gb) = (segs(&pa), segs(&pb));
+        let expect = ga.len() <= gb.len() && gb[..ga.len()] == ga[..];
+        prop_assert_eq!(tree.is_ancestor_or_self(xa, xb), expect, "{} vs {}", pa, pb);
+    }
+
+    /// The content hasher is deterministic and input-sensitive: equal
+    /// byte sequences agree, an appended byte disagrees.
+    #[test]
+    fn stable_hash_is_deterministic(codes in prop::collection::vec(0u32..64, 0..64)) {
+        let name = name_of(&codes);
+        let digest = |s: &str| {
+            let mut h = StableHasher::new();
+            h.write_str(s);
+            h.finish()
+        };
+        prop_assert_eq!(digest(&name), digest(&name));
+        let mut longer = name.clone();
+        longer.push('x');
+        prop_assert!(digest(&name) != digest(&longer));
+    }
+}

@@ -5,6 +5,7 @@
 //! while avoiding the node blow-up of a pure AIG for datapath logic).
 //! Sequential elements are D flip-flops in a single implicit clock domain.
 
+use alice_intern::{StableHasher, Symbol};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -48,6 +49,12 @@ impl Lit {
     pub fn with_compl(self, c: bool) -> Lit {
         Lit(self.0 & !1 | c as u32)
     }
+
+    /// The raw packed representation (node index and complement bit),
+    /// stable for hashing.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl fmt::Debug for Lit {
@@ -74,8 +81,8 @@ pub enum Node {
     Const0,
     /// A primary input bit. `name` is `port[bit]` flattened.
     Input {
-        /// Flattened bit name, e.g. `a[3]`.
-        name: String,
+        /// Flattened bit name, e.g. `a[3]` (interned).
+        name: Symbol,
     },
     /// 2-input AND.
     And(Lit, Lit),
@@ -96,8 +103,8 @@ pub enum Node {
         d: Lit,
         /// Power-on value.
         init: bool,
-        /// Debug name (register bit).
-        name: String,
+        /// Debug name (register bit, interned).
+        name: Symbol,
     },
     /// A combinational buffer (identity). Used as a patchable placeholder at
     /// module-instance boundaries during elaboration; removed by
@@ -130,9 +137,9 @@ pub struct Netlist {
     pub name: String,
     nodes: Vec<Node>,
     /// Input ports: name and the input-bit nodes (LSB first).
-    pub inputs: Vec<(String, Vec<NodeId>)>,
+    pub inputs: Vec<(Symbol, Vec<NodeId>)>,
     /// Output ports: name and driving literals (LSB first).
-    pub outputs: Vec<(String, Vec<Lit>)>,
+    pub outputs: Vec<(Symbol, Vec<Lit>)>,
     strash: HashMap<StrashKey, NodeId>,
 }
 
@@ -185,7 +192,7 @@ impl Netlist {
     }
 
     /// Adds a primary input bit and returns its node.
-    pub fn add_input_bit(&mut self, name: impl Into<String>) -> NodeId {
+    pub fn add_input_bit(&mut self, name: impl Into<Symbol>) -> NodeId {
         self.push(Node::Input { name: name.into() })
     }
 
@@ -195,13 +202,13 @@ impl Netlist {
             .map(|i| self.add_input_bit(format!("{name}[{i}]")))
             .collect();
         let lits = bits.iter().map(|&b| Lit::new(b, false)).collect();
-        self.inputs.push((name.to_string(), bits));
+        self.inputs.push((Symbol::intern(name), bits));
         lits
     }
 
     /// Registers a vectored output port driven by `bits` (LSB first).
-    pub fn add_output(&mut self, name: &str, bits: Vec<Lit>) {
-        self.outputs.push((name.to_string(), bits));
+    pub fn add_output(&mut self, name: impl Into<Symbol>, bits: Vec<Lit>) {
+        self.outputs.push((name.into(), bits));
     }
 
     /// Creates (or reuses) an AND gate.
@@ -324,7 +331,7 @@ impl Netlist {
 
     /// Creates a D flip-flop with a placeholder input; patch it later with
     /// [`Netlist::set_dff_input`]. Returns the Q literal.
-    pub fn dff(&mut self, name: impl Into<String>, init: bool) -> Lit {
+    pub fn dff(&mut self, name: impl Into<Symbol>, init: bool) -> Lit {
         let id = self.push(Node::Dff {
             d: Lit::FALSE,
             init,
@@ -429,13 +436,75 @@ impl Netlist {
     /// The names are the hierarchical register-bit names assigned at
     /// elaboration (e.g. `top.u0.q[3]`), which is what equivalence
     /// checking uses to pair state elements across two netlists.
-    pub fn dff_records(&self) -> Vec<(NodeId, &str, Lit, bool)> {
+    pub fn dff_records(&self) -> Vec<(NodeId, Symbol, Lit, bool)> {
         self.iter()
             .filter_map(|(id, n)| match n {
-                Node::Dff { d, init, name } => Some((id, name.as_str(), *d, *init)),
+                Node::Dff { d, init, name } => Some((id, *name, *d, *init)),
                 _ => None,
             })
             .collect()
+    }
+
+    /// A deterministic 128-bit content hash of the netlist: node
+    /// structure, port names/shapes, and register names. Two modules with
+    /// identical elaborations hash identically regardless of which design
+    /// (or process run) produced them — the key of the [`DesignDb`]
+    /// LUT-mapping cache.
+    ///
+    /// [`DesignDb`]: https://docs.rs/alice-core
+    pub fn structural_hash(&self) -> (u64, u64) {
+        let mut h = StableHasher::new();
+        h.write_u64(self.nodes.len() as u64);
+        for (_, n) in self.iter() {
+            match n {
+                Node::Const0 => h.write_u32(0),
+                Node::Input { name } => {
+                    h.write_u32(1);
+                    h.write_str(name.as_str());
+                }
+                Node::And(a, b) => {
+                    h.write_u32(2);
+                    h.write_u32(a.raw());
+                    h.write_u32(b.raw());
+                }
+                Node::Xor(a, b) => {
+                    h.write_u32(3);
+                    h.write_u32(a.raw());
+                    h.write_u32(b.raw());
+                }
+                Node::Mux { s, t, e } => {
+                    h.write_u32(4);
+                    h.write_u32(s.raw());
+                    h.write_u32(t.raw());
+                    h.write_u32(e.raw());
+                }
+                Node::Dff { d, init, name } => {
+                    h.write_u32(5);
+                    h.write_u32(d.raw());
+                    h.write_u32(*init as u32);
+                    h.write_str(name.as_str());
+                }
+                Node::Buf(a) => {
+                    h.write_u32(6);
+                    h.write_u32(a.raw());
+                }
+            }
+        }
+        h.write_u64(self.inputs.len() as u64);
+        for (name, bits) in &self.inputs {
+            h.write_str(name.as_str());
+            for b in bits {
+                h.write_u32(b.0);
+            }
+        }
+        h.write_u64(self.outputs.len() as u64);
+        for (name, bits) in &self.outputs {
+            h.write_str(name.as_str());
+            for b in bits {
+                h.write_u32(b.raw());
+            }
+        }
+        h.finish()
     }
 
     /// Iterates over combinational gates only (AND/XOR/MUX).

@@ -6,7 +6,7 @@
 //!   structural hashing and constant folding,
 //! * [`words`] — word-level operators (adders, comparators, shifters...)
 //!   used to lower RTL expressions,
-//! * [`elaborate`] — flattening RTL elaboration from the
+//! * [`mod@elaborate`] — flattening RTL elaboration from the
 //!   [`alice_verilog`] AST into gates,
 //! * [`opt`] — buffer removal / dead-code elimination,
 //! * [`sim`] — a two-state cycle-accurate simulator (equivalence checks

@@ -9,6 +9,7 @@
 
 use crate::ir::{Lit, Netlist, Node, NodeId};
 use crate::opt::sweep;
+use alice_intern::{StableHasher, Symbol};
 use std::collections::HashMap;
 
 /// Maximum cuts kept per node (priority cuts).
@@ -60,9 +61,9 @@ pub struct MappedNetlist {
     /// LUT input count (k).
     pub k: u32,
     /// Flat primary-input bit names.
-    pub input_names: Vec<String>,
+    pub input_names: Vec<Symbol>,
     /// Input ports: name and PI indices (LSB first).
-    pub inputs: Vec<(String, Vec<usize>)>,
+    pub inputs: Vec<(Symbol, Vec<usize>)>,
     /// Mapped LUTs in topological order.
     pub luts: Vec<Lut>,
     /// Mapped flip-flops.
@@ -70,9 +71,9 @@ pub struct MappedNetlist {
     /// Hierarchical register-bit names, parallel to [`MappedNetlist::dffs`]
     /// (carried through from elaboration so redaction can pair fabric FFs
     /// with the original design's registers for equivalence checking).
-    pub dff_names: Vec<String>,
+    pub dff_names: Vec<Symbol>,
     /// Output ports: name and sources (LSB first).
-    pub outputs: Vec<(String, Vec<MappedSrc>)>,
+    pub outputs: Vec<(Symbol, Vec<MappedSrc>)>,
 }
 
 impl MappedNetlist {
@@ -111,6 +112,66 @@ impl MappedNetlist {
     /// Total configuration bits carried by the LUT truth tables.
     pub fn config_bits(&self) -> usize {
         self.luts.len() * (1usize << self.k)
+    }
+
+    /// A deterministic 128-bit *name-free* content hash: LUT structure,
+    /// truth tables, FF wiring, and port shapes — but no port or register
+    /// names. Fabric characterization ([`create_efpga`]) depends only on
+    /// this structure, so two clusters that merge to the same shape (for
+    /// example different instances of the same S-box) share one cache
+    /// entry even though their prefixed port names differ.
+    ///
+    /// [`create_efpga`]: https://docs.rs/alice-fabric
+    pub fn structural_hash(&self) -> (u64, u64) {
+        let mut h = StableHasher::new();
+        let src = |h: &mut StableHasher, s: &MappedSrc| match s {
+            MappedSrc::Const(b) => {
+                h.write_u32(0);
+                h.write_u32(*b as u32);
+            }
+            MappedSrc::Pi(i) => {
+                h.write_u32(1);
+                h.write_u64(*i as u64);
+            }
+            MappedSrc::Lut(i) => {
+                h.write_u32(2);
+                h.write_u64(*i as u64);
+            }
+            MappedSrc::Dff(i) => {
+                h.write_u32(3);
+                h.write_u64(*i as u64);
+            }
+        };
+        h.write_u32(self.k);
+        h.write_u64(self.input_names.len() as u64);
+        h.write_u64(self.inputs.len() as u64);
+        for (_, idxs) in &self.inputs {
+            h.write_u64(idxs.len() as u64);
+            for &i in idxs {
+                h.write_u64(i as u64);
+            }
+        }
+        h.write_u64(self.luts.len() as u64);
+        for lut in &self.luts {
+            h.write_u64(lut.tt);
+            h.write_u64(lut.inputs.len() as u64);
+            for i in &lut.inputs {
+                src(&mut h, i);
+            }
+        }
+        h.write_u64(self.dffs.len() as u64);
+        for d in &self.dffs {
+            src(&mut h, &d.d);
+            h.write_u32(d.init as u32);
+        }
+        h.write_u64(self.outputs.len() as u64);
+        for (_, bits) in &self.outputs {
+            h.write_u64(bits.len() as u64);
+            for b in bits {
+                src(&mut h, b);
+            }
+        }
+        h.finish()
     }
 }
 
@@ -270,12 +331,12 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
         for &b in bits {
             let pi = out.input_names.len();
             out.input_names.push(match n.node(b) {
-                Node::Input { name } => name.clone(),
+                Node::Input { name } => *name,
                 _ => unreachable!("input list holds inputs"),
             });
             idxs.push(pi);
         }
-        out.inputs.push((name.clone(), idxs));
+        out.inputs.push((*name, idxs));
     }
     let pi_index: HashMap<NodeId, usize> = n
         .inputs
@@ -290,7 +351,7 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
     out.dff_names = dff_ids
         .iter()
         .map(|&d| match n.node(d) {
-            Node::Dff { name, .. } => name.clone(),
+            Node::Dff { name, .. } => *name,
             _ => unreachable!("dff list holds DFFs"),
         })
         .collect();
@@ -372,7 +433,7 @@ pub fn map_luts(netlist: &Netlist, k: u32) -> Result<MappedNetlist, MapError> {
         dff_out.push(MappedDff { d: src, init });
     }
     out.dffs = dff_out;
-    let output_ports: Vec<(String, Vec<Lit>)> = n.outputs.clone();
+    let output_ports: Vec<(Symbol, Vec<Lit>)> = n.outputs.clone();
     for (name, bits) in output_ports {
         let srcs: Vec<MappedSrc> = bits
             .iter()
@@ -452,6 +513,7 @@ mod tests {
 
     /// Software evaluation of a mapped netlist for equivalence checking.
     fn eval_mapped(m: &MappedNetlist, pi: &[bool], state: &[bool]) -> Vec<(String, Vec<bool>)> {
+        // (names stringified for assertion convenience)
         let mut lut_vals = vec![false; m.luts.len()];
         let src_val = |s: &MappedSrc, lut_vals: &[bool]| -> bool {
             match s {
@@ -475,7 +537,7 @@ mod tests {
             .iter()
             .map(|(name, bits)| {
                 (
-                    name.clone(),
+                    name.to_string(),
                     bits.iter().map(|s| src_val(s, &lut_vals)).collect(),
                 )
             })

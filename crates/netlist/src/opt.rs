@@ -64,7 +64,7 @@ pub fn sweep(old: &Netlist) -> Netlist {
 
     // Input ports keep their grouping and order.
     for (name, bits) in &old.inputs {
-        let lits = new.add_input(name, bits.len() as u32);
+        let lits = new.add_input(name.as_str(), bits.len() as u32);
         for (oldb, newl) in bits.iter().zip(&lits) {
             map.insert(*oldb, *newl);
         }
@@ -75,7 +75,7 @@ pub fn sweep(old: &Netlist) -> Netlist {
     for id in &order {
         if let Node::Dff { init, name, .. } = old.node(*id) {
             if reachable.contains(id) {
-                let q = new.dff(name.clone(), *init);
+                let q = new.dff(*name, *init);
                 map.insert(*id, q);
             }
         }
@@ -130,7 +130,7 @@ pub fn sweep(old: &Netlist) -> Netlist {
 
     for (name, bits) in &old.outputs {
         let mapped = bits.iter().map(|l| tr(&map, *l)).collect();
-        new.add_output(name, mapped);
+        new.add_output(*name, mapped);
     }
     new
 }

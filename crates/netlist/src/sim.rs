@@ -85,7 +85,7 @@ impl<'a> Simulator<'a> {
             .netlist
             .inputs
             .iter()
-            .find(|(n, _)| n == port)
+            .find(|(n, _)| n.as_str() == port)
             .unwrap_or_else(|| panic!("no input port `{port}`"));
         for (i, &node) in bits.iter().enumerate() {
             self.values[node.0 as usize] = value.bit(i as u32);
@@ -157,7 +157,7 @@ impl<'a> Simulator<'a> {
             .netlist
             .outputs
             .iter()
-            .find(|(n, _)| n == port)
+            .find(|(n, _)| n.as_str() == port)
             .unwrap_or_else(|| panic!("no output port `{port}`"));
         let vals: Vec<bool> = bits.iter().map(|&l| self.lit_value(l)).collect();
         Bits::from_bits(&vals)
@@ -181,7 +181,7 @@ pub fn eval_comb(netlist: &Netlist, inputs: &[(&str, Bits)]) -> Vec<(String, Bit
     netlist
         .outputs
         .iter()
-        .map(|(name, _)| (name.clone(), sim.output(name)))
+        .map(|(name, _)| (name.to_string(), sim.output(name.as_str())))
         .collect()
 }
 

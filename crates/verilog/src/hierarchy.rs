@@ -2,16 +2,17 @@
 //! and per-module I/O pin counting (the structural metric ALICE filters on).
 
 use crate::ast::{Direction, Expr, Module, SourceFile};
+use alice_intern::{PathTree, Symbol};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A fully qualified instance path, e.g. `top.u_core.u_alu`.
-pub type InstancePath = String;
+/// A fully qualified instance path, e.g. `top.u_core.u_alu` (interned).
+pub type InstancePath = Symbol;
 
 /// Summary of one module definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModuleInfo {
     /// The module name.
-    pub name: String,
+    pub name: Symbol,
     /// Total I/O pin count (sum of port bit widths, including clock/reset).
     pub io_pins: u32,
     /// Number of input pins.
@@ -19,7 +20,7 @@ pub struct ModuleInfo {
     /// Number of output pins.
     pub output_pins: u32,
     /// Names of child modules instantiated (with multiplicity).
-    pub children: Vec<String>,
+    pub children: Vec<Symbol>,
 }
 
 /// A node in the elaborated instance tree.
@@ -28,9 +29,9 @@ pub struct InstanceNode {
     /// Hierarchical path of this instance (`top` for the root).
     pub path: InstancePath,
     /// Instance name (equal to the module name for the root).
-    pub inst_name: String,
+    pub inst_name: Symbol,
     /// The module this instance refers to.
-    pub module: String,
+    pub module: Symbol,
     /// Child instances.
     pub children: Vec<InstanceNode>,
 }
@@ -46,20 +47,43 @@ impl InstanceNode {
     }
 
     /// Finds a node by hierarchical path.
-    pub fn find(&self, path: &str) -> Option<&InstanceNode> {
+    pub fn find(&self, path: impl Into<Symbol>) -> Option<&InstanceNode> {
+        let path = path.into();
         self.walk().into_iter().find(|n| n.path == path)
+    }
+
+    /// Collects this subtree's parent/child edges into a [`PathTree`]
+    /// (the structural source for ancestor queries — no string parsing).
+    pub fn path_tree(&self) -> PathTree {
+        fn go(n: &InstanceNode, t: &mut PathTree) {
+            for c in &n.children {
+                t.insert_child(n.path, c.path);
+                go(c, t);
+            }
+        }
+        let mut t = PathTree::new();
+        t.insert_root(self.path);
+        go(self, &mut t);
+        t
     }
 }
 
 /// A design hierarchy extracted from a [`SourceFile`].
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
-    /// Per-module summaries, keyed by module name.
-    pub modules: BTreeMap<String, ModuleInfo>,
+    /// Per-module summaries, keyed by interned module name.
+    pub modules: BTreeMap<Symbol, ModuleInfo>,
     /// The detected (or requested) top module.
-    pub top: String,
+    pub top: Symbol,
     /// The elaborated instance tree rooted at `top`.
     pub tree: InstanceNode,
+}
+
+impl Hierarchy {
+    /// Looks up a module summary by name.
+    pub fn module_info(&self, name: impl Into<Symbol>) -> Option<&ModuleInfo> {
+        self.modules.get(&name.into())
+    }
 }
 
 /// Errors from hierarchy extraction.
@@ -219,11 +243,11 @@ pub fn build_hierarchy(file: &SourceFile, top: Option<&str>) -> Result<Hierarchy
                 }
             }
         }
-        let children = m.instances().map(|i| i.module.clone()).collect();
+        let children = m.instances().map(|i| Symbol::intern(&i.module)).collect();
         modules.insert(
-            m.name.clone(),
+            Symbol::intern(&m.name),
             ModuleInfo {
-                name: m.name.clone(),
+                name: Symbol::intern(&m.name),
                 io_pins: io,
                 input_pins: inp,
                 output_pins: outp,
@@ -236,34 +260,42 @@ pub fn build_hierarchy(file: &SourceFile, top: Option<&str>) -> Result<Hierarchy
         for c in &info.children {
             if !modules.contains_key(c) {
                 return Err(HierarchyError::UndefinedModule {
-                    parent: name.clone(),
-                    child: c.clone(),
+                    parent: name.to_string(),
+                    child: c.to_string(),
                 });
             }
         }
     }
     let top = match top {
         Some(t) => {
-            if !modules.contains_key(t) {
+            let t_sym = Symbol::intern(t);
+            if !modules.contains_key(&t_sym) {
                 return Err(HierarchyError::UnknownTop(t.to_string()));
             }
-            t.to_string()
+            t_sym
         }
         None => {
-            let instantiated: BTreeSet<&String> =
-                modules.values().flat_map(|i| i.children.iter()).collect();
-            let roots: Vec<String> = modules
+            let instantiated: BTreeSet<Symbol> = modules
+                .values()
+                .flat_map(|i| i.children.iter().copied())
+                .collect();
+            let roots: Vec<Symbol> = modules
                 .keys()
                 .filter(|k| !instantiated.contains(k))
-                .cloned()
+                .copied()
                 .collect();
             match roots.len() {
                 1 => roots.into_iter().next().expect("len checked"),
-                _ => return Err(HierarchyError::AmbiguousTop(roots)),
+                _ => {
+                    return Err(HierarchyError::AmbiguousTop(
+                        roots.iter().map(Symbol::to_string).collect(),
+                    ))
+                }
             }
         }
     };
-    let tree = build_tree(file, &top, &top, &top, &mut Vec::new())?;
+    let top_str = top.as_str();
+    let tree = build_tree(file, top_str, top_str, top_str, &mut Vec::new())?;
     Ok(Hierarchy { modules, top, tree })
 }
 
@@ -292,9 +324,9 @@ fn build_tree(
     }
     stack.pop();
     Ok(InstanceNode {
-        path: path.to_string(),
-        inst_name: inst_name.to_string(),
-        module: module.to_string(),
+        path: Symbol::intern(path),
+        inst_name: Symbol::intern(inst_name),
+        module: Symbol::intern(module),
         children,
     })
 }
@@ -323,9 +355,9 @@ endmodule
         let f = parse_source(SRC).expect("parse");
         let h = build_hierarchy(&f, None).expect("hierarchy");
         assert_eq!(h.top, "top");
-        assert_eq!(h.modules["leaf"].io_pins, 8);
-        assert_eq!(h.modules["top"].io_pins, 9);
-        assert_eq!(h.modules["leaf"].input_pins, 4);
+        assert_eq!(h.module_info("leaf").expect("leaf").io_pins, 8);
+        assert_eq!(h.module_info("top").expect("top").io_pins, 9);
+        assert_eq!(h.module_info("leaf").expect("leaf").input_pins, 4);
     }
 
     #[test]
@@ -335,6 +367,11 @@ endmodule
         let paths: Vec<&str> = h.tree.walk().iter().map(|n| n.path.as_str()).collect();
         assert_eq!(paths, vec!["top", "top.m0", "top.m0.l0", "top.m0.l1"]);
         assert!(h.tree.find("top.m0.l1").is_some());
+        let t = h.tree.path_tree();
+        let m0 = alice_intern::Symbol::intern("top.m0");
+        let l1 = alice_intern::Symbol::intern("top.m0.l1");
+        assert!(t.is_ancestor_or_self(m0, l1));
+        assert!(!t.is_ancestor_or_self(l1, m0));
     }
 
     #[test]
@@ -366,7 +403,7 @@ endmodule
         )
         .expect("parse");
         let h = build_hierarchy(&f, None).expect("hierarchy");
-        assert_eq!(h.modules["p"].io_pins, 9);
+        assert_eq!(h.module_info("p").expect("p").io_pins, 9);
     }
 
     #[test]
@@ -376,6 +413,6 @@ endmodule
         )
         .expect("parse");
         let h = build_hierarchy(&f, None).expect("hierarchy");
-        assert_eq!(h.modules["q"].io_pins, 8 + 3);
+        assert_eq!(h.module_info("q").expect("q").io_pins, 8 + 3);
     }
 }

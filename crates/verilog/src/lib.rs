@@ -44,7 +44,7 @@ pub use ast::{
 pub use bits::Bits;
 pub use error::{ParseError, ParseErrorKind};
 pub use parser::parse_source;
-pub use printer::print_source;
+pub use printer::{print_module_to_string, print_source};
 
 #[cfg(test)]
 mod round_trip_tests {

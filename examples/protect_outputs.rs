@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = bench.design()?;
 
     // Inspect the cones first.
-    let df = dataflow::analyze(&design.file, &design.hierarchy.top)?;
+    let df = dataflow::analyze(&design.file, design.hierarchy.top.as_str())?;
     for output in ["so_data", "rx_dout", "baud_o"] {
         println!("cone of `{output}`: {:?}", df.cone_of(output)?);
     }

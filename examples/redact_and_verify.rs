@@ -73,16 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden = elaborate(&design.file, "top")?;
     let revised = elaborate(&parse_source(&redacted.combined_verilog())?, "top")?;
     let mut opts = MiterOptions::default();
-    opts.pin_inputs.push(("cfg_en".to_string(), vec![false]));
+    opts.pin_inputs
+        .push((alice_intern::Symbol::intern("cfg_en"), vec![false]));
     for e in &redacted.efpgas {
         // Pair the fabric flip-flops with the registers they replaced,
         // but leave `cfg` registers free instead of pinning the secret.
-        opts.state_rename.extend(
-            e.binding
-                .state_map
-                .iter()
-                .map(|(ff, orig)| (ff.clone(), orig.clone())),
-        );
+        opts.state_rename
+            .extend(e.binding.state_map.iter().copied());
     }
     match Miter::build(&golden, &revised, &opts)?.prove() {
         CecResult::NotEquivalent(cex) => println!(

@@ -5,7 +5,7 @@
 //! ```text
 //! alice <design.v> [--config flow.yaml] [--top NAME] [--out DIR]
 //!       [--cfg1 | --cfg2] [--jobs N] [--report]
-//!       [--verify] [--wrong-keys N]
+//!       [--verify] [--wrong-keys N] [--no-cache]
 //! ```
 
 use alice_redaction::core::config::AliceConfig;
@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
                      [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report] \
-                     [--verify] [--wrong-keys N]";
+                     [--verify] [--wrong-keys N] [--no-cache]";
 
 #[derive(Debug)]
 struct Args {
@@ -29,6 +29,7 @@ struct Args {
     report_only: bool,
     verify: bool,
     wrong_keys: Option<usize>,
+    no_cache: bool,
 }
 
 /// Parses a numeric flag value, rejecting out-of-range values with an
@@ -58,6 +59,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         report_only: false,
         verify: false,
         wrong_keys: None,
+        no_cache: false,
     };
     let mut it = argv;
     let mut positional = Vec::new();
@@ -81,6 +83,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
                 args.verify = true; // the sweep implies verification
             }
             "--verify" => args.verify = true,
+            "--no-cache" => args.no_cache = true,
             "--cfg1" => args.preset = Some("cfg1"),
             "--cfg2" => args.preset = Some("cfg2"),
             "--report" => args.report_only = true,
@@ -126,6 +129,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(n) = args.wrong_keys {
         cfg.verify_wrong_keys = n;
     }
+    if args.no_cache {
+        // A/B baseline: run every characterization from scratch.
+        cfg.cache = false;
+    }
     let name = args
         .design
         .file_stem()
@@ -142,6 +149,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     let outcome = Flow::new(cfg).run(&design)?;
     println!("{}", outcome.report);
+    eprintln!(
+        "alice: characterization cache: {} hit(s), {} miss(es)",
+        outcome.report.cache_hits, outcome.report.cache_misses
+    );
     if let Some(v) = &outcome.verify {
         eprintln!(
             "alice: verify: {} ({} points, {} vars, {} clauses)",
@@ -257,6 +268,14 @@ mod tests {
     fn valid_jobs_still_parse() {
         let a = parse(&["d.v", "--jobs", "3"]).expect("ok").expect("args");
         assert_eq!(a.jobs, Some(3));
+    }
+
+    #[test]
+    fn no_cache_parses() {
+        let a = parse(&["d.v", "--no-cache"]).expect("ok").expect("args");
+        assert!(a.no_cache);
+        let a = parse(&["d.v"]).expect("ok").expect("args");
+        assert!(!a.no_cache, "cache is on by default");
     }
 
     #[test]

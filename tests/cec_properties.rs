@@ -51,7 +51,7 @@ type SimOutputs = Vec<(String, Bits)>;
 /// Applies a counterexample's inputs to both netlists and returns the
 /// two output vectors (the simulator as the independent referee).
 fn replay(
-    cex_inputs: &[(String, Vec<bool>)],
+    cex_inputs: &[(alice_intern::Symbol, Vec<bool>)],
     a: &Netlist,
     b: &Netlist,
 ) -> (SimOutputs, SimOutputs) {
@@ -115,7 +115,7 @@ proptest! {
             };
             let lit = match node {
                 Node::Const0 => Lit::FALSE,
-                Node::Input { name } => Lit::new(bad.add_input_bit(name.clone()), false),
+                Node::Input { name } => Lit::new(bad.add_input_bit(*name), false),
                 Node::And(a, b) => {
                     let (mut a, b) = (remap(*a, &map), remap(*b, &map));
                     if id == victim {
@@ -144,7 +144,7 @@ proptest! {
         // Mirror port structure.
         for (name, bits) in &n.inputs {
             let mapped: Vec<_> = bits.iter().map(|&b| map[b.0 as usize].node()).collect();
-            bad.inputs.push((name.clone(), mapped));
+            bad.inputs.push((*name, mapped));
         }
         for (name, bits) in &n.outputs {
             let mapped = bits
@@ -154,7 +154,7 @@ proptest! {
                     if l.is_compl() { base.compl() } else { base }
                 })
                 .collect();
-            bad.add_output(name, mapped);
+            bad.add_output(*name, mapped);
         }
 
         match prove_equivalent(&n, &bad).expect("boundary pairs") {

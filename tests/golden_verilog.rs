@@ -1,0 +1,115 @@
+//! Byte-identity golden tests for the flow's emitted Verilog.
+//!
+//! The hashes below were captured from the flow *before* the interned-
+//! symbol / `DesignDb` refactor; the refactor (and any future one) must
+//! keep the emitted redacted top and fabric netlists byte-identical.
+//! Each design also runs twice against one shared [`DesignDb`], proving
+//! a warm content-addressed cache changes nothing but the speed.
+
+use alice_redaction::benchmarks;
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::db::DesignDb;
+use alice_redaction::core::flow::Flow;
+use std::sync::Arc;
+
+/// FNV-1a 64 over the emitted text (the fingerprint the golden hashes
+/// below were captured with).
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `name` under `cfg` twice — cold then warm against the same
+/// `DesignDb` — and checks both runs emit exactly the pinned bytes.
+fn check(name: &str, cfg: AliceConfig, top_fnv: u64, fabric_fnv: u64) {
+    let b = benchmarks::suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("no benchmark {name}"));
+    let d = b.design().expect("load");
+    let db = Arc::new(DesignDb::new());
+    let mut after_cold = None;
+    for pass in ["cold", "warm"] {
+        let out = Flow::with_db(b.config(cfg.clone()), db.clone())
+            .run(&d)
+            .expect("flow");
+        let rd = out.redacted.as_ref().expect("redacts");
+        assert_eq!(
+            fnv(&rd.top_asic_verilog()),
+            top_fnv,
+            "{name} {pass}: top ASIC Verilog drifted from the pre-refactor golden bytes"
+        );
+        assert_eq!(
+            fnv(&rd.fabric_verilog),
+            fabric_fnv,
+            "{name} {pass}: fabric Verilog drifted from the pre-refactor golden bytes"
+        );
+        if pass == "cold" {
+            after_cold = Some(db.counts());
+        }
+    }
+    // The warm pass must be served entirely from the shared db: new hits,
+    // no new computations (the cold pass's own intra-run hits don't
+    // count — only the cross-run delta proves `with_db` sharing works).
+    let warm = db.counts().since(after_cold.expect("cold pass ran"));
+    assert!(
+        warm.hits > 0,
+        "{name}: the warm pass must hit the characterization cache"
+    );
+    assert_eq!(
+        warm.misses, 0,
+        "{name}: the warm pass must not recompute anything"
+    );
+}
+
+#[test]
+fn gcd_emitted_verilog_is_byte_identical_cfg1() {
+    check(
+        "GCD",
+        AliceConfig::cfg1(),
+        0x83f978115d5572c5,
+        0xe1e95596a3fe1111,
+    );
+}
+
+#[test]
+fn gcd_emitted_verilog_is_byte_identical_cfg2() {
+    check(
+        "GCD",
+        AliceConfig::cfg2(),
+        0xded628ba0f39f0e7,
+        0x9a648c16816ed562,
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "DES3 characterization is slow unoptimized; run with --release"
+)]
+fn des3_emitted_verilog_is_byte_identical_cfg1() {
+    check(
+        "DES3",
+        AliceConfig::cfg1(),
+        0x19e350d851aaee35,
+        0x532eb08261483405,
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "DES3 characterization is slow unoptimized; run with --release"
+)]
+fn des3_emitted_verilog_is_byte_identical_cfg2() {
+    check(
+        "DES3",
+        AliceConfig::cfg2(),
+        0xe56665bf94988979,
+        0x82ad3110db3bd260,
+    );
+}

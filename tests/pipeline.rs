@@ -21,12 +21,13 @@ fn synthetic_design() -> Design {
 fn selection_is_deterministic_across_job_counts() {
     let design = synthetic_design();
     let base = AliceConfig::cfg1();
-    let df =
-        alice_redaction::dataflow::analyze(&design.file, &design.hierarchy.top).expect("dataflow");
+    let df = alice_redaction::dataflow::analyze(&design.file, design.hierarchy.top.as_str())
+        .expect("dataflow");
     let r = alice_redaction::core::filter::filter_modules(&design, &df, &base)
         .expect("filter")
         .candidates;
-    let clusters = alice_redaction::core::cluster::identify_clusters(&r, &base).clusters;
+    let clusters =
+        alice_redaction::core::cluster::identify_clusters(&r, &design.paths, &base).clusters;
     assert!(!clusters.is_empty(), "test needs clusters to characterize");
 
     let run = |jobs: usize| {
@@ -34,7 +35,14 @@ fn selection_is_deterministic_across_job_counts() {
             jobs,
             ..base.clone()
         };
-        select_efpgas(&design, &r, &clusters, &cfg).expect("select")
+        select_efpgas(
+            &design,
+            &r,
+            &clusters,
+            &cfg,
+            &alice_redaction::core::db::DesignDb::new(),
+        )
+        .expect("select")
     };
     let serial = run(1);
     let parallel = run(4);

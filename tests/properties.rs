@@ -30,7 +30,7 @@ proptest! {
     fn filter_respects_structural_bound(seed in 0u64..5000, max_io in 8u32..80) {
         let src = generate(seed, GeneratorParams::default());
         let d = Design::from_source("synth", &src, None).expect("load");
-        let df = alice_redaction::dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_redaction::dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let cfg = AliceConfig { max_io_pins: max_io, ..AliceConfig::default() };
         let r = filter_modules(&d, &df, &cfg).expect("filter");
         for c in &r.candidates {
@@ -47,10 +47,10 @@ proptest! {
     fn clusters_are_admissible_and_unique(seed in 0u64..5000, max_io in 16u32..128) {
         let src = generate(seed, GeneratorParams::default());
         let d = Design::from_source("synth", &src, None).expect("load");
-        let df = alice_redaction::dataflow::analyze(&d.file, &d.hierarchy.top).expect("df");
+        let df = alice_redaction::dataflow::analyze(&d.file, d.hierarchy.top.as_str()).expect("df");
         let cfg = AliceConfig { max_io_pins: max_io, ..AliceConfig::default() };
         let r = filter_modules(&d, &df, &cfg).expect("filter").candidates;
-        let c = identify_clusters(&r, &cfg);
+        let c = identify_clusters(&r, &d.paths, &cfg);
         let mut seen = std::collections::BTreeSet::new();
         for cluster in &c.clusters {
             prop_assert!(seen.insert(cluster.clone()), "duplicate cluster");
