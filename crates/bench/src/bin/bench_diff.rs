@@ -1,0 +1,320 @@
+//! `bench_diff` — the bench-trajectory gate: compares a freshly measured
+//! `BENCH_pipeline.json` against the committed baseline and fails when
+//! any phase regressed beyond a threshold.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--threshold PCT]
+//! ```
+//!
+//! Raw wall-clock numbers are not comparable across machines (a CI
+//! runner is not the laptop that produced the baseline), so the check
+//! normalizes first: it computes the **median** candidate/baseline ratio
+//! over every shared `*_ms` phase — the machine-speed factor — and then
+//! flags phases whose ratio exceeds `median × (1 + threshold)`. A
+//! uniformly slower machine passes; one phase ballooning relative to the
+//! others fails. Sub-millisecond phases jitter by whole multiples, so a
+//! phase only fails when it is *also* more than `NOISE_FLOOR_MS` beyond
+//! its scaled baseline — a 0.4 ms blip cannot gate a merge, a 50 ms one
+//! can. The cache-effectiveness fractions
+//! (`warm_vs_cold_improvement`, `disk_vs_cold_improvement`) are
+//! machine-independent and compared absolutely: a drop of more than
+//! `threshold` (as a fraction) fails.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench_diff <baseline.json> <candidate.json> [--threshold PCT]";
+
+/// Minimum absolute excess (ms) over the scaled baseline before a phase
+/// regression counts — timer jitter on sub-millisecond phases is larger
+/// than any threshold ratio.
+const NOISE_FLOOR_MS: f64 = 2.0;
+
+/// Extracts every numeric leaf of a JSON-subset document (objects,
+/// numbers, strings; exactly what `pipeline_bench` writes) as a dotted
+/// path → value map. Not a general JSON parser — unknown constructs are
+/// an error so a malformed file cannot silently pass the gate.
+fn numeric_leaves(src: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    parse_object(&bytes, &mut pos, "", &mut out)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(out)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, '"')?;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(s),
+            '\\' => return Err("escapes are not used in bench files".to_string()),
+            _ => s.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(
+    b: &[char],
+    pos: &mut usize,
+    prefix: &str,
+    out: &mut BTreeMap<String, f64>,
+) -> Result<(), String> {
+    expect(b, pos, '{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        let key = parse_string(b, pos)?;
+        let path = if prefix.is_empty() {
+            key
+        } else {
+            format!("{prefix}.{key}")
+        };
+        expect(b, pos, ':')?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some('{') => parse_object(b, pos, &path, out)?,
+            Some('"') => {
+                parse_string(b, pos)?; // schema/matrix labels: ignored
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let start = *pos;
+                while b
+                    .get(*pos)
+                    .is_some_and(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                {
+                    *pos += 1;
+                }
+                let text: String = b[start..*pos].iter().collect();
+                let v: f64 = text.parse().map_err(|_| format!("bad number `{text}`"))?;
+                out.insert(path, v);
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+                skip_ws(b, pos);
+            }
+            Some('}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    numeric_leaves(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+fn run(baseline_path: &str, candidate_path: &str, threshold: f64) -> Result<(), String> {
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+
+    // Machine-speed normalization over the shared timing phases.
+    // A phase is any `*_ms` leaf, including per-benchmark sub-keys like
+    // `elaborate_ms.GCD`.
+    let shared: Vec<(&String, f64, f64)> = baseline
+        .iter()
+        .filter(|(k, _)| k.ends_with("_ms") || k.contains("_ms."))
+        .filter_map(|(k, &b)| candidate.get(k).map(|&c| (k, b, c)))
+        .filter(|&(_, b, _)| b > 0.0)
+        .collect();
+    if shared.is_empty() {
+        return Err("no shared `*_ms` phases between the two files".to_string());
+    }
+    let scale = median(shared.iter().map(|&(_, b, c)| c / b).collect());
+    println!(
+        "bench_diff: {} shared phase(s), machine-speed factor {scale:.2}x, \
+         threshold +{:.0}% beyond that",
+        shared.len(),
+        threshold * 100.0
+    );
+
+    let mut regressions: Vec<String> = Vec::new();
+    let bar = scale * (1.0 + threshold);
+    for &(key, b, c) in &shared {
+        let ratio = c / b;
+        let regressed = ratio > bar && c - b * scale > NOISE_FLOOR_MS;
+        let flag = if regressed { "  << REGRESSION" } else { "" };
+        println!("  {key:<40} {b:>10.2} -> {c:>10.2} ms  ({ratio:>5.2}x){flag}");
+        if regressed {
+            regressions.push(format!(
+                "{key}: {ratio:.2}x vs allowed {bar:.2}x (baseline {b:.2} ms, now {c:.2} ms)"
+            ));
+        }
+    }
+
+    // Cache-effectiveness fractions are machine-independent.
+    for key in ["warm_vs_cold_improvement", "disk_vs_cold_improvement"] {
+        let path = format!("select_stage.{key}");
+        if let (Some(&b), Some(&c)) = (baseline.get(&path), candidate.get(&path)) {
+            println!("  {path:<40} {b:>10.4} -> {c:>10.4}");
+            if c < b - threshold {
+                regressions.push(format!(
+                    "{path}: improvement fell from {b:.4} to {c:.4} (allowed drop {threshold:.2})"
+                ));
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("bench_diff: OK — no phase regressed beyond the threshold");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} phase(s) regressed:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut threshold = 0.25f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(pct) if pct > 0.0 => threshold = pct / 100.0,
+                    _ => {
+                        eprintln!("bench_diff: error: invalid value for `--threshold`: `{v}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("bench_diff: error: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => files.push(a),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("bench_diff: error: expected exactly two files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    match run(&files[0], &files[1], threshold) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_diff: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+  "schema": "alice-bench-pipeline-v2",
+  "samples": 5,
+  "elaborate_ms": { "GCD": 1.0, "DES3": 2.0 },
+  "lutmap_ms": { "GCD": 4.0 },
+  "cec_encode_ms": 10.0,
+  "select_stage": {
+    "matrix": "benchmarks x {cfg1, cfg2}",
+    "cold_total_ms": 100.0,
+    "warm_vs_cold_improvement": 0.95
+  },
+  "cache": { "hits": 7, "misses": 3 }
+}"#;
+
+    #[test]
+    fn numeric_leaves_flatten_nested_objects() {
+        let m = numeric_leaves(BASE).expect("parse");
+        assert_eq!(m["elaborate_ms.GCD"], 1.0);
+        assert_eq!(m["select_stage.cold_total_ms"], 100.0);
+        assert_eq!(m["select_stage.warm_vs_cold_improvement"], 0.95);
+        assert_eq!(m["cache.hits"], 7.0);
+        assert!(!m.contains_key("schema"), "strings are not leaves");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(numeric_leaves("{").is_err());
+        assert!(numeric_leaves("{ \"a\": [1] }").is_err());
+        assert!(numeric_leaves("{} trailing").is_err());
+    }
+
+    fn diff_files(tag: &str, base: &str, cand: &str, threshold: f64) -> Result<(), String> {
+        let dir = std::env::temp_dir();
+        let bp = dir.join(format!("bench-diff-base-{tag}-{}.json", std::process::id()));
+        let cp = dir.join(format!("bench-diff-cand-{tag}-{}.json", std::process::id()));
+        std::fs::write(&bp, base).expect("write base");
+        std::fs::write(&cp, cand).expect("write cand");
+        let r = run(
+            bp.to_str().expect("utf8"),
+            cp.to_str().expect("utf8"),
+            threshold,
+        );
+        let _ = std::fs::remove_file(&bp);
+        let _ = std::fs::remove_file(&cp);
+        r
+    }
+
+    #[test]
+    fn uniform_slowdown_passes() {
+        // Everything exactly 3x slower: a slower machine, not a regression.
+        let cand = BASE
+            .replace("1.0,", "3.0,")
+            .replace("2.0 }", "6.0 }")
+            .replace("4.0", "12.0")
+            .replace("10.0", "30.0")
+            .replace("100.0", "300.0");
+        diff_files("uniform", BASE, &cand, 0.25).expect("uniform scale must pass");
+    }
+
+    #[test]
+    fn single_phase_blowup_fails() {
+        // One phase 3x slower while the rest is unchanged.
+        let cand = BASE.replace("\"GCD\": 4.0", "\"GCD\": 12.0");
+        let err = diff_files("blowup", BASE, &cand, 0.25).expect_err("must fail");
+        assert!(err.contains("lutmap_ms.GCD"), "{err}");
+    }
+
+    #[test]
+    fn improvement_drop_fails() {
+        let cand = BASE.replace("0.95", "0.40");
+        let err = diff_files("impr", BASE, &cand, 0.25).expect_err("must fail");
+        assert!(err.contains("warm_vs_cold_improvement"), "{err}");
+    }
+}

@@ -3,9 +3,11 @@
 //! flow for each benchmark, reporting key size and attack effort.
 
 use alice_attacks::{sat_attack, AttackBudget, AttackStatus};
-use alice_bench::run_flow;
+use alice_bench::run_flow_on_db;
 use alice_core::config::AliceConfig;
+use alice_core::db::DesignDb;
 use alice_core::select::ClusterMapper;
+use std::sync::Arc;
 
 fn main() {
     println!(
@@ -19,14 +21,19 @@ fn main() {
     // Fabrics beyond this LUT count are attack-resistant by construction at
     // this budget class; skip the CNF work and report them as such.
     const LUT_CAP: usize = 220;
+    // One shared characterization db across every benchmark's flow *and*
+    // the per-fabric re-mapping below: the cluster networks the attack
+    // targets were already mapped during selection, so the mapper's
+    // lookups land on warm content-addressed entries instead of
+    // re-elaborating.
+    let db = Arc::new(DesignDb::new());
     for b in alice_benchmarks::suite() {
-        let out = run_flow(&b, AliceConfig::cfg2());
+        let design = b.design().expect("load");
+        let out = run_flow_on_db(&b, &design, AliceConfig::cfg2(), db.clone());
         let Some(best) = &out.selection.best else {
             println!("{:<8} (no solution)", b.name);
             continue;
         };
-        let design = b.design().expect("load");
-        let db = alice_core::db::DesignDb::new();
         let mut mapper = ClusterMapper::new(&design, 4, &db);
         for &vi in &best.efpgas {
             let chosen = &out.selection.valid[vi];
@@ -63,8 +70,15 @@ fn main() {
             );
         }
     }
+    let counts = db.counts();
     println!(
-        "\nBudget: {} DIPs / {} conflicts per call; * = beyond the",
+        "\nShared characterization cache: {} hit(s), {} miss(es) ({:.1}% served)",
+        counts.hits,
+        counts.misses,
+        100.0 * counts.hit_rate()
+    );
+    println!(
+        "Budget: {} DIPs / {} conflicts per call; * = beyond the",
         budget.max_dips, budget.conflicts_per_call
     );
     println!("{LUT_CAP}-LUT budget class (attack cost grows with key bits).");

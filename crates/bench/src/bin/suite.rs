@@ -5,21 +5,26 @@
 //! extra verification table.
 //!
 //! ```text
-//! suite [--jobs N] [--verify] [--wrong-keys N]
+//! suite [--jobs N] [--verify] [--wrong-keys N] [--store DIR]
 //!     # omit --jobs to use all available cores
 //! ```
+//!
+//! `--store DIR` backs the matrix's shared `DesignDb` with the
+//! persistent artifact store at DIR, so a *re-run* of the suite (or any
+//! `alice --store DIR` invocation on the same designs) starts warm.
 
 use alice_bench::run_suite_with_db;
 use alice_core::db::DesignDb;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: suite [--jobs N] [--verify] [--wrong-keys N]";
+const USAGE: &str = "usage: suite [--jobs N] [--verify] [--wrong-keys N] [--store DIR]";
 
 struct SuiteArgs {
     jobs: usize,
     verify: bool,
     wrong_keys: usize,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<SuiteArgs, String> {
@@ -27,6 +32,7 @@ fn parse_args() -> Result<SuiteArgs, String> {
         jobs: 0,
         verify: false,
         wrong_keys: 0,
+        store: None,
     };
     let mut it = std::env::args().skip(1);
     let number = |flag: &str, v: Option<String>, min: usize| -> Result<usize, String> {
@@ -48,6 +54,12 @@ fn parse_args() -> Result<SuiteArgs, String> {
             "--wrong-keys" => {
                 args.wrong_keys = number("--wrong-keys", it.next(), 1)?;
                 args.verify = true;
+            }
+            "--store" => {
+                args.store = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for `--store`".to_string())?,
+                );
             }
             other => return Err(format!("unknown argument `{other}` ({USAGE})")),
         }
@@ -85,7 +97,16 @@ fn main() -> ExitCode {
     println!();
 
     println!("Table 2: The ALICE flow on every benchmark (concurrent batch)");
-    let db = Arc::new(DesignDb::new());
+    let db = match &args.store {
+        Some(dir) => match DesignDb::with_store(dir) {
+            Ok(db) => Arc::new(db),
+            Err(e) => {
+                eprintln!("suite: error: cannot open store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(DesignDb::new()),
+    };
     let runs = run_suite_with_db(jobs, args.wrong_keys, args.verify, db.clone());
     for run in &runs {
         println!(
@@ -131,7 +152,11 @@ fn main() -> ExitCode {
                 r.solutions,
                 sizes,
                 r.redacted_modules,
-                format!("{}/{}", r.cache_hits, r.cache_misses)
+                if r.cache_disk_hits > 0 {
+                    format!("{}/{}+{}d", r.cache_hits, r.cache_misses, r.cache_disk_hits)
+                } else {
+                    format!("{}/{}", r.cache_hits, r.cache_misses)
+                }
             );
         }
         println!();
@@ -142,17 +167,32 @@ fn main() -> ExitCode {
         // that overlap when flows run concurrently, so summing them
         // would double-count.
         let counts = db.counts();
-        let total = counts.hits + counts.misses;
+        let total = counts.hits + counts.disk_hits + counts.misses;
         println!(
-            "Characterization cache over the whole matrix: {} hit(s), {} miss(es){}",
+            "Characterization cache over the whole matrix: {} hit(s), {} miss(es), {} disk hit(s){}",
             counts.hits,
             counts.misses,
+            counts.disk_hits,
             if total > 0 {
-                format!(" ({:.1}% hit rate)", 100.0 * counts.hit_rate())
+                format!(" ({:.1}% served)", 100.0 * counts.hit_rate())
             } else {
                 String::new()
             }
         );
+        if let Some(store) = db.store() {
+            match db.flush_store() {
+                Ok(()) => {
+                    let stats = store.stats();
+                    println!(
+                        "Persistent store {}: {} record(s), {} byte(s)",
+                        store.path().display(),
+                        stats.records(),
+                        stats.bytes()
+                    );
+                }
+                Err(e) => eprintln!("suite: warning: could not persist store: {e}"),
+            }
+        }
         println!();
     }
 

@@ -18,7 +18,10 @@
 //!   corruptibility sweep,
 //! * [`sweep`] — ABC-style SAT sweeping (signature classes from 128-bit
 //!   word simulation, per-pair assumption proofs, equality lemmas) that
-//!   makes redacted-arithmetic miters tractable.
+//!   makes redacted-arithmetic miters tractable,
+//! * [`cache`] — the persistent proof cache over `alice-store`, keyed by
+//!   [`miter_fingerprint`] (name-free pair structure + pinned key bits)
+//!   so identical queries across processes skip re-proving.
 //!
 //! # Example
 //!
@@ -49,12 +52,15 @@
 //! ));
 //! ```
 
+pub mod cache;
 pub mod encode;
 pub mod miter;
 pub mod sweep;
 
+pub use cache::{CachedCorruption, CachedProof};
 pub use encode::{EncodedDff, EncodedNetlist, Encoder};
 pub use miter::{
-    prove_equivalent, CecResult, Corruption, Counterexample, Miter, MiterError, MiterOptions,
+    miter_fingerprint, prove_equivalent, CecResult, Corruption, Counterexample, Miter, MiterError,
+    MiterOptions,
 };
 pub use sweep::SweepStats;

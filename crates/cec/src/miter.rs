@@ -17,7 +17,7 @@
 use crate::encode::{model_value, Encoder};
 use crate::sweep::{const_sig, random_sig, sweep, Sig, SweepSide, SweepStats};
 use alice_attacks::solver::{Lit, SatResult, Solver};
-use alice_intern::Symbol;
+use alice_intern::{StableHasher, Symbol};
 use alice_netlist::ir::Netlist;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -163,6 +163,120 @@ impl Default for MiterOptions {
             sweep_conflict_budget: Some(2_000),
         }
     }
+}
+
+/// A deterministic, *name-free* 128-bit fingerprint of the equivalence
+/// query `(a, b, opts)` — the key of the persistent CEC proof cache.
+///
+/// Two queries get the same fingerprint exactly when they pose the same
+/// verification question up to renaming: the netlists'
+/// [name-free structural hashes](Netlist::structural_hash_namefree)
+/// plus the *resolved* boundary binding expressed in ordinals — which
+/// golden input/output port pairs with which revised position, which
+/// revised register is pinned to what value, which pairs with which
+/// golden register (after [`MiterOptions::state_rename`]), whether
+/// next-state functions are compared, and the key-prefix set (it
+/// decides whether revised-only boundary material is tolerated as key
+/// or a build error). Solver budgets and sweep settings are
+/// deliberately excluded: they affect how long a proof takes, never
+/// what verdict is sound, so a cached `Equivalent` stays valid across
+/// them.
+///
+/// Infallible by design — a pair the miter would reject still
+/// fingerprints fine (the mismatch is hashed as an unpaired marker);
+/// failed builds are simply never cached.
+pub fn miter_fingerprint(a: &Netlist, b: &Netlist, opts: &MiterOptions) -> (u64, u64) {
+    const UNPAIRED: u64 = u64::MAX;
+    let mut h = StableHasher::new();
+    let (s0, s1) = a.structural_hash_namefree();
+    h.write_u64(s0);
+    h.write_u64(s1);
+    let (s0, s1) = b.structural_hash_namefree();
+    h.write_u64(s0);
+    h.write_u64(s1);
+
+    // Input pairing: for each golden port (in order), the revised port
+    // position it binds to.
+    let b_in_pos: HashMap<Symbol, u64> = b
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (*n, i as u64))
+        .collect();
+    h.write_u64(a.inputs.len() as u64);
+    for (name, bits) in &a.inputs {
+        h.write_u64(b_in_pos.get(name).copied().unwrap_or(UNPAIRED));
+        h.write_u64(bits.len() as u64);
+    }
+
+    // Pinned revised inputs, by revised position (sorted, so the
+    // fingerprint is independent of the options' list order).
+    let mut pins: Vec<(u64, &[bool])> = opts
+        .pin_inputs
+        .iter()
+        .map(|(n, v)| (b_in_pos.get(n).copied().unwrap_or(UNPAIRED), v.as_slice()))
+        .collect();
+    pins.sort();
+    h.write_u64(pins.len() as u64);
+    for (pos, vals) in pins {
+        h.write_u64(pos);
+        h.write_u64(vals.len() as u64);
+        for &v in vals {
+            h.write_u32(v as u32);
+        }
+    }
+
+    // Output pairing, golden ordinal → revised ordinal.
+    let b_out_pos: HashMap<Symbol, u64> = b
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (*n, i as u64))
+        .collect();
+    h.write_u64(a.outputs.len() as u64);
+    for (name, bits) in &a.outputs {
+        h.write_u64(b_out_pos.get(name).copied().unwrap_or(UNPAIRED));
+        h.write_u64(bits.len() as u64);
+    }
+
+    // Revised state, in dff order: pinned value, paired golden ordinal
+    // (after renaming), or free key state.
+    let a_ord: HashMap<Symbol, u64> = a
+        .dff_records()
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, n, _, _))| (n, i as u64))
+        .collect();
+    let pin_state: HashMap<Symbol, bool> = opts.pin_state.iter().copied().collect();
+    let b_records = b.dff_records();
+    h.write_u64(b_records.len() as u64);
+    for &(_, name, _, _) in &b_records {
+        if let Some(&v) = pin_state.get(&name) {
+            h.write_u32(0);
+            h.write_u32(v as u32);
+        } else {
+            let golden = opts.state_rename.get(&name).copied().unwrap_or(name);
+            match a_ord.get(&golden) {
+                Some(&g) => {
+                    h.write_u32(1);
+                    h.write_u64(g);
+                }
+                None => h.write_u32(2),
+            }
+        }
+    }
+    h.write_u64(a.dff_records().len() as u64);
+    h.write_u32(opts.check_next_state as u32);
+    // Key prefixes decide whether a revised-only non-key output is an
+    // error or tolerated, so they are part of the query's meaning
+    // (hashed as a sorted set — matching is any-of, order-free).
+    let mut prefixes: Vec<&str> = opts.key_prefixes.iter().map(String::as_str).collect();
+    prefixes.sort_unstable();
+    h.write_u64(prefixes.len() as u64);
+    for p in prefixes {
+        h.write_str(p);
+    }
+    h.finish()
 }
 
 fn is_key_name(name: Symbol, prefixes: &[String]) -> bool {
@@ -698,6 +812,82 @@ mod tests {
         assert_eq!(
             Miter::build(&a_nl, &c_nl, &MiterOptions::default()).err(),
             Some(MiterError::WidthMismatch("a".to_string()))
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_name_free_but_binding_sensitive() {
+        let build = |in_name: &str, reg: &str, out: &str| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input(in_name, 2);
+            let q = n.dff(reg, false);
+            let x = n.xor(a[0], q);
+            n.set_dff_input(q, x);
+            n.add_output(out, vec![x, a[1]]);
+            n
+        };
+        let a1 = build("a", "t.q[0]", "y");
+        let b1 = build("a", "t.q[0]", "y");
+        let a2 = build("p", "t.r[0]", "z");
+        let b2 = build("p", "t.r[0]", "z");
+        let opts = MiterOptions::default();
+        // Renaming everything consistently leaves the fingerprint alone.
+        assert_eq!(
+            miter_fingerprint(&a1, &b1, &opts),
+            miter_fingerprint(&a2, &b2, &opts)
+        );
+        // Pinning a register changes it.
+        let pinned = MiterOptions {
+            pin_state: vec![(Symbol::intern("t.q[0]"), true)],
+            ..MiterOptions::default()
+        };
+        assert_ne!(
+            miter_fingerprint(&a1, &b1, &opts),
+            miter_fingerprint(&a1, &b1, &pinned)
+        );
+        // ...and so does the pinned *value* (a different wrong key).
+        let pinned_low = MiterOptions {
+            pin_state: vec![(Symbol::intern("t.q[0]"), false)],
+            ..MiterOptions::default()
+        };
+        assert_ne!(
+            miter_fingerprint(&a1, &b1, &pinned),
+            miter_fingerprint(&a1, &b1, &pinned_low)
+        );
+        // Structure changes change it.
+        let mut flipped = build("a", "t.q[0]", "y");
+        flipped.outputs[0].1[0] = flipped.outputs[0].1[0].compl();
+        assert_ne!(
+            miter_fingerprint(&a1, &b1, &opts),
+            miter_fingerprint(&a1, &flipped, &opts)
+        );
+        // Solver budgets do not (a cached verdict is budget-independent).
+        let budgeted = MiterOptions {
+            conflict_budget: Some(1),
+            sweep: false,
+            ..MiterOptions::default()
+        };
+        assert_eq!(
+            miter_fingerprint(&a1, &b1, &opts),
+            miter_fingerprint(&a1, &b1, &budgeted)
+        );
+        // The key-prefix set does: it changes what would even build.
+        let no_prefixes = MiterOptions {
+            key_prefixes: Vec::new(),
+            ..MiterOptions::default()
+        };
+        assert_ne!(
+            miter_fingerprint(&a1, &b1, &opts),
+            miter_fingerprint(&a1, &b1, &no_prefixes)
+        );
+        // Cross-wiring the input pairing (same shapes, different binding)
+        // changes it: swap which golden port pairs with which revised
+        // position by renaming ports asymmetrically.
+        let crossed = build("b", "t.q[0]", "y");
+        assert_ne!(
+            miter_fingerprint(&a1, &crossed, &opts),
+            miter_fingerprint(&a1, &b1, &opts),
+            "unpaired inputs must not fingerprint like paired ones"
         );
     }
 

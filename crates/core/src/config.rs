@@ -61,6 +61,11 @@ pub struct AliceConfig {
     /// [`DesignDb`](crate::db::DesignDb)). On by default; the `alice`
     /// CLI's `--no-cache` turns it off for A/B measurements.
     pub cache: bool,
+    /// Directory of the persistent artifact store backing the
+    /// [`DesignDb`](crate::db::DesignDb) (the `alice` CLI's `--store`,
+    /// YAML `store:`). `None` keeps caching in-memory only; ignored when
+    /// [`AliceConfig::cache`] is off.
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for AliceConfig {
@@ -80,6 +85,7 @@ impl Default for AliceConfig {
             verify_wrong_keys: 0,
             verify_conflict_budget: Some(5_000_000),
             cache: true,
+            store: None,
         }
     }
 }
@@ -159,6 +165,13 @@ impl AliceConfig {
         }
         if let Some(v) = y.get("cache") {
             cfg.cache = v.as_bool().ok_or_else(|| bad("cache"))?;
+        }
+        if let Some(v) = y.get("store") {
+            let dir = v.as_str().ok_or_else(|| bad("store"))?;
+            if dir.is_empty() {
+                return Err(bad("store"));
+            }
+            cfg.store = Some(std::path::PathBuf::from(dir));
         }
         if let Some(v) = y.get("wrong_keys") {
             cfg.verify_wrong_keys = v.as_u32().ok_or_else(|| bad("wrong_keys"))? as usize;
@@ -264,6 +277,17 @@ mod tests {
         assert!(!unlimited.verify, "verify defaults to off");
         assert!(AliceConfig::from_yaml("verify: maybe").is_err());
         assert!(AliceConfig::from_yaml("wrong_keys: lots").is_err());
+    }
+
+    #[test]
+    fn store_parses() {
+        let cfg = AliceConfig::from_yaml("store: /tmp/alice-store").expect("parse");
+        assert_eq!(
+            cfg.store,
+            Some(std::path::PathBuf::from("/tmp/alice-store"))
+        );
+        assert!(AliceConfig::from_yaml("store:").is_err(), "empty path");
+        assert_eq!(AliceConfig::default().store, None);
     }
 
     #[test]

@@ -25,14 +25,27 @@
 //! their prefixed port names differ. All caches are thread-safe; the
 //! select stage's sharded workers and concurrent suite flows hit them
 //! freely.
+//!
+//! # Persistence
+//!
+//! A [`DesignDb::with_store`] db is additionally backed by the on-disk
+//! [`Store`] (`alice-store`): misses are written through, and a *later
+//! process* over the same store directory serves them as **disk hits**
+//! instead of recomputing — the keys are content-addressed, so nothing
+//! about the original process needs to survive. Disk records carry
+//! per-record checksums; anything corrupt, truncated, or written by a
+//! different format version silently degrades to a recompute.
 
 use crate::error::AliceError;
 use alice_fabric::{create_efpga, EfpgaImpl, FabricArch};
 use alice_intern::StableHasher;
 use alice_netlist::ir::Netlist;
 use alice_netlist::lutmap::{map_luts, MappedNetlist};
+use alice_store::{artifact, Kind, Reader, Store, Writer};
 use alice_verilog::ast::SourceFile;
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -52,8 +65,11 @@ type CacheMap<K, V> = Mutex<HashMap<K, Cell<V>>>;
 /// Cumulative hit/miss counters of one [`DesignDb`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounts {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the in-memory cache.
     pub hits: u64,
+    /// Lookups answered from the on-disk [`Store`] (cold in this
+    /// process, warm on disk). Zero when no store is attached.
+    pub disk_hits: u64,
     /// Lookups that had to compute (and then populated the cache).
     pub misses: u64,
 }
@@ -65,17 +81,19 @@ impl CacheCounts {
     pub fn since(&self, earlier: CacheCounts) -> CacheCounts {
         CacheCounts {
             hits: self.hits - earlier.hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
             misses: self.misses - earlier.misses,
         }
     }
 
-    /// Hit fraction of all lookups (0 when nothing was looked up).
+    /// Served fraction of all lookups — memory and disk hits both count
+    /// as served (0 when nothing was looked up).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.disk_hits + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.disk_hits) as f64 / total as f64
         }
     }
 }
@@ -83,12 +101,16 @@ impl CacheCounts {
 #[derive(Debug, Default)]
 struct Stats {
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl Stats {
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
     }
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -105,20 +127,33 @@ impl Stats {
 #[derive(Debug, Default)]
 pub struct DesignDb {
     disabled: bool,
+    store: Option<Arc<Store>>,
     netlists: CacheMap<Key, Result<Arc<Netlist>, AliceError>>,
     lutmaps: CacheMap<(Key, u32), Result<Arc<MappedNetlist>, AliceError>>,
     fabrics: CacheMap<(Key, Key), Result<Arc<EfpgaImpl>, String>>,
     stats: Stats,
 }
 
-/// Looks `key` up in `map`, computing (exactly once per key, even under
-/// contention) and recording a miss, or cloning the stored value and
-/// recording a hit. Workers that block on another worker's in-flight
-/// computation count as hits — they were served without computing.
+/// How one lookup was served, for the counters.
+#[derive(Clone, Copy, PartialEq)]
+enum Served {
+    Memory,
+    Disk,
+    Computed,
+}
+
+/// Looks `key` up in `map`, with a three-level resolution: the in-memory
+/// once-cache (a hit), then `load` — the on-disk store's decode path (a
+/// disk hit), then `compute` + `persist` (a miss). Each level runs
+/// exactly once per key even under contention; workers that block on
+/// another worker's in-flight resolution count as memory hits — they
+/// were served without computing.
 fn cached<K: std::hash::Hash + Eq, V: Clone>(
     map: &CacheMap<K, V>,
     stats: &Stats,
     key: K,
+    load: impl FnOnce() -> Option<V>,
+    persist: impl FnOnce(&V),
     compute: impl FnOnce() -> V,
 ) -> V {
     let cell = map
@@ -127,17 +162,36 @@ fn cached<K: std::hash::Hash + Eq, V: Clone>(
         .entry(key)
         .or_insert_with(|| Arc::new(OnceLock::new()))
         .clone();
-    let mut computed = false;
-    let value = cell.get_or_init(|| {
-        computed = true;
-        compute()
+    let mut served = Served::Memory;
+    let value = cell.get_or_init(|| match load() {
+        Some(v) => {
+            served = Served::Disk;
+            v
+        }
+        None => {
+            served = Served::Computed;
+            let v = compute();
+            persist(&v);
+            v
+        }
     });
-    if computed {
-        stats.miss();
-    } else {
-        stats.hit();
+    match served {
+        Served::Memory => stats.hit(),
+        Served::Disk => stats.disk_hit(),
+        Served::Computed => stats.miss(),
     }
     value.clone()
+}
+
+/// Folds a composite in-memory cache key into the store's flat 128-bit
+/// key space, tagged by kind so the lanes cannot alias.
+fn store_key(kind: Kind, parts: &[u64]) -> Key {
+    let mut h = StableHasher::new();
+    h.write_str(kind.label());
+    for &p in parts {
+        h.write_u64(p);
+    }
+    h.finish()
 }
 
 /// Hashes the fabric architecture parameters into a cache key lane.
@@ -196,6 +250,48 @@ impl DesignDb {
         }
     }
 
+    /// A database backed by the persistent [`Store`] at `dir`: misses are
+    /// written through to disk, and a later process (or a fresh db over
+    /// the same directory) serves them as disk hits instead of
+    /// recomputing. Corrupt or version-mismatched store contents degrade
+    /// to recomputes, never errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] only when the store directory cannot be
+    /// created.
+    pub fn with_store(dir: impl Into<PathBuf>) -> io::Result<DesignDb> {
+        Ok(DesignDb::with_store_handle(Arc::new(Store::open(dir)?)))
+    }
+
+    /// A database over an already-open [`Store`] handle (so several dbs —
+    /// or the CEC proof cache — can share one store).
+    pub fn with_store_handle(store: Arc<Store>) -> DesignDb {
+        DesignDb {
+            store: Some(store),
+            ..DesignDb::default()
+        }
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Commits any pending store writes to disk (also happens when the
+    /// last reference to the store drops); a no-op without a store.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the commit fails; in-memory caching
+    /// is unaffected.
+    pub fn flush_store(&self) -> io::Result<()> {
+        match &self.store {
+            Some(s) => s.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// Whether lookups are live (false only for [`DesignDb::new_disabled`]).
     pub fn is_enabled(&self) -> bool {
         !self.disabled
@@ -205,8 +301,21 @@ impl DesignDb {
     pub fn counts(&self) -> CacheCounts {
         CacheCounts {
             hits: self.stats.hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts a served-from-store event from a collaborating cache (the
+    /// CEC proof cache lives in `alice-cec` but shares this db's store
+    /// and its disk-hit attribution).
+    pub fn count_external_disk_hit(&self) {
+        self.stats.disk_hit();
+    }
+
+    /// Counts a computed-and-persisted event from a collaborating cache.
+    pub fn count_external_miss(&self) {
+        self.stats.miss();
     }
 
     /// Elaborates `module` (memoized by source-closure fingerprint;
@@ -226,7 +335,38 @@ impl DesignDb {
             return run();
         }
         let key = module_fingerprint(file, module);
-        cached(&self.netlists, &self.stats, key, run)
+        let skey = store_key(Kind::Netlist, &[key.0, key.1]);
+        cached(
+            &self.netlists,
+            &self.stats,
+            key,
+            || {
+                let bytes = self.store.as_ref()?.get(Kind::Netlist, skey)?;
+                let mut r = Reader::new(&bytes);
+                if artifact::read_result_tag(&mut r).ok()? {
+                    Some(Ok(Arc::new(artifact::read_netlist(&mut r).ok()?)))
+                } else {
+                    Some(Err(AliceError::Elaborate(r.get_str().ok()?.to_string())))
+                }
+            },
+            |v| {
+                let Some(store) = &self.store else { return };
+                let mut w = Writer::new();
+                match v {
+                    Ok(n) => {
+                        artifact::write_result_tag(&mut w, true);
+                        artifact::write_netlist(&mut w, n);
+                    }
+                    Err(AliceError::Elaborate(msg)) => {
+                        artifact::write_result_tag(&mut w, false);
+                        w.put_str(msg);
+                    }
+                    Err(_) => return, // only the elaborate variant occurs here
+                }
+                store.put(Kind::Netlist, skey, w.into_bytes());
+            },
+            run,
+        )
     }
 
     /// Elaborates and LUT-maps `module` (both steps memoized).
@@ -250,14 +390,46 @@ impl DesignDb {
         if self.disabled {
             return run();
         }
-        let key = (netlist.structural_hash(), k);
-        cached(&self.lutmaps, &self.stats, key, run)
+        let nh = netlist.structural_hash();
+        let key = (nh, k);
+        let skey = store_key(Kind::LutMap, &[nh.0, nh.1, u64::from(k)]);
+        cached(
+            &self.lutmaps,
+            &self.stats,
+            key,
+            || {
+                let bytes = self.store.as_ref()?.get(Kind::LutMap, skey)?;
+                let mut r = Reader::new(&bytes);
+                if artifact::read_result_tag(&mut r).ok()? {
+                    Some(Ok(Arc::new(artifact::read_mapped(&mut r).ok()?)))
+                } else {
+                    Some(Err(AliceError::Elaborate(r.get_str().ok()?.to_string())))
+                }
+            },
+            |v| {
+                let Some(store) = &self.store else { return };
+                let mut w = Writer::new();
+                match v {
+                    Ok(m) => {
+                        artifact::write_result_tag(&mut w, true);
+                        artifact::write_mapped(&mut w, m);
+                    }
+                    Err(AliceError::Elaborate(msg)) => {
+                        artifact::write_result_tag(&mut w, false);
+                        w.put_str(msg);
+                    }
+                    Err(_) => return,
+                }
+                store.put(Kind::LutMap, skey, w.into_bytes());
+            },
+            run,
+        )
     }
 
     /// Runs the fabric oracle on a merged cluster network (memoized by
     /// name-free structure + architecture). The `Err` branch carries the
-    /// oracle's message and *is* cached — infeasible shapes stay
-    /// infeasible.
+    /// oracle's message and *is* cached — in memory and on disk —
+    /// so infeasible shapes stay infeasible without re-proving it.
     ///
     /// # Errors
     ///
@@ -276,8 +448,40 @@ impl DesignDb {
         if self.disabled {
             return run();
         }
-        let key = (network.structural_hash(), arch_key(arch));
-        cached(&self.fabrics, &self.stats, key, run)
+        let nh = network.structural_hash();
+        let ah = arch_key(arch);
+        let key = (nh, ah);
+        let skey = store_key(Kind::Fabric, &[nh.0, nh.1, ah.0, ah.1]);
+        cached(
+            &self.fabrics,
+            &self.stats,
+            key,
+            || {
+                let bytes = self.store.as_ref()?.get(Kind::Fabric, skey)?;
+                let mut r = Reader::new(&bytes);
+                if artifact::read_result_tag(&mut r).ok()? {
+                    Some(Ok(Arc::new(artifact::read_efpga(&mut r).ok()?)))
+                } else {
+                    Some(Err(r.get_str().ok()?.to_string()))
+                }
+            },
+            |v| {
+                let Some(store) = &self.store else { return };
+                let mut w = Writer::new();
+                match v {
+                    Ok(e) => {
+                        artifact::write_result_tag(&mut w, true);
+                        artifact::write_efpga(&mut w, e);
+                    }
+                    Err(msg) => {
+                        artifact::write_result_tag(&mut w, false);
+                        w.put_str(msg);
+                    }
+                }
+                store.put(Kind::Fabric, skey, w.into_bytes());
+            },
+            run,
+        )
     }
 }
 
@@ -357,9 +561,117 @@ endmodule
 
     #[test]
     fn counts_since_subtracts() {
-        let a = CacheCounts { hits: 5, misses: 3 };
-        let b = CacheCounts { hits: 2, misses: 1 };
-        assert_eq!(a.since(b), CacheCounts { hits: 3, misses: 2 });
-        assert!((a.hit_rate() - 5.0 / 8.0).abs() < 1e-12);
+        let a = CacheCounts {
+            hits: 5,
+            disk_hits: 4,
+            misses: 3,
+        };
+        let b = CacheCounts {
+            hits: 2,
+            disk_hits: 1,
+            misses: 1,
+        };
+        assert_eq!(
+            a.since(b),
+            CacheCounts {
+                hits: 3,
+                disk_hits: 3,
+                misses: 2,
+            }
+        );
+        assert!((a.hit_rate() - 9.0 / 12.0).abs() < 1e-12);
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alice-db-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_db_over_same_store_serves_disk_hits() {
+        let dir = store_dir("roundtrip");
+        let f = parse_source(SRC).expect("parse");
+        let arch = FabricArch::default();
+        let (m1, e1) = {
+            let db = DesignDb::with_store(&dir).expect("open");
+            let m = db.map_module(&f, "add8", 4).expect("map");
+            let e = db.characterize(&m, &arch).expect("fits");
+            db.flush_store().expect("flush");
+            let c = db.counts();
+            assert_eq!(c.disk_hits, 0, "first pass computes everything");
+            assert!(c.misses >= 3, "elaborate + map + characterize");
+            (m, e)
+        };
+        // A fresh db over the same directory models a second process.
+        let db = DesignDb::with_store(&dir).expect("reopen");
+        let m2 = db.map_module(&f, "add8", 4).expect("map");
+        let e2 = db.characterize(&m2, &arch).expect("fits");
+        let c = db.counts();
+        assert_eq!(c.misses, 0, "everything is served from disk");
+        assert!(c.disk_hits >= 3, "elaborate + map + characterize from disk");
+        assert_eq!(m2.structural_hash(), m1.structural_hash());
+        assert_eq!(e2.size, e1.size);
+        assert_eq!(e2.bitstream, e1.bitstream);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn infeasible_characterizations_persist_too() {
+        let dir = store_dir("infeasible");
+        let f = parse_source(SRC).expect("parse");
+        // An architecture too small for anything: max_dim 0 fits nothing.
+        let arch = FabricArch {
+            max_dim: 0,
+            ..FabricArch::default()
+        };
+        let msg = {
+            let db = DesignDb::with_store(&dir).expect("open");
+            let m = db.map_module(&f, "add8", 4).expect("map");
+            let msg = db.characterize(&m, &arch).expect_err("infeasible");
+            db.flush_store().expect("flush");
+            msg
+        };
+        let db = DesignDb::with_store(&dir).expect("reopen");
+        let m = db.map_module(&f, "add8", 4).expect("map");
+        let before = db.counts();
+        let again = db.characterize(&m, &arch).expect_err("still infeasible");
+        let after = db.counts();
+        assert_eq!(again, msg, "identical cached message");
+        assert_eq!(after.misses, before.misses, "no recompute");
+        assert_eq!(after.disk_hits, before.disk_hits + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_store_record_degrades_to_recompute() {
+        let dir = store_dir("bitflip");
+        let f = parse_source(SRC).expect("parse");
+        {
+            let db = DesignDb::with_store(&dir).expect("open");
+            db.map_module(&f, "add8", 4).expect("map");
+            db.flush_store().expect("flush");
+        }
+        // Flip one payload bit in every segment that has content.
+        for kind in alice_store::Kind::ALL {
+            let path = dir.join(kind.file_name());
+            if let Ok(mut bytes) = std::fs::read(&path) {
+                if bytes.len() > 40 {
+                    let mid = 13 + 20 + (bytes.len() - 13 - 36) / 2;
+                    bytes[mid] ^= 0x08;
+                    std::fs::write(&path, &bytes).expect("rewrite");
+                }
+            }
+        }
+        let db = DesignDb::with_store(&dir).expect("reopen");
+        let m = db.map_module(&f, "add8", 4).expect("recomputes");
+        let c = db.counts();
+        assert!(c.misses > 0, "corrupt records are recomputed, not errors");
+        assert!(m.lut_count() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

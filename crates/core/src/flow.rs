@@ -71,6 +71,11 @@ pub struct FlowReport {
     /// run's window; same attribution caveat as
     /// [`FlowReport::cache_hits`].
     pub cache_misses: u64,
+    /// Lookups served from the persistent on-disk store (cold in this
+    /// process, warm on disk) during this run's window — the cross-
+    /// process reuse the `--store` flag buys; zero without a store. Same
+    /// attribution caveat as [`FlowReport::cache_hits`].
+    pub cache_disk_hits: u64,
 }
 
 impl FlowReport {
@@ -111,6 +116,7 @@ impl FlowReport {
             wrong_key_corruption: cx.verify.as_ref().and_then(|v| v.corruption_fraction()),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            cache_disk_hits: cache.disk_hits,
         }
     }
 }
@@ -149,8 +155,11 @@ impl fmt::Display for FlowReport {
         if let Some(c) = self.wrong_key_corruption {
             write!(f, " corr={c:.2}")?;
         }
-        if self.cache_hits + self.cache_misses > 0 {
+        if self.cache_hits + self.cache_misses + self.cache_disk_hits > 0 {
             write!(f, " | cache {}h/{}m", self.cache_hits, self.cache_misses)?;
+            if self.cache_disk_hits > 0 {
+                write!(f, "+{}d", self.cache_disk_hits)?;
+            }
         }
         Ok(())
     }
@@ -206,12 +215,25 @@ pub struct Flow {
 
 impl Flow {
     /// Creates a flow with the given configuration and a private
-    /// [`DesignDb`] (disabled when [`AliceConfig::cache`] is off).
+    /// [`DesignDb`] (disabled when [`AliceConfig::cache`] is off). With
+    /// [`AliceConfig::store`] set, the db is backed by the persistent
+    /// store at that directory, so a later process starts warm; an
+    /// unopenable store directory degrades to a plain in-memory db (the
+    /// flow itself must never fail on cache problems).
     pub fn new(cfg: AliceConfig) -> Self {
-        let db = Arc::new(if cfg.cache {
-            DesignDb::new()
-        } else {
+        let db = Arc::new(if !cfg.cache {
             DesignDb::new_disabled()
+        } else {
+            match &cfg.store {
+                Some(dir) => DesignDb::with_store(dir).unwrap_or_else(|e| {
+                    eprintln!(
+                        "alice: warning: cannot open store {}: {e}; caching in memory only",
+                        dir.display()
+                    );
+                    DesignDb::new()
+                }),
+                None => DesignDb::new(),
+            }
         });
         Flow { cfg, db }
     }
@@ -223,6 +245,9 @@ impl Flow {
     /// [`AliceConfig::cache`] still wins: with `cache: false` the shared
     /// db is set aside and a disabled one is used, so a no-cache config
     /// means no cache on every construction path.
+    /// [`AliceConfig::store`] is ignored here — the caller's db (store-
+    /// backed or not) is authoritative; open the store on the shared db
+    /// itself ([`DesignDb::with_store`]) to persist a shared matrix.
     pub fn with_db(cfg: AliceConfig, db: Arc<DesignDb>) -> Self {
         if !cfg.cache {
             return Flow::new(cfg);

@@ -22,7 +22,7 @@ use crate::filter::Candidate;
 use crate::select::{sanitize, ClusterMapper, SelectionResult};
 use alice_fabric::emit::{config_stream, fabric_netlist, le_configs, le_primitive};
 use alice_fabric::{Bitstream, FabricSize};
-use alice_intern::Symbol;
+use alice_intern::{PathTree, Symbol};
 use alice_verilog::ast::*;
 use alice_verilog::hierarchy::const_eval;
 use alice_verilog::print_source;
@@ -169,7 +169,7 @@ pub fn redact(
             }
         }
 
-        let lca = common_parent(&members);
+        let lca = common_parent(&design.paths, &members);
         let inst_name = format!("u_alice_efpga{e_idx}");
         let binding = build_binding(
             &mut mapper,
@@ -282,25 +282,26 @@ fn port_width_of(m: &Module, p: &Port) -> Option<u32> {
     }
 }
 
-/// Longest common ancestor (segment-wise) of the members' parents.
-fn common_parent(members: &[String]) -> String {
-    let parents: Vec<Vec<&str>> = members
-        .iter()
-        .map(|m| {
-            let mut segs: Vec<&str> = m.split('.').collect();
-            segs.pop();
-            segs
-        })
-        .collect();
-    let mut prefix: Vec<&str> = parents[0].clone();
-    for p in &parents[1..] {
-        let mut k = 0;
-        while k < prefix.len() && k < p.len() && prefix[k] == p[k] {
-            k += 1;
+/// Lowest common ancestor of the members' parents, walked on the
+/// design's instance [`PathTree`] (the structural replacement for the
+/// old segment-splitting prefix arithmetic: ancestor queries follow real
+/// hierarchy edges, so no string inspection happens at all).
+fn common_parent(paths: &PathTree, members: &[String]) -> String {
+    let parent_of = |m: &str| {
+        let sym = Symbol::intern(m);
+        paths.parent(sym).unwrap_or(sym)
+    };
+    let mut lca = parent_of(&members[0]);
+    for m in &members[1..] {
+        let p = parent_of(m);
+        while !paths.is_ancestor_or_self(lca, p) {
+            match paths.parent(lca) {
+                Some(up) => lca = up,
+                None => break,
+            }
         }
-        prefix.truncate(k);
     }
-    prefix.join(".")
+    lca.to_string()
 }
 
 /// Direction of a punched signal as a port of a module *below* the LCA:
@@ -819,6 +820,31 @@ endmodule
             .collect();
         let total_redacted: usize = rd.efpgas.iter().map(|e| e.instances.len()).sum();
         assert_eq!(remaining.len(), 2 - total_redacted.min(2));
+    }
+
+    #[test]
+    fn common_parent_walks_tree_edges_not_prefixes() {
+        let t = PathTree::from_paths(
+            [
+                "top.u1.core.s0",
+                "top.u1.core.s1",
+                "top.u2.core.s0",
+                "top.a.x",
+                "top.ab.y",
+            ]
+            .map(Symbol::intern),
+        );
+        let lca =
+            |ms: &[&str]| common_parent(&t, &ms.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        // Same parent: insert in place.
+        assert_eq!(lca(&["top.u1.core.s0", "top.u1.core.s1"]), "top.u1.core");
+        // Different subtrees: climb to the common dominator.
+        assert_eq!(lca(&["top.u1.core.s0", "top.u2.core.s0"]), "top");
+        // `top.a` is a textual prefix of `top.ab` but NOT an ancestor —
+        // the tree walk cannot confuse them.
+        assert_eq!(lca(&["top.a.x", "top.ab.y"]), "top");
+        // Single member: its own parent.
+        assert_eq!(lca(&["top.u2.core.s0"]), "top.u2.core");
     }
 
     #[test]

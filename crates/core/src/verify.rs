@@ -28,7 +28,8 @@ use crate::design::Design;
 use crate::error::AliceError;
 use crate::par::shard;
 use crate::redact::RedactedDesign;
-use alice_cec::{CecResult, Counterexample, Miter, MiterOptions};
+use alice_cec::cache::{self as cec_cache, CachedCorruption, CachedProof};
+use alice_cec::{miter_fingerprint, CecResult, Counterexample, Miter, MiterOptions};
 use alice_intern::Symbol;
 use alice_netlist::ir::Netlist;
 use std::collections::HashMap;
@@ -196,19 +197,55 @@ pub fn verify_redaction(
         }
     };
     let opts = base_options(redacted, cfg);
-    let miter =
-        Miter::build(&golden, &revised, &opts).map_err(|e| AliceError::Verify(e.to_string()))?;
-    let diff_points = miter.diff_points();
-    let (cnf_vars, cnf_clauses) = miter.cnf_size();
-    let outcome = match miter.prove() {
-        CecResult::Equivalent => VerifyOutcome::Equivalent,
-        CecResult::NotEquivalent(cex) => VerifyOutcome::NotEquivalent(cex),
-        CecResult::ResourceLimit => VerifyOutcome::ResourceLimit,
+
+    // The persistent proof cache: an identical (golden, revised, pins)
+    // query across suite re-runs or CLI invocations skips the whole
+    // miter build *and* the SAT proof. Only proven-Equivalent entries
+    // exist (see `alice_cec::cache`), so a hit is always a proof.
+    let store = db.store().map(Arc::as_ref);
+    let fp = miter_fingerprint(&golden, &revised, &opts);
+    let cached = store.and_then(|s| cec_cache::lookup_proof(s, fp));
+    let (outcome, diff_points, cnf_vars, cnf_clauses) = match cached {
+        Some(proof) => {
+            db.count_external_disk_hit();
+            (
+                VerifyOutcome::Equivalent,
+                proof.diff_points as usize,
+                proof.cnf_vars as usize,
+                proof.cnf_clauses as usize,
+            )
+        }
+        None => {
+            let miter = Miter::build(&golden, &revised, &opts)
+                .map_err(|e| AliceError::Verify(e.to_string()))?;
+            let diff_points = miter.diff_points();
+            let (cnf_vars, cnf_clauses) = miter.cnf_size();
+            let outcome = match miter.prove() {
+                CecResult::Equivalent => VerifyOutcome::Equivalent,
+                CecResult::NotEquivalent(cex) => VerifyOutcome::NotEquivalent(cex),
+                CecResult::ResourceLimit => VerifyOutcome::ResourceLimit,
+            };
+            if let Some(s) = store {
+                if outcome.is_equivalent() {
+                    cec_cache::record_proof(
+                        s,
+                        fp,
+                        CachedProof {
+                            diff_points: diff_points as u64,
+                            cnf_vars: cnf_vars as u64,
+                            cnf_clauses: cnf_clauses as u64,
+                        },
+                    );
+                    db.count_external_miss();
+                }
+            }
+            (outcome, diff_points, cnf_vars, cnf_clauses)
+        }
     };
 
     // Wrong-key sweep: only meaningful once the correct key is proven.
     let wrong_keys = if cfg.verify_wrong_keys > 0 && outcome.is_equivalent() {
-        wrong_key_sweep(&golden, &revised, redacted, cfg)
+        wrong_key_sweep(&golden, &revised, redacted, cfg, db)
             .map_err(|e| AliceError::Verify(e.to_string()))?
     } else {
         Vec::new()
@@ -234,11 +271,15 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// Runs the corruptibility sweep: N wrong bitstreams, each flipping a few
 /// meaningful truth-table bits, analysed concurrently via [`shard`].
+/// Each wrong key is its own cacheable query (its pins are part of the
+/// miter fingerprint), so re-sweeping an identical redaction serves
+/// every complete analysis from the store.
 fn wrong_key_sweep(
     golden: &Netlist,
     revised: &Netlist,
     redacted: &RedactedDesign,
     cfg: &AliceConfig,
+    db: &DesignDb,
 ) -> Result<Vec<WrongKeyOutcome>, alice_cec::MiterError> {
     // Global key-bit table: (cfg-register name, correct value), over all
     // fabrics, restricted to reachable truth-table bits.
@@ -267,6 +308,7 @@ fn wrong_key_sweep(
         })
         .collect();
 
+    let store = db.store().map(Arc::as_ref);
     let results = shard(n, cfg.effective_jobs(), |k| {
         let mut opts = base.clone();
         // Flip the chosen key bits relative to the correct bitstream.
@@ -279,20 +321,38 @@ fn wrong_key_sweep(
                 *v = nv;
             }
         }
-        Miter::build(golden, revised, &opts).map(|m| m.corruption())
-    });
-    results
-        .into_iter()
-        .zip(flips)
-        .map(|(res, flipped)| {
-            res.map(|c| WrongKeyOutcome {
-                flipped,
-                corrupted: c.corrupted.len(),
-                total: c.total,
-                complete: c.complete,
-            })
+        let fp = miter_fingerprint(golden, revised, &opts);
+        if let Some(hit) = store.and_then(|s| cec_cache::lookup_corruption(s, fp)) {
+            db.count_external_disk_hit();
+            return Ok(WrongKeyOutcome {
+                flipped: flips[k].clone(),
+                corrupted: hit.corrupted as usize,
+                total: hit.total as usize,
+                complete: true,
+            });
+        }
+        let c = Miter::build(golden, revised, &opts)?.corruption();
+        if let Some(s) = store {
+            if c.complete {
+                cec_cache::record_corruption(
+                    s,
+                    fp,
+                    CachedCorruption {
+                        corrupted: c.corrupted.len() as u64,
+                        total: c.total as u64,
+                    },
+                );
+                db.count_external_miss();
+            }
+        }
+        Ok(WrongKeyOutcome {
+            flipped: flips[k].clone(),
+            corrupted: c.corrupted.len(),
+            total: c.total,
+            complete: c.complete,
         })
-        .collect()
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -353,6 +413,45 @@ endmodule
         let d = Design::from_source("demo", SRC, None).expect("load");
         let out = Flow::new(AliceConfig::cfg1()).run(&d).expect("flow");
         assert!(out.verify.is_none());
+    }
+
+    #[test]
+    fn store_backed_verify_skips_reproving() {
+        let dir = std::env::temp_dir().join(format!(
+            "alice-verify-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = Design::from_source("demo", SRC, None).expect("load");
+        let cfg = AliceConfig {
+            verify: true,
+            verify_wrong_keys: 2,
+            store: Some(dir.clone()),
+            ..AliceConfig::cfg1()
+        };
+        let first = Flow::new(cfg.clone()).run(&d).expect("flow");
+        let v1 = first.verify.clone().expect("verify ran");
+        assert!(v1.outcome.is_equivalent());
+        // A fresh flow over the same store models a second process: the
+        // proof and both complete wrong-key analyses come from disk.
+        let flow = Flow::new(cfg);
+        let before = flow.db().counts();
+        let second = flow.run(&d).expect("flow");
+        let window = flow.db().counts().since(before);
+        let v2 = second.verify.expect("verify ran");
+        assert_eq!(v2.outcome, v1.outcome);
+        assert_eq!(v2.diff_points, v1.diff_points);
+        assert_eq!(v2.cnf_vars, v1.cnf_vars);
+        assert_eq!(v2.cnf_clauses, v1.cnf_clauses);
+        assert_eq!(v2.wrong_keys, v1.wrong_keys);
+        assert_eq!(window.misses, 0, "nothing recomputed on the warm run");
+        assert!(
+            window.disk_hits >= 3,
+            "proof + 2 wrong keys served from disk, got {}",
+            window.disk_hits
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

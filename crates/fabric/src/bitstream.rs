@@ -28,6 +28,18 @@ pub struct Bitstream {
 }
 
 impl Bitstream {
+    /// Reassembles a bitstream from its raw parts — the inverse of
+    /// reading [`Bitstream::as_slice`]/[`Bitstream::lut_bits`]/
+    /// [`Bitstream::routing_bits`]. Intended for deserialization; callers
+    /// are trusted to pass a split that sums to `bits.len()`.
+    pub fn from_parts(bits: Vec<bool>, lut_bits: usize, routing_bits: usize) -> Bitstream {
+        Bitstream {
+            bits,
+            lut_bits,
+            routing_bits,
+        }
+    }
+
     /// Total configuration bits.
     pub fn len(&self) -> usize {
         self.bits.len()

@@ -167,6 +167,44 @@ impl Netlist {
         self.nodes.len()
     }
 
+    /// The raw node list in creation order (serialization support; node 0
+    /// is always [`Node::Const0`]).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Reassembles a netlist from its raw parts — the inverse of reading
+    /// [`Netlist::nodes`]/`inputs`/`outputs` — rebuilding the structural-
+    /// hashing table so the result behaves exactly like the original
+    /// (same [`Netlist::structural_hash`], same node reuse on further
+    /// construction). Intended for deserialization; `nodes` must be a
+    /// creation-order list as produced by this type (constant first,
+    /// fanins before fanouts).
+    pub fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        inputs: Vec<(Symbol, Vec<NodeId>)>,
+        outputs: Vec<(Symbol, Vec<Lit>)>,
+    ) -> Netlist {
+        let mut strash = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let key = match n {
+                Node::And(a, b) => StrashKey::And(*a, *b),
+                Node::Xor(a, b) => StrashKey::Xor(*a, *b),
+                Node::Mux { s, t, e } => StrashKey::Mux(*s, *t, *e),
+                _ => continue,
+            };
+            strash.entry(key).or_insert(NodeId(i as u32));
+        }
+        Netlist {
+            name,
+            nodes,
+            inputs,
+            outputs,
+            strash,
+        }
+    }
+
     /// True if the netlist has no gates (only the constant node).
     pub fn is_empty(&self) -> bool {
         self.nodes.len() <= 1
@@ -507,6 +545,64 @@ impl Netlist {
         h.finish()
     }
 
+    /// A deterministic 128-bit *name-free* content hash: node structure,
+    /// port shapes, and DFF wiring, but no port, register, or design
+    /// names. Two netlists with identical gate-level structure hash
+    /// identically even when every hierarchical name differs — the key
+    /// lane of the on-disk CEC proof cache, which pairs it with an
+    /// equally name-free binding fingerprint so renamed-but-identical
+    /// miters share one proof.
+    pub fn structural_hash_namefree(&self) -> (u64, u64) {
+        let mut h = StableHasher::new();
+        h.write_u64(self.nodes.len() as u64);
+        for (_, n) in self.iter() {
+            match n {
+                Node::Const0 => h.write_u32(0),
+                Node::Input { .. } => h.write_u32(1),
+                Node::And(a, b) => {
+                    h.write_u32(2);
+                    h.write_u32(a.raw());
+                    h.write_u32(b.raw());
+                }
+                Node::Xor(a, b) => {
+                    h.write_u32(3);
+                    h.write_u32(a.raw());
+                    h.write_u32(b.raw());
+                }
+                Node::Mux { s, t, e } => {
+                    h.write_u32(4);
+                    h.write_u32(s.raw());
+                    h.write_u32(t.raw());
+                    h.write_u32(e.raw());
+                }
+                Node::Dff { d, init, .. } => {
+                    h.write_u32(5);
+                    h.write_u32(d.raw());
+                    h.write_u32(*init as u32);
+                }
+                Node::Buf(a) => {
+                    h.write_u32(6);
+                    h.write_u32(a.raw());
+                }
+            }
+        }
+        h.write_u64(self.inputs.len() as u64);
+        for (_, bits) in &self.inputs {
+            h.write_u64(bits.len() as u64);
+            for b in bits {
+                h.write_u32(b.0);
+            }
+        }
+        h.write_u64(self.outputs.len() as u64);
+        for (_, bits) in &self.outputs {
+            h.write_u64(bits.len() as u64);
+            for b in bits {
+                h.write_u32(b.raw());
+            }
+        }
+        h.finish()
+    }
+
     /// Iterates over combinational gates only (AND/XOR/MUX).
     pub fn gates(&self) -> impl Iterator<Item = (NodeId, &Node)> {
         self.iter().filter(|(_, n)| n.is_gate())
@@ -642,6 +738,52 @@ mod tests {
             other => panic!("expected dff, got {other:?}"),
         }
         assert_eq!(n.dffs().len(), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_structure() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a", 2);
+        let q = n.dff("t.q[0]", true);
+        let x = n.xor(a[0], q);
+        let g = n.and(x, a[1]);
+        n.set_dff_input(q, g);
+        n.add_output("y", vec![g, x.compl()]);
+
+        let rebuilt = Netlist::from_parts(
+            n.name.clone(),
+            n.nodes().to_vec(),
+            n.inputs.clone(),
+            n.outputs.clone(),
+        );
+        assert_eq!(rebuilt.structural_hash(), n.structural_hash());
+        assert_eq!(rebuilt.len(), n.len());
+        // The rebuilt strash must reuse existing nodes, not grow the list.
+        let mut r = rebuilt;
+        let x2 = r.xor(a[0], q);
+        assert_eq!(x2, x, "strash rebuilt from nodes");
+        assert_eq!(r.len(), n.len());
+    }
+
+    #[test]
+    fn namefree_hash_ignores_names_only() {
+        let build = |port: &str, reg: &str| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input(port, 1)[0];
+            let q = n.dff(reg, false);
+            let x = n.xor(a, q);
+            n.set_dff_input(q, x);
+            n.add_output("y", vec![x]);
+            n
+        };
+        let n1 = build("a", "t.q[0]");
+        let n2 = build("b", "t.r[0]");
+        assert_ne!(n1.structural_hash(), n2.structural_hash());
+        assert_eq!(n1.structural_hash_namefree(), n2.structural_hash_namefree());
+        // Structure changes still change the name-free hash.
+        let mut n3 = build("a", "t.q[0]");
+        n3.outputs[0].1[0] = n3.outputs[0].1[0].compl();
+        assert_ne!(n1.structural_hash_namefree(), n3.structural_hash_namefree());
     }
 
     #[test]

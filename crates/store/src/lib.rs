@@ -1,0 +1,720 @@
+//! # alice-store
+//!
+//! A persistent, crash-safe, content-addressed artifact store: the
+//! on-disk layer under `alice_core::db::DesignDb` and the CEC proof
+//! cache. The in-memory `DesignDb` already makes repeated
+//! characterizations free *within* a process; this crate makes them free
+//! *across* processes, so a second `alice` CLI run (or an ARIANNA-style
+//! parameter sweep of many invocations) starts warm.
+//!
+//! Layout: one **segment file per artifact kind** ([`Kind::Netlist`],
+//! [`Kind::LutMap`], [`Kind::Fabric`], [`Kind::Cec`]) under a store
+//! directory, each a flat sequence of records
+//! `key(16) · payload_len(4) · payload · checksum(16)`, where the
+//! checksum is a [`StableHasher`] digest of
+//! the payload; files open with a `magic · format-version · kind`
+//! header. The whole segment is loaded into an in-memory index on open;
+//! a flush rewrites any segment with new records to a tempfile and
+//! commits it with an atomic rename, so a crash can lose the newest
+//! records but never corrupt existing ones (read-only runs rewrite
+//! nothing but the access-stamp sidecar).
+//!
+//! **Robustness contract:** a corrupt, truncated, or version-mismatched
+//! record (or whole file) silently degrades to a cache miss — the flow
+//! recomputes and overwrites; nothing in this crate turns bad disk state
+//! into an error for the caller.
+//!
+//! Eviction is explicit: [`Store::gc`] compacts to a byte budget,
+//! dropping least-recently-accessed records first (access stamps live in
+//! a sidecar index, so read-mostly runs never rewrite hot segments).
+
+pub mod artifact;
+pub mod codec;
+
+pub use codec::{CodecError, Reader, Writer};
+
+use alice_intern::StableHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A 128-bit content-addressed key (the same shape `DesignDb` uses).
+pub type Key = (u64, u64);
+
+/// The magic bytes opening every store file.
+pub const MAGIC: [u8; 8] = *b"ALICSTOR";
+
+/// The on-disk format version. Bumping it invalidates every existing
+/// store (old files are treated as empty and rewritten), which is the
+/// intended migration story: recompute, never misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed per-record framing overhead (key + length + checksum).
+const RECORD_OVERHEAD: u64 = 16 + 4 + 16;
+
+/// The artifact kinds the store segregates into segment files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Elaborated gate-level netlists, keyed by module source-closure
+    /// fingerprint.
+    Netlist,
+    /// LUT-mapped networks, keyed by netlist structural hash + k.
+    LutMap,
+    /// Fabric characterizations (or their infeasibility verdicts), keyed
+    /// by name-free merged-network hash + architecture parameters.
+    Fabric,
+    /// CEC proof results, keyed by the name-free miter fingerprint
+    /// (netlist pair structure + pinned key bits).
+    Cec,
+}
+
+impl Kind {
+    /// Every kind, in segment order.
+    pub const ALL: [Kind; 4] = [Kind::Netlist, Kind::LutMap, Kind::Fabric, Kind::Cec];
+
+    /// The kind's segment file name inside the store directory.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Kind::Netlist => "netlists.seg",
+            Kind::LutMap => "lutmaps.seg",
+            Kind::Fabric => "fabrics.seg",
+            Kind::Cec => "cec.seg",
+        }
+    }
+
+    /// Short label for stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Netlist => "netlist",
+            Kind::LutMap => "lutmap",
+            Kind::Fabric => "fabric",
+            Kind::Cec => "cec",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Kind::Netlist => 0,
+            Kind::LutMap => 1,
+            Kind::Fabric => 2,
+            Kind::Cec => 3,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        self.index() as u8
+    }
+
+    fn from_tag(t: u8) -> Option<Kind> {
+        Kind::ALL.get(t as usize).copied()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecordSlot {
+    bytes: std::sync::Arc<Vec<u8>>,
+    /// Logical last-access stamp (monotone across open/flush cycles).
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct KindState {
+    records: HashMap<Key, RecordSlot>,
+    /// True when records changed since the last flush (segment rewrite
+    /// needed; access-stamp bumps alone only dirty the sidecar index).
+    dirty: bool,
+}
+
+impl KindState {
+    fn payload_bytes(&self) -> u64 {
+        self.records
+            .values()
+            .map(|r| r.bytes.len() as u64 + RECORD_OVERHEAD)
+            .sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    kinds: [KindState; 4],
+    /// Logical access clock; starts above every loaded stamp.
+    clock: u64,
+    access_dirty: bool,
+}
+
+/// Per-kind and total size statistics (see [`Store::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Records of this kind.
+    pub records: usize,
+    /// Bytes of this kind (payload + framing overhead).
+    pub bytes: u64,
+}
+
+/// Snapshot of the store's contents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Per-kind statistics, in [`Kind::ALL`] order.
+    pub kinds: [KindStats; 4],
+}
+
+impl StoreStats {
+    /// Total records across all kinds.
+    pub fn records(&self) -> usize {
+        self.kinds.iter().map(|k| k.records).sum()
+    }
+
+    /// Total bytes across all kinds.
+    pub fn bytes(&self) -> u64 {
+        self.kinds.iter().map(|k| k.bytes).sum()
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (kind, s) in Kind::ALL.iter().zip(self.kinds.iter()) {
+            writeln!(
+                f,
+                "{:<8} {:>7} record(s) {:>12} byte(s)",
+                kind.label(),
+                s.records,
+                s.bytes
+            )?;
+        }
+        write!(
+            f,
+            "{:<8} {:>7} record(s) {:>12} byte(s)",
+            "total",
+            self.records(),
+            self.bytes()
+        )
+    }
+}
+
+/// What [`Store::gc`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Records kept.
+    pub kept: usize,
+    /// Records evicted (least-recently-accessed first).
+    pub dropped: usize,
+    /// Store bytes before compaction.
+    pub bytes_before: u64,
+    /// Store bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// The persistent artifact store. Thread-safe: share it in an `Arc` and
+/// call from any thread. Dropping the store flushes pending writes
+/// (best-effort); call [`Store::flush`] for a checked commit.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+/// Process-wide tempfile sequence: two store handles on the *same*
+/// directory (concurrent threads, or one store per db) must never pick
+/// the same temp name, or one commit's rename steals the other's file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, loading every
+    /// readable record into the in-memory index. Unreadable, corrupt, or
+    /// version-mismatched files are treated as empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] only when the directory itself cannot be
+    /// created — bad *contents* never error.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut inner = Inner::default();
+        for kind in Kind::ALL {
+            let path = dir.join(kind.file_name());
+            if let Ok(bytes) = fs::read(&path) {
+                load_segment(kind, &bytes, &mut inner.kinds[kind.index()]);
+            }
+        }
+        // Access stamps from the sidecar index (missing entries stay 0 =
+        // coldest, which is the right default for gc).
+        let mut max_stamp = 0u64;
+        if let Ok(bytes) = fs::read(dir.join("access.idx")) {
+            if let Some(entries) = parse_access(&bytes) {
+                for (kind, key, stamp) in entries {
+                    if let Some(slot) = inner.kinds[kind.index()].records.get_mut(&key) {
+                        slot.stamp = stamp;
+                        max_stamp = max_stamp.max(stamp);
+                    }
+                }
+            }
+        }
+        inner.clock = max_stamp + 1;
+        Ok(Store {
+            dir,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The store's directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks `key` up, returning the stored payload and bumping its
+    /// last-access stamp.
+    pub fn get(&self, kind: Kind, key: Key) -> Option<std::sync::Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let clock = inner.clock;
+        let slot = inner.kinds[kind.index()].records.get_mut(&key)?;
+        slot.stamp = clock;
+        let bytes = slot.bytes.clone();
+        inner.clock += 1;
+        inner.access_dirty = true;
+        Some(bytes)
+    }
+
+    /// Inserts (or overwrites) a record. The write is committed to disk
+    /// on the next [`Store::flush`] (or drop).
+    pub fn put(&self, kind: Kind, key: Key, payload: Vec<u8>) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let stamp = inner.clock;
+        inner.clock += 1;
+        inner.access_dirty = true;
+        let state = &mut inner.kinds[kind.index()];
+        state.records.insert(
+            key,
+            RecordSlot {
+                bytes: std::sync::Arc::new(payload),
+                stamp,
+            },
+        );
+        state.dirty = true;
+    }
+
+    /// Current contents summary.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        let mut stats = StoreStats::default();
+        for kind in Kind::ALL {
+            let state = &inner.kinds[kind.index()];
+            stats.kinds[kind.index()] = KindStats {
+                records: state.records.len(),
+                bytes: state.payload_bytes(),
+            };
+        }
+        stats
+    }
+
+    /// Commits pending records and access stamps to disk: each dirty
+    /// segment is rewritten to a tempfile and atomically renamed over
+    /// the old one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`io::Error`] hit while writing; the in-memory
+    /// state stays intact, so a retry is safe.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store lock");
+        for kind in Kind::ALL {
+            if !inner.kinds[kind.index()].dirty {
+                continue;
+            }
+            let bytes = serialize_segment(kind, &inner.kinds[kind.index()]);
+            self.commit_file(kind.file_name(), &bytes)?;
+            inner.kinds[kind.index()].dirty = false;
+        }
+        if inner.access_dirty {
+            let bytes = serialize_access(&inner);
+            self.commit_file("access.idx", &bytes)?;
+            inner.access_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Evicts least-recently-accessed records until the store fits in
+    /// `budget_bytes`, then commits the compacted segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the compacted files cannot be
+    /// written.
+    pub fn gc(&self, budget_bytes: u64) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            // (stamp, kind, key, size) over every record, newest first.
+            let mut all: Vec<(u64, Kind, Key, u64)> = Vec::new();
+            for kind in Kind::ALL {
+                for (key, slot) in &inner.kinds[kind.index()].records {
+                    all.push((
+                        slot.stamp,
+                        kind,
+                        *key,
+                        slot.bytes.len() as u64 + RECORD_OVERHEAD,
+                    ));
+                }
+            }
+            report.bytes_before = all.iter().map(|&(_, _, _, s)| s).sum();
+            all.sort_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then(a.2.cmp(&b.2))
+                    .then(a.1.tag().cmp(&b.1.tag()))
+            });
+            let mut used = 0u64;
+            for (_, kind, key, size) in all {
+                if used + size <= budget_bytes {
+                    used += size;
+                    report.kept += 1;
+                } else {
+                    inner.kinds[kind.index()].records.remove(&key);
+                    inner.kinds[kind.index()].dirty = true;
+                    report.dropped += 1;
+                }
+            }
+            report.bytes_after = used;
+            inner.access_dirty = true;
+        }
+        self.flush()?;
+        Ok(report)
+    }
+
+    /// Removes every record (in memory and on disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when a segment file cannot be removed.
+    pub fn clear(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("store lock");
+        for kind in Kind::ALL {
+            inner.kinds[kind.index()] = KindState::default();
+            let path = self.dir.join(kind.file_name());
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match fs::remove_file(self.dir.join("access.idx")) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        inner.access_dirty = false;
+        Ok(())
+    }
+
+    /// Writes `bytes` to a uniquely-named tempfile in the store
+    /// directory, then renames it over `name` (atomic on POSIX).
+    fn commit_file(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{name}.tmp.{}.{seq}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        let result = fs::rename(&tmp, self.dir.join(name));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort commit; an explicit flush is the checked path.
+        let _ = self.flush();
+    }
+}
+
+/// Serializes one kind's records into segment-file bytes.
+fn serialize_segment(kind: Kind, state: &KindState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(state.payload_bytes() as usize + 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind.tag());
+    // Deterministic record order (by key) so identical contents always
+    // produce identical files.
+    let mut keys: Vec<&Key> = state.records.keys().collect();
+    keys.sort();
+    for key in keys {
+        let slot = &state.records[key];
+        out.extend_from_slice(&key.0.to_le_bytes());
+        out.extend_from_slice(&key.1.to_le_bytes());
+        out.extend_from_slice(&(slot.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&slot.bytes);
+        let mut h = StableHasher::new();
+        h.write(&slot.bytes);
+        let (c0, c1) = h.finish();
+        out.extend_from_slice(&c0.to_le_bytes());
+        out.extend_from_slice(&c1.to_le_bytes());
+    }
+    out
+}
+
+/// Loads a segment file into `state`, skipping anything unreadable: a
+/// bad header drops the whole file, a bad checksum drops that record, a
+/// truncated tail drops the remainder.
+fn load_segment(kind: Kind, bytes: &[u8], state: &mut KindState) {
+    if bytes.len() < 13 || bytes[..8] != MAGIC {
+        return;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION || bytes[12] != kind.tag() {
+        return;
+    }
+    let mut pos = 13;
+    while bytes.len() - pos >= (RECORD_OVERHEAD as usize - 16) + 16 {
+        let k0 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
+        let k1 = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
+        let len = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().expect("4")) as usize;
+        pos += 20;
+        if bytes.len() - pos < len + 16 {
+            return; // truncated tail (e.g. a crash mid-append)
+        }
+        let payload = &bytes[pos..pos + len];
+        pos += len;
+        let c0 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
+        let c1 = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
+        pos += 16;
+        let mut h = StableHasher::new();
+        h.write(payload);
+        if h.finish() != (c0, c1) {
+            continue; // corrupted record: degrade to a miss
+        }
+        state.records.insert(
+            (k0, k1),
+            RecordSlot {
+                bytes: std::sync::Arc::new(payload.to_vec()),
+                stamp: 0,
+            },
+        );
+    }
+}
+
+fn serialize_access(inner: &Inner) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for kind in Kind::ALL {
+        let state = &inner.kinds[kind.index()];
+        let mut keys: Vec<&Key> = state.records.keys().collect();
+        keys.sort();
+        for key in keys {
+            out.push(kind.tag());
+            out.extend_from_slice(&key.0.to_le_bytes());
+            out.extend_from_slice(&key.1.to_le_bytes());
+            out.extend_from_slice(&state.records[key].stamp.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn parse_access(bytes: &[u8]) -> Option<Vec<(Kind, Key, u64)>> {
+    if bytes.len() < 12 || bytes[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut pos = 12;
+    while bytes.len() - pos >= 25 {
+        let kind = Kind::from_tag(bytes[pos])?;
+        let k0 = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8"));
+        let k1 = u64::from_le_bytes(bytes[pos + 9..pos + 17].try_into().expect("8"));
+        let stamp = u64::from_le_bytes(bytes[pos + 17..pos + 25].try_into().expect("8"));
+        out.push((kind, (k0, k1), stamp));
+        pos += 25;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alice-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Netlist, (1, 2), vec![10, 20, 30]);
+            s.put(Kind::Fabric, (3, 4), vec![40]);
+            s.flush().expect("flush");
+        }
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(
+            s.get(Kind::Netlist, (1, 2)).map(|b| b.to_vec()),
+            Some(vec![10, 20, 30])
+        );
+        assert_eq!(
+            s.get(Kind::Fabric, (3, 4)).map(|b| b.to_vec()),
+            Some(vec![40])
+        );
+        assert_eq!(s.get(Kind::LutMap, (1, 2)), None);
+        assert_eq!(s.stats().records(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let dir = tmp_dir("drop");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Cec, (9, 9), vec![1, 2, 3]);
+            // no explicit flush
+        }
+        let s = Store::open(&dir).expect("reopen");
+        assert!(s.get(Kind::Cec, (9, 9)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_degrades_to_miss_only_for_that_record() {
+        let dir = tmp_dir("corrupt");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::LutMap, (1, 1), vec![7; 64]);
+            s.put(Kind::LutMap, (2, 2), vec![8; 64]);
+            s.flush().expect("flush");
+        }
+        // Flip a bit inside the first record's payload.
+        let path = dir.join(Kind::LutMap.file_name());
+        let mut bytes = fs::read(&path).expect("read segment");
+        bytes[13 + 20 + 5] ^= 0x40;
+        fs::write(&path, &bytes).expect("rewrite");
+        let s = Store::open(&dir).expect("reopen");
+        let survivors = s.stats().kinds[Kind::LutMap.index()].records;
+        assert_eq!(survivors, 1, "exactly the flipped record is dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped() {
+        let dir = tmp_dir("trunc");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Netlist, (1, 1), vec![7; 64]);
+            s.put(Kind::Netlist, (2, 2), vec![8; 64]);
+            s.flush().expect("flush");
+        }
+        let path = dir.join(Kind::Netlist.file_name());
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() - 10]).expect("truncate");
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().kinds[Kind::Netlist.index()].records, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_empties_the_file() {
+        let dir = tmp_dir("version");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Fabric, (5, 5), vec![1]);
+            s.flush().expect("flush");
+        }
+        let path = dir.join(Kind::Fabric.file_name());
+        let mut bytes = fs::read(&path).expect("read");
+        let future = FORMAT_VERSION + 1;
+        bytes[8..12].copy_from_slice(&future.to_le_bytes());
+        fs::write(&path, &bytes).expect("rewrite");
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().records(), 0, "future-version file is ignored");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_accessed_first() {
+        let dir = tmp_dir("gc");
+        let s = Store::open(&dir).expect("open");
+        s.put(Kind::Netlist, (1, 0), vec![0; 100]);
+        s.put(Kind::Netlist, (2, 0), vec![0; 100]);
+        s.put(Kind::Netlist, (3, 0), vec![0; 100]);
+        // Touch (1,0) so (2,0) becomes the coldest.
+        s.get(Kind::Netlist, (1, 0)).expect("present");
+        let per_record = 100 + RECORD_OVERHEAD;
+        let report = s.gc(2 * per_record).expect("gc");
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.dropped, 1);
+        assert!(report.bytes_after <= 2 * per_record);
+        assert!(
+            s.get(Kind::Netlist, (1, 0)).is_some(),
+            "recently read survives"
+        );
+        assert!(
+            s.get(Kind::Netlist, (3, 0)).is_some(),
+            "recently written survives"
+        );
+        assert!(s.get(Kind::Netlist, (2, 0)).is_none(), "coldest is evicted");
+        // And the eviction is durable.
+        drop(s);
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().records(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let dir = tmp_dir("clear");
+        let s = Store::open(&dir).expect("open");
+        s.put(Kind::Cec, (1, 1), vec![9]);
+        s.flush().expect("flush");
+        s.clear().expect("clear");
+        assert_eq!(s.stats().records(), 0);
+        drop(s);
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().records(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_stamps_survive_reopen() {
+        let dir = tmp_dir("stamps");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Netlist, (1, 0), vec![0; 10]);
+            s.put(Kind::Netlist, (2, 0), vec![0; 10]);
+            s.get(Kind::Netlist, (1, 0)).expect("present");
+            s.flush().expect("flush");
+        }
+        // After reopen, (1,0) is still the warmer record.
+        let s = Store::open(&dir).expect("reopen");
+        let report = s.gc(10 + RECORD_OVERHEAD).expect("gc");
+        assert_eq!((report.kept, report.dropped), (1, 1));
+        assert!(s.get(Kind::Netlist, (1, 0)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_display_lists_kinds() {
+        let dir = tmp_dir("stats");
+        let s = Store::open(&dir).expect("open");
+        s.put(Kind::Netlist, (1, 1), vec![0; 8]);
+        let text = s.stats().to_string();
+        assert!(text.contains("netlist"));
+        assert!(text.contains("total"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -5,18 +5,26 @@
 //! ```text
 //! alice <design.v> [--config flow.yaml] [--top NAME] [--out DIR]
 //!       [--cfg1 | --cfg2] [--jobs N] [--report]
-//!       [--verify] [--wrong-keys N] [--no-cache]
+//!       [--verify] [--wrong-keys N] [--no-cache] [--store DIR]
+//! alice store stats <DIR>
+//! alice store gc <DIR> [--budget BYTES]
+//! alice store clear <DIR>
 //! ```
 
 use alice_redaction::core::config::AliceConfig;
 use alice_redaction::core::design::Design;
 use alice_redaction::core::flow::Flow;
+use alice_redaction::store::Store;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
                      [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report] \
-                     [--verify] [--wrong-keys N] [--no-cache]";
+                     [--verify] [--wrong-keys N] [--no-cache] [--store DIR]\n\
+                     \x20      alice store <stats|gc|clear> <DIR> [--budget BYTES]";
+
+/// Default `alice store gc` budget when `--budget` is omitted: 256 MiB.
+const DEFAULT_GC_BUDGET: u64 = 256 * 1024 * 1024;
 
 #[derive(Debug)]
 struct Args {
@@ -30,6 +38,29 @@ struct Args {
     verify: bool,
     wrong_keys: Option<usize>,
     no_cache: bool,
+    store: Option<PathBuf>,
+}
+
+/// The `alice store <action> <DIR>` maintenance subcommand.
+#[derive(Debug, PartialEq)]
+struct StoreCmd {
+    action: StoreAction,
+    dir: PathBuf,
+    budget: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreAction {
+    Stats,
+    Gc,
+    Clear,
+}
+
+/// What one CLI invocation asks for.
+#[derive(Debug)]
+enum Command {
+    Run(Args),
+    Store(StoreCmd),
 }
 
 /// Parses a numeric flag value, rejecting out-of-range values with an
@@ -46,9 +77,49 @@ fn parse_count(flag: &str, v: &str, min: usize) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Parses the `store` maintenance subcommand's arguments.
+fn parse_store_cmd(argv: impl Iterator<Item = String>) -> Result<StoreCmd, String> {
+    let mut it = argv;
+    let action = match it.next().as_deref() {
+        Some("stats") => StoreAction::Stats,
+        Some("gc") => StoreAction::Gc,
+        Some("clear") => StoreAction::Clear,
+        Some(other) => return Err(format!("unknown store action `{other}`")),
+        None => return Err("missing store action (stats, gc or clear)".to_string()),
+    };
+    let mut dir: Option<PathBuf> = None;
+    let mut budget = DEFAULT_GC_BUDGET;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--budget" => {
+                if action != StoreAction::Gc {
+                    return Err("`--budget` only applies to `store gc`".to_string());
+                }
+                let v = it
+                    .next()
+                    .ok_or_else(|| "missing value for `--budget`".to_string())?;
+                budget = v
+                    .parse()
+                    .map_err(|_| format!("invalid value for `--budget`: `{v}`"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            _ if dir.is_none() => dir = Some(PathBuf::from(a)),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let dir = dir.ok_or_else(|| "missing store <DIR> argument".to_string())?;
+    Ok(StoreCmd {
+        action,
+        dir,
+        budget,
+    })
+}
+
 /// Parses the command line; every error names the offending flag.
 /// `Ok(None)` means `--help` was requested (print usage, exit 0).
-fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Command>, String> {
     let mut args = Args {
         design: PathBuf::new(),
         config: None,
@@ -60,8 +131,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         verify: false,
         wrong_keys: None,
         no_cache: false,
+        store: None,
     };
-    let mut it = argv;
+    let mut it = argv.peekable();
+    // `alice store <stats|gc|clear> <DIR>` is a separate maintenance mode.
+    if it.peek().map(String::as_str) == Some("store") {
+        it.next();
+        return parse_store_cmd(it).map(|c| Some(Command::Store(c)));
+    }
     let mut positional = Vec::new();
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<String, String> {
         it.next()
@@ -72,6 +149,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--config" => args.config = Some(PathBuf::from(value(&mut it, "--config")?)),
             "--top" => args.top = Some(value(&mut it, "--top")?),
             "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
+            "--store" => args.store = Some(PathBuf::from(value(&mut it, "--store")?)),
             "--jobs" => {
                 // 0 ("auto") is spelled by omitting the flag, not `--jobs 0`.
                 let v = value(&mut it, "--jobs")?;
@@ -105,7 +183,40 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             ))
         }
     }
-    Ok(Some(args))
+    Ok(Some(Command::Run(args)))
+}
+
+/// Runs the `alice store` maintenance subcommand.
+fn run_store_cmd(cmd: &StoreCmd) -> Result<(), Box<dyn std::error::Error>> {
+    let store = Store::open(&cmd.dir)
+        .map_err(|e| format!("cannot open store {}: {e}", cmd.dir.display()))?;
+    match cmd.action {
+        StoreAction::Stats => {
+            println!("{}", store.stats());
+        }
+        StoreAction::Gc => {
+            let report = store.gc(cmd.budget)?;
+            println!(
+                "gc: kept {} record(s) ({} bytes), evicted {} ({} -> {} bytes, budget {})",
+                report.kept,
+                report.bytes_after,
+                report.dropped,
+                report.bytes_before,
+                report.bytes_after,
+                cmd.budget
+            );
+        }
+        StoreAction::Clear => {
+            let before = store.stats();
+            store.clear()?;
+            println!(
+                "clear: removed {} record(s) ({} bytes)",
+                before.records(),
+                before.bytes()
+            );
+        }
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -133,6 +244,10 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         // A/B baseline: run every characterization from scratch.
         cfg.cache = false;
     }
+    if let Some(dir) = &args.store {
+        // The command line wins over the config file for the store too.
+        cfg.store = Some(dir.clone());
+    }
     let name = args
         .design
         .file_stem()
@@ -147,12 +262,29 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         design.instance_paths().len(),
         cfg.effective_jobs()
     );
-    let outcome = Flow::new(cfg).run(&design)?;
+    let flow = Flow::new(cfg);
+    let outcome = flow.run(&design)?;
     println!("{}", outcome.report);
     eprintln!(
-        "alice: characterization cache: {} hit(s), {} miss(es)",
-        outcome.report.cache_hits, outcome.report.cache_misses
+        "alice: characterization cache: {} hit(s), {} miss(es), {} disk hit(s)",
+        outcome.report.cache_hits, outcome.report.cache_misses, outcome.report.cache_disk_hits
     );
+    if let Some(store) = flow.db().store() {
+        if let Err(e) = flow.db().flush_store() {
+            eprintln!(
+                "alice: warning: could not persist store {}: {e}",
+                store.path().display()
+            );
+        } else {
+            let stats = store.stats();
+            eprintln!(
+                "alice: store {}: {} record(s), {} byte(s)",
+                store.path().display(),
+                stats.records(),
+                stats.bytes()
+            );
+        }
+    }
     if let Some(v) = &outcome.verify {
         eprintln!(
             "alice: verify: {} ({} points, {} vars, {} clauses)",
@@ -208,8 +340,8 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
-        Ok(Some(a)) => a,
+    let cmd = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(c)) => c,
         Ok(None) => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -220,7 +352,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&args) {
+    let result = match &cmd {
+        Command::Run(args) => run(args),
+        Command::Store(store_cmd) => run_store_cmd(store_cmd),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("alice: error: {e}");
@@ -234,7 +370,18 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<Option<Args>, String> {
-        parse_args(args.iter().map(|s| s.to_string()))
+        match parse_args(args.iter().map(|s| s.to_string()))? {
+            Some(Command::Run(a)) => Ok(Some(a)),
+            Some(Command::Store(c)) => panic!("expected a run command, got {c:?}"),
+            None => Ok(None),
+        }
+    }
+
+    fn parse_store(args: &[&str]) -> Result<StoreCmd, String> {
+        match parse_args(args.iter().map(|s| s.to_string()))? {
+            Some(Command::Store(c)) => Ok(c),
+            other => panic!("expected a store command, got {other:?}"),
+        }
     }
 
     #[test]
@@ -276,6 +423,47 @@ mod tests {
         assert!(a.no_cache);
         let a = parse(&["d.v"]).expect("ok").expect("args");
         assert!(!a.no_cache, "cache is on by default");
+    }
+
+    #[test]
+    fn store_flag_parses() {
+        let a = parse(&["d.v", "--store", "cache-dir"])
+            .expect("ok")
+            .expect("args");
+        assert_eq!(a.store, Some(PathBuf::from("cache-dir")));
+        let a = parse(&["d.v"]).expect("ok").expect("args");
+        assert_eq!(a.store, None, "no store by default");
+        let err = parse(&["d.v", "--store"]).expect_err("must reject");
+        assert!(err.contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn store_subcommand_parses() {
+        let c = parse_store(&["store", "stats", "dir"]).expect("ok");
+        assert_eq!(c.action, StoreAction::Stats);
+        assert_eq!(c.dir, PathBuf::from("dir"));
+        let c = parse_store(&["store", "gc", "dir", "--budget", "1024"]).expect("ok");
+        assert_eq!(c.action, StoreAction::Gc);
+        assert_eq!(c.budget, 1024);
+        let c = parse_store(&["store", "gc", "dir"]).expect("ok");
+        assert_eq!(c.budget, DEFAULT_GC_BUDGET);
+        let c = parse_store(&["store", "clear", "dir"]).expect("ok");
+        assert_eq!(c.action, StoreAction::Clear);
+    }
+
+    #[test]
+    fn store_subcommand_errors_are_named() {
+        let parse_raw = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string())).map(|_| ());
+        let err = parse_raw(&["store"]).expect_err("must reject");
+        assert!(err.contains("store action"), "{err}");
+        let err = parse_raw(&["store", "frobnicate", "dir"]).expect_err("must reject");
+        assert!(err.contains("frobnicate"), "{err}");
+        let err = parse_raw(&["store", "gc", "dir", "--budget", "lots"]).expect_err("reject");
+        assert!(err.contains("--budget"), "{err}");
+        let err = parse_raw(&["store", "stats", "dir", "--budget", "9"]).expect_err("reject");
+        assert!(err.contains("--budget"), "{err}");
+        let err = parse_raw(&["store", "stats"]).expect_err("must reject");
+        assert!(err.contains("<DIR>"), "{err}");
     }
 
     #[test]

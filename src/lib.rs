@@ -16,6 +16,8 @@
 //! * [`attacks`] — CDCL SAT solver and oracle-guided SAT attack
 //! * [`cec`] — SAT-based combinational equivalence checking (miter,
 //!   bitstream binding, wrong-key corruptibility)
+//! * [`store`] — persistent content-addressed artifact store (cross-
+//!   process characterization + CEC proof caching)
 //! * [`core`] — the ALICE flow itself (filtering, clustering, selection)
 //! * [`benchmarks`] — the DAC'22 benchmark suite (Table 1)
 //!
@@ -44,4 +46,5 @@ pub use alice_core as core;
 pub use alice_dataflow as dataflow;
 pub use alice_fabric as fabric;
 pub use alice_netlist as netlist;
+pub use alice_store as store;
 pub use alice_verilog as verilog;

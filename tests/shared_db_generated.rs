@@ -1,0 +1,90 @@
+//! Cross-design characterization sharing on seeded generated benchmarks.
+//!
+//! The `DesignDb` keys are content-addressed (module source closures,
+//! netlist structural hashes), not design-name-addressed: two *different
+//! designs* containing textually identical modules must share every
+//! elaboration, LUT mapping, and fabric characterization. The seeded
+//! generator makes that scenario reproducible — exactly the workload of
+//! the generator-driven `security` sweeps, which now point all their
+//! flows at one shared db.
+
+use alice_redaction::benchmarks::generator::{generate, GeneratorParams};
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::db::DesignDb;
+use alice_redaction::core::design::Design;
+use alice_redaction::core::flow::Flow;
+use std::sync::Arc;
+
+#[test]
+fn cross_design_lutmap_hits_on_generated_benchmarks() {
+    // Two designs, different names, same seeded source: every module is
+    // textually identical across them, so B's flow must characterize
+    // nothing.
+    let src = generate(11, GeneratorParams::default());
+    let design_a = Design::from_source("synth_a", &src, None).expect("load a");
+    let design_b = Design::from_source("synth_b", &src, None).expect("load b");
+
+    let db = Arc::new(DesignDb::new());
+    let cfg = AliceConfig {
+        jobs: 1,
+        ..AliceConfig::cfg1()
+    };
+    let out_a = Flow::with_db(cfg.clone(), db.clone())
+        .run(&design_a)
+        .expect("flow a");
+    let after_a = db.counts();
+    assert!(after_a.misses > 0, "the cold design computes");
+
+    let out_b = Flow::with_db(cfg, db.clone())
+        .run(&design_b)
+        .expect("flow b");
+    let delta = db.counts().since(after_a);
+    assert!(
+        delta.hits > 0,
+        "cross-design run must hit the shared cache (LUT maps included)"
+    );
+    assert_eq!(
+        delta.misses, 0,
+        "a textually identical design recomputes nothing"
+    );
+
+    // Same characterizations ⇒ same selection outcome.
+    assert_eq!(out_b.report.candidates, out_a.report.candidates);
+    assert_eq!(out_b.report.clusters, out_a.report.clusters);
+    assert_eq!(out_b.report.solutions, out_a.report.solutions);
+    assert_eq!(out_b.report.efpga_sizes, out_a.report.efpga_sizes);
+}
+
+#[test]
+fn distinct_seeds_share_only_identical_shapes() {
+    // Different seeds generate different leaf logic; the shared db must
+    // key on content, so design C (a different seed) misses where its
+    // modules differ — shared entries never leak wrong results across
+    // designs.
+    let src_a = generate(11, GeneratorParams::default());
+    let src_c = generate(12, GeneratorParams::default());
+    assert_ne!(src_a, src_c, "seeds must differ for this test to bite");
+    let design_a = Design::from_source("synth_a", &src_a, None).expect("load a");
+    let design_c = Design::from_source("synth_c", &src_c, None).expect("load c");
+
+    let db = Arc::new(DesignDb::new());
+    let cfg = AliceConfig {
+        jobs: 1,
+        ..AliceConfig::cfg1()
+    };
+    let out_a = Flow::with_db(cfg.clone(), db.clone())
+        .run(&design_a)
+        .expect("flow a");
+    let after_a = db.counts();
+    let out_c = Flow::with_db(cfg.clone(), db.clone())
+        .run(&design_c)
+        .expect("flow c");
+    let delta = db.counts().since(after_a);
+    assert!(delta.misses > 0, "different logic must be recomputed");
+
+    // And each result matches a private, uncached run of the same design.
+    let solo_c = Flow::new(cfg).run(&design_c).expect("solo c");
+    assert_eq!(out_c.report.efpga_sizes, solo_c.report.efpga_sizes);
+    assert_eq!(out_c.report.solutions, solo_c.report.solutions);
+    assert!(out_a.report.solutions > 0, "sanity: flows found solutions");
+}
