@@ -8,12 +8,14 @@
 
 use alice_fabric::arch::FabricSize;
 use alice_fabric::cost::fabric_area_um2;
+use alice_intern::Symbol;
 
 /// A placed macro block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacedMacro {
-    /// Macro name (e.g. `efpga0 (4x4)`).
-    pub name: String,
+    /// Macro name (interned; the deployed fabric's module name, or a
+    /// generated `efpga{i} ({size})` label for anonymous planning).
+    pub name: Symbol,
     /// Lower-left x in µm.
     pub x: f64,
     /// Lower-left y in µm.
@@ -87,22 +89,44 @@ impl Floorplan {
 /// around 0.7).
 ///
 /// Macros are square (fabric arrays) and placed on a single shelf from the
-/// left; standard-cell rows take the remaining space.
+/// left; standard-cell rows take the remaining space. Each macro carries a
+/// generated `efpga{i} ({size})` label; use [`floorplan_named`] to place
+/// the flow's actual fabric module names (e.g. `alice_efpga0_4x4`).
 pub fn floorplan(fabrics: &[FabricSize], stdcell_area_um2: f64, utilization: f64) -> Floorplan {
-    let sides: Vec<f64> = fabrics.iter().map(|&s| fabric_area_um2(s).sqrt()).collect();
+    let named: Vec<(Symbol, FabricSize)> = fabrics
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| (Symbol::intern(&format!("efpga{i} ({size})")), size))
+        .collect();
+    floorplan_named(&named, stdcell_area_um2, utilization)
+}
+
+/// Like [`floorplan`], but every macro keeps its caller-supplied interned
+/// name — the typed bridge from redaction output to physical design: pass
+/// each deployed fabric's `module_name` so the Figure-4 report and the
+/// layout speak the same names as the emitted netlists.
+pub fn floorplan_named(
+    fabrics: &[(Symbol, FabricSize)],
+    stdcell_area_um2: f64,
+    utilization: f64,
+) -> Floorplan {
+    let sides: Vec<f64> = fabrics
+        .iter()
+        .map(|&(_, s)| fabric_area_um2(s).sqrt())
+        .collect();
     let shelf_w: f64 = sides.iter().sum::<f64>() + 10.0 * (fabrics.len().max(1) - 1) as f64;
     let shelf_h: f64 = sides.iter().cloned().fold(0.0, f64::max);
     // Total needed area at the target utilization.
-    let macro_area: f64 = fabrics.iter().map(|&s| fabric_area_um2(s)).sum();
+    let macro_area: f64 = fabrics.iter().map(|&(_, s)| fabric_area_um2(s)).sum();
     let need = (macro_area + stdcell_area_um2) / utilization.clamp(0.1, 1.0);
     // Die: wide enough for the shelf, tall enough for the rest.
     let die_w = shelf_w.max(need.sqrt());
     let die_h = (need / die_w).max(shelf_h + 10.0);
     let mut macros = Vec::new();
     let mut x = 0.0;
-    for (i, (&size, side)) in fabrics.iter().zip(&sides).enumerate() {
+    for (&(name, _), side) in fabrics.iter().zip(&sides) {
         macros.push(PlacedMacro {
-            name: format!("efpga{i} ({size})"),
+            name,
             x,
             y: 0.0,
             w: *side,
@@ -153,6 +177,28 @@ mod tests {
         assert!(art.contains('0'), "{art}");
         assert!(art.contains('1'), "{art}");
         assert!(art.lines().count() >= 10);
+    }
+
+    #[test]
+    fn named_macros_keep_their_names() {
+        let names = [
+            Symbol::intern("alice_efpga0_4x4"),
+            Symbol::intern("alice_efpga1_5x5"),
+        ];
+        let fp = floorplan_named(
+            &[
+                (names[0], FabricSize::square(4)),
+                (names[1], FabricSize::square(5)),
+            ],
+            500.0,
+            0.8,
+        );
+        let placed: Vec<Symbol> = fp.macros.iter().map(|m| m.name).collect();
+        assert_eq!(placed, names);
+        // The anonymous wrapper places identically, only the labels differ.
+        let anon = floorplan(&[FabricSize::square(4), FabricSize::square(5)], 500.0, 0.8);
+        assert_eq!(anon.die_area_um2(), fp.die_area_um2());
+        assert_eq!(anon.macros[0].name, "efpga0 (4x4)");
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod celllib;
 pub mod floorplan;
 pub mod report;
 
-pub use floorplan::{floorplan, Floorplan, PlacedMacro};
+pub use floorplan::{floorplan, floorplan_named, Floorplan, PlacedMacro};
 pub use report::{synthesize, AsicReport};

@@ -14,8 +14,60 @@
 
 use crate::oracle::{query, OracleResponse};
 use crate::solver::{Lit, SatResult, Solver, Var};
+use alice_intern::Symbol;
 use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
 use std::time::Instant;
+
+/// One distinguishing input pattern found by the attack, recorded in
+/// oracle order (primary inputs by [`MappedNetlist::input_names`], state
+/// by `dff_names`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dip {
+    /// Primary-input bits.
+    pub pi: Vec<bool>,
+    /// Scan-state bits.
+    pub state: Vec<bool>,
+}
+
+impl Dip {
+    /// The primary-input assignment paired with the network's interned
+    /// port-bit names.
+    pub fn named_inputs(&self, mapped: &MappedNetlist) -> Vec<(Symbol, bool)> {
+        mapped
+            .input_names
+            .iter()
+            .copied()
+            .zip(self.pi.iter().copied())
+            .collect()
+    }
+
+    /// The state assignment paired with the network's register-bit names.
+    pub fn named_state(&self, mapped: &MappedNetlist) -> Vec<(Symbol, bool)> {
+        mapped
+            .dff_names
+            .iter()
+            .copied()
+            .zip(self.state.iter().copied())
+            .collect()
+    }
+}
+
+/// Interned names for every key bit of the network, in exactly the
+/// concatenated per-LUT order of [`AttackReport::key_bits`] and of the
+/// recovered truth tables: `lut{i}[{p}]` is truth-table bit `p` of the
+/// `i`-th mapped LUT. The same bits, deployed on a fabric, surface as
+/// the `cfg[p]` registers that `alice_core::redact`'s verify binding
+/// pins — these names are the attack-side ledger of that key space.
+pub fn key_bit_names(mapped: &MappedNetlist) -> Vec<Symbol> {
+    mapped
+        .luts
+        .iter()
+        .enumerate()
+        .flat_map(|(i, l)| {
+            (0..(1usize << l.inputs.len())).map(move |p| Symbol::intern(&format!("lut{i}[{p}]")))
+        })
+        .collect()
+}
 
 /// Outcome of a SAT attack run.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +94,9 @@ pub struct AttackReport {
     pub conflicts: u64,
     /// Wall-clock milliseconds.
     pub millis: u128,
+    /// Every distinguishing input pattern, in discovery order (pair with
+    /// [`Dip::named_inputs`]/[`Dip::named_state`] for readable traces).
+    pub dip_trace: Vec<Dip>,
 }
 
 /// Attack budget limits.
@@ -199,7 +254,6 @@ impl<'a> Encoder<'a> {
 pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport {
     let start = Instant::now();
     let key_bits: usize = mapped.luts.iter().map(|l| 1usize << l.inputs.len()).sum();
-    let n_pi = mapped.input_names.len();
     let n_st = mapped.dffs.len();
 
     // Miter solver: two keyed copies over shared inputs, outputs differ.
@@ -208,8 +262,21 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
     let enc = Encoder::new(&mut s, mapped);
     let k1 = enc.alloc_keys(&mut s);
     let k2 = enc.alloc_keys(&mut s);
-    let pi: Vec<Var> = (0..n_pi).map(|_| s.new_var()).collect();
-    let st: Vec<Var> = (0..n_st).map(|_| s.new_var()).collect();
+    // The shared miter inputs carry the network's own port and register
+    // names, so a satisfying assignment reads back as a named DIP.
+    // (`dff_names` is maintained independently of the `dffs` list the
+    // encoder sizes copies by, so the lengths genuinely can disagree.)
+    debug_assert_eq!(mapped.dff_names.len(), n_st);
+    let pi: Vec<Var> = mapped
+        .input_names
+        .iter()
+        .map(|&n| s.new_named_var(n))
+        .collect();
+    let st: Vec<Var> = mapped
+        .dff_names
+        .iter()
+        .map(|&n| s.new_named_var(n))
+        .collect();
     let c1 = enc.encode_copy(&mut s, &k1, &pi, &st);
     let c2 = enc.encode_copy(&mut s, &k2, &pi, &st);
     // d_i -> (o1_i xor o2_i); assert OR d_i.
@@ -234,8 +301,14 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
     ks.conflict_budget = Some(budget.conflicts_per_call);
     let kenc = Encoder::new(&mut ks, mapped);
     let kk = kenc.alloc_keys(&mut ks);
+    // Key variables carry their truth-table-bit identities, so the key
+    // solver's model is the recovered bitstream by name.
+    for (&v, name) in kk.iter().flatten().zip(key_bit_names(mapped)) {
+        ks.label(v, name);
+    }
 
     let mut dips = 0usize;
+    let mut dip_trace: Vec<Dip> = Vec::new();
     loop {
         if dips >= budget.max_dips {
             return AttackReport {
@@ -244,6 +317,7 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
                 key_bits,
                 conflicts: s.total_conflicts + ks.total_conflicts,
                 millis: start.elapsed().as_millis(),
+                dip_trace,
             };
         }
         match s.solve() {
@@ -254,6 +328,7 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
                     key_bits,
                     conflicts: s.total_conflicts + ks.total_conflicts,
                     millis: start.elapsed().as_millis(),
+                    dip_trace,
                 }
             }
             SatResult::Unsat => break,
@@ -263,6 +338,10 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
                 let dip_st: Vec<bool> = st.iter().map(|&v| s.value(v).unwrap_or(false)).collect();
                 let resp = query(mapped, &dip_pi, &dip_st, None);
                 dips += 1;
+                dip_trace.push(Dip {
+                    pi: dip_pi.clone(),
+                    state: dip_st.clone(),
+                });
                 // Both key copies must reproduce the oracle on this DIP.
                 for keys in [&k1, &k2] {
                     let fpi = enc.fixed_inputs(&mut s, &dip_pi);
@@ -296,6 +375,7 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
         key_bits,
         conflicts: s.total_conflicts + ks.total_conflicts,
         millis: start.elapsed().as_millis(),
+        dip_trace,
     }
 }
 
@@ -381,6 +461,46 @@ mod tests {
         );
         assert_eq!(r.status, AttackStatus::Resilient);
         assert!(r.dips <= 1);
+    }
+
+    #[test]
+    fn dip_trace_is_named_and_distinguishing() {
+        let m = mapped(
+            "module m(input wire [3:0] a, output wire y);\
+             assign y = (a[0] & a[1]) | (a[2] ^ a[3]); endmodule",
+            "m",
+        );
+        let r = sat_attack(&m, AttackBudget::default());
+        assert_eq!(r.dip_trace.len(), r.dips);
+        assert!(!r.dip_trace.is_empty());
+        for dip in &r.dip_trace {
+            let named = dip.named_inputs(&m);
+            assert_eq!(named.len(), m.input_names.len());
+            // Names come straight from the network's interned ports.
+            for ((name, _), want) in named.iter().zip(&m.input_names) {
+                assert_eq!(name, want);
+            }
+            assert!(dip.named_state(&m).is_empty(), "combinational network");
+        }
+    }
+
+    #[test]
+    fn key_bit_names_align_with_recovered_tables() {
+        let m = mapped(
+            "module m(input wire [3:0] a, output wire y); assign y = ^a; endmodule",
+            "m",
+        );
+        let names = key_bit_names(&m);
+        let r = sat_attack(&m, AttackBudget::default());
+        assert_eq!(names.len(), r.key_bits);
+        // Concatenated per-LUT order: lut{i}[{p}] with p dense per LUT.
+        let mut want = Vec::new();
+        for (i, l) in m.luts.iter().enumerate() {
+            for p in 0..(1usize << l.inputs.len()) {
+                want.push(Symbol::intern(&format!("lut{i}[{p}]")));
+            }
+        }
+        assert_eq!(names, want);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod attack;
 pub mod oracle;
 pub mod solver;
 
-pub use attack::{sat_attack, AttackBudget, AttackReport, AttackStatus};
-pub use oracle::{exhaustive_equiv, query, OracleResponse};
+pub use attack::{key_bit_names, sat_attack, AttackBudget, AttackReport, AttackStatus, Dip};
+pub use oracle::{exhaustive_equiv, output_bit_names, query, state_bit_names, OracleResponse};
 pub use solver::{SatResult, Solver, Var};

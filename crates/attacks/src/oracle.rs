@@ -4,7 +4,36 @@
 //! accessible pseudo-I/O, the standard combinational unrolling used by
 //! SAT-attack literature.
 
+use alice_intern::Symbol;
 use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
+
+/// Flattened output-bit names of the network, in exactly the order
+/// [`OracleResponse::outputs`] reports them: multi-bit ports expand to
+/// `port[bit]`, single-bit ports stay bare. All interned — zipping a
+/// response against these names costs no allocation per query.
+pub fn output_bit_names(mapped: &MappedNetlist) -> Vec<Symbol> {
+    mapped
+        .outputs
+        .iter()
+        .flat_map(|(pname, bits)| {
+            let wide = bits.len() > 1;
+            (0..bits.len()).map(move |b| {
+                if wide {
+                    Symbol::intern(&format!("{pname}[{b}]"))
+                } else {
+                    *pname
+                }
+            })
+        })
+        .collect()
+}
+
+/// State-bit names (the scan-accessible pseudo-I/O), in exactly the
+/// order [`OracleResponse::next_state`] reports them — the network's own
+/// hierarchical register-bit names.
+pub fn state_bit_names(mapped: &MappedNetlist) -> Vec<Symbol> {
+    mapped.dff_names.clone()
+}
 
 /// One oracle query result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +160,21 @@ mod tests {
             .map(|l| (0..16).map(|p| l.eval(p)).collect())
             .collect();
         assert!(exhaustive_equiv(&m, &true_keys));
+    }
+
+    #[test]
+    fn bit_names_track_response_order() {
+        let m = mapped(
+            "module m(input wire [1:0] a, output wire [1:0] y, output wire z);\
+             assign y = ~a; assign z = ^a; endmodule",
+            "m",
+        );
+        let names = output_bit_names(&m);
+        let r = query(&m, &[false, true], &[], None);
+        assert_eq!(names.len(), r.outputs.len());
+        let texts: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(texts, vec!["y[0]", "y[1]", "z"]);
+        assert!(state_bit_names(&m).is_empty());
     }
 
     #[test]

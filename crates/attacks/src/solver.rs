@@ -8,6 +8,8 @@
 //! small enough that the learned-clause database is never the
 //! bottleneck.
 
+use alice_intern::Symbol;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A propositional variable.
@@ -210,6 +212,10 @@ pub struct Solver {
     conflicts: u64,
     /// Total conflicts over the solver's lifetime (statistics).
     pub total_conflicts: u64,
+    /// Diagnostic labels: problem-level names (interned port, register,
+    /// or key-bit names) attached to CNF variables. Sparse — only the
+    /// variables an encoder chooses to label carry one.
+    names: HashMap<u32, Symbol>,
 }
 
 impl Solver {
@@ -234,6 +240,39 @@ impl Solver {
         self.order.grow();
         self.order.insert(&self.activity, v.0);
         v
+    }
+
+    /// Allocates a fresh variable carrying a diagnostic label (see
+    /// [`Solver::label`]).
+    pub fn new_named_var(&mut self, name: Symbol) -> Var {
+        let v = self.new_var();
+        self.label(v, name);
+        v
+    }
+
+    /// Attaches (or replaces) a problem-level name on `v` — the interned
+    /// port, register, or key-bit identity the variable encodes. Labels
+    /// never affect solving; they make models and DIPs readable.
+    pub fn label(&mut self, v: Var, name: Symbol) {
+        self.names.insert(v.0, name);
+    }
+
+    /// The label of `v`, if one was attached.
+    pub fn name_of(&self, v: Var) -> Option<Symbol> {
+        self.names.get(&v.0).copied()
+    }
+
+    /// The model restricted to labeled variables, as `(name, value)`
+    /// pairs in variable order — a readable satisfying assignment after
+    /// [`Solver::solve`] returns [`SatResult::Sat`].
+    pub fn named_model(&self) -> Vec<(Symbol, bool)> {
+        let mut out: Vec<(u32, Symbol, bool)> = self
+            .names
+            .iter()
+            .filter_map(|(&v, &name)| self.value(Var(v)).map(|b| (v, name, b)))
+            .collect();
+        out.sort_unstable_by_key(|&(v, _, _)| v);
+        out.into_iter().map(|(_, name, b)| (name, b)).collect()
     }
 
     /// Number of variables.
@@ -784,5 +823,26 @@ mod tests {
     fn luby_sequence_prefix() {
         let got: Vec<u64> = (0..9).map(luby).collect();
         assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    #[test]
+    fn labels_name_the_model() {
+        let mut s = Solver::new();
+        let a = s.new_named_var(Symbol::intern("key[0]"));
+        let b = s.new_var(); // unlabeled: stays out of the named model
+        let c = s.new_named_var(Symbol::intern("key[1]"));
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(c)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.name_of(a), Some(Symbol::intern("key[0]")));
+        assert_eq!(s.name_of(b), None);
+        assert_eq!(
+            s.named_model(),
+            vec![
+                (Symbol::intern("key[0]"), true),
+                (Symbol::intern("key[1]"), false),
+            ]
+        );
     }
 }

@@ -1,36 +1,33 @@
 //! Regenerates Figure 4 of the paper: physical layouts of the two GCD
 //! solutions (cfg1: two 4×4 eFPGAs; cfg2: one 5×5 eFPGA) with die areas.
 
-use alice_asic::floorplan::floorplan;
+use alice_asic::floorplan::floorplan_named;
 use alice_asic::report::synthesize;
 use alice_bench::{paper_configs, run_flow};
+use alice_intern::HierPath;
 use alice_netlist::elaborate::elaborate;
 
 fn main() {
     let gcd = alice_benchmarks::gcd::benchmark();
     for (label, cfg) in paper_configs() {
         let out = run_flow(&gcd, cfg);
-        let Some(best) = &out.selection.best else {
+        let Some(redacted_design) = &out.redacted else {
             println!("{label}: no solution");
             continue;
         };
-        let sizes: Vec<_> = best
+        // Each deployed fabric keeps its emitted module name on the
+        // floorplan, so the layout and the netlists speak the same names.
+        let macros: Vec<_> = redacted_design
             .efpgas
             .iter()
-            .map(|&i| out.selection.valid[i].efpga.size)
+            .map(|e| (e.module_name, e.size))
             .collect();
         // Residual ASIC logic: the unredacted modules of the design.
         let design = gcd.design().expect("load");
-        let redacted: Vec<alice_intern::Symbol> = best
+        let redacted: Vec<HierPath> = redacted_design
             .efpgas
             .iter()
-            .flat_map(|&i| {
-                out.selection.valid[i]
-                    .cluster
-                    .iter()
-                    .map(|&c| out.filter.candidates[c].path)
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|e| e.instances.iter().copied())
             .collect();
         let mut residual = 0.0;
         for path in design.instance_paths() {
@@ -42,10 +39,10 @@ fn main() {
                 residual += synthesize(&n).area_um2;
             }
         }
-        let fp = floorplan(&sizes, residual, 0.92);
-        let size_str = sizes
+        let fp = floorplan_named(&macros, residual, 0.92);
+        let size_str = macros
             .iter()
-            .map(|s| s.to_string())
+            .map(|&(name, size)| format!("{name} ({size})"))
             .collect::<Vec<_>>()
             .join(" + ");
         println!("── Figure 4 / {label}");

@@ -16,7 +16,7 @@
 
 use crate::config::AliceConfig;
 use crate::filter::Candidate;
-use alice_intern::PathTree;
+use alice_intern::{HierPath, PathTree};
 use std::collections::BTreeSet;
 
 /// A cluster: indices into the candidate list `R`.
@@ -37,8 +37,8 @@ impl ClusterResult {
     }
 
     /// Member instance paths of a cluster.
-    pub fn paths<'a>(&self, cluster: &Cluster, r: &'a [Candidate]) -> Vec<&'a str> {
-        cluster.iter().map(|&i| r[i].path.as_str()).collect()
+    pub fn paths(&self, cluster: &Cluster, r: &[Candidate]) -> Vec<HierPath> {
+        cluster.iter().map(|&i| r[i].path).collect()
     }
 }
 
@@ -48,7 +48,7 @@ fn independent(cluster: &Cluster, r: &[Candidate], tree: &PathTree) -> bool {
     let paths: Vec<_> = cluster.iter().map(|&i| r[i].path).collect();
     for (i, &a) in paths.iter().enumerate() {
         for &b in paths.iter().skip(i + 1) {
-            if tree.is_ancestor_or_self(a, b) || tree.is_ancestor_or_self(b, a) {
+            if tree.path_is_ancestor_or_self(a, b) || tree.path_is_ancestor_or_self(b, a) {
                 return false;
             }
         }
@@ -72,17 +72,17 @@ pub fn admissible(cluster: &Cluster, r: &[Candidate], tree: &PathTree, cfg: &Ali
 /// use alice_core::cluster::identify_clusters;
 /// use alice_core::config::AliceConfig;
 /// use alice_core::filter::Candidate;
-/// use alice_intern::{PathTree, Symbol};
+/// use alice_intern::{HierPath, PathTree, Symbol};
 ///
 /// let r: Vec<Candidate> = (0..3)
 ///     .map(|i| Candidate {
-///         path: Symbol::intern(&format!("top.u{i}")),
+///         path: HierPath::intern(&format!("top.u{i}")),
 ///         module: Symbol::intern("m"),
 ///         io_pins: 20,
 ///         score: 1,
 ///     })
 ///     .collect();
-/// let tree = PathTree::from_paths(r.iter().map(|c| c.path));
+/// let tree = PathTree::from_paths(r.iter().map(|c| c.path.symbol()));
 /// let cfg = AliceConfig { max_io_pins: 64, ..AliceConfig::default() };
 /// // 3 singletons + 3 pairs + 1 triple = 7 clusters (3*20 <= 64).
 /// let c = identify_clusters(&r, &tree, &cfg);
@@ -129,7 +129,7 @@ mod tests {
 
     fn cand(path: &str, pins: u32) -> Candidate {
         Candidate {
-            path: Symbol::intern(path),
+            path: HierPath::intern(path),
             module: Symbol::intern("m"),
             io_pins: pins,
             score: 1,
@@ -137,7 +137,7 @@ mod tests {
     }
 
     fn tree_of(r: &[Candidate]) -> PathTree {
-        PathTree::from_paths(r.iter().map(|c| c.path))
+        PathTree::from_paths(r.iter().map(|c| c.path.symbol()))
     }
 
     fn cfg(max_io: u32) -> AliceConfig {

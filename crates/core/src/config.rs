@@ -66,6 +66,13 @@ pub struct AliceConfig {
     /// YAML `store:`). `None` keeps caching in-memory only; ignored when
     /// [`AliceConfig::cache`] is off.
     pub store: Option<std::path::PathBuf>,
+    /// Opportunistic-compaction byte budget for the persistent store
+    /// (the `alice` CLI's `--store-budget`, YAML `store_budget:`): a
+    /// store flush that finds more than 2× this many bytes LRU-compacts
+    /// down to the budget, so long-running sweeps stay bounded without
+    /// an explicit `alice store gc`. `None` disables auto-compaction;
+    /// meaningless without [`AliceConfig::store`].
+    pub store_budget: Option<u64>,
 }
 
 impl Default for AliceConfig {
@@ -86,6 +93,7 @@ impl Default for AliceConfig {
             verify_conflict_budget: Some(5_000_000),
             cache: true,
             store: None,
+            store_budget: None,
         }
     }
 }
@@ -172,6 +180,13 @@ impl AliceConfig {
                 return Err(bad("store"));
             }
             cfg.store = Some(std::path::PathBuf::from(dir));
+        }
+        if let Some(v) = y.get("store_budget") {
+            let budget = v.as_u64().ok_or_else(|| bad("store_budget"))?;
+            if budget == 0 {
+                return Err(bad("store_budget"));
+            }
+            cfg.store_budget = Some(budget);
         }
         if let Some(v) = y.get("wrong_keys") {
             cfg.verify_wrong_keys = v.as_u32().ok_or_else(|| bad("wrong_keys"))? as usize;
@@ -288,6 +303,18 @@ mod tests {
         );
         assert!(AliceConfig::from_yaml("store:").is_err(), "empty path");
         assert_eq!(AliceConfig::default().store, None);
+    }
+
+    #[test]
+    fn store_budget_parses() {
+        let cfg = AliceConfig::from_yaml("store: d\nstore_budget: 268435456").expect("parse");
+        assert_eq!(cfg.store_budget, Some(268_435_456));
+        assert_eq!(AliceConfig::default().store_budget, None);
+        assert!(AliceConfig::from_yaml("store_budget: lots").is_err());
+        assert!(
+            AliceConfig::from_yaml("store_budget: 0").is_err(),
+            "zero budget"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! A loaded design: parsed source plus hierarchy, the flow's input.
 
-use alice_intern::{PathTree, Symbol};
+use alice_intern::{HierPath, PathTree, Symbol};
 use alice_verilog::hierarchy::{build_hierarchy, Hierarchy, HierarchyError};
 use alice_verilog::{parse_source, ParseError, SourceFile};
 use std::fmt;
@@ -87,14 +87,15 @@ impl Design {
         })
     }
 
-    /// All redactable instance paths (every instance except the root).
-    pub fn instance_paths(&self) -> Vec<Symbol> {
+    /// All redactable instance paths (every instance except the root),
+    /// as typed [`HierPath`]s.
+    pub fn instance_paths(&self) -> Vec<HierPath> {
         self.hierarchy
             .tree
             .walk()
             .iter()
             .skip(1)
-            .map(|n| n.path)
+            .map(|n| HierPath::from_symbol(n.path))
             .collect()
     }
 
@@ -128,7 +129,7 @@ endmodule
         let d = Design::from_source("t", SRC, None).expect("load");
         assert_eq!(
             d.instance_paths(),
-            ["top.u0", "top.u1"].map(Symbol::intern).to_vec()
+            ["top.u0", "top.u1"].map(HierPath::intern).to_vec()
         );
         assert_eq!(d.module_of("top.u1"), Some(Symbol::intern("a")));
         assert_eq!(d.io_pins_of("top.u0"), Some(2));

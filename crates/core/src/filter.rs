@@ -8,13 +8,14 @@ use crate::config::AliceConfig;
 use crate::design::Design;
 use crate::error::AliceError;
 use alice_dataflow::DesignDataflow;
-use alice_intern::Symbol;
+use alice_intern::{HierPath, Symbol};
 
 /// A candidate redaction module (an instance that survived filtering).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
-    /// Full instance path (e.g. `des3.u_crp.u_sbox1`), interned.
-    pub path: Symbol,
+    /// Full instance path (e.g. `des3.u_crp.u_sbox1`), typed and
+    /// interned.
+    pub path: HierPath,
     /// Module name the instance implements (interned).
     pub module: Symbol,
     /// Module I/O pin count (structural metric).
@@ -78,7 +79,7 @@ pub fn filter_modules(
         .instance_paths()
         .into_iter()
         .filter_map(|path| {
-            let score = scores.get(&path).copied().unwrap_or(0);
+            let score = scores.get(&path.symbol()).copied().unwrap_or(0);
             if score == 0 {
                 return None;
             }

@@ -235,6 +235,11 @@ impl Flow {
                 None => DesignDb::new(),
             }
         });
+        if let Some(store) = db.store() {
+            // Opportunistic compaction: flushes past 2x the configured
+            // budget LRU-compact back down to it.
+            store.set_compact_budget(cfg.store_budget);
+        }
         Flow { cfg, db }
     }
 

@@ -20,9 +20,11 @@ use crate::design::Design;
 use crate::error::AliceError;
 use crate::filter::Candidate;
 use crate::select::{sanitize, ClusterMapper, SelectionResult};
-use alice_fabric::emit::{config_stream, fabric_netlist, le_configs, le_primitive};
+use alice_fabric::emit::{
+    cfg_bit_name, config_stream, fabric_netlist, ff_bit_name, le_configs, le_path, le_primitive,
+};
 use alice_fabric::{Bitstream, FabricSize};
-use alice_intern::{PathTree, Symbol};
+use alice_intern::{HierPath, PathTree, Symbol};
 use alice_verilog::ast::*;
 use alice_verilog::hierarchy::const_eval;
 use alice_verilog::print_source;
@@ -31,18 +33,18 @@ use std::collections::BTreeMap;
 /// One deployed eFPGA in the redacted design.
 #[derive(Debug, Clone)]
 pub struct RedactedEfpga {
-    /// Fabric module name, e.g. `alice_efpga0_4x4`.
-    pub module_name: String,
+    /// Fabric module name, e.g. `alice_efpga0_4x4` (interned).
+    pub module_name: Symbol,
     /// Fabric size.
     pub size: FabricSize,
-    /// Redacted instance paths.
-    pub instances: Vec<String>,
+    /// Redacted instance paths (typed hierarchical paths).
+    pub instances: Vec<HierPath>,
     /// Full fabric bitstream (the secret; includes routing bits).
     pub bitstream: Bitstream,
     /// Serial stream for the emitted netlist's config chain.
     pub config_stream: Vec<bool>,
     /// Hierarchy path where the fabric was inserted.
-    pub insertion_point: String,
+    pub insertion_point: HierPath,
     /// Bitstream/state binding for equivalence checking.
     pub binding: VerifyBinding,
 }
@@ -98,8 +100,10 @@ struct PunchPort {
     /// Direction *at the fabric*: `Input` = toward the fabric.
     fabric_dir: Direction,
     width: u32,
-    member_path: String,
-    member_port: String,
+    /// The redacted member instance this signal reroutes.
+    member_path: HierPath,
+    /// The member's port the signal replaces.
+    member_port: Symbol,
 }
 
 /// Applies the best solution of `selection` to the design.
@@ -123,19 +127,15 @@ pub fn redact(
 
     for (e_idx, &vi) in best.efpgas.iter().enumerate() {
         let chosen = &selection.valid[vi];
-        let members: Vec<String> = chosen
-            .cluster
-            .iter()
-            .map(|&i| r[i].path.to_string())
-            .collect();
+        let members: Vec<HierPath> = chosen.cluster.iter().map(|&i| r[i].path).collect();
         // Re-map the cluster to regenerate netlist + streams.
         let network = mapper
             .cluster_network(&chosen.cluster, r)
             .map_err(|e| AliceError::Map(e.to_string()))?;
-        let fabric_mod = format!("alice_efpga{e_idx}_{}", chosen.efpga.size);
+        let fabric_mod = Symbol::intern(&format!("alice_efpga{e_idx}_{}", chosen.efpga.size));
         fabric_verilog.push('\n');
         fabric_verilog.push_str(&fabric_netlist(
-            &fabric_mod,
+            fabric_mod.as_str(),
             &network,
             &chosen.efpga.packing,
             &cfg.arch,
@@ -145,9 +145,9 @@ pub fn redact(
 
         // Punch list: every member port becomes a uniquely-named signal.
         let mut punches: Vec<PunchPort> = Vec::new();
-        for m in &members {
+        for &m in &members {
             let module = design
-                .module_of(m.as_str())
+                .module_of(m)
                 .ok_or_else(|| AliceError::Inconsistent(format!("no module for {m}")))?;
             let mdef = design
                 .file
@@ -157,14 +157,14 @@ pub fn redact(
                 let width = port_width_of(mdef, p)
                     .ok_or_else(|| AliceError::Inconsistent(format!("width of {}", p.name)))?;
                 punches.push(PunchPort {
-                    name: format!("{}_{}", sanitize(m), p.name),
+                    name: format!("{}_{}", sanitize(m.as_str()), p.name),
                     fabric_dir: match p.dir {
                         Direction::Input => Direction::Input,
                         Direction::Output | Direction::Inout => Direction::Output,
                     },
                     width,
-                    member_path: m.clone(),
-                    member_port: p.name.clone(),
+                    member_path: m,
+                    member_port: Symbol::intern(&p.name),
                 });
             }
         }
@@ -177,21 +177,21 @@ pub fn redact(
             r,
             &network,
             &chosen.efpga.packing,
-            &format!("{lca}.{inst_name}"),
+            lca.join(&inst_name),
         )?;
         rewrite_tree(
             &mut file,
             design,
-            &lca,
+            lca,
             &members,
             &punches,
-            &fabric_mod,
+            fabric_mod,
             &inst_name,
             e_idx,
             &mut uniq_counter,
         )?;
         // Propagate config pins from the LCA up to the top.
-        punch_cfg_up(&mut file, design, &lca, e_idx)?;
+        punch_cfg_up(&mut file, design, lca, e_idx)?;
 
         efpgas.push(RedactedEfpga {
             module_name: fabric_mod,
@@ -212,15 +212,17 @@ pub fn redact(
 
 /// Builds the [`VerifyBinding`] for one deployed fabric: resolves each
 /// emitted LE's configuration ([`le_configs`]) to the hierarchical
-/// `cfg`-register names of the redacted elaboration, and pairs each
-/// FF-hosting LE with the original register bit it replaces.
+/// `cfg`-register names of the redacted elaboration (via the emitter's
+/// own naming contract — [`le_path`]/[`cfg_bit_name`]/[`ff_bit_name`]),
+/// and pairs each FF-hosting LE with the original register bit it
+/// replaces.
 fn build_binding(
     mapper: &mut ClusterMapper<'_>,
     cluster: &crate::cluster::Cluster,
     r: &[Candidate],
     network: &alice_netlist::lutmap::MappedNetlist,
     packing: &alice_fabric::pack::Packing,
-    inst_path: &str,
+    inst_path: HierPath,
 ) -> Result<VerifyBinding, AliceError> {
     // Original-design register names for the merged cluster's DFFs, in
     // the same member-by-member order the merge concatenated them.
@@ -233,7 +235,7 @@ fn build_binding(
             // in the full design that instance lives at the member path.
             let local = local.as_str();
             let rest = local.strip_prefix(&format!("{module}.")).unwrap_or(local);
-            orig_dff_names.push(Symbol::intern(&format!("{}.{rest}", r[ci].path)));
+            orig_dff_names.push(r[ci].path.join(rest).symbol());
         }
     }
     if orig_dff_names.len() != network.dffs.len() {
@@ -245,12 +247,10 @@ fn build_binding(
     }
     let mut binding = VerifyBinding::default();
     for (i, lc) in le_configs(network, packing).iter().enumerate() {
-        let base = format!("{inst_path}.le{i}");
+        let le = le_path(inst_path, i);
         let pin_base = binding.cfg_pins.len();
         for (b, &v) in lc.cfg_bits().iter().enumerate() {
-            binding
-                .cfg_pins
-                .push((Symbol::intern(&format!("{base}.cfg[{b}]")), v));
+            binding.cfg_pins.push((cfg_bit_name(le, b), v));
         }
         if let Some(l) = lc.lut {
             // Only patterns the wired inputs can reach are real key bits.
@@ -258,9 +258,7 @@ fn build_binding(
             binding.key_bits.extend((0..patterns).map(|p| pin_base + p));
         }
         if let Some(d) = lc.dff {
-            binding
-                .state_map
-                .push((Symbol::intern(&format!("{base}.ff[0]")), orig_dff_names[d]));
+            binding.state_map.push((ff_bit_name(le), orig_dff_names[d]));
         }
     }
     Ok(binding)
@@ -283,25 +281,14 @@ fn port_width_of(m: &Module, p: &Port) -> Option<u32> {
 }
 
 /// Lowest common ancestor of the members' parents, walked on the
-/// design's instance [`PathTree`] (the structural replacement for the
-/// old segment-splitting prefix arithmetic: ancestor queries follow real
-/// hierarchy edges, so no string inspection happens at all).
-fn common_parent(paths: &PathTree, members: &[String]) -> String {
-    let parent_of = |m: &str| {
-        let sym = Symbol::intern(m);
-        paths.parent(sym).unwrap_or(sym)
-    };
-    let mut lca = parent_of(&members[0]);
-    for m in &members[1..] {
-        let p = parent_of(m);
-        while !paths.is_ancestor_or_self(lca, p) {
-            match paths.parent(lca) {
-                Some(up) => lca = up,
-                None => break,
-            }
-        }
-    }
-    lca.to_string()
+/// design's instance [`PathTree`] via [`PathTree::common_parent`]
+/// (ancestor queries follow real hierarchy edges, so no string
+/// inspection happens at all). The caller guarantees a non-empty member
+/// set — a selected cluster always has members.
+fn common_parent(paths: &PathTree, members: &[HierPath]) -> HierPath {
+    paths
+        .common_parent(members)
+        .expect("a selected cluster has at least one member")
 }
 
 /// Direction of a punched signal as a port of a module *below* the LCA:
@@ -321,10 +308,10 @@ fn punched_port_dir(fabric_dir: Direction) -> Direction {
 fn rewrite_tree(
     file: &mut SourceFile,
     design: &Design,
-    lca: &str,
-    members: &[String],
+    lca: HierPath,
+    members: &[HierPath],
     punches: &[PunchPort],
-    fabric_mod: &str,
+    fabric_mod: Symbol,
     fabric_inst: &str,
     e_idx: usize,
     uniq_counter: &mut usize,
@@ -334,12 +321,12 @@ fn rewrite_tree(
     fn go(
         file: &mut SourceFile,
         design: &Design,
-        node_path: &str,
+        node_path: HierPath,
         node_module: &str,
-        members: &[String],
+        members: &[HierPath],
         punches: &[PunchPort],
         is_lca: bool,
-        fabric_mod: &str,
+        fabric_mod: Symbol,
         fabric_inst: &str,
         e_idx: usize,
         uniq_counter: &mut usize,
@@ -350,7 +337,7 @@ fn rewrite_tree(
             .clone();
         let mut new = mdef.clone();
         // Uniquify everything below the top (the top has a single instance).
-        let new_name = if is_lca && node_path == design.hierarchy.top.as_str() {
+        let new_name = if is_lca && node_path.symbol() == design.hierarchy.top {
             mdef.name.clone()
         } else {
             *uniq_counter += 1;
@@ -369,7 +356,7 @@ fn rewrite_tree(
                 new_items.push(item);
                 continue;
             };
-            let child_path = format!("{node_path}.{}", inst.name);
+            let child_path = node_path.join(&inst.name);
             if members.contains(&child_path) {
                 // Remove this member; its connections feed the punch list.
                 let child_mod = design
@@ -380,7 +367,7 @@ fn rewrite_tree(
                 for pp in punches.iter().filter(|p| p.member_path == child_path) {
                     let conn = conns
                         .iter()
-                        .find(|(n, _)| *n == pp.member_port)
+                        .find(|(n, _)| pp.member_port == n.as_str())
                         .and_then(|(_, e)| e.clone());
                     match pp.fabric_dir {
                         Direction::Input => {
@@ -441,8 +428,7 @@ fn rewrite_tree(
                 continue; // instance removed
             }
             // Does this child's subtree contain members?
-            let subtree_prefix = format!("{child_path}.");
-            let has_members = members.iter().any(|m| m.starts_with(&subtree_prefix));
+            let has_members = members.iter().any(|&m| child_path.is_ancestor_of(m));
             if !has_members {
                 new_items.push(Item::Instance(inst));
                 continue;
@@ -451,7 +437,7 @@ fn rewrite_tree(
             let (child_new_mod, child_ports) = go(
                 file,
                 design,
-                &child_path,
+                child_path,
                 &inst.module,
                 members,
                 punches,
@@ -547,7 +533,7 @@ fn rewrite_tree(
             conns.push(("clk".into(), Some(clk_conn)));
             conns.extend(fabric_conns);
             new_items.push(Item::Instance(Instance {
-                module: fabric_mod.to_string(),
+                module: fabric_mod.as_str().to_string(),
                 name: fabric_inst.to_string(),
                 params: vec![],
                 conns: PortConns::Named(conns),
@@ -582,7 +568,7 @@ fn rewrite_tree(
         ));
     }
     // Re-point the instance referring to the old LCA module (if not top).
-    if lca != design.hierarchy.top.as_str() {
+    if lca.symbol() != design.hierarchy.top {
         repoint_instance(file, design, lca, &new_lca_mod)?;
     } else {
         // Replace the top definition: the rewritten copy keeps the name, so
@@ -603,16 +589,19 @@ fn rewrite_tree(
 
 /// Follows the (possibly rewritten) hierarchy to find the module
 /// implementing `path` in the current file.
-fn resolve_module_at(file: &SourceFile, design: &Design, path: &str) -> Result<String, AliceError> {
-    let segs: Vec<&str> = path.split('.').collect();
+fn resolve_module_at(
+    file: &SourceFile,
+    design: &Design,
+    path: HierPath,
+) -> Result<String, AliceError> {
     let mut cur = design.hierarchy.top.to_string();
-    for seg in segs.iter().skip(1) {
+    for seg in path.segments().skip(1) {
         let m = file
             .module(&cur)
             .ok_or_else(|| AliceError::Inconsistent(format!("missing module {cur}")))?;
         let inst = m
             .instances()
-            .find(|i| i.name == *seg)
+            .find(|i| i.name == seg)
             .ok_or_else(|| AliceError::Inconsistent(format!("no instance {seg} in {cur}")))?;
         cur = inst.module.clone();
     }
@@ -624,12 +613,13 @@ fn resolve_module_at(file: &SourceFile, design: &Design, path: &str) -> Result<S
 fn repoint_instance(
     file: &mut SourceFile,
     design: &Design,
-    path: &str,
+    path: HierPath,
     new_module: &str,
 ) -> Result<(), AliceError> {
-    let segs: Vec<&str> = path.split('.').collect();
-    let parent_path = segs[..segs.len() - 1].join(".");
-    let parent_mod = resolve_module_at(file, design, &parent_path)?;
+    let parent_path = path
+        .parent()
+        .ok_or_else(|| AliceError::Inconsistent(format!("cannot repoint root {path}")))?;
+    let parent_mod = resolve_module_at(file, design, parent_path)?;
     let pm = file
         .modules
         .iter_mut()
@@ -637,7 +627,7 @@ fn repoint_instance(
         .ok_or_else(|| AliceError::Inconsistent(format!("missing module {parent_mod}")))?;
     for item in &mut pm.items {
         if let Item::Instance(inst) = item {
-            if inst.name == *segs.last().expect("non-empty path") {
+            if inst.name == path.leaf() {
                 inst.module = new_module.to_string();
                 return Ok(());
             }
@@ -652,18 +642,18 @@ fn repoint_instance(
 fn punch_cfg_up(
     file: &mut SourceFile,
     design: &Design,
-    lca: &str,
+    lca: HierPath,
     e_idx: usize,
 ) -> Result<(), AliceError> {
-    if lca == design.hierarchy.top.as_str() {
+    if lca.symbol() == design.hierarchy.top {
         return Ok(());
     }
-    let segs: Vec<&str> = lca.split('.').collect();
-    // Walk from just above the LCA to the top.
-    for depth in (1..segs.len()).rev() {
-        let holder_path = segs[..depth].join(".");
-        let child_inst = segs[depth];
-        let holder_mod = resolve_module_at(file, design, &holder_path)?;
+    // Walk from just above the LCA to the top: each step's holder is the
+    // parent module and `child_inst` the instance the pins pass through.
+    let mut cur = lca;
+    while let Some(holder_path) = cur.parent() {
+        let child_inst = cur.leaf();
+        let holder_mod = resolve_module_at(file, design, holder_path)?;
         let hm = file
             .modules
             .iter_mut()
@@ -695,6 +685,7 @@ fn punch_cfg_up(
                 }
             }
         }
+        cur = holder_path;
     }
     Ok(())
 }
@@ -834,8 +825,12 @@ endmodule
             ]
             .map(Symbol::intern),
         );
-        let lca =
-            |ms: &[&str]| common_parent(&t, &ms.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let lca = |ms: &[&str]| {
+            common_parent(
+                &t,
+                &ms.iter().map(|s| HierPath::intern(s)).collect::<Vec<_>>(),
+            )
+        };
         // Same parent: insert in place.
         assert_eq!(lca(&["top.u1.core.s0", "top.u1.core.s1"]), "top.u1.core");
         // Different subtrees: climb to the common dominator.

@@ -128,6 +128,13 @@ impl VerifyReport {
 
 /// Builds the miter options shared by the proof and the sweep: state
 /// renames and cfg pins from every fabric's binding, `cfg_en` low.
+///
+/// The binding's pin and state names were minted by the emitter's own
+/// naming contract ([`alice_fabric::emit::cfg_bit_name`] /
+/// [`alice_fabric::emit::ff_bit_name`] over
+/// [`alice_fabric::emit::le_path`]), so they match the hierarchical DFF
+/// names the re-elaboration of the emitted netlist produces by
+/// construction — no string surgery happens here.
 fn base_options(redacted: &RedactedDesign, cfg: &AliceConfig) -> MiterOptions {
     let mut opts = MiterOptions {
         conflict_budget: cfg.verify_conflict_budget,

@@ -88,6 +88,11 @@ impl Yaml {
         self.as_str()?.parse().ok()
     }
 
+    /// Scalar parsed as u64 (byte budgets and other large counts).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_str()?.parse().ok()
+    }
+
     /// Scalar parsed as f64.
     pub fn as_f64(&self) -> Option<f64> {
         self.as_str()?.parse().ok()

@@ -12,6 +12,7 @@
 
 use crate::arch::{FabricArch, FabricSize};
 use crate::pack::Packing;
+use alice_intern::{HierPath, Symbol};
 use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
 use std::fmt::Write;
 
@@ -205,6 +206,29 @@ impl LeConfig {
     }
 }
 
+/// The hierarchical elaboration path of the `i`-th emitted LE instance
+/// under a deployed fabric at `fabric_inst` — the naming contract
+/// between [`fabric_netlist`]'s `le{i}` instances and the gate-level
+/// elaborator's hierarchical register names. Binding construction
+/// (`alice_core::redact`) and equivalence checking resolve bitstream
+/// bits to design state through these three helpers, so the scheme
+/// lives here, next to the emitter that defines it.
+pub fn le_path(fabric_inst: HierPath, i: usize) -> HierPath {
+    fabric_inst.join(&format!("le{i}"))
+}
+
+/// The hierarchical DFF-bit name of configuration-register bit `bit` of
+/// the LE elaborated at `le`: bits `0..16` are the truth table,
+/// bit 16 is the FF-bypass flag (see [`LeConfig::cfg_bits`]).
+pub fn cfg_bit_name(le: HierPath, bit: usize) -> Symbol {
+    Symbol::intern(&format!("{le}.cfg[{bit}]"))
+}
+
+/// The hierarchical DFF-bit name of the LE's single state flip-flop.
+pub fn ff_bit_name(le: HierPath) -> Symbol {
+    Symbol::intern(&format!("{le}.ff[0]"))
+}
+
 /// Resolves the per-LE configuration for an emitted fabric, in chain
 /// order (the same LE order as [`fabric_netlist`]'s `le{i}` instances
 /// and [`config_stream`]'s shift schedule).
@@ -384,6 +408,54 @@ mod tests {
         // Every mapped FF is hosted by exactly one LE.
         let hosted: Vec<usize> = configs.iter().filter_map(|c| c.dff).collect();
         assert_eq!(hosted.len(), m.dff_count());
+    }
+
+    #[test]
+    fn naming_helpers_match_the_elaborated_hierarchy() {
+        // The contract: `cfg_bit_name`/`ff_bit_name` over `le_path` are
+        // exactly the hierarchical DFF-bit names the gate-level
+        // elaborator assigns to the emitted netlist's registers.
+        let (m, p) = fixture(
+            "module r(input wire clk, input wire [3:0] d, output reg [3:0] q);\
+             always @(posedge clk) q <= d ^ {d[0], d[3:1]}; endmodule",
+            "r",
+        );
+        let text = format!(
+            "{}{}",
+            le_primitive(),
+            fabric_netlist(
+                "r_efpga",
+                &m,
+                &p,
+                &FabricArch::default(),
+                crate::arch::FabricSize::square(2)
+            )
+        );
+        let f = parse_source(&text).expect("parse");
+        let n = elaborate(&f, "r_efpga").expect("elab");
+        let dff_names: std::collections::BTreeSet<Symbol> = n
+            .dff_records()
+            .iter()
+            .map(|(_, name, _, _)| *name)
+            .collect();
+        let base = HierPath::intern("r_efpga");
+        for (i, lc) in le_configs(&m, &p).iter().enumerate() {
+            let le = le_path(base, i);
+            for b in 0..17 {
+                assert!(
+                    dff_names.contains(&cfg_bit_name(le, b)),
+                    "missing {}",
+                    cfg_bit_name(le, b)
+                );
+            }
+            if lc.dff.is_some() {
+                assert!(
+                    dff_names.contains(&ff_bit_name(le)),
+                    "missing {}",
+                    ff_bit_name(le)
+                );
+            }
+        }
     }
 
     #[test]

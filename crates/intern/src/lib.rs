@@ -19,6 +19,22 @@
 //! instance paths, replacing the string-prefix arithmetic that used to
 //! answer ancestor queries — and [`StableHasher`], the 128-bit
 //! content hasher behind the characterization cache's keys.
+//!
+//! # Hierarchical paths: [`HierPath`]
+//!
+//! A dotted instance path (`top.u_crp.u_s1`) is more than a name: it has
+//! a parent, a leaf segment, ancestors. [`HierPath`] is the typed wrapper
+//! every layer that *walks* the hierarchy passes around — a `Copy`
+//! `Symbol` in memory, with [`HierPath::parent`], [`HierPath::join`],
+//! [`HierPath::leaf`], and [`HierPath::is_ancestor_of`] implemented by
+//! whole-segment splitting (so the textual-prefix siblings `top.a` and
+//! `top.ab` are never confused). The segment-split methods are the
+//! *specification*; a [`PathTree`] built from the design's real hierarchy
+//! edges agrees with them whenever instance names are dot-free (always
+//! true for Verilog identifiers) and stays authoritative when they are
+//! not. [`PathTree::common_parent`] computes the lowest common ancestor
+//! of a member set's parents — the eFPGA insertion-point query of the
+//! redaction phase — directly on the tree's edges.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -167,6 +183,155 @@ impl PartialEq<&str> for Symbol {
     }
 }
 
+/// A typed hierarchical instance path: an interned dotted name
+/// (`top.u_crp.u_s1`) with path *semantics* — parent, leaf, join,
+/// ancestor tests — attached.
+///
+/// `HierPath` is a transparent [`Symbol`] wrapper, so it is `Copy`,
+/// pointer-compared, and free to clone; the structural helpers split on
+/// whole `.` segments, which makes them immune to the textual-prefix
+/// trap (`top.a` is **not** an ancestor of `top.ab`, even though it is a
+/// string prefix). These segment-split semantics are the specification
+/// the design's [`PathTree`] (built from real hierarchy edges) agrees
+/// with; use the tree when one is at hand — it also covers exotic names
+/// containing dots — and `HierPath` everywhere paths are carried,
+/// compared, or extended.
+///
+/// # Example
+///
+/// ```
+/// use alice_intern::HierPath;
+/// let crp = HierPath::intern("des3.u_crp");
+/// let sbox = crp.join("u_s1");
+/// assert_eq!(sbox.as_str(), "des3.u_crp.u_s1");
+/// assert_eq!(sbox.parent(), Some(crp));
+/// assert_eq!(sbox.leaf(), "u_s1");
+/// assert!(crp.is_ancestor_of(sbox));
+/// // Whole segments, not string prefixes:
+/// assert!(!HierPath::intern("top.a").is_ancestor_of(HierPath::intern("top.ab")));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HierPath(Symbol);
+
+impl HierPath {
+    /// Interns a dotted path string.
+    pub fn intern(s: &str) -> HierPath {
+        HierPath(Symbol::intern(s))
+    }
+
+    /// Wraps an already-interned symbol as a path.
+    pub fn from_symbol(s: Symbol) -> HierPath {
+        HierPath(s)
+    }
+
+    /// The underlying symbol (for symbol-keyed maps and [`PathTree`]
+    /// queries).
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+
+    /// The path text (lock-free).
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// Extends the path by one child segment: `top.u` + `core` →
+    /// `top.u.core`.
+    #[must_use]
+    pub fn join(self, child: &str) -> HierPath {
+        HierPath::intern(&format!("{}.{child}", self.as_str()))
+    }
+
+    /// The parent path (`None` for single-segment roots).
+    pub fn parent(self) -> Option<HierPath> {
+        self.as_str()
+            .rsplit_once('.')
+            .map(|(p, _)| HierPath::intern(p))
+    }
+
+    /// The last segment (the instance's own name).
+    pub fn leaf(self) -> &'static str {
+        match self.as_str().rsplit_once('.') {
+            Some((_, leaf)) => leaf,
+            None => self.as_str(),
+        }
+    }
+
+    /// The `.`-separated segments, root first.
+    pub fn segments(self) -> std::str::Split<'static, char> {
+        self.as_str().split('.')
+    }
+
+    /// Number of segments (a root path has depth 1).
+    pub fn depth(self) -> usize {
+        self.segments().count()
+    }
+
+    /// True if `self` is a *strict* ancestor of `other` under the
+    /// segment-split spec: every segment of `self` matches the leading
+    /// segments of `other`, and `other` is deeper.
+    pub fn is_ancestor_of(self, other: HierPath) -> bool {
+        self != other && self.is_ancestor_or_self(other)
+    }
+
+    /// True if `self` equals `other` or is a strict ancestor of it.
+    pub fn is_ancestor_or_self(self, other: HierPath) -> bool {
+        if self == other {
+            return true;
+        }
+        let (a, b) = (self.as_str(), other.as_str());
+        b.len() > a.len() && b.as_bytes()[a.len()] == b'.' && b.starts_with(a)
+    }
+}
+
+impl fmt::Display for HierPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for HierPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for HierPath {
+    fn from(s: &str) -> HierPath {
+        HierPath::intern(s)
+    }
+}
+
+impl From<Symbol> for HierPath {
+    fn from(s: Symbol) -> HierPath {
+        HierPath(s)
+    }
+}
+
+impl From<HierPath> for Symbol {
+    fn from(p: HierPath) -> Symbol {
+        p.symbol()
+    }
+}
+
+impl AsRef<str> for HierPath {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for HierPath {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for HierPath {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
 /// A parent-pointer tree over hierarchical instance paths.
 ///
 /// Ancestor queries (`is top.u an ancestor of top.u.v?`) used to be
@@ -248,6 +413,38 @@ impl PathTree {
             cur = self.parent(n);
         }
         false
+    }
+
+    /// The parent of a typed path, following the tree's real edges (not
+    /// segment splitting — the two agree for dot-free instance names).
+    pub fn parent_path(&self, path: HierPath) -> Option<HierPath> {
+        self.parent(path.symbol()).map(HierPath::from_symbol)
+    }
+
+    /// [`PathTree::is_ancestor_or_self`] over typed paths.
+    pub fn path_is_ancestor_or_self(&self, a: HierPath, b: HierPath) -> bool {
+        self.is_ancestor_or_self(a.symbol(), b.symbol())
+    }
+
+    /// Lowest common ancestor of the members' *parents*, walked on the
+    /// tree's edges — the eFPGA insertion-point query: a single-parent
+    /// member set inserts in place, members from different subtrees climb
+    /// to the common dominator. Returns `None` for an empty member set;
+    /// members unknown to the tree act as their own parents (they have
+    /// no recorded edges to climb).
+    pub fn common_parent(&self, members: &[HierPath]) -> Option<HierPath> {
+        let parent_of = |m: HierPath| self.parent_path(m).unwrap_or(m);
+        let mut lca = parent_of(*members.first()?);
+        for &m in &members[1..] {
+            let p = parent_of(m);
+            while !self.path_is_ancestor_or_self(lca, p) {
+                match self.parent_path(lca) {
+                    Some(up) => lca = up,
+                    None => break,
+                }
+            }
+        }
+        Some(lca)
     }
 
     /// Number of known nodes.
@@ -391,6 +588,64 @@ mod tests {
         t.insert_child(root, odd);
         assert_eq!(t.parent(odd), Some(root));
         assert!(t.is_ancestor_or_self(root, odd));
+    }
+
+    #[test]
+    fn hier_path_structure() {
+        let p = HierPath::intern("top.u.core");
+        assert_eq!(p.parent(), Some(HierPath::intern("top.u")));
+        assert_eq!(p.leaf(), "core");
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.segments().collect::<Vec<_>>(), vec!["top", "u", "core"]);
+        assert_eq!(HierPath::intern("top").parent(), None);
+        assert_eq!(HierPath::intern("top").leaf(), "top");
+        assert_eq!(HierPath::intern("top.u").join("core"), p);
+        assert_eq!(p.symbol(), Symbol::intern("top.u.core"));
+    }
+
+    #[test]
+    fn hier_path_ancestry_splits_whole_segments() {
+        let a = HierPath::intern("top.a");
+        let ab = HierPath::intern("top.ab");
+        let a_b = HierPath::intern("top.a.b");
+        assert!(a.is_ancestor_of(a_b));
+        assert!(a.is_ancestor_or_self(a));
+        assert!(!a.is_ancestor_of(a));
+        assert!(!a.is_ancestor_of(ab), "textual prefix is not an ancestor");
+        assert!(!ab.is_ancestor_of(a));
+        assert!(HierPath::intern("top").is_ancestor_of(ab));
+    }
+
+    #[test]
+    fn tree_common_parent_walks_edges() {
+        let t = PathTree::from_paths(
+            [
+                "top.u1.core.s0",
+                "top.u1.core.s1",
+                "top.u2.core.s0",
+                "top.a.x",
+                "top.ab.y",
+            ]
+            .map(Symbol::intern),
+        );
+        let lca = |ms: &[&str]| {
+            t.common_parent(&ms.iter().map(|s| HierPath::intern(s)).collect::<Vec<_>>())
+        };
+        assert_eq!(lca(&[]), None);
+        assert_eq!(
+            lca(&["top.u1.core.s0", "top.u1.core.s1"]),
+            Some(HierPath::intern("top.u1.core"))
+        );
+        assert_eq!(
+            lca(&["top.u1.core.s0", "top.u2.core.s0"]),
+            Some(HierPath::intern("top"))
+        );
+        // Textual-prefix siblings climb to the real dominator.
+        assert_eq!(lca(&["top.a.x", "top.ab.y"]), Some(HierPath::intern("top")));
+        assert_eq!(
+            lca(&["top.u2.core.s0"]),
+            Some(HierPath::intern("top.u2.core"))
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the interner: round-tripping, identity, ordering,
 //! and path-tree ancestor semantics on arbitrary generated names.
 
-use alice_intern::{PathTree, StableHasher, Symbol};
+use alice_intern::{HierPath, PathTree, StableHasher, Symbol};
 use proptest::prelude::*;
 
 /// Deterministically decodes a code vector into an identifier-ish name
@@ -67,6 +67,48 @@ proptest! {
         let (ga, gb) = (segs(&pa), segs(&pb));
         let expect = ga.len() <= gb.len() && gb[..ga.len()] == ga[..];
         prop_assert_eq!(tree.is_ancestor_or_self(xa, xb), expect, "{} vs {}", pa, pb);
+    }
+
+    /// `HierPath::is_ancestor_of` / `is_ancestor_or_self` agree with the
+    /// segment-split specification on arbitrary dotted paths — including
+    /// textual-prefix siblings like `top.a` vs `top.ab`, which a naive
+    /// `starts_with` check conflates.
+    #[test]
+    fn hier_path_matches_segment_split_spec(
+        a in prop::collection::vec(prop::collection::vec(0u32..8, 1..3), 1..5),
+        b in prop::collection::vec(prop::collection::vec(0u32..8, 1..3), 1..5),
+    ) {
+        let (pa, pb) = (path_of(&a), path_of(&b));
+        let (ha, hb) = (HierPath::intern(&pa), HierPath::intern(&pb));
+        let segs = |p: &str| p.split('.').map(str::to_string).collect::<Vec<_>>();
+        let (ga, gb) = (segs(&pa), segs(&pb));
+        let spec = ga.len() <= gb.len() && gb[..ga.len()] == ga[..];
+        prop_assert_eq!(ha.is_ancestor_or_self(hb), spec, "{} vs {}", pa, pb);
+        prop_assert_eq!(ha.is_ancestor_of(hb), spec && pa != pb, "{} vs {}", pa, pb);
+        // And the design-tree walk agrees with the same spec.
+        let tree = PathTree::from_paths([ha.symbol(), hb.symbol()]);
+        prop_assert_eq!(tree.path_is_ancestor_or_self(ha, hb), spec, "{} vs {}", pa, pb);
+    }
+
+    /// `parent`/`join`/`leaf`/`depth` are consistent: a non-root path is
+    /// its parent joined with its leaf, depth counts segments, and the
+    /// tree's edge-walk parent matches the segment-split parent.
+    #[test]
+    fn hier_path_parent_join_round_trip(
+        p in prop::collection::vec(prop::collection::vec(0u32..8, 1..3), 1..6),
+    ) {
+        let text = path_of(&p);
+        let h = HierPath::intern(&text);
+        prop_assert_eq!(h.depth(), p.len());
+        match h.parent() {
+            Some(par) => {
+                prop_assert_eq!(par.join(h.leaf()), h);
+                prop_assert!(par.is_ancestor_of(h));
+            }
+            None => prop_assert_eq!(h.depth(), 1),
+        }
+        let tree = PathTree::from_paths([h.symbol()]);
+        prop_assert_eq!(tree.parent_path(h), h.parent());
     }
 
     /// The content hasher is deterministic and input-sensitive: equal

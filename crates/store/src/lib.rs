@@ -127,6 +127,11 @@ struct KindState {
     /// True when records changed since the last flush (segment rewrite
     /// needed; access-stamp bumps alone only dirty the sidecar index).
     dirty: bool,
+    /// Keys this handle deliberately dropped (gc / opportunistic
+    /// compaction) since the last flush: the flush-time merge must not
+    /// resurrect them from the on-disk copy. Cleared once the compacted
+    /// segment is committed.
+    evicted: std::collections::HashSet<Key>,
 }
 
 impl KindState {
@@ -144,6 +149,10 @@ struct Inner {
     /// Logical access clock; starts above every loaded stamp.
     clock: u64,
     access_dirty: bool,
+    /// Opportunistic-compaction budget: when set, a flush that finds the
+    /// store above **2×** this byte count LRU-compacts it back down to
+    /// the budget before committing (see [`Store::set_compact_budget`]).
+    compact_budget: Option<u64>,
 }
 
 /// Per-kind and total size statistics (see [`Store::stats`]).
@@ -287,6 +296,7 @@ impl Store {
         inner.clock += 1;
         inner.access_dirty = true;
         let state = &mut inner.kinds[kind.index()];
+        state.evicted.remove(&key);
         state.records.insert(
             key,
             RecordSlot {
@@ -295,6 +305,17 @@ impl Store {
             },
         );
         state.dirty = true;
+    }
+
+    /// Sets (or clears) the opportunistic-compaction budget: whenever a
+    /// [`Store::flush`] finds the store holding more than **twice**
+    /// `budget_bytes`, it LRU-compacts down to `budget_bytes` before
+    /// committing — long-running sweeps stay bounded without an explicit
+    /// [`Store::gc`]. The 2× slack keeps steady-state flushes cheap: a
+    /// store hovering near its budget is not re-compacted on every
+    /// commit.
+    pub fn set_compact_budget(&self, budget_bytes: Option<u64>) {
+        self.inner.lock().expect("store lock").compact_budget = budget_bytes;
     }
 
     /// Current contents summary.
@@ -312,76 +333,109 @@ impl Store {
     }
 
     /// Commits pending records and access stamps to disk: each dirty
-    /// segment is rewritten to a tempfile and atomically renamed over
-    /// the old one.
+    /// segment is **merged** with its current on-disk copy (records a
+    /// concurrent writer committed since this handle opened are kept,
+    /// this handle's records win on key conflicts, deliberately-evicted
+    /// keys stay gone), then rewritten to a tempfile and atomically
+    /// renamed over the old one. Two simultaneous processes over one
+    /// store directory therefore both contribute their records — the
+    /// last flush unions instead of overwriting.
+    ///
+    /// With a compaction budget set ([`Store::set_compact_budget`]), a
+    /// flush that finds the merged store above 2× the budget LRU-compacts
+    /// it down to the budget before committing.
     ///
     /// # Errors
     ///
     /// Returns the first [`io::Error`] hit while writing; the in-memory
     /// state stays intact, so a retry is safe.
     pub fn flush(&self) -> io::Result<()> {
+        self.flush_impl(None).map(|_| ())
+    }
+
+    /// The engine behind [`Store::flush`] and [`Store::gc`]:
+    /// merge → (maybe) evict → commit, under one lock. `force_budget`
+    /// compacts unconditionally (gc); otherwise the configured
+    /// [`Store::set_compact_budget`] applies with its 2× trigger.
+    fn flush_impl(&self, force_budget: Option<u64>) -> io::Result<Option<GcReport>> {
         let mut inner = self.inner.lock().expect("store lock");
+        // Merge pass. A compaction may evict from — and therefore
+        // rewrite — ANY kind, so when one can run, every kind must be
+        // merged first: rewriting a segment from this handle's stale
+        // open-time snapshot would silently drop a concurrent writer's
+        // records. Without a possible compaction, only dirty segments
+        // are rewritten, so only they need the merge. Merging alone
+        // never marks a kind dirty (the merged view equals the disk
+        // content there).
+        let may_compact = force_budget.is_some() || inner.compact_budget.is_some();
+        for kind in Kind::ALL {
+            if !may_compact && !inner.kinds[kind.index()].dirty {
+                continue;
+            }
+            if let Ok(bytes) = fs::read(self.dir.join(kind.file_name())) {
+                let mut disk = KindState::default();
+                load_segment(kind, &bytes, &mut disk);
+                let state = &mut inner.kinds[kind.index()];
+                for (key, slot) in disk.records {
+                    // Foreign records arrive with stamp 0 (coldest): this
+                    // handle never read them, so they are first out.
+                    if !state.records.contains_key(&key) && !state.evicted.contains(&key) {
+                        state.records.insert(key, slot);
+                    }
+                }
+            }
+        }
+        // Eviction accounting runs on the merged union, so a gc (or an
+        // auto-compaction) sees — and bounds — the store's true on-disk
+        // contents, foreign records included.
+        let report = if let Some(budget) = force_budget {
+            Some(evict_to_budget(&mut inner, budget))
+        } else {
+            if let Some(budget) = inner.compact_budget {
+                let total: u64 = Kind::ALL
+                    .iter()
+                    .map(|k| inner.kinds[k.index()].payload_bytes())
+                    .sum();
+                if total > budget.saturating_mul(2) {
+                    evict_to_budget(&mut inner, budget);
+                }
+            }
+            None
+        };
         for kind in Kind::ALL {
             if !inner.kinds[kind.index()].dirty {
                 continue;
             }
             let bytes = serialize_segment(kind, &inner.kinds[kind.index()]);
             self.commit_file(kind.file_name(), &bytes)?;
-            inner.kinds[kind.index()].dirty = false;
+            let state = &mut inner.kinds[kind.index()];
+            state.dirty = false;
+            // The compacted/merged file is committed; tombstones have
+            // done their job.
+            state.evicted.clear();
         }
         if inner.access_dirty {
             let bytes = serialize_access(&inner);
             self.commit_file("access.idx", &bytes)?;
             inner.access_dirty = false;
         }
-        Ok(())
+        Ok(report)
     }
 
     /// Evicts least-recently-accessed records until the store fits in
-    /// `budget_bytes`, then commits the compacted segments.
+    /// `budget_bytes`, then commits the compacted segments. The budget
+    /// bounds the whole merged store: records a concurrent writer
+    /// committed since this handle opened are folded in (and count)
+    /// before eviction.
     ///
     /// # Errors
     ///
     /// Returns an [`io::Error`] when the compacted files cannot be
     /// written.
     pub fn gc(&self, budget_bytes: u64) -> io::Result<GcReport> {
-        let mut report = GcReport::default();
-        {
-            let mut inner = self.inner.lock().expect("store lock");
-            // (stamp, kind, key, size) over every record, newest first.
-            let mut all: Vec<(u64, Kind, Key, u64)> = Vec::new();
-            for kind in Kind::ALL {
-                for (key, slot) in &inner.kinds[kind.index()].records {
-                    all.push((
-                        slot.stamp,
-                        kind,
-                        *key,
-                        slot.bytes.len() as u64 + RECORD_OVERHEAD,
-                    ));
-                }
-            }
-            report.bytes_before = all.iter().map(|&(_, _, _, s)| s).sum();
-            all.sort_by(|a, b| {
-                b.0.cmp(&a.0)
-                    .then(a.2.cmp(&b.2))
-                    .then(a.1.tag().cmp(&b.1.tag()))
-            });
-            let mut used = 0u64;
-            for (_, kind, key, size) in all {
-                if used + size <= budget_bytes {
-                    used += size;
-                    report.kept += 1;
-                } else {
-                    inner.kinds[kind.index()].records.remove(&key);
-                    inner.kinds[kind.index()].dirty = true;
-                    report.dropped += 1;
-                }
-            }
-            report.bytes_after = used;
-            inner.access_dirty = true;
-        }
-        self.flush()?;
-        Ok(report)
+        Ok(self
+            .flush_impl(Some(budget_bytes))?
+            .expect("forced budget always produces a report"))
     }
 
     /// Removes every record (in memory and on disk).
@@ -434,6 +488,48 @@ impl Drop for Store {
         // Best-effort commit; an explicit flush is the checked path.
         let _ = self.flush();
     }
+}
+
+/// LRU-evicts records until the store fits in `budget_bytes`, recording
+/// tombstones so the flush-time merge cannot resurrect the dropped keys.
+/// The shared engine behind [`Store::gc`] and flush-time opportunistic
+/// compaction.
+fn evict_to_budget(inner: &mut Inner, budget_bytes: u64) -> GcReport {
+    let mut report = GcReport::default();
+    // (stamp, kind, key, size) over every record, newest first.
+    let mut all: Vec<(u64, Kind, Key, u64)> = Vec::new();
+    for kind in Kind::ALL {
+        for (key, slot) in &inner.kinds[kind.index()].records {
+            all.push((
+                slot.stamp,
+                kind,
+                *key,
+                slot.bytes.len() as u64 + RECORD_OVERHEAD,
+            ));
+        }
+    }
+    report.bytes_before = all.iter().map(|&(_, _, _, s)| s).sum();
+    all.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then(a.2.cmp(&b.2))
+            .then(a.1.tag().cmp(&b.1.tag()))
+    });
+    let mut used = 0u64;
+    for (_, kind, key, size) in all {
+        if used + size <= budget_bytes {
+            used += size;
+            report.kept += 1;
+        } else {
+            let state = &mut inner.kinds[kind.index()];
+            state.records.remove(&key);
+            state.evicted.insert(key);
+            state.dirty = true;
+            report.dropped += 1;
+        }
+    }
+    report.bytes_after = used;
+    inner.access_dirty = true;
+    report
 }
 
 /// Serializes one kind's records into segment-file bytes.
@@ -669,6 +765,141 @@ mod tests {
         );
         assert!(s.get(Kind::Netlist, (2, 0)).is_none(), "coldest is evicted");
         // And the eviction is durable.
+        drop(s);
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().records(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_both_contribute_on_flush() {
+        let dir = tmp_dir("merge");
+        // Two handles on one directory model two simultaneous processes.
+        // Each opens before the other flushes, so without the merge the
+        // later flush would overwrite the earlier one's additions.
+        let a = Store::open(&dir).expect("open a");
+        let b = Store::open(&dir).expect("open b");
+        a.put(Kind::Netlist, (1, 0), vec![0xAA; 8]);
+        b.put(Kind::Netlist, (2, 0), vec![0xBB; 8]);
+        a.flush().expect("flush a");
+        b.flush().expect("flush b");
+        drop(a);
+        drop(b);
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(
+            s.get(Kind::Netlist, (1, 0)).map(|v| v.to_vec()),
+            Some(vec![0xAA; 8]),
+            "first writer's record survives the second writer's flush"
+        );
+        assert_eq!(
+            s.get(Kind::Netlist, (2, 0)).map(|v| v.to_vec()),
+            Some(vec![0xBB; 8])
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_prefers_this_handles_record_on_conflict() {
+        let dir = tmp_dir("merge-conflict");
+        let a = Store::open(&dir).expect("open a");
+        let b = Store::open(&dir).expect("open b");
+        a.put(Kind::Fabric, (7, 7), vec![1]);
+        a.flush().expect("flush a");
+        b.put(Kind::Fabric, (7, 7), vec![2]);
+        b.flush().expect("flush b");
+        drop((a, b));
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(
+            s.get(Kind::Fabric, (7, 7)).map(|v| v.to_vec()),
+            Some(vec![2]),
+            "the flushing handle's own record wins its flush"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_eviction_is_not_resurrected_by_the_merge() {
+        let dir = tmp_dir("merge-gc");
+        let s = Store::open(&dir).expect("open");
+        s.put(Kind::Netlist, (1, 0), vec![0; 100]);
+        s.put(Kind::Netlist, (2, 0), vec![0; 100]);
+        s.flush().expect("flush");
+        // Both records are on disk; evicting one must stick even though
+        // the gc's own flush re-reads that very file for the merge.
+        s.get(Kind::Netlist, (1, 0)).expect("warm");
+        let report = s.gc(100 + RECORD_OVERHEAD).expect("gc");
+        assert_eq!((report.kept, report.dropped), (1, 1));
+        drop(s);
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().records(), 1);
+        assert!(s.get(Kind::Netlist, (1, 0)).is_some());
+        assert!(s.get(Kind::Netlist, (2, 0)).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rewrites_foreign_kinds_from_the_merged_state() {
+        let dir = tmp_dir("merge-foreign-compact");
+        let per_record = 100 + RECORD_OVERHEAD;
+        // B opens before A commits anything, so B's open-time snapshot
+        // of the Fabric kind is empty.
+        let a = Store::open(&dir).expect("open a");
+        let b = Store::open(&dir).expect("open b");
+        for k in 0..3 {
+            a.put(Kind::Fabric, (k, 0), vec![0xFA; 100]);
+        }
+        a.flush().expect("flush a");
+        for k in 0..3 {
+            b.put(Kind::Netlist, (k, 1), vec![0x11; 100]);
+        }
+        // B compacts to 4 records: the budget must bound the MERGED
+        // store (6 records), evicting the two coldest foreign fabric
+        // records — not erase A's kind from a stale snapshot, and not
+        // ignore it and leave the store over budget.
+        let report = b.gc(4 * per_record).expect("gc");
+        assert_eq!(report.bytes_before, 6 * per_record, "union accounted");
+        assert_eq!((report.kept, report.dropped), (4, 2));
+        drop((a, b));
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().records(), 4);
+        assert!(s.stats().bytes() <= 4 * per_record, "really under budget");
+        for k in 0..3 {
+            assert!(
+                s.get(Kind::Netlist, (k, 1)).is_some(),
+                "B's own (warm) records survive"
+            );
+        }
+        assert_eq!(
+            s.stats().kinds[Kind::Fabric.index()].records,
+            1,
+            "exactly the budget's worth of A's records survives"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_compacts_past_twice_the_budget() {
+        let dir = tmp_dir("autogc");
+        let s = Store::open(&dir).expect("open");
+        let per_record = 100 + RECORD_OVERHEAD;
+        s.set_compact_budget(Some(2 * per_record));
+        // Two records: exactly the budget — under 2×, flush leaves them.
+        s.put(Kind::Netlist, (1, 0), vec![0; 100]);
+        s.put(Kind::Netlist, (2, 0), vec![0; 100]);
+        s.flush().expect("flush");
+        assert_eq!(s.stats().records(), 2, "within 2x budget: no eviction");
+        // Three more push the store past 2× the budget: the flush
+        // compacts back down to the budget, coldest first.
+        s.put(Kind::Netlist, (3, 0), vec![0; 100]);
+        s.put(Kind::Netlist, (4, 0), vec![0; 100]);
+        s.put(Kind::Netlist, (5, 0), vec![0; 100]);
+        // Touch (1,0) so it is warm again.
+        s.get(Kind::Netlist, (1, 0)).expect("present");
+        s.flush().expect("flush");
+        assert_eq!(s.stats().records(), 2, "compacted to the budget");
+        assert!(s.stats().bytes() <= 2 * per_record);
+        assert!(s.get(Kind::Netlist, (1, 0)).is_some(), "warm survives");
+        // And the compaction is durable across reopen.
         drop(s);
         let s = Store::open(&dir).expect("reopen");
         assert_eq!(s.stats().records(), 2);

@@ -6,6 +6,7 @@
 //! alice <design.v> [--config flow.yaml] [--top NAME] [--out DIR]
 //!       [--cfg1 | --cfg2] [--jobs N] [--report]
 //!       [--verify] [--wrong-keys N] [--no-cache] [--store DIR]
+//!       [--store-budget BYTES]
 //! alice store stats <DIR>
 //! alice store gc <DIR> [--budget BYTES]
 //! alice store clear <DIR>
@@ -20,7 +21,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
                      [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report] \
-                     [--verify] [--wrong-keys N] [--no-cache] [--store DIR]\n\
+                     [--verify] [--wrong-keys N] [--no-cache] [--store DIR] \
+                     [--store-budget BYTES]\n\
                      \x20      alice store <stats|gc|clear> <DIR> [--budget BYTES]";
 
 /// Default `alice store gc` budget when `--budget` is omitted: 256 MiB.
@@ -39,6 +41,7 @@ struct Args {
     wrong_keys: Option<usize>,
     no_cache: bool,
     store: Option<PathBuf>,
+    store_budget: Option<u64>,
 }
 
 /// The `alice store <action> <DIR>` maintenance subcommand.
@@ -132,6 +135,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Command>, Str
         wrong_keys: None,
         no_cache: false,
         store: None,
+        store_budget: None,
     };
     let mut it = argv.peekable();
     // `alice store <stats|gc|clear> <DIR>` is a separate maintenance mode.
@@ -150,6 +154,18 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Command>, Str
             "--top" => args.top = Some(value(&mut it, "--top")?),
             "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
             "--store" => args.store = Some(PathBuf::from(value(&mut it, "--store")?)),
+            "--store-budget" => {
+                let v = value(&mut it, "--store-budget")?;
+                let budget: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid value for `--store-budget`: `{v}`"))?;
+                if budget == 0 {
+                    return Err(
+                        "invalid value for `--store-budget`: `0` (must be at least 1)".to_string(),
+                    );
+                }
+                args.store_budget = Some(budget);
+            }
             "--jobs" => {
                 // 0 ("auto") is spelled by omitting the flag, not `--jobs 0`.
                 let v = value(&mut it, "--jobs")?;
@@ -247,6 +263,9 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = &args.store {
         // The command line wins over the config file for the store too.
         cfg.store = Some(dir.clone());
+    }
+    if let Some(budget) = args.store_budget {
+        cfg.store_budget = Some(budget);
     }
     let name = args
         .design
@@ -435,6 +454,20 @@ mod tests {
         assert_eq!(a.store, None, "no store by default");
         let err = parse(&["d.v", "--store"]).expect_err("must reject");
         assert!(err.contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn store_budget_flag_parses() {
+        let a = parse(&["d.v", "--store", "dir", "--store-budget", "1048576"])
+            .expect("ok")
+            .expect("args");
+        assert_eq!(a.store_budget, Some(1_048_576));
+        let a = parse(&["d.v"]).expect("ok").expect("args");
+        assert_eq!(a.store_budget, None, "no auto-compaction by default");
+        let err = parse(&["d.v", "--store-budget", "0"]).expect_err("must reject");
+        assert!(err.contains("--store-budget"), "{err}");
+        let err = parse(&["d.v", "--store-budget", "lots"]).expect_err("must reject");
+        assert!(err.contains("--store-budget"), "{err}");
     }
 
     #[test]

@@ -127,7 +127,11 @@ fn every_redacted_design_reparses_with_its_fabrics() {
         // netlist must carry no constants beyond 1-bit ties (LUT tables
         // arrive only through the config chain).
         for e in &redacted.efpgas {
-            assert!(parsed.module(&e.module_name).is_some(), "{}", b.name);
+            assert!(
+                parsed.module(e.module_name.as_str()).is_some(),
+                "{}",
+                b.name
+            );
             assert!(!e.config_stream.is_empty(), "{}", b.name);
         }
         assert!(

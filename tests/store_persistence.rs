@@ -151,6 +151,51 @@ fn version_bump_invalidates_the_whole_store() {
 }
 
 #[test]
+fn two_processes_both_contribute_records_on_flush() {
+    let dir = store_dir("merge-two-writers");
+    // Both handles open before either flushes — the scenario where a
+    // last-writer-wins flush would silently drop the first writer's
+    // records. The flush-time merge must keep both contributions.
+    let db_a = Arc::new(DesignDb::with_store(&dir).expect("open a"));
+    let db_b = Arc::new(DesignDb::with_store(&dir).expect("open b"));
+    let cfg = AliceConfig {
+        jobs: 1,
+        ..AliceConfig::cfg1()
+    };
+    let gcd = gcd_design();
+    const DEMO_SRC: &str = "
+module blk_a(input wire [7:0] a, output wire [7:0] y); assign y = a + 8'd3; endmodule
+module blk_b(input wire [7:0] a, output wire [7:0] y); assign y = a ^ 8'h55; endmodule
+module top(input wire [7:0] x, output wire [7:0] o1, output wire [7:0] o2);
+  blk_a u_a(.a(x), .y(o1));
+  blk_b u_b(.a(x), .y(o2));
+endmodule";
+    let demo = Design::from_source("demo", DEMO_SRC, None).expect("load");
+    Flow::with_db(cfg.clone(), db_a.clone())
+        .run(&gcd)
+        .expect("flow a");
+    db_a.flush_store().expect("flush a");
+    Flow::with_db(cfg.clone(), db_b.clone())
+        .run(&demo)
+        .expect("flow b");
+    db_b.flush_store().expect("flush b");
+
+    // A third process must serve BOTH designs entirely from disk: zero
+    // recomputation for GCD proves writer B's flush did not clobber
+    // writer A's records.
+    let (_, gcd_window) = run_store_backed(&dir, &gcd);
+    assert_eq!(
+        gcd_window.misses, 0,
+        "writer A's records must survive writer B's flush"
+    );
+    assert!(gcd_window.disk_hits > 0);
+    let (_, demo_window) = run_store_backed(&dir, &demo);
+    assert_eq!(demo_window.misses, 0, "writer B's records persist too");
+    assert!(demo_window.disk_hits > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn concurrent_flows_over_one_store_dir_stay_consistent() {
     let dir = store_dir("concurrent");
     let design = gcd_design();
