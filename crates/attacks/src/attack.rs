@@ -12,7 +12,9 @@
 //! key is exactly the truth-table portion of the bitstream — consistent
 //! with the LUT-oriented security analyses the paper builds on [3, 4].
 
+use crate::engine::SatEngine;
 use crate::oracle::{query, OracleResponse};
+use crate::portfolio::{PortfolioEngine, PortfolioStats};
 use crate::solver::{Lit, SatResult, Solver, Var};
 use alice_intern::Symbol;
 use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
@@ -97,6 +99,10 @@ pub struct AttackReport {
     /// Every distinguishing input pattern, in discovery order (pair with
     /// [`Dip::named_inputs`]/[`Dip::named_state`] for readable traces).
     pub dip_trace: Vec<Dip>,
+    /// Portfolio statistics when the attack raced diversified solver
+    /// configurations ([`sat_attack_portfolio`] with `n > 1`); `None`
+    /// for the classic single-solver attack.
+    pub portfolio: Option<PortfolioStats>,
 }
 
 /// Attack budget limits.
@@ -129,13 +135,13 @@ struct Encoder<'a> {
 }
 
 impl<'a> Encoder<'a> {
-    fn new(s: &mut Solver, mapped: &'a MappedNetlist) -> Self {
+    fn new(s: &mut dyn SatEngine, mapped: &'a MappedNetlist) -> Self {
         let const_true = s.new_var();
         s.add_clause(&[Lit::pos(const_true)]);
         Encoder { mapped, const_true }
     }
 
-    fn alloc_keys(&self, s: &mut Solver) -> Vec<Vec<Var>> {
+    fn alloc_keys(&self, s: &mut dyn SatEngine) -> Vec<Vec<Var>> {
         self.mapped
             .luts
             .iter()
@@ -149,7 +155,13 @@ impl<'a> Encoder<'a> {
 
     /// Encodes one circuit copy with the given key variables. `pi` and
     /// `state` supply the input variables (shared or fixed by the caller).
-    fn encode_copy(&self, s: &mut Solver, keys: &[Vec<Var>], pi: &[Var], state: &[Var]) -> Copy {
+    fn encode_copy(
+        &self,
+        s: &mut dyn SatEngine,
+        keys: &[Vec<Var>],
+        pi: &[Var],
+        state: &[Var],
+    ) -> Copy {
         let mut lut_vars: Vec<Var> = Vec::with_capacity(self.mapped.luts.len());
         let src = |v: &MappedSrc, lut_vars: &[Var]| -> Lit {
             match v {
@@ -211,7 +223,7 @@ impl<'a> Encoder<'a> {
     }
 
     /// Allocates fresh input vars and pins them to constants.
-    fn fixed_inputs(&self, s: &mut Solver, bits: &[bool]) -> Vec<Var> {
+    fn fixed_inputs(&self, s: &mut dyn SatEngine, bits: &[bool]) -> Vec<Var> {
         bits.iter()
             .map(|&b| {
                 let v = s.new_var();
@@ -222,7 +234,7 @@ impl<'a> Encoder<'a> {
     }
 
     /// Constrains a copy's observables to the oracle response.
-    fn pin_outputs(&self, s: &mut Solver, copy: &Copy, resp: &OracleResponse) {
+    fn pin_outputs(&self, s: &mut dyn SatEngine, copy: &Copy, resp: &OracleResponse) {
         for (&v, &b) in copy.outs.iter().zip(&resp.outputs) {
             s.add_clause(&[Lit::new(v, !b)]);
         }
@@ -252,16 +264,55 @@ impl<'a> Encoder<'a> {
 /// # }
 /// ```
 pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport {
+    let mut s = Solver::new();
+    let mut ks = Solver::new();
+    run_attack(mapped, budget, &mut s, &mut ks)
+}
+
+/// [`sat_attack`], racing `n` diversified solver configurations inside
+/// both the miter and the key engine ([`PortfolioEngine`]); the report's
+/// `portfolio` field carries the combined win counts and winner effort.
+///
+/// `n <= 1` is exactly [`sat_attack`]. Any `n` recovers the same
+/// canonical key (see the extraction notes inside the attack loop) —
+/// the portfolio changes wall-clock, never answers.
+pub fn sat_attack_portfolio(
+    mapped: &MappedNetlist,
+    budget: AttackBudget,
+    n: usize,
+) -> AttackReport {
+    if n <= 1 {
+        return sat_attack(mapped, budget);
+    }
+    let mut s = PortfolioEngine::new(n);
+    let mut ks = PortfolioEngine::new(n);
+    let mut report = run_attack(mapped, budget, &mut s, &mut ks);
+    let mut stats = s.portfolio_stats();
+    let kstats = ks.portfolio_stats();
+    for (w, kw) in stats.wins.iter_mut().zip(&kstats.wins) {
+        *w += kw;
+    }
+    stats.conflicts += kstats.conflicts;
+    stats.learned += kstats.learned;
+    report.portfolio = Some(stats);
+    report
+}
+
+fn run_attack(
+    mapped: &MappedNetlist,
+    budget: AttackBudget,
+    s: &mut dyn SatEngine,
+    ks: &mut dyn SatEngine,
+) -> AttackReport {
     let start = Instant::now();
     let key_bits: usize = mapped.luts.iter().map(|l| 1usize << l.inputs.len()).sum();
     let n_st = mapped.dffs.len();
 
-    // Miter solver: two keyed copies over shared inputs, outputs differ.
-    let mut s = Solver::new();
-    s.conflict_budget = Some(budget.conflicts_per_call);
-    let enc = Encoder::new(&mut s, mapped);
-    let k1 = enc.alloc_keys(&mut s);
-    let k2 = enc.alloc_keys(&mut s);
+    // Miter engine: two keyed copies over shared inputs, outputs differ.
+    s.set_budget(Some(budget.conflicts_per_call));
+    let enc = Encoder::new(&mut *s, mapped);
+    let k1 = enc.alloc_keys(&mut *s);
+    let k2 = enc.alloc_keys(&mut *s);
     // The shared miter inputs carry the network's own port and register
     // names, so a satisfying assignment reads back as a named DIP.
     // (`dff_names` is maintained independently of the `dffs` list the
@@ -277,8 +328,8 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
         .iter()
         .map(|&n| s.new_named_var(n))
         .collect();
-    let c1 = enc.encode_copy(&mut s, &k1, &pi, &st);
-    let c2 = enc.encode_copy(&mut s, &k2, &pi, &st);
+    let c1 = enc.encode_copy(&mut *s, &k1, &pi, &st);
+    let c2 = enc.encode_copy(&mut *s, &k2, &pi, &st);
     // d_i -> (o1_i xor o2_i); assert OR d_i.
     let mut diff_lits = Vec::new();
     for (&a, &b) in c1
@@ -295,12 +346,11 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
     }
     s.add_clause(&diff_lits);
 
-    // Key solver: accumulates I/O constraints on a single key copy; solved
-    // once at the end to extract a consistent bitstream.
-    let mut ks = Solver::new();
-    ks.conflict_budget = Some(budget.conflicts_per_call);
-    let kenc = Encoder::new(&mut ks, mapped);
-    let kk = kenc.alloc_keys(&mut ks);
+    // Key engine: accumulates I/O constraints on a single key copy;
+    // solved at the end to extract a consistent bitstream.
+    ks.set_budget(Some(budget.conflicts_per_call));
+    let kenc = Encoder::new(&mut *ks, mapped);
+    let kk = kenc.alloc_keys(&mut *ks);
     // Key variables carry their truth-table-bit identities, so the key
     // solver's model is the recovered bitstream by name.
     for (&v, name) in kk.iter().flatten().zip(key_bit_names(mapped)) {
@@ -315,9 +365,10 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
                 status: AttackStatus::Resilient,
                 dips,
                 key_bits,
-                conflicts: s.total_conflicts + ks.total_conflicts,
+                conflicts: s.stats().conflicts + ks.stats().conflicts,
                 millis: start.elapsed().as_millis(),
                 dip_trace,
+                portfolio: None,
             };
         }
         match s.solve() {
@@ -326,9 +377,10 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
                     status: AttackStatus::Resilient,
                     dips,
                     key_bits,
-                    conflicts: s.total_conflicts + ks.total_conflicts,
+                    conflicts: s.stats().conflicts + ks.stats().conflicts,
                     millis: start.elapsed().as_millis(),
                     dip_trace,
+                    portfolio: None,
                 }
             }
             SatResult::Unsat => break,
@@ -344,26 +396,69 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
                 });
                 // Both key copies must reproduce the oracle on this DIP.
                 for keys in [&k1, &k2] {
-                    let fpi = enc.fixed_inputs(&mut s, &dip_pi);
-                    let fst = enc.fixed_inputs(&mut s, &dip_st);
-                    let copy = enc.encode_copy(&mut s, keys, &fpi, &fst);
-                    enc.pin_outputs(&mut s, &copy, &resp);
+                    let fpi = enc.fixed_inputs(&mut *s, &dip_pi);
+                    let fst = enc.fixed_inputs(&mut *s, &dip_st);
+                    let copy = enc.encode_copy(&mut *s, keys, &fpi, &fst);
+                    enc.pin_outputs(&mut *s, &copy, &resp);
                 }
-                // And the key solver learns the same I/O pair.
-                let fpi = kenc.fixed_inputs(&mut ks, &dip_pi);
-                let fst = kenc.fixed_inputs(&mut ks, &dip_st);
-                let copy = kenc.encode_copy(&mut ks, &kk, &fpi, &fst);
-                kenc.pin_outputs(&mut ks, &copy, &resp);
+                // And the key engine learns the same I/O pair.
+                let fpi = kenc.fixed_inputs(&mut *ks, &dip_pi);
+                let fst = kenc.fixed_inputs(&mut *ks, &dip_st);
+                let copy = kenc.encode_copy(&mut *ks, &kk, &fpi, &fst);
+                kenc.pin_outputs(&mut *ks, &copy, &resp);
             }
         }
     }
-    // Key space collapsed: any key satisfying the accumulated I/O pairs is
-    // functionally correct.
-    let status = match ks.solve() {
+    // Key space collapsed: any key satisfying the accumulated I/O pairs
+    // is functionally correct. Stronger: since the miter is UNSAT, no two
+    // consistent keys differ on any input, and the true key is itself
+    // consistent — so the consistent set is exactly the functional
+    // equivalence class of the true key, independent of which DIP
+    // sequence (or portfolio configuration) got us here. Extracting its
+    // lexicographically smallest member in `key_bit_names` order thus
+    // yields a canonical bitstream: the same key for `--portfolio 1`
+    // and `--portfolio N`.
+    let verdict = ks.solve();
+    // Snapshot before extraction so the reported effort covers exactly
+    // the verdict-producing search.
+    let conflicts = s.stats().conflicts + ks.stats().conflicts;
+    let status = match verdict {
         SatResult::Sat => {
+            // Lex-min per bit, preferring 0. A solve is only needed when
+            // the cached witness has a 1 (a witness with a 0 already
+            // proves 0 feasible); on Unsat the previous witness still
+            // backs every fixed literal, so it stays cached. Budget off:
+            // these queries are easy and must not flake a canonical key
+            // into a nondeterministic one.
+            ks.set_budget(None);
+            let order: Vec<Var> = kk.iter().flatten().copied().collect();
+            let mut witness: Vec<bool> = order
+                .iter()
+                .map(|&v| ks.value(v).unwrap_or(false))
+                .collect();
+            let mut fixed: Vec<Lit> = Vec::with_capacity(order.len());
+            for (i, &v) in order.iter().enumerate() {
+                if !witness[i] {
+                    fixed.push(Lit::neg(v));
+                    continue;
+                }
+                fixed.push(Lit::neg(v));
+                if ks.solve_with(&fixed) == SatResult::Sat {
+                    for (j, &w) in order.iter().enumerate() {
+                        witness[j] = ks.value(w).unwrap_or(false);
+                    }
+                } else {
+                    *fixed.last_mut().expect("just pushed") = Lit::pos(v);
+                }
+            }
+            let mut bits = fixed.iter().map(|l| !l.is_neg());
             let keys: Vec<Vec<bool>> = kk
                 .iter()
-                .map(|row| row.iter().map(|&v| ks.value(v).unwrap_or(false)).collect())
+                .map(|row| {
+                    row.iter()
+                        .map(|_| bits.next().expect("one per key var"))
+                        .collect()
+                })
                 .collect();
             AttackStatus::KeyRecovered { keys }
         }
@@ -373,9 +468,10 @@ pub fn sat_attack(mapped: &MappedNetlist, budget: AttackBudget) -> AttackReport 
         status,
         dips,
         key_bits,
-        conflicts: s.total_conflicts + ks.total_conflicts,
+        conflicts,
         millis: start.elapsed().as_millis(),
         dip_trace,
+        portfolio: None,
     }
 }
 
@@ -501,6 +597,32 @@ mod tests {
             }
         }
         assert_eq!(names, want);
+    }
+
+    #[test]
+    fn portfolio_attack_recovers_the_same_canonical_key() {
+        let m = mapped(
+            "module m(input wire [3:0] a, input wire [3:0] b, output wire [4:0] y);\
+             assign y = {1'b0, a} + {1'b0, b}; endmodule",
+            "m",
+        );
+        let r1 = sat_attack(&m, AttackBudget::default());
+        let r1b = sat_attack(&m, AttackBudget::default());
+        let r3 = sat_attack_portfolio(&m, AttackBudget::default(), 3);
+        let keys = |r: &AttackReport| match &r.status {
+            AttackStatus::KeyRecovered { keys } => keys.clone(),
+            AttackStatus::Resilient => panic!("adder must break"),
+        };
+        // Lex-min extraction is canonical: reruns and portfolios agree
+        // bit-for-bit, and the canonical key is still correct.
+        assert_eq!(keys(&r1), keys(&r1b));
+        assert_eq!(keys(&r1), keys(&r3));
+        assert!(exhaustive_equiv(&m, &keys(&r3)));
+        assert!(r1.portfolio.is_none(), "classic attack reports no race");
+        let p = r3.portfolio.expect("portfolio attack reports its race");
+        assert_eq!(p.configs, 3);
+        assert_eq!(p.wins.len(), 3);
+        assert!(p.wins.iter().sum::<u64>() > 0, "someone answered");
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! The pluggable SAT boundary: every SAT consumer in the flow (CEC
+//! miters and sweeping, the verify stage's wrong-key corruption sweep,
+//! the oracle-guided attack harness) talks to a [`SatEngine`] instead of
+//! a concrete solver, so a single-threaded CDCL search and a racing
+//! portfolio are interchangeable behind one interface.
+//!
+//! The contract mirrors the incremental MiniSat interface the in-tree
+//! solver already exposes: variables and clauses accumulate, verdicts
+//! are queried under assumptions, models are read back per variable, and
+//! a conflict budget turns "too expensive" into [`SatResult::Unknown`]
+//! rather than an answer. Two additions make portfolios possible:
+//!
+//! * [`SatEngine::set_cancel`] installs a shared [`CancelToken`] that
+//!   the CDCL search polls every propagation round, so a losing racer
+//!   stops well within one restart of the winner finishing, and
+//! * [`SatEngine::stats`] reports the conflicts/learned-clause totals
+//!   *attributable to returned answers* — for a portfolio, the winners'
+//!   work, not the sum of every racer's discarded effort.
+
+use crate::solver::{Lit, SatResult, Solver, Var};
+use alice_intern::Symbol;
+pub use alice_par::CancelToken;
+
+/// Cumulative search-effort statistics of a [`SatEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Conflicts attributable to returned answers.
+    pub conflicts: u64,
+    /// Learned clauses (including learned units) attributable to
+    /// returned answers.
+    pub learned: u64,
+}
+
+/// The pluggable incremental SAT interface (see the module docs).
+///
+/// Implementations must keep the incremental contract of
+/// [`Solver`]: clauses persist across calls, [`SatResult::Unsat`] under
+/// assumptions leaves the formula usable, and models stay readable until
+/// the next mutation.
+pub trait SatEngine {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause over existing variables.
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// Solves the current formula.
+    fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under temporary `assumptions`.
+    fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult;
+
+    /// Model value of `v` after a [`SatResult::Sat`] answer.
+    fn value(&self, v: Var) -> Option<bool>;
+
+    /// Number of variables.
+    fn num_vars(&self) -> usize;
+
+    /// Number of clauses (original + learned).
+    fn num_clauses(&self) -> usize;
+
+    /// The conflict budget applied to each solve call.
+    fn budget(&self) -> Option<u64>;
+
+    /// Sets the per-call conflict budget (`None` = unlimited).
+    fn set_budget(&mut self, budget: Option<u64>);
+
+    /// Installs (or clears) a cooperative cancellation token.
+    fn set_cancel(&mut self, cancel: Option<CancelToken>);
+
+    /// Attaches a diagnostic label to `v` (never affects solving).
+    fn label(&mut self, v: Var, name: Symbol);
+
+    /// The label of `v`, if any.
+    fn name_of(&self, v: Var) -> Option<Symbol>;
+
+    /// Search-effort totals attributable to returned answers.
+    fn stats(&self) -> EngineStats;
+
+    /// Allocates a fresh labeled variable.
+    fn new_named_var(&mut self, name: Symbol) -> Var {
+        let v = self.new_var();
+        self.label(v, name);
+        v
+    }
+}
+
+impl SatEngine for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        Solver::add_clause(self, lits)
+    }
+
+    fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        Solver::solve_with(self, assumptions)
+    }
+
+    fn value(&self, v: Var) -> Option<bool> {
+        Solver::value(self, v)
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn num_clauses(&self) -> usize {
+        Solver::num_clauses(self)
+    }
+
+    fn budget(&self) -> Option<u64> {
+        self.conflict_budget
+    }
+
+    fn set_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        Solver::set_cancel(self, cancel)
+    }
+
+    fn label(&mut self, v: Var, name: Symbol) {
+        Solver::label(self, v, name)
+    }
+
+    fn name_of(&self, v: Var) -> Option<Symbol> {
+        Solver::name_of(self, v)
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            conflicts: self.total_conflicts,
+            learned: self.total_learned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_implements_the_engine_boundary() {
+        let mut s: Box<dyn SatEngine> = Box::new(Solver::new());
+        let a = s.new_named_var(Symbol::intern("a"));
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(s.name_of(a), Some(Symbol::intern("a")));
+        assert_eq!(s.solve_with(&[Lit::neg(b)]), SatResult::Unsat);
+        assert!(s.stats().conflicts <= s.stats().learned + s.stats().conflicts);
+        assert_eq!(s.budget(), None);
+        s.set_budget(Some(5));
+        assert_eq!(s.budget(), Some(5));
+        assert!(s.num_vars() >= 2 && s.num_clauses() >= 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! bottleneck.
 
 use alice_intern::Symbol;
+use alice_par::CancelToken;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -84,6 +85,50 @@ enum Assign {
     Unassigned,
     True,
     False,
+}
+
+/// Search-heuristic knobs for portfolio diversification.
+///
+/// The default value reproduces the solver's historical behavior bit for
+/// bit — `Solver::new()` and `Solver::with_config(SolverConfig::default())`
+/// take identical search trajectories. Every field only steers
+/// *heuristics* (decision order, restart cadence, initial polarity);
+/// verdicts and models stay sound for any setting, which is what makes
+/// racing differently-configured solvers on one formula correct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// VSIDS activity decay per conflict (MiniSat's `var-decay`).
+    pub var_decay: f64,
+    /// Base interval of the Luby restart sequence, in conflicts.
+    pub restart_base: u64,
+    /// Initial saved phase for fresh variables (`false` = historical
+    /// negative-polarity-first behavior).
+    pub invert_phase: bool,
+    /// Seed for a tiny deterministic perturbation of initial variable
+    /// activities, breaking decision-order ties differently per config.
+    /// `0` disables the perturbation entirely.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            restart_base: 64,
+            invert_phase: false,
+            seed: 0,
+        }
+    }
+}
+
+/// splitmix64: the workspace's stand-in PRNG (also used by the sweep's
+/// signature simulation) — here it seeds activity perturbations.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Indexed max-heap over variable activities (MiniSat's `order_heap`),
@@ -212,6 +257,15 @@ pub struct Solver {
     conflicts: u64,
     /// Total conflicts over the solver's lifetime (statistics).
     pub total_conflicts: u64,
+    /// Total learned clauses (including learned units) over the solver's
+    /// lifetime (statistics).
+    pub total_learned: u64,
+    /// Heuristic configuration (see [`SolverConfig`]).
+    config: SolverConfig,
+    /// Cooperative cancellation for portfolio racing: polled once per
+    /// search-loop iteration, so a losing solver stops within one
+    /// propagation round — well under one restart.
+    cancel: Option<CancelToken>,
     /// Diagnostic labels: problem-level names (interned port, register,
     /// or key-bit names) attached to CNF variables. Sparse — only the
     /// variables an encoder chooses to label carry one.
@@ -227,14 +281,37 @@ impl Solver {
         }
     }
 
+    /// Creates an empty solver with diversified heuristics; the default
+    /// config reproduces [`Solver::new`] exactly.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            act_inc: 1.0,
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Installs (or clears) the shared cancellation token. A cancelled
+    /// solve returns [`SatResult::Unknown`] with the solver state intact.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(Assign::Unassigned);
-        self.phase.push(false);
+        self.phase.push(self.config.invert_phase);
         self.level.push(0);
         self.reason.push(None);
-        self.activity.push(0.0);
+        // A seeded config perturbs initial activities by strictly less
+        // than one bump, so it only permutes otherwise-tied decisions.
+        self.activity.push(if self.config.seed == 0 {
+            0.0
+        } else {
+            let mut x = self.config.seed ^ (u64::from(v.0) << 17);
+            splitmix64(&mut x) as f64 / u64::MAX as f64 * 1e-3
+        });
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow();
@@ -546,8 +623,17 @@ impl Solver {
         }
         self.conflicts = 0;
         let mut restart_idx = 0u64;
-        let mut restart_limit = 64u64 * luby(restart_idx);
+        let mut restart_limit = self.config.restart_base * luby(restart_idx);
         loop {
+            // Cooperative cancellation (portfolio racing): one relaxed
+            // atomic load per propagation round, losers stop well within
+            // one restart. State is unwound so the solver stays usable.
+            if let Some(cancel) = &self.cancel {
+                if cancel.is_cancelled() {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+            }
             match self.propagate() {
                 Some(confl) => {
                     self.conflicts += 1;
@@ -564,6 +650,7 @@ impl Solver {
                     }
                     let (learned, bj) = self.analyze(confl);
                     self.cancel_until(bj);
+                    self.total_learned += 1;
                     if learned.len() == 1 {
                         self.enqueue(learned[0], None);
                     } else {
@@ -574,10 +661,11 @@ impl Solver {
                         self.clauses.push(learned);
                         self.enqueue(unit, Some(idx));
                     }
-                    self.act_inc /= 0.95;
+                    self.act_inc /= self.config.var_decay;
                     if self.conflicts >= restart_limit {
                         restart_idx += 1;
-                        restart_limit = self.conflicts + 64 * luby(restart_idx);
+                        restart_limit =
+                            self.conflicts + self.config.restart_base * luby(restart_idx);
                         self.cancel_until(0);
                     }
                 }
@@ -816,6 +904,61 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(s.solve_with(&[Lit::pos(sel)]), SatResult::Unsat);
             assert_eq!(s.solve_with(&[Lit::neg(sel)]), SatResult::Sat);
+        }
+    }
+
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let p: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(&row.iter().map(|&v| Lit::pos(v)).collect::<Vec<_>>());
+        }
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                for (&x, &y) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_solve_returns_unknown_and_stays_usable() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5, 4);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel(Some(token));
+        assert_eq!(s.solve(), SatResult::Unknown, "cancelled before searching");
+        // Clearing the token restores normal solving on intact state.
+        s.set_cancel(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn diversified_configs_agree_on_verdicts() {
+        for config in [
+            SolverConfig::default(),
+            SolverConfig {
+                var_decay: 0.85,
+                restart_base: 32,
+                invert_phase: true,
+                seed: 0xA11C_E001,
+            },
+            SolverConfig {
+                var_decay: 0.975,
+                restart_base: 256,
+                invert_phase: false,
+                seed: 7,
+            },
+        ] {
+            let mut s = Solver::with_config(config);
+            pigeonhole(&mut s, 5, 4);
+            assert_eq!(s.solve(), SatResult::Unsat, "{config:?}");
+            let mut s = Solver::with_config(config);
+            pigeonhole(&mut s, 4, 4);
+            assert_eq!(s.solve(), SatResult::Sat, "{config:?}");
         }
     }
 

@@ -5,25 +5,31 @@
 //! extra verification table.
 //!
 //! ```text
-//! suite [--jobs N] [--verify] [--wrong-keys N] [--store DIR]
+//! suite [--jobs N] [--verify] [--wrong-keys N] [--portfolio N] [--store DIR]
 //!     # omit --jobs to use all available cores
 //! ```
+//!
+//! `--portfolio N` races N diversified solver configurations on every
+//! equivalence proof (first definitive verdict wins); the verification
+//! table then reports which configuration won each proof.
 //!
 //! `--store DIR` backs the matrix's shared `DesignDb` with the
 //! persistent artifact store at DIR, so a *re-run* of the suite (or any
 //! `alice --store DIR` invocation on the same designs) starts warm.
 
-use alice_bench::run_suite_with_db;
+use alice_bench::run_suite_portfolio;
 use alice_core::db::DesignDb;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: suite [--jobs N] [--verify] [--wrong-keys N] [--store DIR]";
+const USAGE: &str =
+    "usage: suite [--jobs N] [--verify] [--wrong-keys N] [--portfolio N] [--store DIR]";
 
 struct SuiteArgs {
     jobs: usize,
     verify: bool,
     wrong_keys: usize,
+    portfolio: usize,
     store: Option<String>,
 }
 
@@ -32,6 +38,7 @@ fn parse_args() -> Result<SuiteArgs, String> {
         jobs: 0,
         verify: false,
         wrong_keys: 0,
+        portfolio: 1,
         store: None,
     };
     let mut it = std::env::args().skip(1);
@@ -55,6 +62,7 @@ fn parse_args() -> Result<SuiteArgs, String> {
                 args.wrong_keys = number("--wrong-keys", it.next(), 1)?;
                 args.verify = true;
             }
+            "--portfolio" => args.portfolio = number("--portfolio", it.next(), 1)?,
             "--store" => {
                 args.store = Some(
                     it.next()
@@ -107,7 +115,13 @@ fn main() -> ExitCode {
         },
         None => Arc::new(DesignDb::new()),
     };
-    let runs = run_suite_with_db(jobs, args.wrong_keys, args.verify, db.clone());
+    let runs = run_suite_portfolio(
+        jobs,
+        args.wrong_keys,
+        args.verify,
+        args.portfolio,
+        db.clone(),
+    );
     for run in &runs {
         println!(
             "── {} ─────────────────────────────────────────────",
@@ -203,10 +217,17 @@ fn main() -> ExitCode {
                 "── {} ─────────────────────────────────────────────",
                 run.label
             );
-            println!(
-                "{:<8} {:>12} {:>8} {:>10} {:>10} {:>11}",
-                "Design", "verdict", "points", "cnf vars", "corrupt", "verify t"
-            );
+            if args.portfolio > 1 {
+                println!(
+                    "{:<8} {:>12} {:>8} {:>10} {:>10} {:>11} {:>10}",
+                    "Design", "verdict", "points", "cnf vars", "corrupt", "verify t", "sat win"
+                );
+            } else {
+                println!(
+                    "{:<8} {:>12} {:>8} {:>10} {:>10} {:>11}",
+                    "Design", "verdict", "points", "cnf vars", "corrupt", "verify t"
+                );
+            }
             for out in &run.outcomes {
                 let r = &out.report;
                 let Some(v) = &out.verify else {
@@ -217,7 +238,7 @@ fn main() -> ExitCode {
                     .corruption_fraction()
                     .map(|f| format!("{f:.3}"))
                     .unwrap_or_else(|| "-".to_string());
-                println!(
+                print!(
                     "{:<8} {:>12} {:>8} {:>10} {:>10} {:>11}",
                     r.design,
                     v.outcome.to_string().split(' ').next().unwrap_or("-"),
@@ -226,6 +247,16 @@ fn main() -> ExitCode {
                     corrupt,
                     format!("{:.2?}", r.verify_time)
                 );
+                if args.portfolio > 1 {
+                    // Cached proofs race nothing, hence the "-" cell.
+                    let win = v
+                        .portfolio
+                        .as_ref()
+                        .map(|p| format!("cfg {}/{}", p.winner, p.configs))
+                        .unwrap_or_else(|| "-".to_string());
+                    print!(" {win:>10}");
+                }
+                println!();
             }
             println!();
         }

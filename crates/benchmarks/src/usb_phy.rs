@@ -3,10 +3,11 @@
 //! Table 1 shape: 3 redactable modules / 3 instances, module I/O pins in
 //! [17, 33]. Both PHY halves affect the selected outputs (|R| = 2; the
 //! control unit only drives debug pins), and clustering yields 3 candidate
-//! clusters — but the transmit PHY models a data-dependent clock divider
-//! (`period / rate`) outside the synthesizable subset, so its
-//! characterization fails, mirroring the paper's "OpenFPGA returns an
-//! error" path: only 1 valid eFPGA and a single solution.
+//! clusters. The transmit PHY models a data-dependent clock divider
+//! (`period / rate`); the elaborator lowers it to a restoring divider
+//! array, so — unlike early revisions of this flow, where the divider
+//! made characterization fail — every cluster now characterizes and the
+//! design verifies end-to-end.
 
 use crate::Benchmark;
 
@@ -107,8 +108,7 @@ module usb_tx_phy(
   output wire [4:0] bit_time
 );
   reg [7:0] period;
-  // Data-dependent divider: outside the synthesizable subset (and the
-  // stand-in for clusters on which the fabric flow fails).
+  // Data-dependent divider, lowered to a restoring divider array.
   assign bit_time = (period / rate);
   always @(posedge clk) begin
     if (rst) begin
@@ -219,12 +219,21 @@ mod tests {
     }
 
     #[test]
-    fn tx_phy_fails_elaboration() {
+    fn tx_phy_elaborates_with_its_dynamic_divider() {
         let b = benchmark();
         let d = b.design().expect("load");
-        let err = alice_netlist::elaborate::elaborate(&d.file, "usb_tx_phy");
-        assert!(err.is_err(), "dynamic division must be rejected");
-        // The receive PHY elaborates fine.
+        let n = alice_netlist::elaborate::elaborate(&d.file, "usb_tx_phy")
+            .expect("dynamic division lowers to a restoring divider");
+        // bit_time = period / rate with reset state period = 12.
+        use alice_verilog::Bits;
+        let mut sim = alice_netlist::sim::Simulator::new(&n);
+        sim.set_input("rst", &Bits::from_u64(1, 1));
+        sim.step();
+        sim.set_input("rst", &Bits::from_u64(0, 1));
+        sim.set_input("rate", &Bits::from_u64(5, 8));
+        sim.settle();
+        assert_eq!(sim.output("bit_time").to_u64(), Some(12 / 5));
+        // The receive PHY elaborates fine too.
         assert!(alice_netlist::elaborate::elaborate(&d.file, "usb_rx_phy").is_ok());
     }
 }

@@ -13,9 +13,11 @@
 //!   clauses,
 //! * [`miter`] — the [`Miter`] builder (shared inputs, XOR-ed outputs,
 //!   scan-model next-state checks, key/bitstream inputs pinnable or
-//!   free), [`CecResult`] verdicts with [`Counterexample`] witnesses, and
-//!   the exact per-output [`Corruption`] analysis behind the wrong-key
-//!   corruptibility sweep,
+//!   free), [`CecResult`] verdicts with [`Counterexample`] witnesses, the
+//!   exact per-output [`Corruption`] analysis behind the wrong-key
+//!   corruptibility sweep, and [`prove_equivalent_raced`] — a portfolio
+//!   race of diversified solver/encoding configurations with cooperative
+//!   cancellation, first definitive verdict wins,
 //! * [`sweep`] — ABC-style SAT sweeping (signature classes from 128-bit
 //!   word simulation, per-pair assumption proofs, equality lemmas) that
 //!   makes redacted-arithmetic miters tractable,
@@ -57,10 +59,11 @@ pub mod encode;
 pub mod miter;
 pub mod sweep;
 
+pub use alice_attacks::engine::EngineStats;
 pub use cache::{CachedCorruption, CachedProof};
 pub use encode::{EncodedDff, EncodedNetlist, Encoder};
 pub use miter::{
-    miter_fingerprint, prove_equivalent, CecResult, Corruption, Counterexample, Miter, MiterError,
-    MiterOptions,
+    miter_fingerprint, prove_equivalent, prove_equivalent_raced, CecResult, Corruption,
+    Counterexample, Miter, MiterError, MiterOptions, RaceOutcome,
 };
 pub use sweep::SweepStats;

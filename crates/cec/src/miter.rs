@@ -16,9 +16,12 @@
 
 use crate::encode::{model_value, Encoder};
 use crate::sweep::{const_sig, random_sig, sweep, Sig, SweepSide, SweepStats};
-use alice_attacks::solver::{Lit, SatResult, Solver};
+use alice_attacks::engine::{EngineStats, SatEngine};
+use alice_attacks::portfolio::diversified_configs;
+use alice_attacks::solver::{Lit, SatResult, Solver, SolverConfig};
 use alice_intern::{StableHasher, Symbol};
-use alice_netlist::ir::Netlist;
+use alice_netlist::ir::{Netlist, NodeId};
+use alice_par::{race, CancelToken};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
@@ -148,6 +151,15 @@ pub struct MiterOptions {
     /// Per-candidate-pair conflict budget during sweeping. Pairs the
     /// budget gives up on are simply left unmerged.
     pub sweep_conflict_budget: Option<u64>,
+    /// Heuristic configuration of the underlying CDCL solver. Steers
+    /// wall-clock only, never verdicts, so it is excluded from
+    /// [`miter_fingerprint`] just like the budgets.
+    pub solver_config: SolverConfig,
+    /// Cooperative cancellation token, observed both while sweeping at
+    /// build time and inside every solve call. A cancelled miter reports
+    /// [`CecResult::ResourceLimit`]; portfolio racing uses this to stop
+    /// losing configurations. Excluded from [`miter_fingerprint`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for MiterOptions {
@@ -161,6 +173,8 @@ impl Default for MiterOptions {
             conflict_budget: None,
             sweep: true,
             sweep_conflict_budget: Some(2_000),
+            solver_config: SolverConfig::default(),
+            cancel: None,
         }
     }
 }
@@ -289,9 +303,48 @@ fn is_key_name(name: Symbol, prefixes: &[String]) -> bool {
         .any(|p| name.starts_with(p) || last.starts_with(p))
 }
 
+/// Registers of `n` whose Q is in the combinational support of a
+/// compared difference point: an output bit, or the next-state function
+/// of a register in `next_roots` (the paired ones). Traversal stops at
+/// flip-flop boundaries — in the single-cycle miter every register's Q
+/// is a free state variable, so only direct support matters; a register
+/// outside this set cannot influence any compared point and may be
+/// dropped from the shared state.
+fn observed_registers(n: &Netlist, next_roots: &BTreeSet<Symbol>) -> BTreeSet<Symbol> {
+    let records = n.dff_records();
+    let name_of: HashMap<NodeId, Symbol> = records.iter().map(|&(id, nm, _, _)| (id, nm)).collect();
+    let mut stack: Vec<NodeId> = n
+        .outputs
+        .iter()
+        .flat_map(|(_, lits)| lits.iter().map(|l| l.node()))
+        .collect();
+    stack.extend(
+        records
+            .iter()
+            .filter(|(_, nm, _, _)| next_roots.contains(nm))
+            .map(|&(_, _, d, _)| d.node()),
+    );
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    let mut observed = BTreeSet::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if let Some(&nm) = name_of.get(&id) {
+            // Reached a Q: record it, but don't cross into its D cone.
+            observed.insert(nm);
+            continue;
+        }
+        for f in n.node(id).fanins() {
+            stack.push(f.node());
+        }
+    }
+    observed
+}
+
 /// The composed miter, ready to solve.
 pub struct Miter {
-    solver: Solver,
+    engine: Box<dyn SatEngine>,
     shared_inputs: Vec<(Symbol, Vec<Lit>)>,
     shared_state: Vec<(Symbol, Lit)>,
     key_inputs: Vec<(Symbol, Vec<Lit>)>,
@@ -312,7 +365,8 @@ impl Miter {
     /// Returns [`MiterError`] when the two netlists' boundaries cannot be
     /// paired (see the variants for the exact conditions).
     pub fn build(a: &Netlist, b: &Netlist, opts: &MiterOptions) -> Result<Miter, MiterError> {
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_config(opts.solver_config);
+        solver.set_cancel(opts.cancel.clone());
         let mut enc = Encoder::new(&mut solver);
         // Deterministic signature words for the sweeping pass, built in
         // lockstep with the literal bindings: shared literal ⇒ shared
@@ -417,14 +471,21 @@ impl Miter {
                 key_state.push((name, q));
             }
         }
-        // Every golden register must be covered, or its next-state check
-        // would silently vanish.
+        // Every *observable* golden register must be covered, or its
+        // next-state check would silently vanish. A register outside the
+        // support of every compared point — a write-only counter, say,
+        // which LUT mapping rightly prunes from the revised side — is
+        // dead weight: excluding it from the shared state is sound (the
+        // proof then holds for *all* values of the dropped Q), so it is
+        // dropped rather than reported as a pairing failure.
         let covered: BTreeSet<Symbol> = paired.iter().map(|&(g, _)| g).collect();
+        let observed = observed_registers(a, &covered);
         for &(name, _) in &shared_state {
-            if !covered.contains(&name) {
+            if !covered.contains(&name) && observed.contains(&name) {
                 return Err(MiterError::UnpairedState(name.to_string()));
             }
         }
+        shared_state.retain(|(name, _)| covered.contains(name) || observed.contains(name));
 
         // --- Encode both sides against the shared encoder. ---
         let enc_a = enc.encode(&mut solver, a, &bind_a, &state_a);
@@ -452,6 +513,7 @@ impl Miter {
                     node_lits: &enc_b.node_lits,
                 },
                 opts.sweep_conflict_budget,
+                opts.cancel.as_ref(),
             )
         } else {
             SweepStats::default()
@@ -494,7 +556,7 @@ impl Miter {
         }
 
         Ok(Miter {
-            solver,
+            engine: Box::new(solver),
             shared_inputs,
             shared_state,
             key_inputs,
@@ -514,11 +576,11 @@ impl Miter {
 
     /// CNF statistics: `(variables, clauses)` of the composed miter.
     pub fn cnf_size(&self) -> (usize, usize) {
-        (self.solver.num_vars(), self.solver.num_clauses())
+        (self.engine.num_vars(), self.engine.num_clauses())
     }
 
     fn extract_cex(&self, diffs_true: Vec<String>) -> Box<Counterexample> {
-        let s = &self.solver;
+        let s: &dyn SatEngine = self.engine.as_ref();
         let port = |ports: &[(Symbol, Vec<Lit>)]| -> Vec<(Symbol, Vec<bool>)> {
             ports
                 .iter()
@@ -544,8 +606,20 @@ impl Miter {
 
     /// Proves equivalence over all difference points, one assumption
     /// query per point (learned clauses are shared across queries).
-    pub fn prove(mut self) -> CecResult {
-        self.solver.conflict_budget = self.budget;
+    pub fn prove(self) -> CecResult {
+        self.prove_with_stats().0
+    }
+
+    /// [`Miter::prove`], also reporting the engine's total search effort
+    /// (sweeping plus the proof itself) — what the portfolio race
+    /// surfaces as the winner's statistics.
+    pub fn prove_with_stats(mut self) -> (CecResult, EngineStats) {
+        let r = self.prove_inner();
+        (r, self.engine.stats())
+    }
+
+    fn prove_inner(&mut self) -> CecResult {
+        self.engine.set_budget(self.budget);
         let mut limited = false;
         for i in 0..self.diffs.len() {
             let d = self.diffs[i].1;
@@ -556,9 +630,10 @@ impl Miter {
                 // Folded to provably different — the verdict needs no
                 // search. Solve without a budget for a witness model
                 // (circuit-consistency CNF alone is always satisfiable);
-                // if that somehow fails, still report the folded points.
-                self.solver.conflict_budget = None;
-                let names = if self.solver.solve() == SatResult::Sat {
+                // if that somehow fails — e.g. the race was cancelled —
+                // still report the folded points.
+                self.engine.set_budget(None);
+                let names = if self.engine.solve() == SatResult::Sat {
                     self.model_diff_names()
                 } else {
                     self.diffs
@@ -569,7 +644,7 @@ impl Miter {
                 };
                 return CecResult::NotEquivalent(self.extract_cex(names));
             }
-            match self.solver.solve_with(&[d]) {
+            match self.engine.solve_with(&[d]) {
                 SatResult::Unsat => {}
                 SatResult::Unknown => limited = true,
                 SatResult::Sat => {
@@ -593,7 +668,7 @@ impl Miter {
     /// number of solver calls is bounded by the number of corruptible
     /// points plus the number of clean points.
     pub fn corruption(mut self) -> Corruption {
-        self.solver.conflict_budget = self.budget;
+        self.engine.set_budget(self.budget);
         let total = self.diffs.len();
         let mut corrupted: BTreeSet<String> = BTreeSet::new();
         let mut complete = true;
@@ -606,7 +681,7 @@ impl Miter {
                 corrupted.insert(name);
                 continue;
             }
-            match self.solver.solve_with(&[d]) {
+            match self.engine.solve_with(&[d]) {
                 SatResult::Unsat => {}
                 SatResult::Unknown => complete = false,
                 SatResult::Sat => {
@@ -630,7 +705,7 @@ impl Miter {
     fn model_diff_names(&self) -> Vec<String> {
         self.diffs
             .iter()
-            .filter(|&&(_, d)| model_value(&self.solver, d))
+            .filter(|&&(_, d)| model_value(self.engine.as_ref(), d))
             .map(|(n, _)| n.clone())
             .collect()
     }
@@ -658,6 +733,131 @@ impl Miter {
 /// ```
 pub fn prove_equivalent(a: &Netlist, b: &Netlist) -> Result<CecResult, MiterError> {
     Ok(Miter::build(a, b, &MiterOptions::default())?.prove())
+}
+
+/// Outcome of a raced equivalence proof (see [`prove_equivalent_raced`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceOutcome {
+    /// The winning configuration's verdict.
+    pub result: CecResult,
+    /// Index of the configuration that answered first (0 is always the
+    /// caller's exact options — today's single-solver behavior).
+    pub winner: usize,
+    /// Search effort (sweeping + proof) spent by the winner.
+    pub stats: EngineStats,
+    /// Number of configurations raced.
+    pub configs: usize,
+    /// Difference points compared, as seen by the winner.
+    pub diff_points: usize,
+    /// Winner's miter CNF variable count.
+    pub cnf_vars: usize,
+    /// Winner's miter CNF clause count.
+    pub cnf_clauses: usize,
+}
+
+/// The portfolio diversification of one miter configuration: config 0 is
+/// the caller's options verbatim; odd configs flip the sweep-first vs.
+/// monolithic encoding split; even configs scale the sweep budget; every
+/// config beyond 0 gets its own CDCL heuristics from
+/// [`diversified_configs`]. None of this can change a verdict — only
+/// which verdict arrives first.
+fn diversified_options(
+    base: &MiterOptions,
+    i: usize,
+    configs: &[SolverConfig],
+    token: &CancelToken,
+) -> MiterOptions {
+    let mut o = base.clone();
+    o.solver_config = configs[i];
+    o.cancel = Some(token.clone());
+    if i > 0 {
+        if i % 2 == 1 {
+            o.sweep = !base.sweep;
+        } else {
+            o.sweep_conflict_budget = base
+                .sweep_conflict_budget
+                .map(|b| b.saturating_mul(1 << (i / 2).min(8)));
+        }
+    }
+    o
+}
+
+/// Races `n` diversified miter configurations over up to `jobs` worker
+/// threads; the first definitive verdict wins and the losers are
+/// cooperatively cancelled (they stop within one propagation round and
+/// are joined before this returns — no threads outlive the call).
+///
+/// `n <= 1` degenerates to a plain [`Miter::build`] + [`Miter::prove`]
+/// on the calling thread with byte-identical behavior. A
+/// [`CecResult::ResourceLimit`] answer never wins the race: a
+/// budget-exhausted configuration must not outrank a slower prover, so
+/// the limit verdict is returned only when *every* configuration
+/// exhausts. Build errors are structural and configuration-independent,
+/// hence immediately definitive.
+///
+/// # Errors
+///
+/// Returns [`MiterError`] when the netlists' boundaries cannot be paired.
+pub fn prove_equivalent_raced(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &MiterOptions,
+    n: usize,
+    jobs: usize,
+) -> Result<RaceOutcome, MiterError> {
+    if n <= 1 {
+        let m = Miter::build(a, b, opts)?;
+        let diff_points = m.diff_points();
+        let (cnf_vars, cnf_clauses) = m.cnf_size();
+        let (result, stats) = m.prove_with_stats();
+        return Ok(RaceOutcome {
+            result,
+            winner: 0,
+            stats,
+            configs: 1,
+            diff_points,
+            cnf_vars,
+            cnf_clauses,
+        });
+    }
+    let configs = diversified_configs(n);
+    let outcome = race(n, jobs, |i, token| {
+        let o = diversified_options(opts, i, &configs, token);
+        match Miter::build(a, b, &o) {
+            Err(e) => Some(Err(e)),
+            Ok(m) => {
+                let diff_points = m.diff_points();
+                let (cnf_vars, cnf_clauses) = m.cnf_size();
+                match m.prove_with_stats() {
+                    (CecResult::ResourceLimit, _) => None,
+                    (r, stats) => Some(Ok((r, stats, diff_points, cnf_vars, cnf_clauses))),
+                }
+            }
+        }
+    });
+    match outcome {
+        Some((winner, Ok((result, stats, diff_points, cnf_vars, cnf_clauses)))) => {
+            Ok(RaceOutcome {
+                result,
+                winner,
+                stats,
+                configs: n,
+                diff_points,
+                cnf_vars,
+                cnf_clauses,
+            })
+        }
+        Some((_, Err(e))) => Err(e),
+        None => Ok(RaceOutcome {
+            result: CecResult::ResourceLimit,
+            winner: 0,
+            stats: EngineStats::default(),
+            configs: n,
+            diff_points: 0,
+            cnf_vars: 0,
+            cnf_clauses: 0,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -736,6 +936,77 @@ mod tests {
             }
             other => panic!("expected counterexample, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dead_unpaired_golden_register_is_tolerated() {
+        // The golden side carries a write-only register (toggles itself,
+        // read by nothing) that a pruning revised implementation drops —
+        // the classic dead-counter case. The pairing must tolerate it.
+        let build = |with_dead: bool| {
+            let mut n = Netlist::new("s");
+            let d = n.add_input("d", 1)[0];
+            let q = n.dff("s.q[0]", false);
+            let nx = n.xor(q, d);
+            n.set_dff_input(q, nx);
+            if with_dead {
+                let dead = n.dff("s.dead[0]", false);
+                n.set_dff_input(dead, dead.compl());
+            }
+            n.add_output("q", vec![q]);
+            n
+        };
+        assert_eq!(
+            prove_equivalent(&build(true), &build(false)),
+            Ok(CecResult::Equivalent)
+        );
+    }
+
+    #[test]
+    fn live_unpaired_golden_register_is_an_error() {
+        // Same shape, but the extra register feeds the output: dropping
+        // it would silently weaken the proof, so it must stay a hard
+        // pairing failure.
+        let mut a = Netlist::new("s");
+        let d = a.add_input("d", 1)[0];
+        let live = a.dff("s.live[0]", false);
+        a.set_dff_input(live, d);
+        let y = a.xor(live, d);
+        a.add_output("y", vec![y]);
+
+        let mut b = Netlist::new("s2");
+        let d = b.add_input("d", 1)[0];
+        b.add_output("y", vec![d]);
+        assert_eq!(
+            prove_equivalent(&a, &b),
+            Err(MiterError::UnpairedState("s.live[0]".to_string()))
+        );
+    }
+
+    #[test]
+    fn unpaired_register_feeding_a_paired_next_state_is_an_error() {
+        // The extra register is invisible at the outputs but drives the
+        // D of a paired register — its Q is in a compared next-state
+        // cone, so it is observable and must not be dropped.
+        let mut a = Netlist::new("s");
+        let d = a.add_input("d", 1)[0];
+        let hidden = a.dff("s.hidden[0]", false);
+        a.set_dff_input(hidden, d);
+        let q = a.dff("s.q[0]", false);
+        let nx = a.xor(q, hidden);
+        a.set_dff_input(q, nx);
+        a.add_output("q", vec![q]);
+
+        let mut b = Netlist::new("s2");
+        let d = b.add_input("d", 1)[0];
+        let q = b.dff("s.q[0]", false);
+        let nx = b.xor(q, d);
+        b.set_dff_input(q, nx);
+        b.add_output("q", vec![q]);
+        assert_eq!(
+            prove_equivalent(&a, &b),
+            Err(MiterError::UnpairedState("s.hidden[0]".to_string()))
+        );
     }
 
     #[test]
@@ -861,10 +1132,18 @@ mod tests {
             miter_fingerprint(&a1, &b1, &opts),
             miter_fingerprint(&a1, &flipped, &opts)
         );
-        // Solver budgets do not (a cached verdict is budget-independent).
+        // Solver budgets do not (a cached verdict is budget-independent),
+        // and neither do portfolio knobs: heuristics and cancellation
+        // steer wall-clock, never verdicts.
         let budgeted = MiterOptions {
             conflict_budget: Some(1),
             sweep: false,
+            solver_config: SolverConfig {
+                invert_phase: true,
+                seed: 42,
+                ..SolverConfig::default()
+            },
+            cancel: Some(CancelToken::new()),
             ..MiterOptions::default()
         };
         assert_eq!(
@@ -924,5 +1203,107 @@ mod tests {
         // to Equivalent without search; accept either outcome but never a
         // counterexample.
         assert!(!matches!(r, CecResult::NotEquivalent(_)));
+    }
+
+    fn adder_pair() -> (Netlist, Netlist) {
+        let build = |swap: bool| {
+            let mut n = Netlist::new("t");
+            let a = n.add_input("a", 6);
+            let b = n.add_input("b", 6);
+            let mut carry = alice_netlist::ir::Lit::FALSE;
+            let mut outs = Vec::new();
+            for i in 0..6 {
+                let (x, y) = if swap { (b[i], a[i]) } else { (a[i], b[i]) };
+                let s1 = n.xor(x, y);
+                let s2 = n.xor(s1, carry);
+                let c1 = n.and(x, y);
+                let c2 = n.and(s1, carry);
+                carry = n.or(c1, c2);
+                outs.push(s2);
+            }
+            n.add_output("s", outs);
+            n
+        };
+        (build(false), build(true))
+    }
+
+    #[test]
+    fn raced_prove_agrees_with_single_and_joins_all_shards() {
+        // An Equivalent (all-UNSAT) miter raced across 3 configurations:
+        // the race must return the same verdict as portfolio 1, and
+        // because the race runs on scoped threads, returning at all
+        // proves every loser was cancelled and joined.
+        let (a, b) = adder_pair();
+        let opts = MiterOptions::default();
+        let single = Miter::build(&a, &b, &opts).expect("builds").prove();
+        let raced = prove_equivalent_raced(&a, &b, &opts, 3, 3).expect("builds");
+        assert_eq!(raced.result, single);
+        assert_eq!(raced.result, CecResult::Equivalent);
+        assert!(raced.winner < 3);
+        assert_eq!(raced.configs, 3);
+
+        // And a NotEquivalent pair keeps its verdict under racing too
+        // (the witness itself may legitimately differ per winner).
+        let mut bad = a.clone();
+        bad.outputs[0].1[0] = bad.outputs[0].1[0].compl();
+        let raced = prove_equivalent_raced(&a, &bad, &opts, 3, 3).expect("builds");
+        assert!(matches!(raced.result, CecResult::NotEquivalent(_)));
+    }
+
+    #[test]
+    fn raced_prove_with_one_config_is_the_plain_path() {
+        let (a, b) = adder_pair();
+        let r = prove_equivalent_raced(&a, &b, &MiterOptions::default(), 1, 4).expect("builds");
+        assert_eq!(r.result, CecResult::Equivalent);
+        assert_eq!((r.winner, r.configs), (0, 1));
+    }
+
+    #[test]
+    fn raced_prove_propagates_build_errors_and_exhaustion() {
+        let (a, b) = adder_pair();
+        // Structural error: definitive regardless of configuration.
+        let mut c = b.clone();
+        c.inputs[0].0 = Symbol::intern("renamed");
+        let err = prove_equivalent_raced(&a, &c, &MiterOptions::default(), 3, 3);
+        assert_eq!(err.err(), Some(MiterError::MissingInput("a".to_string())));
+        // A zero conflict budget exhausts every configuration: the limit
+        // verdict is only reported when nobody answers definitively.
+        let opts = MiterOptions {
+            conflict_budget: Some(0),
+            sweep: false,
+            sweep_conflict_budget: Some(0),
+            ..MiterOptions::default()
+        };
+        let r = prove_equivalent_raced(&a, &b, &opts, 3, 3).expect("builds");
+        // Commutated operands may strash to identical nodes and fold the
+        // miter closed without search; accept either non-witness verdict.
+        assert!(!matches!(r.result, CecResult::NotEquivalent(_)));
+    }
+
+    #[test]
+    fn cancelled_miter_reports_resource_limit() {
+        // a^b vs (a&!b)|(!a&b): equivalent but structurally different,
+        // so nothing folds and a verdict genuinely needs search (the
+        // sweep, which would stitch them, bails out when cancelled too).
+        let mut a = Netlist::new("x");
+        let i0 = a.add_input("a", 1)[0];
+        let i1 = a.add_input("b", 1)[0];
+        let y = a.xor(i0, i1);
+        a.add_output("y", vec![y]);
+        let mut b = Netlist::new("x2");
+        let i0 = b.add_input("a", 1)[0];
+        let i1 = b.add_input("b", 1)[0];
+        let t1 = b.and(i0, i1.compl());
+        let t2 = b.and(i0.compl(), i1);
+        let y = b.or(t1, t2);
+        b.add_output("y", vec![y]);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = MiterOptions {
+            cancel: Some(token),
+            ..MiterOptions::default()
+        };
+        let m = Miter::build(&a, &b, &opts).expect("builds");
+        assert_eq!(m.prove(), CecResult::ResourceLimit);
     }
 }

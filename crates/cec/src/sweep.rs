@@ -24,9 +24,11 @@
 //! lemmas already in the clause database and stays local.
 
 use crate::encode::{model_value, Encoder};
-use alice_attacks::solver::{Lit, SatResult, Solver};
+use alice_attacks::engine::SatEngine;
+use alice_attacks::solver::{Lit, SatResult};
 use alice_intern::Symbol;
 use alice_netlist::ir::{Lit as NLit, Netlist, Node};
+use alice_par::CancelToken;
 use std::collections::{HashMap, HashSet};
 
 /// Base signature: two 64-bit words = 128 random patterns. Refinement
@@ -168,7 +170,11 @@ pub(crate) struct SweepSide<'a> {
 
 impl SweepSide<'_> {
     /// Base words + one word per snapshot chunk, per boundary bit.
-    fn words(&self, solver: &Solver, snaps: &[Vec<HashMap<Lit, bool>>]) -> (PortWords, StateWords) {
+    fn words(
+        &self,
+        solver: &dyn SatEngine,
+        snaps: &[Vec<HashMap<Lit, bool>>],
+    ) -> (PortWords, StateWords) {
         let extend = |l: Lit, base: &Sig| -> Vec<u64> {
             let mut w = base.to_vec();
             for chunk in snaps {
@@ -217,15 +223,16 @@ impl SweepSide<'_> {
 /// internal node pairs with matching signatures equal and asserts the
 /// equalities as unit lemmas in `solver`.
 pub(crate) fn sweep(
-    solver: &mut Solver,
+    solver: &mut dyn SatEngine,
     enc: &mut Encoder,
     a: &SweepSide<'_>,
     b: &SweepSide<'_>,
     pair_budget: Option<u64>,
+    cancel: Option<&CancelToken>,
 ) -> SweepStats {
     let debug = std::env::var_os("ALICE_CEC_DEBUG").is_some();
-    let saved_budget = solver.conflict_budget;
-    solver.conflict_budget = pair_budget;
+    let saved_budget = solver.budget();
+    solver.set_budget(pair_budget);
     // All boundary literals whose model values a counterexample snapshot
     // must capture.
     let boundary: Vec<Lit> = a
@@ -242,11 +249,11 @@ pub(crate) fn sweep(
     let mut merged: HashSet<(Lit, Lit)> = HashSet::new();
     let mut refuted: HashSet<(Lit, Lit)> = HashSet::new();
     let mut snaps: Vec<Vec<HashMap<Lit, bool>>> = Vec::new();
-    for round in 0..=MAX_ROUNDS {
+    'rounds: for round in 0..=MAX_ROUNDS {
         stats.rounds = round + 1;
         let words = 2 + snaps.len();
-        let (iw_a, sw_a) = a.words(solver, &snaps);
-        let (iw_b, sw_b) = b.words(solver, &snaps);
+        let (iw_a, sw_a) = a.words(&*solver, &snaps);
+        let (iw_b, sw_b) = b.words(&*solver, &snaps);
         let sig_a = sim_words(a.n, &iw_a, &sw_a, words);
         let sig_b = sim_words(b.n, &iw_b, &sw_b, words);
 
@@ -265,6 +272,12 @@ pub(crate) fn sweep(
         let mut undecided = 0usize;
         let merged_before = stats.merged;
         for (id, node) in b.n.iter() {
+            // A losing portfolio racer abandons its remaining candidate
+            // proofs outright — the per-round simulation and the pending
+            // SAT calls are pure wall-clock once the race is decided.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                break 'rounds;
+            }
             if !node.is_gate() {
                 continue;
             }
@@ -319,7 +332,7 @@ pub(crate) fn sweep(
         }
         snaps.push(chunk);
     }
-    solver.conflict_budget = saved_budget;
+    solver.set_budget(saved_budget);
     stats
 }
 

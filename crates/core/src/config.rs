@@ -57,6 +57,13 @@ pub struct AliceConfig {
     /// unlimited (the proof either finishes or runs forever — prefer a
     /// budget on untrusted inputs).
     pub verify_conflict_budget: Option<u64>,
+    /// Portfolio width of the verify stage's equivalence proofs (the
+    /// `alice` CLI's `--portfolio`, YAML `portfolio:`): race this many
+    /// diversified SAT configurations per proof, first definitive answer
+    /// wins. `1` (the default) is the classic single-solver path with
+    /// byte-identical reports; racing never changes verdicts, only
+    /// wall-clock.
+    pub portfolio: usize,
     /// Use the content-addressed characterization cache (the
     /// [`DesignDb`](crate::db::DesignDb)). On by default; the `alice`
     /// CLI's `--no-cache` turns it off for A/B measurements.
@@ -91,6 +98,7 @@ impl Default for AliceConfig {
             verify: false,
             verify_wrong_keys: 0,
             verify_conflict_budget: Some(5_000_000),
+            portfolio: 1,
             cache: true,
             store: None,
             store_budget: None,
@@ -190,6 +198,13 @@ impl AliceConfig {
         }
         if let Some(v) = y.get("wrong_keys") {
             cfg.verify_wrong_keys = v.as_u32().ok_or_else(|| bad("wrong_keys"))? as usize;
+        }
+        if let Some(v) = y.get("portfolio") {
+            let n = v.as_u32().ok_or_else(|| bad("portfolio"))?;
+            if n == 0 {
+                return Err(bad("portfolio"));
+            }
+            cfg.portfolio = n as usize;
         }
         if let Some(v) = y.get("verify_budget") {
             let budget = v.as_u32().ok_or_else(|| bad("verify_budget"))?;
@@ -292,6 +307,15 @@ mod tests {
         assert!(!unlimited.verify, "verify defaults to off");
         assert!(AliceConfig::from_yaml("verify: maybe").is_err());
         assert!(AliceConfig::from_yaml("wrong_keys: lots").is_err());
+    }
+
+    #[test]
+    fn portfolio_parses() {
+        assert_eq!(AliceConfig::default().portfolio, 1, "default is classic");
+        let cfg = AliceConfig::from_yaml("portfolio: 4").expect("parse");
+        assert_eq!(cfg.portfolio, 4);
+        assert!(AliceConfig::from_yaml("portfolio: 0").is_err(), "zero");
+        assert!(AliceConfig::from_yaml("portfolio: lots").is_err());
     }
 
     #[test]

@@ -29,7 +29,9 @@ use crate::error::AliceError;
 use crate::par::shard;
 use crate::redact::RedactedDesign;
 use alice_cec::cache::{self as cec_cache, CachedCorruption, CachedProof};
-use alice_cec::{miter_fingerprint, CecResult, Counterexample, Miter, MiterOptions};
+use alice_cec::{
+    miter_fingerprint, prove_equivalent_raced, CecResult, Counterexample, Miter, MiterOptions,
+};
 use alice_intern::Symbol;
 use alice_netlist::ir::Netlist;
 use std::collections::HashMap;
@@ -100,6 +102,31 @@ impl WrongKeyOutcome {
     }
 }
 
+/// Summary of the portfolio race behind the equivalence proof, present
+/// only when [`AliceConfig::portfolio`] > 1 and the proof actually ran
+/// (cache hits race nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioSummary {
+    /// Configurations raced.
+    pub configs: usize,
+    /// Index of the winning configuration (0 = the classic defaults).
+    pub winner: usize,
+    /// Conflicts spent by the winner (sweeping + proof).
+    pub conflicts: u64,
+    /// Clauses the winner learned.
+    pub learned: u64,
+}
+
+impl fmt::Display for PortfolioSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config {}/{} won ({} conflicts, {} learned)",
+            self.winner, self.configs, self.conflicts, self.learned
+        )
+    }
+}
+
 /// The verify stage's artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerifyReport {
@@ -113,6 +140,9 @@ pub struct VerifyReport {
     pub cnf_clauses: usize,
     /// Wrong-key corruptibility sweep results (empty when disabled).
     pub wrong_keys: Vec<WrongKeyOutcome>,
+    /// Portfolio race summary (`None` in classic single-solver runs and
+    /// on proof-cache hits).
+    pub portfolio: Option<PortfolioSummary>,
 }
 
 impl VerifyReport {
@@ -200,6 +230,7 @@ pub fn verify_redaction(
                 cnf_vars: 0,
                 cnf_clauses: 0,
                 wrong_keys: Vec::new(),
+                portfolio: None,
             })
         }
     };
@@ -212,7 +243,7 @@ pub fn verify_redaction(
     let store = db.store().map(Arc::as_ref);
     let fp = miter_fingerprint(&golden, &revised, &opts);
     let cached = store.and_then(|s| cec_cache::lookup_proof(s, fp));
-    let (outcome, diff_points, cnf_vars, cnf_clauses) = match cached {
+    let (outcome, diff_points, cnf_vars, cnf_clauses, portfolio) = match cached {
         Some(proof) => {
             db.count_external_disk_hit();
             (
@@ -220,14 +251,23 @@ pub fn verify_redaction(
                 proof.diff_points as usize,
                 proof.cnf_vars as usize,
                 proof.cnf_clauses as usize,
+                None,
             )
         }
         None => {
-            let miter = Miter::build(&golden, &revised, &opts)
-                .map_err(|e| AliceError::Verify(e.to_string()))?;
-            let diff_points = miter.diff_points();
-            let (cnf_vars, cnf_clauses) = miter.cnf_size();
-            let outcome = match miter.prove() {
+            // `portfolio == 1` takes the classic single-solver path
+            // inside `prove_equivalent_raced` (no extra threads, no
+            // behavior change); larger widths race diversified solver
+            // and encoding configurations, first definitive answer wins.
+            let ro = prove_equivalent_raced(
+                &golden,
+                &revised,
+                &opts,
+                cfg.portfolio,
+                cfg.effective_jobs(),
+            )
+            .map_err(|e| AliceError::Verify(e.to_string()))?;
+            let outcome = match ro.result {
                 CecResult::Equivalent => VerifyOutcome::Equivalent,
                 CecResult::NotEquivalent(cex) => VerifyOutcome::NotEquivalent(cex),
                 CecResult::ResourceLimit => VerifyOutcome::ResourceLimit,
@@ -238,15 +278,27 @@ pub fn verify_redaction(
                         s,
                         fp,
                         CachedProof {
-                            diff_points: diff_points as u64,
-                            cnf_vars: cnf_vars as u64,
-                            cnf_clauses: cnf_clauses as u64,
+                            diff_points: ro.diff_points as u64,
+                            cnf_vars: ro.cnf_vars as u64,
+                            cnf_clauses: ro.cnf_clauses as u64,
                         },
                     );
                     db.count_external_miss();
                 }
             }
-            (outcome, diff_points, cnf_vars, cnf_clauses)
+            let summary = (cfg.portfolio > 1).then_some(PortfolioSummary {
+                configs: ro.configs,
+                winner: ro.winner,
+                conflicts: ro.stats.conflicts,
+                learned: ro.stats.learned,
+            });
+            (
+                outcome,
+                ro.diff_points,
+                ro.cnf_vars,
+                ro.cnf_clauses,
+                summary,
+            )
         }
     };
 
@@ -264,6 +316,7 @@ pub fn verify_redaction(
         cnf_vars,
         cnf_clauses,
         wrong_keys,
+        portfolio,
     })
 }
 

@@ -1075,24 +1075,31 @@ impl<'a> Elaborator<'a> {
                         Some(amt) => words::shr_const(&av, amt as u32),
                         None => words::shr_dyn(n, &av, &bv),
                     },
-                    BinaryOp::Div | BinaryOp::Mod => {
-                        let amt = word_as_const(&bv).ok_or_else(|| {
-                            ElabError::Unsupported("division by a non-constant".into())
-                        })?;
-                        if !amt.is_power_of_two() {
-                            return Err(ElabError::Unsupported(
-                                "division by a non-power-of-two constant".into(),
-                            ));
+                    BinaryOp::Div | BinaryOp::Mod => match word_as_const(&bv) {
+                        // Power-of-two divisors stay pure wiring.
+                        Some(amt) if amt.is_power_of_two() => {
+                            let k = amt.trailing_zeros();
+                            if *op == BinaryOp::Div {
+                                words::shr_const(&av, k)
+                            } else {
+                                let mut v = av.clone();
+                                v.truncate(k as usize);
+                                v
+                            }
                         }
-                        let k = amt.trailing_zeros();
-                        if *op == BinaryOp::Div {
-                            words::shr_const(&av, k)
-                        } else {
-                            let mut v = av.clone();
-                            v.truncate(k as usize);
-                            v
+                        // Everything else lowers to a restoring divider
+                        // array (constant non-power-of-two divisors
+                        // included — constant folding inside the netlist
+                        // builder collapses their compare rows).
+                        _ => {
+                            let (q, r) = words::divmod(n, &av, &bv);
+                            if *op == BinaryOp::Div {
+                                q
+                            } else {
+                                r
+                            }
                         }
-                    }
+                    },
                 })
             }
             Expr::Ternary(c, t, f) => {

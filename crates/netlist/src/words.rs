@@ -133,6 +133,36 @@ pub fn mul(n: &mut Netlist, a: &Word, b: &Word) -> Word {
     acc
 }
 
+/// Restoring array divider: `(a / b, a % b)` with Verilog unsigned
+/// semantics at the wider operand width. One shift–compare–subtract row
+/// per dividend bit, MSB first: the candidate remainder is the previous
+/// remainder shifted left with the next dividend bit appended; when it
+/// reaches the divisor, the divisor is subtracted and that quotient bit
+/// is 1. Division by zero falls out of the same array as an all-ones
+/// quotient with `a` as the remainder (every compare trivially passes).
+pub fn divmod(n: &mut Netlist, a: &Word, b: &Word) -> (Word, Word) {
+    let w = a.len().max(b.len());
+    let (a, b) = (resize(a, w as u32), resize(b, w as u32));
+    // Compare and subtract one bit wider than the remainder: the shifted
+    // candidate needs w+1 bits before the restore step shrinks it again.
+    let bx = resize(&b, w as u32 + 1);
+    let mut rem = vec![Lit::FALSE; w];
+    let mut q = vec![Lit::FALSE; w];
+    for i in (0..w).rev() {
+        // shifted = (rem << 1) | a[i], LSB first.
+        let mut shifted = Vec::with_capacity(w + 1);
+        shifted.push(a[i]);
+        shifted.extend_from_slice(&rem);
+        let ge = lt(n, &shifted, &bx).compl();
+        let diff = sub(n, &shifted, &bx);
+        // Either branch fits back into w bits: after a subtraction the
+        // remainder is < b, otherwise it *is* the rejected candidate < b.
+        rem = resize(&mux(n, ge, &diff, &shifted), w as u32);
+        q[i] = ge;
+    }
+    (q, rem)
+}
+
 /// Equality comparison, 1-bit result.
 pub fn eq(n: &mut Netlist, a: &Word, b: &Word) -> Lit {
     let w = a.len().max(b.len()) as u32;
@@ -267,6 +297,23 @@ mod tests {
         for (a, b) in [(0u64, 7u64), (3, 5), (15, 15), (12, 10)] {
             assert_eq!(eval2(mul, 8, 8, a, b), (a * b) & 0xff, "{a}*{b}");
         }
+    }
+
+    #[test]
+    fn divider_matches_reference() {
+        for (a, b) in [(0u64, 7u64), (13, 4), (255, 16), (200, 3), (7, 9), (42, 1)] {
+            assert_eq!(eval2(|n, a, b| divmod(n, a, b).0, 8, 8, a, b), a / b);
+            assert_eq!(eval2(|n, a, b| divmod(n, a, b).1, 8, 8, a, b), a % b);
+        }
+        // Division by zero: all-ones quotient, dividend as remainder.
+        assert_eq!(eval2(|n, a, b| divmod(n, a, b).0, 8, 8, 77, 0), 0xff);
+        assert_eq!(eval2(|n, a, b| divmod(n, a, b).1, 8, 8, 77, 0), 77);
+    }
+
+    #[test]
+    fn divider_handles_mixed_widths() {
+        assert_eq!(eval2(|n, a, b| divmod(n, a, b).0, 8, 4, 250, 9), 27);
+        assert_eq!(eval2(|n, a, b| divmod(n, a, b).1, 4, 8, 15, 200), 15);
     }
 
     #[test]

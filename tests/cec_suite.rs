@@ -36,14 +36,6 @@ fn every_benchmark_redaction_is_proven_equivalent() {
             VerifyOutcome::Equivalent => {
                 assert!(v.diff_points > 0, "{}: nothing compared", b.name);
             }
-            VerifyOutcome::Unsupported(why) => {
-                // The one known gap: usb_phy's top divides by a signal.
-                assert_eq!(
-                    b.name, "USB_PHY",
-                    "{}: unexpectedly unsupported: {why}",
-                    b.name
-                );
-            }
             other => panic!("{}: redaction not proven equivalent: {other}", b.name),
         }
     }

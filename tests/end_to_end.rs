@@ -97,16 +97,20 @@ fn single_candidate_designs_have_single_solutions() {
 }
 
 #[test]
-fn usb_phy_invalid_fabrics_are_skipped() {
+fn usb_phy_characterizes_every_cluster() {
+    // The tx PHY's data-dependent divider (`period / rate`) used to fail
+    // characterization; the restoring-divider lowering makes all three
+    // clusters viable.
     let b = benchmarks::usb_phy::benchmark();
     let d = b.design().expect("load");
     for cfg in [AliceConfig::cfg1(), AliceConfig::cfg2()] {
         let out = Flow::new(b.config(cfg)).run(&d).expect("flow");
         assert_eq!(out.report.candidates, 2, "rx and tx in the cones");
         assert_eq!(out.report.clusters, 3, "two singles plus the pair");
-        assert_eq!(out.report.valid_efpgas, 1, "tx characterization fails");
-        assert_eq!(out.selection.failed.len(), 2, "tx single and the pair");
-        assert_eq!(out.report.solutions, 1);
+        assert_eq!(out.report.valid_efpgas, 3, "every cluster characterizes");
+        assert_eq!(out.selection.failed.len(), 0, "no characterization errors");
+        assert!(out.report.solutions >= 1);
+        assert!(out.redacted.is_some());
     }
 }
 

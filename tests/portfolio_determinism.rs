@@ -1,0 +1,158 @@
+//! Determinism guard for portfolio solving: racing diversified solver
+//! configurations may change wall-clock and witnesses, but never
+//! *answers*. On GCD and DES3, a `portfolio = 3` run must produce the
+//! same equivalence verdict as the classic `portfolio = 1` path, and the
+//! SAT attack must recover the same canonical key bit-for-bit
+//! (counterexamples and DIP sequences may differ; verdicts and key bits
+//! may not).
+//!
+//! SAT-heavy: ignored in debug builds, run by CI's release matrix entry.
+
+use alice_redaction::attacks::{sat_attack, sat_attack_portfolio, AttackBudget, AttackStatus};
+use alice_redaction::benchmarks;
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::flow::{Flow, FlowOutcome};
+use alice_redaction::core::select::ClusterMapper;
+use alice_redaction::core::verify::VerifyOutcome;
+use std::sync::Arc;
+
+fn verified_run(b: &benchmarks::Benchmark, portfolio: usize) -> FlowOutcome {
+    let d = b.design().expect("load");
+    let cfg = AliceConfig {
+        verify: true,
+        portfolio,
+        // Real racing threads even on small machines, so the guard
+        // exercises concurrent cancellation, not the inline path.
+        jobs: portfolio.max(1),
+        ..b.config(AliceConfig::cfg1())
+    };
+    Flow::new(cfg).run(&d).expect("flow")
+}
+
+#[cfg_attr(debug_assertions, ignore = "SAT-heavy; run with --release")]
+#[test]
+fn portfolio_verdicts_match_the_classic_path() {
+    for b in [benchmarks::gcd::benchmark(), benchmarks::des3::benchmark()] {
+        let classic = verified_run(&b, 1);
+        let raced = verified_run(&b, 3);
+        let vc = classic.verify.as_ref().expect("verify ran");
+        let vr = raced.verify.as_ref().expect("verify ran");
+        assert_eq!(
+            vc.outcome,
+            VerifyOutcome::Equivalent,
+            "{}: classic verdict",
+            b.name
+        );
+        assert_eq!(
+            vr.outcome, vc.outcome,
+            "{}: portfolio changed the verdict",
+            b.name
+        );
+        assert!(vc.portfolio.is_none(), "{}: classic run raced", b.name);
+        let summary = vr
+            .portfolio
+            .as_ref()
+            .expect("portfolio summary on a raced proof");
+        assert_eq!(summary.configs, 3, "{}", b.name);
+        assert!(summary.winner < 3, "{}", b.name);
+    }
+}
+
+#[cfg_attr(debug_assertions, ignore = "SAT-heavy; run with --release")]
+#[test]
+fn portfolio_attack_recovers_identical_keys() {
+    // Key recovery requires the attack to RUN TO TERMINATION (the DIP
+    // miter goes UNSAT), and termination is bounded by the fabric's
+    // INPUT space, not its LUT count — so the bit-for-bit key
+    // comparison races full-budget attacks on small-input cluster
+    // fabrics (≤ 2^INPUT_CAP possible DIPs), while the budget-truncated
+    // Resilient regime is pinned separately on each design's largest
+    // budget-class fabric.
+    const INPUT_CAP: usize = 10;
+    const LUT_CAP: usize = 220;
+    let truncated = AttackBudget {
+        max_dips: 12,
+        conflicts_per_call: 8_000,
+    };
+    let inputs_of =
+        |n: &alice_redaction::netlist::lutmap::MappedNetlist| n.input_names.len() + n.dffs.len();
+    let mut compared = 0;
+    for b in [benchmarks::gcd::benchmark(), benchmarks::des3::benchmark()] {
+        let d = b.design().expect("load");
+        // cfg1 where it redacts, cfg2 otherwise — same probe as cec_bench.
+        let probe = Flow::new(b.config(AliceConfig::cfg1()))
+            .run(&d)
+            .expect("flow");
+        let out = if probe.redacted.is_some() {
+            probe
+        } else {
+            Flow::new(b.config(AliceConfig::cfg2()))
+                .run(&d)
+                .expect("flow")
+        };
+        let db = Arc::new(alice_redaction::core::db::DesignDb::new());
+        let mut mapper = ClusterMapper::new(&d, 4, &db);
+        let mut networks: Vec<_> = out
+            .selection
+            .valid
+            .iter()
+            .filter_map(|chosen| {
+                mapper
+                    .cluster_network(&chosen.cluster, &out.filter.candidates)
+                    .ok()
+            })
+            .collect();
+        networks.sort_by_key(|n| (inputs_of(n), n.lut_count()));
+
+        // Regime 1: full-budget key recovery on up to two small-input
+        // fabrics — both paths must terminate with identical keys.
+        for network in networks
+            .iter()
+            .filter(|n| inputs_of(n) <= INPUT_CAP)
+            .take(2)
+        {
+            let classic = sat_attack(network, AttackBudget::default());
+            let raced = sat_attack_portfolio(network, AttackBudget::default(), 3);
+            match (&classic.status, &raced.status) {
+                (
+                    AttackStatus::KeyRecovered { keys: kc },
+                    AttackStatus::KeyRecovered { keys: kr },
+                ) => {
+                    assert_eq!(kc, kr, "{}: canonical keys must match bit-for-bit", b.name);
+                    compared += 1;
+                }
+                (c, r) => panic!(
+                    "{}: a {}-input fabric must terminate on both paths, got {c:?} / {r:?}",
+                    b.name,
+                    inputs_of(network)
+                ),
+            }
+            assert!(classic.portfolio.is_none(), "{}", b.name);
+            let stats = raced.portfolio.as_ref().expect("raced attack has stats");
+            assert_eq!(stats.configs, 3, "{}", b.name);
+        }
+
+        // Regime 2: the budget-truncated verdict on the largest
+        // budget-class fabric must agree between the paths.
+        if let Some(network) = networks
+            .iter()
+            .filter(|n| n.lut_count() <= LUT_CAP)
+            .max_by_key(|n| n.lut_count())
+        {
+            let classic = sat_attack(network, truncated);
+            let raced = sat_attack_portfolio(network, truncated, 3);
+            assert_eq!(
+                classic.status == AttackStatus::Resilient,
+                raced.status == AttackStatus::Resilient,
+                "{}: portfolio changed the truncated attack outcome",
+                b.name
+            );
+        }
+    }
+    // At least one fabric across the two designs must actually recover
+    // a key, or the bit-for-bit comparison above never fired.
+    assert!(
+        compared > 0,
+        "no small-input fabric recovered a key — guard is vacuous"
+    );
+}
