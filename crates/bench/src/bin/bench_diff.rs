@@ -343,6 +343,29 @@ mod tests {
         assert!(err.contains("warm_vs_cold_improvement"), "{err}");
     }
 
+    const STORE_OPEN: &str = r#"{
+  "schema": "alice-bench-pipeline-v3",
+  "samples": 5,
+  "elaborate_ms": { "GCD": 100.0 },
+  "store_open_ms": {
+    "cold_small_ms": 60.0,
+    "cold_large_ms": 80.0,
+    "warm_small_ms": 55.0,
+    "warm_large_ms": 70.0
+  }
+}"#;
+
+    #[test]
+    fn store_open_phases_gate_like_any_other() {
+        diff_files("open-ok", STORE_OPEN, STORE_OPEN, 0.25).expect("identical files pass");
+        // A large-store open ballooning relative to the rest of the file
+        // is exactly the eager-open regression this section exists to
+        // catch.
+        let cand = STORE_OPEN.replace("\"warm_large_ms\": 70.0", "\"warm_large_ms\": 700.0");
+        let err = diff_files("open-large", STORE_OPEN, &cand, 0.25).expect_err("must fail");
+        assert!(err.contains("store_open_ms.warm_large_ms"), "{err}");
+    }
+
     const CEC: &str = r#"{
   "schema": "alice-cec-bench-v1",
   "samples": 3,

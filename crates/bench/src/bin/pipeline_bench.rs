@@ -18,7 +18,12 @@
 //!   cold-process/warm-disk case `--store` buys), each with its
 //!   improvement over cold,
 //! * `cache` — hit/miss totals of the shared-db pass plus the disk
-//!   pass's disk-hit count.
+//!   pass's disk-hit count,
+//! * `store_open_ms` — `Store::open` latency over two 1000-record
+//!   stores whose payload bytes differ by 256×: a lazy open indexes
+//!   headers without reading payloads, so the two numbers should track
+//!   record count, not store size (cold = first open of fresh files,
+//!   warm = median of repeated opens).
 //!
 //! `--smoke` shrinks everything to one sample for CI.
 
@@ -27,12 +32,17 @@ use alice_cec::{Miter, MiterOptions};
 use alice_core::db::DesignDb;
 use alice_netlist::elaborate::elaborate;
 use alice_netlist::lutmap::map_luts;
+use alice_store::{Kind, Store};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: pipeline_bench [--out FILE] [--samples N] [--smoke]";
+
+/// Records per store in the `store_open_ms` section — enough that an
+/// open which read payloads would be visibly payload-bound.
+const STORE_OPEN_RECORDS: u64 = 1000;
 
 fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<Duration> = (0..samples.max(1))
@@ -171,9 +181,47 @@ fn main() -> ExitCode {
         0.0
     };
 
+    // --- Store opens: lazy indexing means open cost tracks the record
+    // count, not the payload bytes. Same record count, 256x the bytes:
+    // the large store's open should stay in the small store's ballpark.
+    let build_store = |payload_len: usize, tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "alice-pipeline-bench-open-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("create store");
+        for i in 0..STORE_OPEN_RECORDS {
+            store.put(
+                Kind::Netlist,
+                (i, i ^ 0x9E37_79B9),
+                vec![(i & 0xFF) as u8; payload_len],
+            );
+        }
+        store.flush().expect("flush store");
+        dir
+    };
+    let small_dir = build_store(64, "small");
+    let large_dir = build_store(16 * 1024, "large");
+    // First open of the freshly written files, then the steady state.
+    let open_cold_small = median_ms(1, || {
+        Store::open(&small_dir).expect("open");
+    });
+    let open_cold_large = median_ms(1, || {
+        Store::open(&large_dir).expect("open");
+    });
+    let open_warm_small = median_ms(samples, || {
+        Store::open(&small_dir).expect("open");
+    });
+    let open_warm_large = median_ms(samples, || {
+        Store::open(&large_dir).expect("open");
+    });
+    let _ = std::fs::remove_dir_all(&small_dir);
+    let _ = std::fs::remove_dir_all(&large_dir);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"alice-bench-pipeline-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"alice-bench-pipeline-v3\",");
     let _ = writeln!(json, "  \"samples\": {samples},");
     let _ = writeln!(json, "  \"elaborate_ms\": {},", json_map(&elab_ms));
     let _ = writeln!(json, "  \"lutmap_ms\": {},", json_map(&lutmap_ms));
@@ -191,6 +239,12 @@ fn main() -> ExitCode {
         json,
         "    \"disk_vs_cold_improvement\": {disk_improvement:.4}"
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"store_open_ms\": {{");
+    let _ = writeln!(json, "    \"cold_small_ms\": {open_cold_small:.3},");
+    let _ = writeln!(json, "    \"cold_large_ms\": {open_cold_large:.3},");
+    let _ = writeln!(json, "    \"warm_small_ms\": {open_warm_small:.3},");
+    let _ = writeln!(json, "    \"warm_large_ms\": {open_warm_large:.3}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
@@ -220,6 +274,16 @@ fn main() -> ExitCode {
         eprintln!(
             "pipeline_bench: WARNING: the warm-on-disk pass recomputed {} characterization(s)",
             disk_counts.misses
+        );
+    }
+    println!(
+        "pipeline_bench: store open ({STORE_OPEN_RECORDS} records) \
+         small {open_warm_small:.2} ms vs 256x-larger {open_warm_large:.2} ms"
+    );
+    if open_warm_large > open_warm_small * 4.0 + 2.0 {
+        eprintln!(
+            "pipeline_bench: WARNING: large-store open {open_warm_large:.2} ms is payload-bound \
+             (same record count opens in {open_warm_small:.2} ms) — lazy open may be reading payloads"
         );
     }
     ExitCode::SUCCESS

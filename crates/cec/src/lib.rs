@@ -20,10 +20,15 @@
 //!   cancellation, first definitive verdict wins,
 //! * [`sweep`] — ABC-style SAT sweeping (signature classes from 128-bit
 //!   word simulation, per-pair assumption proofs, equality lemmas) that
-//!   makes redacted-arithmetic miters tractable,
-//! * [`cache`] — the persistent proof cache over `alice-store`, keyed by
-//!   [`miter_fingerprint`] (name-free pair structure + pinned key bits)
-//!   so identical queries across processes skip re-proving.
+//!   makes redacted-arithmetic miters tractable; proven lemmas are keyed
+//!   by boundary-labelled cone hashes and persisted, so familiar
+//!   sub-structures start warm in later processes,
+//! * [`cache`] — the persistent proof cache over `alice-store`: whole
+//!   miters keyed by [`miter_fingerprint`] (name-free pair structure +
+//!   pinned key bits) so identical queries skip re-proving, plus the
+//!   per-pair sweep lemmas — which also serve *novel* miters (e.g. the
+//!   same pair under different pinned key bits) that the whole-miter
+//!   fingerprint misses.
 //!
 //! # Example
 //!

@@ -15,15 +15,17 @@
 //! counterexample).
 
 use crate::encode::{model_value, Encoder};
-use crate::sweep::{const_sig, random_sig, sweep, Sig, SweepSide, SweepStats};
+use crate::sweep::{const_sig, random_sig, sweep, ConeHash, Sig, SweepSide, SweepStats};
 use alice_attacks::engine::{EngineStats, SatEngine};
 use alice_attacks::portfolio::diversified_configs;
 use alice_attacks::solver::{Lit, SatResult, Solver, SolverConfig};
 use alice_intern::{StableHasher, Symbol};
 use alice_netlist::ir::{Netlist, NodeId};
 use alice_par::{race, CancelToken};
+use alice_store::Store;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a miter could not be built.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +162,14 @@ pub struct MiterOptions {
     /// [`CecResult::ResourceLimit`]; portfolio racing uses this to stop
     /// losing configurations. Excluded from [`miter_fingerprint`].
     pub cancel: Option<CancelToken>,
+    /// Persistent store consulted for — and extended with — per-pair
+    /// sweep lemmas (`alice_store::Kind::Lemma`): internal equivalences
+    /// proven by any past sweep, keyed by boundary-labelled cone hashes
+    /// so they transfer to novel miters over familiar sub-structures.
+    /// A lemma only short-circuits a proof the sweep would have
+    /// completed anyway, so — like the budgets — this steers wall-clock,
+    /// never verdicts, and is excluded from [`miter_fingerprint`].
+    pub lemma_store: Option<Arc<Store>>,
 }
 
 impl Default for MiterOptions {
@@ -175,6 +185,7 @@ impl Default for MiterOptions {
             sweep_conflict_budget: Some(2_000),
             solver_config: SolverConfig::default(),
             cancel: None,
+            lemma_store: None,
         }
     }
 }
@@ -191,10 +202,10 @@ impl Default for MiterOptions {
 /// golden register (after [`MiterOptions::state_rename`]), whether
 /// next-state functions are compared, and the key-prefix set (it
 /// decides whether revised-only boundary material is tolerated as key
-/// or a build error). Solver budgets and sweep settings are
-/// deliberately excluded: they affect how long a proof takes, never
-/// what verdict is sound, so a cached `Equivalent` stays valid across
-/// them.
+/// or a build error). Solver budgets, sweep settings, and the
+/// [`MiterOptions::lemma_store`] handle are deliberately excluded: they
+/// affect how long a proof takes, never what verdict is sound, so a
+/// cached `Equivalent` stays valid across them.
 ///
 /// Infallible by design — a pair the miter would reject still
 /// fingerprints fine (the mismatch is hashed as an unpaired marker);
@@ -342,6 +353,22 @@ fn observed_registers(n: &Netlist, next_roots: &BTreeSet<Symbol>) -> BTreeSet<Sy
     observed
 }
 
+/// Hashes a boundary leaf's *role* in the miter — shared-input ordinal,
+/// pinned constant value, free-key ordinal, golden-state ordinal — into
+/// the 128-bit label the sweeper's cone hashes are built over. Two
+/// leaves get the same label exactly when every miter binds them the
+/// same way (same shared variable, same constant, same free key slot),
+/// which is what makes persisted sweep lemmas transferable across
+/// miters: a lemma proven under one set of pinned key bits still names
+/// the same boundary functions in any miter that reproduces the labels.
+fn boundary_label(role: &str, ord: u64, bit: u64) -> ConeHash {
+    let mut h = StableHasher::new();
+    h.write_str(role);
+    h.write_u64(ord);
+    h.write_u64(bit);
+    h.finish()
+}
+
 /// The composed miter, ready to solve.
 pub struct Miter {
     engine: Box<dyn SatEngine>,
@@ -374,6 +401,13 @@ impl Miter {
         let mut rng: u64 = 0x5EED_A11C_E000_0001 ^ (a.len() as u64) << 1 ^ b.len() as u64;
         let mut wbind_a: HashMap<Symbol, Vec<Sig>> = HashMap::new();
         let mut wbind_b: HashMap<Symbol, Vec<Sig>> = HashMap::new();
+        // Boundary labels for the persisted-lemma cone hashes, also in
+        // lockstep: shared inputs label by golden ordinal, pins by their
+        // constant value, free key inputs/state by revised ordinal.
+        let mut labels_a: HashMap<Symbol, Vec<ConeHash>> = HashMap::new();
+        let mut labels_b: HashMap<Symbol, Vec<ConeHash>> = HashMap::new();
+        let mut slabels_a: HashMap<Symbol, ConeHash> = HashMap::new();
+        let mut slabels_b: HashMap<Symbol, ConeHash> = HashMap::new();
 
         // --- Shared inputs: allocate once, bind into both encodes. ---
         let b_in_widths: HashMap<Symbol, usize> =
@@ -381,7 +415,7 @@ impl Miter {
         let mut bind_a: HashMap<Symbol, Vec<Lit>> = HashMap::new();
         let mut bind_b: HashMap<Symbol, Vec<Lit>> = HashMap::new();
         let mut shared_inputs = Vec::new();
-        for (name, bits) in &a.inputs {
+        for (pi, (name, bits)) in a.inputs.iter().enumerate() {
             match b_in_widths.get(name) {
                 None => return Err(MiterError::MissingInput(name.to_string())),
                 Some(&w) if w != bits.len() => {
@@ -395,6 +429,11 @@ impl Miter {
             bind_b.insert(*name, lits.clone());
             wbind_a.insert(*name, words.clone());
             wbind_b.insert(*name, words);
+            let labels: Vec<ConeHash> = (0..bits.len())
+                .map(|j| boundary_label("in", pi as u64, j as u64))
+                .collect();
+            labels_a.insert(*name, labels.clone());
+            labels_b.insert(*name, labels);
             shared_inputs.push((*name, lits));
         }
 
@@ -412,11 +451,20 @@ impl Miter {
                 .collect();
             bind_b.insert(*name, consts);
             wbind_b.insert(*name, vals.iter().map(|&v| const_sig(v)).collect());
+            // A pinned bit is the constant function of its value: the
+            // value alone identifies it, so lemmas over cones that read
+            // it survive any renaming — but not a changed pin value.
+            labels_b.insert(
+                *name,
+                vals.iter()
+                    .map(|&v| boundary_label("pin", v as u64, 0))
+                    .collect(),
+            );
         }
 
         // --- Remaining revised-only inputs are free key inputs. ---
         let mut key_inputs = Vec::new();
-        for (name, bits) in &b.inputs {
+        for (bi, (name, bits)) in b.inputs.iter().enumerate() {
             if bind_b.contains_key(name) {
                 continue;
             }
@@ -426,6 +474,12 @@ impl Miter {
             let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut solver)).collect();
             bind_b.insert(*name, lits.clone());
             wbind_b.insert(*name, bits.iter().map(|_| random_sig(&mut rng)).collect());
+            labels_b.insert(
+                *name,
+                (0..bits.len())
+                    .map(|j| boundary_label("key", bi as u64, j as u64))
+                    .collect(),
+            );
             key_inputs.push((*name, lits));
         }
 
@@ -433,10 +487,11 @@ impl Miter {
         let mut state_a: HashMap<Symbol, Lit> = HashMap::new();
         let mut wstate_a: HashMap<Symbol, Sig> = HashMap::new();
         let mut shared_state = Vec::new();
-        for (_, name, _, _) in a.dff_records() {
+        for (gi, (_, name, _, _)) in a.dff_records().into_iter().enumerate() {
             let q = enc.fresh(&mut solver);
             state_a.insert(name, q);
             wstate_a.insert(name, random_sig(&mut rng));
+            slabels_a.insert(name, boundary_label("state", gi as u64, 0));
             shared_state.push((name, q));
         }
 
@@ -453,21 +508,24 @@ impl Miter {
         let mut wstate_b: HashMap<Symbol, Sig> = HashMap::new();
         let mut key_state = Vec::new();
         let mut paired: Vec<(Symbol, Symbol)> = Vec::new(); // (golden, revised)
-        for &(_, name, _, _) in &b_records {
+        for (bi, &(_, name, _, _)) in b_records.iter().enumerate() {
             let golden = opts.state_rename.get(&name).copied().unwrap_or(name);
             if let Some(&v) = pin_state.get(&name) {
                 let l = if v { enc.tru() } else { enc.fls() };
                 state_b.insert(name, l);
                 wstate_b.insert(name, const_sig(v));
+                slabels_b.insert(name, boundary_label("pin", v as u64, 0));
                 key_state.push((name, l));
             } else if let Some(&q) = state_a.get(&golden) {
                 state_b.insert(name, q);
                 wstate_b.insert(name, wstate_a[&golden]);
+                slabels_b.insert(name, slabels_a[&golden]);
                 paired.push((golden, name));
             } else {
                 let q = enc.fresh(&mut solver);
                 state_b.insert(name, q);
                 wstate_b.insert(name, random_sig(&mut rng));
+                slabels_b.insert(name, boundary_label("keystate", bi as u64, 0));
                 key_state.push((name, q));
             }
         }
@@ -502,6 +560,8 @@ impl Miter {
                     state_lits: &state_a,
                     input_base: &wbind_a,
                     state_base: &wstate_a,
+                    input_labels: &labels_a,
+                    state_labels: &slabels_a,
                     node_lits: &enc_a.node_lits,
                 },
                 &SweepSide {
@@ -510,9 +570,12 @@ impl Miter {
                     state_lits: &state_b,
                     input_base: &wbind_b,
                     state_base: &wstate_b,
+                    input_labels: &labels_b,
+                    state_labels: &slabels_b,
                     node_lits: &enc_b.node_lits,
                 },
                 opts.sweep_conflict_budget,
+                opts.lemma_store.as_deref(),
                 opts.cancel.as_ref(),
             )
         } else {
@@ -1278,6 +1341,155 @@ mod tests {
         // Commutated operands may strash to identical nodes and fold the
         // miter closed without search; accept either non-witness verdict.
         assert!(!matches!(r.result, CecResult::NotEquivalent(_)));
+    }
+
+    fn tmp_lemma_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alice-miter-lemma-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// a^b per bit, versus the (a&!b)|(!a&b) decomposition: equivalent,
+    /// structurally different, so every bit is real sweep work.
+    fn xor_vs_decomposed(width: u32) -> (Netlist, Netlist) {
+        let mut n1 = Netlist::new("x");
+        let a = n1.add_input("a", width);
+        let b = n1.add_input("b", width);
+        let ys = (0..width as usize).map(|i| n1.xor(a[i], b[i])).collect();
+        n1.add_output("y", ys);
+
+        let mut n2 = Netlist::new("x2");
+        let a = n2.add_input("a", width);
+        let b = n2.add_input("b", width);
+        let ys = (0..width as usize)
+            .map(|i| {
+                let t1 = n2.and(a[i], b[i].compl());
+                let t2 = n2.and(a[i].compl(), b[i]);
+                n2.or(t1, t2)
+            })
+            .collect();
+        n2.add_output("y", ys);
+        (n1, n2)
+    }
+
+    #[test]
+    fn warm_lemmas_skip_sweep_proofs() {
+        let (a, b) = xor_vs_decomposed(4);
+        let dir = tmp_lemma_dir("warm");
+
+        // Cold run: every merge costs a per-pair SAT proof, and the
+        // proven lemmas are persisted on flush.
+        let store = Arc::new(Store::open(&dir).expect("open"));
+        let opts = MiterOptions {
+            lemma_store: Some(Arc::clone(&store)),
+            ..MiterOptions::default()
+        };
+        let m = Miter::build(&a, &b, &opts).expect("builds");
+        let s1 = m.sweep_stats();
+        assert!(s1.merged > 0, "sweep must stitch the xor decompositions");
+        assert_eq!(s1.lemma_hits, 0, "cold store cannot serve lemmas");
+        assert_eq!(m.prove(), CecResult::Equivalent);
+        store.flush().expect("flush");
+        drop(store);
+        drop(opts);
+
+        // Warm run from a fresh handle (a second process): the same
+        // cone pairs are served from the store, skipping their proofs,
+        // and the verdict is unchanged.
+        let store = Arc::new(Store::open(&dir).expect("reopen"));
+        let opts = MiterOptions {
+            lemma_store: Some(Arc::clone(&store)),
+            ..MiterOptions::default()
+        };
+        let m = Miter::build(&a, &b, &opts).expect("builds");
+        let s2 = m.sweep_stats();
+        assert!(s2.lemma_hits > 0, "warm lemmas must be served: {s2:?}");
+        assert_eq!(s2.merged, s1.merged, "lemmas change cost, not merges");
+        assert!(
+            s2.candidates - s2.lemma_hits < s1.candidates,
+            "warm run must pose fewer per-pair SAT proofs ({s2:?} vs {s1:?})"
+        );
+        assert_eq!(m.prove(), CecResult::Equivalent);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lemmas_transfer_across_pinned_key_values() {
+        // A *novel* miter over familiar sub-structures: the same netlist
+        // pair under a different pinned key value. y0 is key-independent
+        // xor-vs-decomposition work; y1 reads the cfg register k but is
+        // equal to a[0] for either value of k. Lemmas proven for the y0
+        // cones under k=0 must warm the k=1 miter even though its
+        // whole-miter fingerprint differs.
+        let width = 4u32;
+        let mut g = Netlist::new("g");
+        let a = g.add_input("a", width);
+        let b = g.add_input("b", width);
+        let ys = (0..width as usize).map(|i| g.xor(a[i], b[i])).collect();
+        g.add_output("y0", ys);
+        g.add_output("y1", vec![a[0]]);
+
+        let mut r = Netlist::new("r");
+        let a = r.add_input("a", width);
+        let b = r.add_input("b", width);
+        let ys = (0..width as usize)
+            .map(|i| {
+                let t1 = r.and(a[i], b[i].compl());
+                let t2 = r.and(a[i].compl(), b[i]);
+                r.or(t1, t2)
+            })
+            .collect();
+        r.add_output("y0", ys);
+        let k = r.dff("top.le0.cfg[0]", false);
+        r.set_dff_input(k, k);
+        let alt = {
+            let t1 = r.and(a[0], b[0]);
+            let t2 = r.and(a[0], b[0].compl());
+            r.or(t1, t2) // == a[0], but not structurally
+        };
+        let y1 = r.mux(k, a[0], alt);
+        r.add_output("y1", vec![y1]);
+
+        let dir = tmp_lemma_dir("crosspin");
+        let pin = |v: bool, store: &Arc<Store>| MiterOptions {
+            pin_state: vec![(Symbol::intern("top.le0.cfg[0]"), v)],
+            lemma_store: Some(Arc::clone(store)),
+            ..MiterOptions::default()
+        };
+
+        let store = Arc::new(Store::open(&dir).expect("open"));
+        let o0 = pin(false, &store);
+        let m = Miter::build(&g, &r, &o0).expect("builds");
+        let s1 = m.sweep_stats();
+        assert!(s1.merged > 0);
+        assert_eq!(s1.lemma_hits, 0);
+        assert_eq!(m.prove(), CecResult::Equivalent);
+        store.flush().expect("flush");
+        drop(store);
+
+        let store = Arc::new(Store::open(&dir).expect("reopen"));
+        let o1 = pin(true, &store);
+        assert_ne!(
+            miter_fingerprint(&g, &r, &o0),
+            miter_fingerprint(&g, &r, &o1),
+            "different pinned key bits must be a whole-miter cache miss"
+        );
+        let m = Miter::build(&g, &r, &o1).expect("builds");
+        let s2 = m.sweep_stats();
+        assert!(
+            s2.lemma_hits > 0,
+            "key-independent lemmas must transfer: {s2:?}"
+        );
+        assert!(
+            s2.candidates - s2.lemma_hits < s1.candidates,
+            "warm novel miter must pose fewer per-pair SAT proofs ({s2:?} vs {s1:?})"
+        );
+        assert_eq!(m.prove(), CecResult::Equivalent);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

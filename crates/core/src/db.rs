@@ -32,9 +32,14 @@
 //! [`Store`] (`alice-store`): misses are written through, and a *later
 //! process* over the same store directory serves them as **disk hits**
 //! instead of recomputing — the keys are content-addressed, so nothing
-//! about the original process needs to survive. Disk records carry
-//! per-record checksums; anything corrupt, truncated, or written by a
-//! different format version silently degrades to a recompute.
+//! about the original process needs to survive. Opening a store only
+//! indexes the segments (offsets, not payloads); each record's bytes
+//! are read and checksum-verified on first access, so anything corrupt,
+//! truncated, or written by a different format version silently
+//! degrades to a recompute. Beyond the three oracles above, the store
+//! also carries the CEC proof cache and the sweeper's per-pair lemma
+//! segment (see `alice_cec::cache`), handed to the verify stage via
+//! [`DesignDb::store`].
 
 use crate::error::AliceError;
 use alice_fabric::{create_efpga, EfpgaImpl, FabricArch};

@@ -234,7 +234,11 @@ pub fn verify_redaction(
             })
         }
     };
-    let opts = base_options(redacted, cfg);
+    let mut opts = base_options(redacted, cfg);
+    // Hand the sweep the store's lemma segment: even when the
+    // whole-miter fingerprint below misses (a novel query), per-pair
+    // equalities proven by any past sweep warm-start this one.
+    opts.lemma_store = db.store().cloned();
 
     // The persistent proof cache: an identical (golden, revised, pins)
     // query across suite re-runs or CLI invocations skips the whole
@@ -351,7 +355,11 @@ fn wrong_key_sweep(
     if key_bits.is_empty() {
         return Ok(Vec::new());
     }
-    let base = base_options(redacted, cfg);
+    let mut base = base_options(redacted, cfg);
+    // Each wrong key is a *novel* miter (its pins differ), but the
+    // key-independent cones repeat across all N of them — exactly the
+    // case the persisted sweep lemmas exist for.
+    base.lemma_store = db.store().cloned();
     let n = cfg.verify_wrong_keys;
 
     // Pre-draw the flip sets (deterministic, independent of sharding).

@@ -8,21 +8,35 @@
 //! parameter sweep of many invocations) starts warm.
 //!
 //! Layout: one **segment file per artifact kind** ([`Kind::Netlist`],
-//! [`Kind::LutMap`], [`Kind::Fabric`], [`Kind::Cec`]) under a store
-//! directory, each a flat sequence of records
+//! [`Kind::LutMap`], [`Kind::Fabric`], [`Kind::Cec`], [`Kind::Lemma`])
+//! under a store directory, each a flat sequence of records
 //! `key(16) · payload_len(4) · payload · checksum(16)`, where the
-//! checksum is a [`StableHasher`] digest of
-//! the payload; files open with a `magic · format-version · kind`
-//! header. The whole segment is loaded into an in-memory index on open;
-//! a flush rewrites any segment with new records to a tempfile and
-//! commits it with an atomic rename, so a crash can lose the newest
-//! records but never corrupt existing ones (read-only runs rewrite
-//! nothing but the access-stamp sidecar).
+//! checksum is a [`StableHasher`] digest of the **key and payload**
+//! (so a key bit-flip cannot re-home a valid payload under the wrong
+//! content address); files open with a `magic · format-version · kind`
+//! header.
+//!
+//! **Opens are lazy.** [`Store::open`] scans only the record framing,
+//! building an offset index `key → (file offset, len)` without reading
+//! a single payload byte — O(records), not O(bytes). The payload is
+//! `pread` from the segment and checksum-verified on the first
+//! [`Store::get`] of that key, then memoized in the slot. Each segment
+//! keeps its open-time file handle, so a concurrent writer's
+//! atomic-rename commit never invalidates this handle's offsets: they
+//! keep reading the original inode. A flush rewrites any segment with
+//! new records to a tempfile, commits it with an atomic rename, and
+//! fsyncs the store directory so the rename itself is durable; a crash
+//! can lose the newest records but never corrupt existing ones
+//! (read-only runs rewrite nothing but the access-stamp sidecar).
 //!
 //! **Robustness contract:** a corrupt, truncated, or version-mismatched
 //! record (or whole file) silently degrades to a cache miss — the flow
 //! recomputes and overwrites; nothing in this crate turns bad disk state
-//! into an error for the caller.
+//! into an error for the caller. Framing damage (bad header, truncated
+//! tail) is caught at open; payload damage is caught at get-time, when
+//! the record is first verified. Bumping [`FORMAT_VERSION`] (v1 → v2
+//! folded the key into the checksum) invalidates every existing store:
+//! old files are treated as empty and recomputed, never misread.
 //!
 //! Eviction is explicit: [`Store::gc`] compacts to a byte budget,
 //! dropping least-recently-accessed records first (access stamps live in
@@ -40,7 +54,7 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A 128-bit content-addressed key (the same shape `DesignDb` uses).
 pub type Key = (u64, u64);
@@ -50,8 +64,10 @@ pub const MAGIC: [u8; 8] = *b"ALICSTOR";
 
 /// The on-disk format version. Bumping it invalidates every existing
 /// store (old files are treated as empty and rewritten), which is the
-/// intended migration story: recompute, never misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// intended migration story: recompute, never misread. Version 2 folded
+/// the record key into the per-record checksum and added the lemma
+/// segment.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed per-record framing overhead (key + length + checksum).
 const RECORD_OVERHEAD: u64 = 16 + 4 + 16;
@@ -70,11 +86,21 @@ pub enum Kind {
     /// CEC proof results, keyed by the name-free miter fingerprint
     /// (netlist pair structure + pinned key bits).
     Cec,
+    /// SAT-sweep equality lemmas, keyed by the canonical pair of
+    /// structural cone hashes they equate — the sub-miter cache that
+    /// lets a novel miter over familiar structures start warm.
+    Lemma,
 }
 
 impl Kind {
     /// Every kind, in segment order.
-    pub const ALL: [Kind; 4] = [Kind::Netlist, Kind::LutMap, Kind::Fabric, Kind::Cec];
+    pub const ALL: [Kind; 5] = [
+        Kind::Netlist,
+        Kind::LutMap,
+        Kind::Fabric,
+        Kind::Cec,
+        Kind::Lemma,
+    ];
 
     /// The kind's segment file name inside the store directory.
     pub fn file_name(self) -> &'static str {
@@ -83,6 +109,7 @@ impl Kind {
             Kind::LutMap => "lutmaps.seg",
             Kind::Fabric => "fabrics.seg",
             Kind::Cec => "cec.seg",
+            Kind::Lemma => "lemmas.seg",
         }
     }
 
@@ -93,6 +120,7 @@ impl Kind {
             Kind::LutMap => "lutmap",
             Kind::Fabric => "fabric",
             Kind::Cec => "cec",
+            Kind::Lemma => "lemma",
         }
     }
 
@@ -102,6 +130,7 @@ impl Kind {
             Kind::LutMap => 1,
             Kind::Fabric => 2,
             Kind::Cec => 3,
+            Kind::Lemma => 4,
         }
     }
 
@@ -114,9 +143,24 @@ impl Kind {
     }
 }
 
-#[derive(Debug, Default)]
+/// Where a record's payload currently lives.
+#[derive(Debug)]
+enum Payload {
+    /// Read and checksum-verified (or inserted by this handle).
+    Loaded(Arc<Vec<u8>>),
+    /// Indexed at open but not yet read: `offset` is the payload's byte
+    /// position in the segment's open-time file handle. Verified (and
+    /// memoized to `Loaded`) on first get; a failed verify drops the
+    /// record — the get-time arm of the degrade-to-miss contract.
+    OnDisk { offset: u64 },
+}
+
+#[derive(Debug)]
 struct RecordSlot {
-    bytes: std::sync::Arc<Vec<u8>>,
+    payload: Payload,
+    /// Payload length in bytes (known from the framing even before the
+    /// payload itself is read).
+    len: u32,
     /// Logical last-access stamp (monotone across open/flush cycles).
     stamp: u64,
 }
@@ -124,6 +168,11 @@ struct RecordSlot {
 #[derive(Debug, Default)]
 struct KindState {
     records: HashMap<Key, RecordSlot>,
+    /// The segment's open-time file handle. Lazy reads go through this
+    /// handle, not the path: a concurrent writer commits by renaming a
+    /// new file over the path, and the held handle keeps the original
+    /// inode — and therefore this index's offsets — alive and valid.
+    file: Option<Arc<fs::File>>,
     /// True when records changed since the last flush (segment rewrite
     /// needed; access-stamp bumps alone only dirty the sidecar index).
     dirty: bool,
@@ -138,14 +187,14 @@ impl KindState {
     fn payload_bytes(&self) -> u64 {
         self.records
             .values()
-            .map(|r| r.bytes.len() as u64 + RECORD_OVERHEAD)
+            .map(|r| r.len as u64 + RECORD_OVERHEAD)
             .sum()
     }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    kinds: [KindState; 4],
+    kinds: [KindState; 5],
     /// Logical access clock; starts above every loaded stamp.
     clock: u64,
     access_dirty: bool,
@@ -168,7 +217,7 @@ pub struct KindStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Per-kind statistics, in [`Kind::ALL`] order.
-    pub kinds: [KindStats; 4],
+    pub kinds: [KindStats; 5],
 }
 
 impl StoreStats {
@@ -232,9 +281,12 @@ pub struct Store {
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Store {
-    /// Opens (creating if needed) the store at `dir`, loading every
-    /// readable record into the in-memory index. Unreadable, corrupt, or
-    /// version-mismatched files are treated as empty.
+    /// Opens (creating if needed) the store at `dir`, building an
+    /// in-memory **offset index** of every readable record. Only the
+    /// record framing is scanned — payloads stay on disk until the
+    /// first [`Store::get`] reads and verifies them — so open cost
+    /// scales with the record count, not the stored bytes. Unreadable,
+    /// corrupt, or version-mismatched files are treated as empty.
     ///
     /// # Errors
     ///
@@ -246,8 +298,12 @@ impl Store {
         let mut inner = Inner::default();
         for kind in Kind::ALL {
             let path = dir.join(kind.file_name());
-            if let Ok(bytes) = fs::read(&path) {
-                load_segment(kind, &bytes, &mut inner.kinds[kind.index()]);
+            if let Ok(file) = fs::File::open(&path) {
+                if let Some(records) = index_segment(kind, &file) {
+                    let state = &mut inner.kinds[kind.index()];
+                    state.records = records;
+                    state.file = Some(Arc::new(file));
+                }
             }
         }
         // Access stamps from the sidecar index (missing entries stay 0 =
@@ -276,13 +332,38 @@ impl Store {
     }
 
     /// Looks `key` up, returning the stored payload and bumping its
-    /// last-access stamp.
-    pub fn get(&self, kind: Kind, key: Key) -> Option<std::sync::Arc<Vec<u8>>> {
+    /// last-access stamp. A record still on disk is read and
+    /// checksum-verified here (then memoized); a record that fails the
+    /// read or the verify degrades to a miss — the caller recomputes,
+    /// exactly as if the eager open had dropped it.
+    pub fn get(&self, kind: Kind, key: Key) -> Option<Arc<Vec<u8>>> {
         let mut inner = self.inner.lock().expect("store lock");
         let clock = inner.clock;
-        let slot = inner.kinds[kind.index()].records.get_mut(&key)?;
+        let state = &mut inner.kinds[kind.index()];
+        let file = state.file.clone();
+        let slot = state.records.get_mut(&key)?;
+        let bytes = match &slot.payload {
+            Payload::Loaded(bytes) => bytes.clone(),
+            Payload::OnDisk { offset } => {
+                match file.and_then(|f| read_verified(&f, key, *offset, slot.len)) {
+                    Some(payload) => {
+                        let payload = Arc::new(payload);
+                        slot.payload = Payload::Loaded(payload.clone());
+                        payload
+                    }
+                    None => {
+                        // Verify-on-get: the record's payload fails its
+                        // read or checksum, so it degrades to a miss.
+                        // Dropped without a tombstone and without
+                        // dirtying the segment: read-only runs never
+                        // rewrite, and a future flush simply omits it.
+                        state.records.remove(&key);
+                        return None;
+                    }
+                }
+            }
+        };
         slot.stamp = clock;
-        let bytes = slot.bytes.clone();
         inner.clock += 1;
         inner.access_dirty = true;
         Some(bytes)
@@ -297,10 +378,12 @@ impl Store {
         inner.access_dirty = true;
         let state = &mut inner.kinds[kind.index()];
         state.evicted.remove(&key);
+        let len = payload.len() as u32;
         state.records.insert(
             key,
             RecordSlot {
-                bytes: std::sync::Arc::new(payload),
+                payload: Payload::Loaded(Arc::new(payload)),
+                len,
                 stamp,
             },
         );
@@ -318,7 +401,8 @@ impl Store {
         self.inner.lock().expect("store lock").compact_budget = budget_bytes;
     }
 
-    /// Current contents summary.
+    /// Current contents summary. Record counts and byte totals come
+    /// from the offset index, so stats never force payload reads.
     pub fn stats(&self) -> StoreStats {
         let inner = self.inner.lock().expect("store lock");
         let mut stats = StoreStats::default();
@@ -406,6 +490,11 @@ impl Store {
             if !inner.kinds[kind.index()].dirty {
                 continue;
             }
+            // Rewriting a segment serializes every surviving record, so
+            // lazily-indexed payloads must be read (and verified) now;
+            // one that fails its verify degrades to a miss here exactly
+            // as it would on get.
+            materialize(&mut inner.kinds[kind.index()]);
             let bytes = serialize_segment(kind, &inner.kinds[kind.index()]);
             self.commit_file(kind.file_name(), &bytes)?;
             let state = &mut inner.kinds[kind.index()];
@@ -464,7 +553,10 @@ impl Store {
     }
 
     /// Writes `bytes` to a uniquely-named tempfile in the store
-    /// directory, then renames it over `name` (atomic on POSIX).
+    /// directory, renames it over `name` (atomic on POSIX), then fsyncs
+    /// the directory itself: the rename lives in directory metadata, so
+    /// without the directory fsync a crash shortly after a flush could
+    /// roll the commit back despite the crash-safety contract.
     fn commit_file(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = self
@@ -475,11 +567,11 @@ impl Store {
             f.write_all(bytes)?;
             f.sync_all()?;
         }
-        let result = fs::rename(&tmp, self.dir.join(name));
-        if result.is_err() {
+        if let Err(e) = fs::rename(&tmp, self.dir.join(name)) {
             let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
-        result
+        fsync_dir(&self.dir)
     }
 }
 
@@ -487,6 +579,86 @@ impl Drop for Store {
     fn drop(&mut self) {
         // Best-effort commit; an explicit flush is the checked path.
         let _ = self.flush();
+    }
+}
+
+/// Syncs a directory's metadata (the rename-durability half of an
+/// atomic commit).
+#[cfg(unix)]
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+/// Non-POSIX platforms cannot open a directory handle through std;
+/// rename durability is best-effort there.
+#[cfg(not(unix))]
+fn fsync_dir(_dir: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+/// Positioned read that never moves a shared cursor (concurrent gets
+/// through one handle must not race on a seek position).
+#[cfg(unix)]
+fn read_exact_at(file: &fs::File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &fs::File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// The per-record checksum: a [`StableHasher`] digest over the key and
+/// the payload. Folding the key in means a key bit-flip fails the
+/// verify instead of silently re-homing a valid payload under the wrong
+/// content address.
+fn record_digest(key: Key, payload: &[u8]) -> (u64, u64) {
+    let mut h = StableHasher::new();
+    h.write_u64(key.0);
+    h.write_u64(key.1);
+    h.write(payload);
+    h.finish()
+}
+
+/// Reads one record's payload + checksum at `offset` through the
+/// segment's held handle and verifies the digest. `None` on any short
+/// read or checksum mismatch — the get-time degrade-to-miss path.
+fn read_verified(file: &fs::File, key: Key, offset: u64, len: u32) -> Option<Vec<u8>> {
+    let len = len as usize;
+    let mut buf = vec![0u8; len + 16];
+    read_exact_at(file, &mut buf, offset).ok()?;
+    let c0 = u64::from_le_bytes(buf[len..len + 8].try_into().expect("8"));
+    let c1 = u64::from_le_bytes(buf[len + 8..].try_into().expect("8"));
+    if record_digest(key, &buf[..len]) != (c0, c1) {
+        return None;
+    }
+    buf.truncate(len);
+    Some(buf)
+}
+
+/// Reads every lazily-indexed payload through the segment's held handle
+/// so a rewrite can serialize it; records that fail the read or the
+/// checksum are dropped (degrade to a miss, never serialize garbage).
+fn materialize(state: &mut KindState) {
+    let file = state.file.clone();
+    let mut bad: Vec<Key> = Vec::new();
+    for (key, slot) in state.records.iter_mut() {
+        if let Payload::OnDisk { offset } = slot.payload {
+            match file
+                .as_deref()
+                .and_then(|f| read_verified(f, *key, offset, slot.len))
+            {
+                Some(payload) => slot.payload = Payload::Loaded(Arc::new(payload)),
+                None => bad.push(*key),
+            }
+        }
+    }
+    for key in bad {
+        state.records.remove(&key);
     }
 }
 
@@ -500,12 +672,7 @@ fn evict_to_budget(inner: &mut Inner, budget_bytes: u64) -> GcReport {
     let mut all: Vec<(u64, Kind, Key, u64)> = Vec::new();
     for kind in Kind::ALL {
         for (key, slot) in &inner.kinds[kind.index()].records {
-            all.push((
-                slot.stamp,
-                kind,
-                *key,
-                slot.bytes.len() as u64 + RECORD_OVERHEAD,
-            ));
+            all.push((slot.stamp, kind, *key, slot.len as u64 + RECORD_OVERHEAD));
         }
     }
     report.bytes_before = all.iter().map(|&(_, _, _, s)| s).sum();
@@ -532,7 +699,8 @@ fn evict_to_budget(inner: &mut Inner, budget_bytes: u64) -> GcReport {
     report
 }
 
-/// Serializes one kind's records into segment-file bytes.
+/// Serializes one kind's records into segment-file bytes. Every slot
+/// must already be materialized (a flush does this for dirty kinds).
 fn serialize_segment(kind: Kind, state: &KindState) -> Vec<u8> {
     let mut out = Vec::with_capacity(state.payload_bytes() as usize + 16);
     out.extend_from_slice(&MAGIC);
@@ -544,22 +712,72 @@ fn serialize_segment(kind: Kind, state: &KindState) -> Vec<u8> {
     keys.sort();
     for key in keys {
         let slot = &state.records[key];
+        let bytes = match &slot.payload {
+            Payload::Loaded(bytes) => bytes,
+            Payload::OnDisk { .. } => unreachable!("flush materializes before serializing"),
+        };
         out.extend_from_slice(&key.0.to_le_bytes());
         out.extend_from_slice(&key.1.to_le_bytes());
-        out.extend_from_slice(&(slot.bytes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&slot.bytes);
-        let mut h = StableHasher::new();
-        h.write(&slot.bytes);
-        let (c0, c1) = h.finish();
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+        let (c0, c1) = record_digest(*key, bytes);
         out.extend_from_slice(&c0.to_le_bytes());
         out.extend_from_slice(&c1.to_le_bytes());
     }
     out
 }
 
-/// Loads a segment file into `state`, skipping anything unreadable: a
-/// bad header drops the whole file, a bad checksum drops that record, a
-/// truncated tail drops the remainder.
+/// Scans a segment file's record framing into an offset index without
+/// reading any payload bytes. `None` when the header is unreadable or
+/// mismatched (the whole file is then treated as empty); a truncated
+/// tail drops the remainder. Payload verification is deferred to
+/// get-time ([`read_verified`]).
+fn index_segment(kind: Kind, file: &fs::File) -> Option<HashMap<Key, RecordSlot>> {
+    let size = file.metadata().ok()?.len();
+    if size < 13 {
+        return None;
+    }
+    let mut header = [0u8; 13];
+    read_exact_at(file, &mut header, 0).ok()?;
+    if header[..8] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION || header[12] != kind.tag() {
+        return None;
+    }
+    let mut records = HashMap::new();
+    let mut pos = 13u64;
+    let mut frame = [0u8; 20];
+    while size - pos >= RECORD_OVERHEAD {
+        if read_exact_at(file, &mut frame, pos).is_err() {
+            break;
+        }
+        let k0 = u64::from_le_bytes(frame[..8].try_into().expect("8"));
+        let k1 = u64::from_le_bytes(frame[8..16].try_into().expect("8"));
+        let len = u32::from_le_bytes(frame[16..20].try_into().expect("4"));
+        pos += 20;
+        if size - pos < len as u64 + 16 {
+            break; // truncated tail (e.g. a crash mid-append)
+        }
+        records.insert(
+            (k0, k1),
+            RecordSlot {
+                payload: Payload::OnDisk { offset: pos },
+                len,
+                stamp: 0,
+            },
+        );
+        pos += len as u64 + 16;
+    }
+    Some(records)
+}
+
+/// Loads a segment from a full byte image, verifying every record — the
+/// eager path the flush-time merge uses on the *current* on-disk copy
+/// (whose offsets may not match this handle's held inode). A bad header
+/// drops the whole file, a bad checksum drops that record, a truncated
+/// tail drops the remainder.
 fn load_segment(kind: Kind, bytes: &[u8], state: &mut KindState) {
     if bytes.len() < 13 || bytes[..8] != MAGIC {
         return;
@@ -569,7 +787,7 @@ fn load_segment(kind: Kind, bytes: &[u8], state: &mut KindState) {
         return;
     }
     let mut pos = 13;
-    while bytes.len() - pos >= (RECORD_OVERHEAD as usize - 16) + 16 {
+    while bytes.len() - pos >= RECORD_OVERHEAD as usize {
         let k0 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
         let k1 = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
         let len = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().expect("4")) as usize;
@@ -582,15 +800,14 @@ fn load_segment(kind: Kind, bytes: &[u8], state: &mut KindState) {
         let c0 = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8"));
         let c1 = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8"));
         pos += 16;
-        let mut h = StableHasher::new();
-        h.write(payload);
-        if h.finish() != (c0, c1) {
+        if record_digest((k0, k1), payload) != (c0, c1) {
             continue; // corrupted record: degrade to a miss
         }
         state.records.insert(
             (k0, k1),
             RecordSlot {
-                bytes: std::sync::Arc::new(payload.to_vec()),
+                payload: Payload::Loaded(Arc::new(payload.to_vec())),
+                len: len as u32,
                 stamp: 0,
             },
         );
@@ -626,7 +843,13 @@ fn parse_access(bytes: &[u8]) -> Option<Vec<(Kind, Key, u64)>> {
     let mut out = Vec::new();
     let mut pos = 12;
     while bytes.len() - pos >= 25 {
-        let kind = Kind::from_tag(bytes[pos])?;
+        let kind = match Kind::from_tag(bytes[pos]) {
+            Some(kind) => kind,
+            // A corrupt kind tag no longer voids the whole index:
+            // entries parsed so far keep their stamps, and only the
+            // unparseable remainder degrades to coldest.
+            None => break,
+        };
         let k0 = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8"));
         let k1 = u64::from_le_bytes(bytes[pos + 9..pos + 17].try_into().expect("8"));
         let stamp = u64::from_le_bytes(bytes[pos + 17..pos + 25].try_into().expect("8"));
@@ -687,6 +910,23 @@ mod tests {
     }
 
     #[test]
+    fn lemma_records_survive_reopen() {
+        let dir = tmp_dir("lemma");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Lemma, (11, 22), vec![3; 9]);
+            s.flush().expect("flush");
+        }
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(
+            s.get(Kind::Lemma, (11, 22)).map(|b| b.to_vec()),
+            Some(vec![3; 9])
+        );
+        assert!(s.stats().to_string().contains("lemma"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupted_payload_degrades_to_miss_only_for_that_record() {
         let dir = tmp_dir("corrupt");
         {
@@ -700,9 +940,139 @@ mod tests {
         let mut bytes = fs::read(&path).expect("read segment");
         bytes[13 + 20 + 5] ^= 0x40;
         fs::write(&path, &bytes).expect("rewrite");
+        // The lazy open indexes both records (payloads unread); the
+        // verify-on-get drops exactly the flipped one.
         let s = Store::open(&dir).expect("reopen");
+        assert_eq!(s.stats().kinds[Kind::LutMap.index()].records, 2);
+        assert_eq!(s.get(Kind::LutMap, (1, 1)), None, "corrupt record misses");
+        assert_eq!(
+            s.get(Kind::LutMap, (2, 2)).map(|b| b.to_vec()),
+            Some(vec![8; 64]),
+            "its neighbor survives"
+        );
         let survivors = s.stats().kinds[Kind::LutMap.index()].records;
         assert_eq!(survivors, 1, "exactly the flipped record is dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_key_byte_degrades_to_miss() {
+        let dir = tmp_dir("keyflip");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::LutMap, (1, 1), vec![7; 64]);
+            s.put(Kind::LutMap, (2, 2), vec![8; 64]);
+            s.flush().expect("flush");
+        }
+        // Flip a bit inside the first record's *key*. The checksum folds
+        // the key, so the payload must not resurface under the mutated
+        // content address.
+        let path = dir.join(Kind::LutMap.file_name());
+        let mut bytes = fs::read(&path).expect("read segment");
+        bytes[13 + 3] ^= 0x40;
+        fs::write(&path, &bytes).expect("rewrite");
+        let s = Store::open(&dir).expect("reopen");
+        let mutated = (1u64 ^ (0x40u64 << 24), 1u64);
+        assert_eq!(s.get(Kind::LutMap, (1, 1)), None, "original key misses");
+        assert_eq!(
+            s.get(Kind::LutMap, mutated),
+            None,
+            "payload does not re-home under the flipped key"
+        );
+        assert_eq!(
+            s.get(Kind::LutMap, (2, 2)).map(|b| b.to_vec()),
+            Some(vec![8; 64])
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_after_open_degrades_at_get() {
+        let dir = tmp_dir("corrupt-late");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Cec, (1, 1), vec![7; 64]);
+            s.put(Kind::Cec, (2, 2), vec![8; 64]);
+            s.flush().expect("flush");
+        }
+        // Open first (lazy index built), corrupt afterwards: the damage
+        // lands between open and the first get, and the verify still
+        // catches it.
+        let s = Store::open(&dir).expect("reopen");
+        let path = dir.join(Kind::Cec.file_name());
+        let mut bytes = fs::read(&path).expect("read segment");
+        bytes[13 + 20 + 5] ^= 0x40;
+        fs::write(&path, &bytes).expect("rewrite");
+        assert_eq!(s.get(Kind::Cec, (1, 1)), None, "caught at get-time");
+        assert_eq!(
+            s.get(Kind::Cec, (2, 2)).map(|b| b.to_vec()),
+            Some(vec![8; 64])
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_after_open_degrades_at_get() {
+        let dir = tmp_dir("trunc-late");
+        {
+            let s = Store::open(&dir).expect("open");
+            s.put(Kind::Netlist, (1, 1), vec![7; 64]);
+            s.put(Kind::Netlist, (2, 2), vec![8; 64]);
+            s.flush().expect("flush");
+        }
+        let s = Store::open(&dir).expect("reopen");
+        let path = dir.join(Kind::Netlist.file_name());
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() - 10]).expect("truncate");
+        assert_eq!(
+            s.get(Kind::Netlist, (2, 2)),
+            None,
+            "short read degrades to a miss"
+        );
+        assert_eq!(
+            s.get(Kind::Netlist, (1, 1)).map(|b| b.to_vec()),
+            Some(vec![7; 64])
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_indexes_without_reading_payloads() {
+        let dir = tmp_dir("lazy-open");
+        let n = 40u64;
+        {
+            let s = Store::open(&dir).expect("open");
+            for k in 0..n {
+                s.put(Kind::Fabric, (k, 0), vec![k as u8; 32]);
+            }
+            s.flush().expect("flush");
+        }
+        // Invert every payload byte (framing intact). If open read or
+        // verified payloads, no record would survive the open; since it
+        // only scans framing, all records index fine — and every get
+        // then fails its verify.
+        let path = dir.join(Kind::Fabric.file_name());
+        let mut bytes = fs::read(&path).expect("read");
+        let mut pos = 13;
+        while pos + 20 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().expect("4")) as usize;
+            pos += 20;
+            for b in &mut bytes[pos..pos + len] {
+                *b = !*b;
+            }
+            pos += len + 16;
+        }
+        fs::write(&path, &bytes).expect("rewrite");
+        let s = Store::open(&dir).expect("reopen");
+        assert_eq!(
+            s.stats().kinds[Kind::Fabric.index()].records,
+            n as usize,
+            "open indexed every record without touching payloads"
+        );
+        for k in 0..n {
+            assert_eq!(s.get(Kind::Fabric, (k, 0)), None);
+        }
+        assert_eq!(s.stats().kinds[Kind::Fabric.index()].records, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -739,6 +1109,28 @@ mod tests {
         let s = Store::open(&dir).expect("reopen");
         assert_eq!(s.stats().records(), 0, "future-version file is ignored");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn access_index_with_corrupt_tag_keeps_earlier_entries() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let entry = |out: &mut Vec<u8>, tag: u8, key: Key, stamp: u64| {
+            out.push(tag);
+            out.extend_from_slice(&key.0.to_le_bytes());
+            out.extend_from_slice(&key.1.to_le_bytes());
+            out.extend_from_slice(&stamp.to_le_bytes());
+        };
+        entry(&mut bytes, Kind::Netlist.tag(), (1, 0), 7);
+        entry(&mut bytes, 0xEE, (2, 0), 8); // corrupt kind tag
+        entry(&mut bytes, Kind::Cec.tag(), (3, 0), 9);
+        let parsed = parse_access(&bytes).expect("index still parses");
+        assert_eq!(
+            parsed,
+            vec![(Kind::Netlist, (1, 0), 7)],
+            "entries before the corrupt tag survive; the remainder is skipped"
+        );
     }
 
     #[test]
@@ -945,6 +1337,7 @@ mod tests {
         s.put(Kind::Netlist, (1, 1), vec![0; 8]);
         let text = s.stats().to_string();
         assert!(text.contains("netlist"));
+        assert!(text.contains("lemma"));
         assert!(text.contains("total"));
         let _ = fs::remove_dir_all(&dir);
     }
