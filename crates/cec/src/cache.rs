@@ -1,6 +1,9 @@
 //! The persistent CEC proof cache — the fourth cached oracle of the
 //! flow, sharing the `alice-store` artifact store with the
-//! characterization caches.
+//! characterization caches. Lookups decode straight out of the store's
+//! zero-copy [`Payload`](alice_store::Payload) views (the mapped shard
+//! bytes back the `Reader`, no intermediate heap copy), and writes land
+//! in per-key shards so concurrent sweeps flush without contending.
 //!
 //! The verify stage and wrong-key sweeps repeatedly pose the *same*
 //! equivalence queries across suite re-runs and CLI invocations: the

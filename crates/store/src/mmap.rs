@@ -1,0 +1,233 @@
+//! Minimal read-only memory mapping with **no external dependencies**.
+//!
+//! The workspace deliberately carries no `libc`, so the Linux
+//! implementation issues the `mmap`/`munmap` system calls directly via
+//! inline assembly (x86_64 and aarch64). Every other platform gets the
+//! graceful fallback: [`Mmap::map`] returns `None` and the store serves
+//! payloads through the positioned-read + copy path instead — mapping is
+//! a pure optimization, never a correctness requirement.
+//!
+//! Mappings are `MAP_PRIVATE` and read-only: the store never writes
+//! through a map (commits go through tempfile + atomic rename, which
+//! leaves the mapped inode untouched), so a map taken at open time stays
+//! a coherent snapshot of that segment generation for as long as any
+//! [`Payload`](crate::Payload) handle holds it alive.
+
+use std::fs;
+use std::ops::Deref;
+
+/// A read-only memory mapping of a whole segment file. Dropping the last
+/// clone of the owning [`Arc`](std::sync::Arc) unmaps the region, so a
+/// zero-copy payload handle keeps exactly the pages it points into
+/// alive.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The region is immutable (PROT_READ) for the mapping's whole lifetime,
+// so shared references from any thread are sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the first `len` bytes of `file` read-only. `None` when the
+    /// platform has no mapping support, `len` is zero, or the system
+    /// call fails — callers fall back to positioned reads.
+    pub fn map(file: &fs::File, len: u64) -> Option<Mmap> {
+        sys::map(file, len)
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // Sound: the pointer covers `len` readable bytes for the
+        // mapping's whole lifetime and is only constructed by a
+        // successful `sys::map`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // Best-effort: a failed unmap merely leaks address space.
+        unsafe { sys::unmap(self.ptr, self.len) };
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::fs;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> usize {
+        let ret;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> usize {
+        let ret;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            in("x8") n,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Kernel error returns land in `[-4095, -1]`; valid mappings never
+    /// do.
+    fn is_err(ret: usize) -> bool {
+        (ret as isize) < 0 && (ret as isize) >= -4095
+    }
+
+    pub fn map(file: &fs::File, len: u64) -> Option<super::Mmap> {
+        let len = usize::try_from(len).ok()?;
+        if len == 0 {
+            return None;
+        }
+        let fd = file.as_raw_fd();
+        if fd < 0 {
+            return None;
+        }
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        if is_err(ret) {
+            return None;
+        }
+        Some(super::Mmap {
+            ptr: ret as *mut u8,
+            len,
+        })
+    }
+
+    pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+        if !ptr.is_null() && len > 0 {
+            let _ = syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use std::fs;
+
+    /// No mapping support on this platform: the store always uses the
+    /// positioned-read fallback.
+    pub fn map(_file: &fs::File, _len: u64) -> Option<super::Mmap> {
+        None
+    }
+
+    pub unsafe fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    #[test]
+    fn maps_file_contents_read_only() {
+        let path = std::env::temp_dir().join(format!(
+            "alice-mmap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(8192).collect();
+        {
+            let mut f = fs::File::create(&path).expect("create");
+            f.write_all(&payload).expect("write");
+        }
+        let f = fs::File::open(&path).expect("open");
+        match Mmap::map(&f, payload.len() as u64) {
+            Some(map) => {
+                assert_eq!(map.len(), payload.len());
+                assert_eq!(&map[..], &payload[..], "mapped bytes match the file");
+            }
+            None => {
+                // Mapping must only be absent on fallback platforms.
+                let real_syscalls = cfg!(all(
+                    target_os = "linux",
+                    any(target_arch = "x86_64", target_arch = "aarch64")
+                ));
+                assert!(!real_syscalls, "mapping failed on a supported platform");
+            }
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_files_do_not_map() {
+        let path = std::env::temp_dir().join(format!(
+            "alice-mmap-empty-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::File::create(&path).expect("create");
+        let f = fs::File::open(&path).expect("open");
+        assert!(Mmap::map(&f, 0).is_none());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -215,7 +215,12 @@ fn run_store_cmd(cmd: &StoreCmd) -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|e| format!("cannot open store {}: {e}", cmd.dir.display()))?;
     match cmd.action {
         StoreAction::Stats => {
-            println!("{}", store.stats());
+            let stats = store.stats();
+            println!("{stats}");
+            // The per-shard breakdown makes key-distribution skew (and
+            // pending tombstones) visible at a glance.
+            println!();
+            print!("{}", stats.shard_table());
         }
         StoreAction::Gc => {
             let report = store.gc(cmd.budget)?;

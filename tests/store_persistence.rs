@@ -10,9 +10,23 @@ use alice_redaction::core::config::AliceConfig;
 use alice_redaction::core::db::{CacheCounts, DesignDb};
 use alice_redaction::core::design::Design;
 use alice_redaction::core::flow::{Flow, FlowOutcome};
-use alice_redaction::store::{Kind, FORMAT_VERSION};
+use alice_redaction::store::{Kind, FORMAT_VERSION, MAGIC, SHARD_COUNT};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Every shard segment file of every kind currently present in `dir`.
+fn shard_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for kind in Kind::ALL {
+        for shard in 0..SHARD_COUNT {
+            let path = dir.join(kind.shard_file_name(shard));
+            if path.exists() {
+                out.push(path);
+            }
+        }
+    }
+    out
+}
 
 fn store_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -86,10 +100,9 @@ fn bit_flipped_store_still_yields_byte_identical_output() {
     let design = gcd_design();
     let (cold, _) = run_store_backed(&dir, &design);
 
-    // Flip one bit somewhere in the middle of every segment file.
+    // Flip one bit somewhere in the middle of every shard segment file.
     let mut flipped_any = false;
-    for kind in Kind::ALL {
-        let path = dir.join(kind.file_name());
+    for path in shard_files(&dir) {
         if let Ok(mut bytes) = std::fs::read(&path) {
             if bytes.len() > 64 {
                 let mid = bytes.len() / 2;
@@ -120,9 +133,9 @@ fn version_bump_invalidates_the_whole_store() {
     let design = gcd_design();
     let (cold, cold_window) = run_store_backed(&dir, &design);
 
-    // Pretend every segment was written by a future format version.
-    for kind in Kind::ALL {
-        let path = dir.join(kind.file_name());
+    // Pretend every shard segment was written by a future format
+    // version.
+    for path in shard_files(&dir) {
         if let Ok(mut bytes) = std::fs::read(&path) {
             if bytes.len() >= 12 {
                 bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
@@ -147,6 +160,76 @@ fn version_bump_invalidates_the_whole_store() {
     let (_, rewarmed) = run_store_backed(&dir, &design);
     assert!(rewarmed.disk_hits > 0);
     assert_eq!(rewarmed.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v2_store_migrates_in_place_and_second_process_is_warm() {
+    let dir = store_dir("migrate");
+    let design = gcd_design();
+    let (cold, cold_window) = run_store_backed(&dir, &design);
+    assert!(cold_window.misses > 0);
+
+    // Rewind the on-disk layout to the v2 single-segment format:
+    // concatenate every shard's record frames (they are verbatim v2
+    // frames — the record format did not change) into one legacy file
+    // per kind, then delete the shard files. This is byte-for-byte what
+    // a PR 7 store left behind.
+    let frames = |bytes: &[u8]| {
+        let mut out: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut pos = 14; // v3 header: magic(8) + version(4) + kind + shard
+        while bytes.len().saturating_sub(pos) >= 36 {
+            let len = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().expect("4")) as usize;
+            if bytes.len() - pos - 20 < len + 16 {
+                break;
+            }
+            out.push(pos..pos + 20 + len + 16);
+            pos += 20 + len + 16;
+        }
+        out
+    };
+    let mut rewound_any = false;
+    for kind in Kind::ALL {
+        let mut legacy: Option<Vec<u8>> = None;
+        for shard in 0..SHARD_COUNT {
+            let path = dir.join(kind.shard_file_name(shard));
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let legacy = legacy.get_or_insert_with(|| {
+                let mut head = Vec::new();
+                head.extend_from_slice(&MAGIC);
+                head.extend_from_slice(&2u32.to_le_bytes());
+                head.push(bytes[12]); // the kind tag, from the v3 header
+                head
+            });
+            for range in frames(&bytes) {
+                legacy.extend_from_slice(&bytes[range]);
+            }
+            std::fs::remove_file(&path).expect("remove shard");
+        }
+        if let Some(legacy) = legacy {
+            std::fs::write(dir.join(kind.file_name()), &legacy).expect("write legacy");
+            rewound_any = true;
+        }
+    }
+    assert!(rewound_any, "the store must have had content to rewind");
+
+    // The second process opens the v2 store, migrates it in place, and
+    // recomputes NOTHING: matrix-wide zero misses, byte-identical
+    // output.
+    let (migrated, window) = run_store_backed(&dir, &design);
+    assert_eq!(window.misses, 0, "migration must not force recomputation");
+    assert!(window.disk_hits > 0, "migrated records serve from disk");
+    assert_eq!(emitted(&migrated), emitted(&cold), "byte-identical output");
+    for kind in Kind::ALL {
+        assert!(
+            !dir.join(kind.file_name()).exists(),
+            "legacy {} removed after migration",
+            kind.file_name()
+        );
+    }
+    assert!(!shard_files(&dir).is_empty(), "sharded layout in place");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
