@@ -29,6 +29,9 @@ pub struct EngineStats {
     /// Learned clauses (including learned units) attributable to
     /// returned answers.
     pub learned: u64,
+    /// Literals dequeued by unit propagation, attributable to returned
+    /// answers.
+    pub propagations: u64,
 }
 
 /// The pluggable incremental SAT interface (see the module docs).
@@ -136,6 +139,7 @@ impl SatEngine for Solver {
         EngineStats {
             conflicts: self.total_conflicts,
             learned: self.total_learned,
+            propagations: self.total_propagations,
         }
     }
 }

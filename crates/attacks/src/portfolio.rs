@@ -175,6 +175,7 @@ impl SatEngine for PortfolioEngine {
                 self.wins[0] += 1;
                 self.stats.conflicts += after.conflicts - before.conflicts;
                 self.stats.learned += after.learned - before.learned;
+                self.stats.propagations += after.propagations - before.propagations;
             }
             self.last_winner = 0;
             return r;
@@ -195,6 +196,7 @@ impl SatEngine for PortfolioEngine {
                 self.wins[i] += 1;
                 self.stats.conflicts += after.conflicts - before[i].conflicts;
                 self.stats.learned += after.learned - before[i].learned;
+                self.stats.propagations += after.propagations - before[i].propagations;
                 self.last_winner = i;
                 r
             }

@@ -13,6 +13,19 @@ use alice_par::CancelToken;
 use std::collections::HashMap;
 use std::fmt;
 
+static SAT_CONFLICTS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_sat_conflicts_total",
+    "CDCL conflicts across all solver instances (including discarded racers)",
+);
+static SAT_LEARNED: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_sat_learned_total",
+    "Learned clauses across all solver instances (including discarded racers)",
+);
+static SAT_PROPAGATIONS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_sat_propagations_total",
+    "Unit-propagation literal dequeues across all solver instances",
+);
+
 /// A propositional variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub u32);
@@ -260,6 +273,9 @@ pub struct Solver {
     /// Total learned clauses (including learned units) over the solver's
     /// lifetime (statistics).
     pub total_learned: u64,
+    /// Total literals dequeued by unit propagation over the solver's
+    /// lifetime (statistics).
+    pub total_propagations: u64,
     /// Heuristic configuration (see [`SolverConfig`]).
     config: SolverConfig,
     /// Cooperative cancellation for portfolio racing: polled once per
@@ -443,6 +459,7 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let l = self.trail[self.qhead];
             self.qhead += 1;
+            self.total_propagations += 1;
             let falsified = l.negate();
             let mut i = 0;
             // Take the watch list to sidestep aliasing; rebuilt as we scan.
@@ -613,6 +630,22 @@ impl Solver {
     /// per-candidate-pair queries against one shared clause database,
     /// reusing everything learned between queries.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        let before = (
+            self.total_conflicts,
+            self.total_learned,
+            self.total_propagations,
+        );
+        let res = self.solve_with_inner(assumptions);
+        // Process-wide effort mirror. Unlike `EngineStats` (winner-only
+        // by contract), these count every solve that ran, including
+        // discarded portfolio racers.
+        SAT_CONFLICTS.add(self.total_conflicts - before.0);
+        SAT_LEARNED.add(self.total_learned - before.1);
+        SAT_PROPAGATIONS.add(self.total_propagations - before.2);
+        res
+    }
+
+    fn solve_with_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }

@@ -23,13 +23,21 @@
 //!   stores whose payload bytes differ by 256×: a lazy open indexes
 //!   headers without reading payloads, so the two numbers should track
 //!   record count, not store size (cold = first open of fresh files,
-//!   warm = median of repeated opens).
+//!   warm = median of repeated opens),
+//! * `trace_overhead` — the full GCD flow with observability dark
+//!   (`disabled_ms`, the shipped default: every span is one relaxed
+//!   atomic load) versus lit (`enabled_ms`, tracing + metrics
+//!   recording). The disabled number doubles as the regression gate on
+//!   instrumentation creep: it must track the committed baseline within
+//!   `bench_diff`'s noise floor.
 //!
 //! `--smoke` shrinks everything to one sample for CI.
 
 use alice_bench::{run_suite_private, run_suite_with_db};
 use alice_cec::{Miter, MiterOptions};
+use alice_core::config::AliceConfig;
 use alice_core::db::DesignDb;
+use alice_core::flow::Flow;
 use alice_netlist::elaborate::elaborate;
 use alice_netlist::lutmap::map_luts;
 use alice_store::{Kind, Store};
@@ -127,6 +135,29 @@ fn main() -> ExitCode {
     let cec_encode = median_ms(samples, || {
         Miter::build(&gcd_netlist, &gcd_netlist, &MiterOptions::default()).expect("miter");
     });
+
+    // --- Trace overhead: the GCD flow with observability dark vs lit.
+    // Dark first — it measures the shipped default, where every span
+    // must cost one relaxed atomic load and a branch.
+    let gcd_bench = alice_benchmarks::gcd::benchmark();
+    let trace_disabled_ms = median_ms(samples, || {
+        Flow::new(gcd_bench.config(AliceConfig::cfg1()))
+            .run(&gcd)
+            .expect("GCD flow");
+    });
+    alice_obs::enable_tracing();
+    alice_obs::enable_metrics();
+    let trace_enabled_ms = median_ms(samples, || {
+        Flow::new(gcd_bench.config(AliceConfig::cfg1()))
+            .run(&gcd)
+            .expect("GCD flow");
+    });
+    alice_obs::disable_tracing();
+    alice_obs::disable_metrics();
+    // Drop the buffered events and zero the counters so the sections
+    // below measure the same dark configuration as the baseline.
+    let _ = alice_obs::take_trace();
+    alice_obs::reset_metrics();
 
     // --- Select stage over the benchmarks × configs matrix. ---
     // Cold: every flow gets its own private enabled db (the default
@@ -246,6 +277,10 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "    \"warm_small_ms\": {open_warm_small:.3},");
     let _ = writeln!(json, "    \"warm_large_ms\": {open_warm_large:.3}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"trace_overhead\": {{");
+    let _ = writeln!(json, "    \"disabled_ms\": {trace_disabled_ms:.3},");
+    let _ = writeln!(json, "    \"enabled_ms\": {trace_enabled_ms:.3}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"disk_hits\": {} }}",
@@ -279,6 +314,10 @@ fn main() -> ExitCode {
     println!(
         "pipeline_bench: store open ({STORE_OPEN_RECORDS} records) \
          small {open_warm_small:.2} ms vs 256x-larger {open_warm_large:.2} ms"
+    );
+    println!(
+        "pipeline_bench: GCD flow dark {trace_disabled_ms:.2} ms vs \
+         instrumented {trace_enabled_ms:.2} ms"
     );
     if open_warm_large > open_warm_small * 4.0 + 2.0 {
         eprintln!(

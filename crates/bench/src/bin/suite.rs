@@ -6,8 +6,14 @@
 //!
 //! ```text
 //! suite [--jobs N] [--verify] [--wrong-keys N] [--portfolio N] [--store DIR]
+//!       [--trace FILE] [--metrics FILE]
 //!     # omit --jobs to use all available cores
 //! ```
+//!
+//! `--trace FILE` records hierarchical spans across the whole matrix and
+//! writes a Chrome trace-event JSON file (Perfetto-loadable); `--metrics
+//! FILE` writes a Prometheus-style text snapshot of the process-wide
+//! counters after the run.
 //!
 //! `--portfolio N` races N diversified solver configurations on every
 //! equivalence proof (first definitive verdict wins); the verification
@@ -22,8 +28,8 @@ use alice_core::db::DesignDb;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str =
-    "usage: suite [--jobs N] [--verify] [--wrong-keys N] [--portfolio N] [--store DIR]";
+const USAGE: &str = "usage: suite [--jobs N] [--verify] [--wrong-keys N] [--portfolio N] \
+                     [--store DIR] [--trace FILE] [--metrics FILE]";
 
 struct SuiteArgs {
     jobs: usize,
@@ -31,6 +37,8 @@ struct SuiteArgs {
     wrong_keys: usize,
     portfolio: usize,
     store: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<SuiteArgs, String> {
@@ -40,6 +48,8 @@ fn parse_args() -> Result<SuiteArgs, String> {
         wrong_keys: 0,
         portfolio: 1,
         store: None,
+        trace: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     let number = |flag: &str, v: Option<String>, min: usize| -> Result<usize, String> {
@@ -69,6 +79,18 @@ fn parse_args() -> Result<SuiteArgs, String> {
                         .ok_or_else(|| "missing value for `--store`".to_string())?,
                 );
             }
+            "--trace" => {
+                args.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for `--trace`".to_string())?,
+                );
+            }
+            "--metrics" => {
+                args.metrics = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for `--metrics`".to_string())?,
+                );
+            }
             other => return Err(format!("unknown argument `{other}` ({USAGE})")),
         }
     }
@@ -84,6 +106,12 @@ fn main() -> ExitCode {
         }
     };
     let jobs = args.jobs;
+    if args.trace.is_some() {
+        alice_obs::enable_tracing();
+    }
+    if args.metrics.is_some() {
+        alice_obs::enable_metrics();
+    }
 
     println!("Table 1: Characteristics of the selected benchmarks");
     println!(
@@ -259,6 +287,18 @@ fn main() -> ExitCode {
                 println!();
             }
             println!();
+        }
+    }
+    if let Some(path) = &args.trace {
+        match alice_obs::write_chrome_trace(std::path::Path::new(path)) {
+            Ok(n) => eprintln!("suite: trace: {n} event(s) -> {path}"),
+            Err(e) => eprintln!("suite: warning: could not write trace {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics {
+        match std::fs::write(path, alice_obs::snapshot_prometheus()) {
+            Ok(()) => eprintln!("suite: metrics -> {path}"),
+            Err(e) => eprintln!("suite: warning: could not write metrics {path}: {e}"),
         }
     }
     ExitCode::SUCCESS

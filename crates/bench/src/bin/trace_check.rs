@@ -1,0 +1,101 @@
+//! `trace_check` — the trace-file gate: validates a Chrome trace-event
+//! JSON file written by `--trace` (the `alice` or `suite` front ends)
+//! and optionally requires specific spans to be present.
+//!
+//! ```text
+//! trace_check <trace.json> [--require SPAN]...
+//! ```
+//!
+//! The check fails when the file is not parseable JSON, when any
+//! thread's span intervals are not properly nested (a malformed
+//! exporter), or when a `--require`d span name never occurs. On success
+//! it prints a one-line summary (events, threads, depth) plus the span
+//! names seen — CI logs then double as a quick flame-view inventory.
+
+use alice_obs::validate_chrome_trace;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace_check <trace.json> [--require SPAN]...";
+
+fn main() -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require" => match it.next() {
+                Some(v) => required.push(v),
+                None => {
+                    eprintln!("trace_check: error: missing value for `--require`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("trace_check: error: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ if file.is_none() => file = Some(a),
+            other => {
+                eprintln!("trace_check: error: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("trace_check: error: missing <trace.json> argument\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: FAIL: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut missing: Vec<&str> = required
+        .iter()
+        .map(String::as_str)
+        .filter(|name| !summary.has_span(name))
+        .collect();
+    missing.sort_unstable();
+    println!(
+        "trace_check: {file}: {} event(s) across {} thread(s), max depth {}",
+        summary.events, summary.threads, summary.max_depth
+    );
+    println!(
+        "trace_check: spans: {}",
+        summary
+            .span_names
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if !summary.thread_names.is_empty() {
+        println!(
+            "trace_check: threads: {}",
+            summary
+                .thread_names
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    if missing.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "trace_check: FAIL: required span(s) never recorded: {}",
+            missing.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

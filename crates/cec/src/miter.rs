@@ -392,6 +392,7 @@ impl Miter {
     /// Returns [`MiterError`] when the two netlists' boundaries cannot be
     /// paired (see the variants for the exact conditions).
     pub fn build(a: &Netlist, b: &Netlist, opts: &MiterOptions) -> Result<Miter, MiterError> {
+        let _span = alice_obs::span("cec.build");
         let mut solver = Solver::with_config(opts.solver_config);
         solver.set_cancel(opts.cancel.clone());
         let mut enc = Encoder::new(&mut solver);
@@ -546,8 +547,13 @@ impl Miter {
         shared_state.retain(|(name, _)| covered.contains(name) || observed.contains(name));
 
         // --- Encode both sides against the shared encoder. ---
-        let enc_a = enc.encode(&mut solver, a, &bind_a, &state_a);
-        let enc_b = enc.encode(&mut solver, b, &bind_b, &state_b);
+        let (enc_a, enc_b) = {
+            let _span = alice_obs::span("cec.encode");
+            (
+                enc.encode(&mut solver, a, &bind_a, &state_a),
+                enc.encode(&mut solver, b, &bind_b, &state_b),
+            )
+        };
 
         // --- SAT sweeping: stitch matching internal nodes together. ---
         let sweep_stats = if opts.sweep {
@@ -682,6 +688,7 @@ impl Miter {
     }
 
     fn prove_inner(&mut self) -> CecResult {
+        let _span = alice_obs::span("cec.prove");
         self.engine.set_budget(self.budget);
         let mut limited = false;
         for i in 0..self.diffs.len() {
@@ -731,6 +738,7 @@ impl Miter {
     /// number of solver calls is bounded by the number of corruptible
     /// points plus the number of clean points.
     pub fn corruption(mut self) -> Corruption {
+        let _span = alice_obs::span("cec.corruption");
         self.engine.set_budget(self.budget);
         let total = self.diffs.len();
         let mut corrupted: BTreeSet<String> = BTreeSet::new();
@@ -885,6 +893,10 @@ pub fn prove_equivalent_raced(
     }
     let configs = diversified_configs(n);
     let outcome = race(n, jobs, |i, token| {
+        if alice_obs::tracing_enabled() {
+            alice_obs::set_thread_name(&format!("portfolio racer {i}"));
+        }
+        let _span = alice_obs::span_with("cec.race_candidate", || format!("config {i}"));
         let o = diversified_options(opts, i, &configs, token);
         match Miter::build(a, b, &o) {
             Err(e) => Some(Err(e)),

@@ -363,6 +363,7 @@ pub(crate) fn sweep(
     lemma_store: Option<&Store>,
     cancel: Option<&CancelToken>,
 ) -> SweepStats {
+    let _span = alice_obs::span("cec.sweep");
     let debug = std::env::var_os("ALICE_CEC_DEBUG").is_some();
     let saved_budget = solver.budget();
     solver.set_budget(pair_budget);
@@ -466,7 +467,11 @@ pub(crate) fn sweep(
                     continue;
                 }
             }
-            match solver.solve_with(&[d]) {
+            let verdict = {
+                let _span = alice_obs::span("cec.pair_proof");
+                solver.solve_with(&[d])
+            };
+            match verdict {
                 SatResult::Unsat => {
                     solver.add_clause(&[d.negate()]);
                     merged.insert((la, lb));
@@ -503,8 +508,26 @@ pub(crate) fn sweep(
         snaps.push(chunk);
     }
     solver.set_budget(saved_budget);
+    SWEEP_CANDIDATES.add(stats.candidates as u64);
+    SWEEP_MERGED.add(stats.merged as u64);
+    SWEEP_LEMMA_HITS.add(stats.lemma_hits as u64);
     stats
 }
+
+/// Observability mirrors of [`SweepStats`], accumulated process-wide
+/// across every miter build and exported via `--metrics`.
+static SWEEP_CANDIDATES: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_cec_sweep_candidates_total",
+    "Equivalence candidates the SAT sweeper examined",
+);
+static SWEEP_MERGED: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_cec_sweep_merged_total",
+    "Candidate pairs proven equal and stitched together",
+);
+static SWEEP_LEMMA_HITS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_cec_sweep_lemma_hits_total",
+    "Pair merges served by persisted lemmas instead of SAT calls",
+);
 
 #[cfg(test)]
 mod tests {

@@ -80,6 +80,15 @@ pub struct AliceConfig {
     /// an explicit `alice store gc`. `None` disables auto-compaction;
     /// meaningless without [`AliceConfig::store`].
     pub store_budget: Option<u64>,
+    /// Write a Chrome trace-event JSON file (Perfetto-loadable) of the
+    /// run's span tree here (the `alice` CLI's `--trace`, YAML
+    /// `trace:`). `None` leaves tracing disabled — every span costs one
+    /// relaxed atomic load and a branch.
+    pub trace: Option<std::path::PathBuf>,
+    /// Write a Prometheus-style text snapshot of the run's metric
+    /// registry here (the `alice` CLI's `--metrics`, YAML `metrics:`).
+    /// `None` leaves metric recording disabled.
+    pub metrics: Option<std::path::PathBuf>,
 }
 
 impl Default for AliceConfig {
@@ -102,6 +111,8 @@ impl Default for AliceConfig {
             cache: true,
             store: None,
             store_budget: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -195,6 +206,20 @@ impl AliceConfig {
                 return Err(bad("store_budget"));
             }
             cfg.store_budget = Some(budget);
+        }
+        if let Some(v) = y.get("trace") {
+            let path = v.as_str().ok_or_else(|| bad("trace"))?;
+            if path.is_empty() {
+                return Err(bad("trace"));
+            }
+            cfg.trace = Some(std::path::PathBuf::from(path));
+        }
+        if let Some(v) = y.get("metrics") {
+            let path = v.as_str().ok_or_else(|| bad("metrics"))?;
+            if path.is_empty() {
+                return Err(bad("metrics"));
+            }
+            cfg.metrics = Some(std::path::PathBuf::from(path));
         }
         if let Some(v) = y.get("wrong_keys") {
             cfg.verify_wrong_keys = v.as_u32().ok_or_else(|| bad("wrong_keys"))? as usize;
@@ -339,6 +364,17 @@ mod tests {
             AliceConfig::from_yaml("store_budget: 0").is_err(),
             "zero budget"
         );
+    }
+
+    #[test]
+    fn trace_and_metrics_parse() {
+        let cfg = AliceConfig::from_yaml("trace: out.json\nmetrics: metrics.txt").expect("parse");
+        assert_eq!(cfg.trace, Some(std::path::PathBuf::from("out.json")));
+        assert_eq!(cfg.metrics, Some(std::path::PathBuf::from("metrics.txt")));
+        assert_eq!(AliceConfig::default().trace, None);
+        assert_eq!(AliceConfig::default().metrics, None);
+        assert!(AliceConfig::from_yaml("trace:").is_err(), "empty path");
+        assert!(AliceConfig::from_yaml("metrics:").is_err(), "empty path");
     }
 
     #[test]

@@ -115,15 +115,33 @@ struct Stats {
     misses: AtomicU64,
 }
 
+/// Observability mirrors of the per-db [`Stats`]: process-wide oracle
+/// cache resolution counts, exported via `--metrics`.
+static DB_HITS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_db_cache_hits_total",
+    "DesignDb lookups served from the in-memory once-cache",
+);
+static DB_DISK_HITS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_db_cache_disk_hits_total",
+    "DesignDb lookups served by decoding a persistent-store record",
+);
+static DB_MISSES: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_db_cache_misses_total",
+    "DesignDb lookups that ran the underlying oracle",
+);
+
 impl Stats {
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        DB_HITS.inc();
     }
     fn disk_hit(&self) {
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        DB_DISK_HITS.inc();
     }
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        DB_MISSES.inc();
     }
 }
 
@@ -337,6 +355,7 @@ impl DesignDb {
     /// Returns [`AliceError::Elaborate`] when elaboration fails.
     pub fn elaborate(&self, file: &SourceFile, module: &str) -> Result<Arc<Netlist>, AliceError> {
         let run = || {
+            let _span = alice_obs::span_with("db.elaborate", || module.to_string());
             alice_netlist::elaborate::elaborate(file, module)
                 .map(Arc::new)
                 .map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))
@@ -393,6 +412,7 @@ impl DesignDb {
     ) -> Result<Arc<MappedNetlist>, AliceError> {
         let netlist = self.elaborate(file, module)?;
         let run = || {
+            let _span = alice_obs::span_with("db.lutmap", || module.to_string());
             map_luts(&netlist, k)
                 .map(Arc::new)
                 .map_err(|e| AliceError::Elaborate(format!("{module}: {e}")))
@@ -451,6 +471,7 @@ impl DesignDb {
         arch: &FabricArch,
     ) -> Result<Arc<EfpgaImpl>, String> {
         let run = || {
+            let _span = alice_obs::span("db.characterize");
             create_efpga(network, arch)
                 .map(Arc::new)
                 .map_err(|e| e.to_string())

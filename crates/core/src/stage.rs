@@ -274,6 +274,25 @@ impl PhaseTimings {
     }
 }
 
+/// Observability: wall-clock per pipeline stage, in microseconds.
+static STAGE_US: alice_obs::Histogram = alice_obs::Histogram::new(
+    "alice_stage_duration_us",
+    "Wall-clock per pipeline stage (µs)",
+);
+
+/// The trace-lane span name for a stage: `stage.` + [`Stage::name`].
+/// Static so flame-view aggregation groups by stage across runs.
+pub fn stage_span_name(name: &str) -> &'static str {
+    match name {
+        "filter" => "stage.filter",
+        "cluster" => "stage.cluster",
+        "select" => "stage.select",
+        "redact" => "stage.redact",
+        "verify" => "stage.verify",
+        _ => "stage.other",
+    }
+}
+
 /// Runs one stage, appending its timing/counter record to `timings`.
 ///
 /// # Errors
@@ -285,11 +304,14 @@ pub fn run_stage(
     cx: &mut FlowContext<'_>,
     timings: &mut PhaseTimings,
 ) -> Result<(), AliceError> {
+    let _span = alice_obs::span(stage_span_name(stage.name()));
     let start = Instant::now();
     stage.run(cx)?;
+    let duration = start.elapsed();
+    STAGE_US.observe_duration(duration);
     timings.records.push(StageRecord {
         name: stage.name(),
-        duration: start.elapsed(),
+        duration,
         items: stage.items(cx),
     });
     Ok(())

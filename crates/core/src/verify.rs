@@ -78,7 +78,12 @@ impl fmt::Display for VerifyOutcome {
 }
 
 /// One wrong bitstream's corruptibility result.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *analysis verdict* (flips, corruption counts,
+/// completeness) and deliberately ignores [`WrongKeyOutcome::solve_us`]
+/// and [`WrongKeyOutcome::from_cache`]: a warm run serving the same
+/// verdict from the proof cache is the same outcome, just faster.
+#[derive(Debug, Clone)]
 pub struct WrongKeyOutcome {
     /// Which key-bit indices (into the concatenated per-fabric
     /// [`crate::redact::VerifyBinding::key_bits`]) were flipped.
@@ -89,6 +94,22 @@ pub struct WrongKeyOutcome {
     pub total: usize,
     /// False when the solver budget cut the analysis short.
     pub complete: bool,
+    /// Wall-clock of this key's miter build + SAT analysis, in
+    /// microseconds — per-miter, so one pathological key is visible
+    /// instead of hiding inside the sweep's aggregate mean.
+    pub solve_us: u64,
+    /// True when the verdict was served from the persistent proof
+    /// cache instead of being solved.
+    pub from_cache: bool,
+}
+
+impl PartialEq for WrongKeyOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.flipped == other.flipped
+            && self.corrupted == other.corrupted
+            && self.total == other.total
+            && self.complete == other.complete
+    }
 }
 
 impl WrongKeyOutcome {
@@ -155,6 +176,14 @@ impl VerifyReport {
         Some(sum / self.wrong_keys.len() as f64)
     }
 }
+
+/// Observability: per-miter wall-clock of wrong-key analyses (µs).
+/// One pathological key shows up in the tail buckets instead of being
+/// averaged away by the sweep's aggregate duration.
+static WRONG_KEY_SOLVE_US: alice_obs::Histogram = alice_obs::Histogram::new(
+    "alice_verify_wrong_key_solve_us",
+    "Per-miter wall-clock of wrong-key corruption analyses (µs)",
+);
 
 /// Builds the miter options shared by the proof and the sweep: state
 /// renames and cfg pins from every fabric's binding, `cfg_en` low.
@@ -263,6 +292,7 @@ pub fn verify_redaction(
             // inside `prove_equivalent_raced` (no extra threads, no
             // behavior change); larger widths race diversified solver
             // and encoding configurations, first definitive answer wins.
+            let _span = alice_obs::span("verify.prove");
             let ro = prove_equivalent_raced(
                 &golden,
                 &revised,
@@ -308,6 +338,7 @@ pub fn verify_redaction(
 
     // Wrong-key sweep: only meaningful once the correct key is proven.
     let wrong_keys = if cfg.verify_wrong_keys > 0 && outcome.is_equivalent() {
+        let _span = alice_obs::span("verify.wrong_key_sweep");
         wrong_key_sweep(&golden, &revised, redacted, cfg, db)
             .map_err(|e| AliceError::Verify(e.to_string()))?
     } else {
@@ -378,6 +409,8 @@ fn wrong_key_sweep(
 
     let store = db.store().map(Arc::as_ref);
     let results = shard(n, cfg.effective_jobs(), |k| {
+        let _span = alice_obs::span_with("verify.wrong_key", || format!("key {k}"));
+        let started = std::time::Instant::now();
         let mut opts = base.clone();
         // Flip the chosen key bits relative to the correct bitstream.
         let flipped: HashMap<Symbol, bool> = flips[k]
@@ -397,6 +430,8 @@ fn wrong_key_sweep(
                 corrupted: hit.corrupted as usize,
                 total: hit.total as usize,
                 complete: true,
+                solve_us: started.elapsed().as_micros() as u64,
+                from_cache: true,
             });
         }
         let c = Miter::build(golden, revised, &opts)?.corruption();
@@ -413,11 +448,15 @@ fn wrong_key_sweep(
                 db.count_external_miss();
             }
         }
+        let solve_us = started.elapsed().as_micros() as u64;
+        WRONG_KEY_SOLVE_US.observe(solve_us);
         Ok(WrongKeyOutcome {
             flipped: flips[k].clone(),
             corrupted: c.corrupted.len(),
             total: c.total,
             complete: c.complete,
+            solve_us,
+            from_cache: false,
         })
     });
     results.into_iter().collect()

@@ -1,0 +1,420 @@
+//! Process-wide metric registry: atomic counters, gauges, and
+//! histograms that export as a Prometheus-style text snapshot.
+//!
+//! Metrics are declared as `static` items with `const` constructors
+//! and self-register into a global intrusive list the first time they
+//! are touched while metrics are enabled — no registration call, no
+//! allocation, no lock on the hot path. While metrics are disabled
+//! every update is one relaxed atomic load and a branch.
+//!
+//! ```
+//! use alice_obs::{enable_metrics, snapshot_prometheus, Counter, Histogram};
+//!
+//! static HITS: Counter = Counter::new("alice_doc_hits_total", "Doc cache hits");
+//! static LATENCY: Histogram =
+//!     Histogram::new("alice_doc_latency_us", "Doc latency (µs)");
+//!
+//! enable_metrics();
+//! HITS.inc();
+//! LATENCY.observe(1500);
+//! let text = snapshot_prometheus();
+//! assert!(text.contains("alice_doc_hits_total 1"));
+//! assert!(text.contains("alice_doc_latency_us_count 1"));
+//! ```
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Master switch; off means every update is a relaxed load + branch.
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// Heads of the per-kind intrusive registration lists.
+static COUNTERS: AtomicPtr<Counter> = AtomicPtr::new(ptr::null_mut());
+static GAUGES: AtomicPtr<Gauge> = AtomicPtr::new(ptr::null_mut());
+static HISTOGRAMS: AtomicPtr<Histogram> = AtomicPtr::new(ptr::null_mut());
+
+/// Turns metric recording on (idempotent).
+pub fn enable_metrics() {
+    METRICS_ON.store(true, Ordering::Relaxed);
+}
+
+/// Turns metric recording off; accumulated values are kept.
+pub fn disable_metrics() {
+    METRICS_ON.store(false, Ordering::Relaxed);
+}
+
+/// Whether metric updates are currently recorded.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// Pushes a node onto an intrusive list exactly once. `registered`
+/// guards the push; `next` is the node's list link. Nodes are
+/// `'static`, so traversal never observes a dangling pointer.
+fn register_once<T>(
+    node: &'static T,
+    registered: &AtomicBool,
+    next: &AtomicPtr<T>,
+    head: &AtomicPtr<T>,
+) {
+    if registered.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let node_ptr = node as *const T as *mut T;
+    let mut cur = head.load(Ordering::Acquire);
+    loop {
+        next.store(cur, Ordering::Release);
+        match head.compare_exchange_weak(cur, node_ptr, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => break,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Walks an intrusive list, calling `f` on every registered node.
+fn for_each<T: 'static, F: FnMut(&'static T)>(
+    head: &AtomicPtr<T>,
+    next_of: fn(&T) -> &AtomicPtr<T>,
+    mut f: F,
+) {
+    let mut cur = head.load(Ordering::Acquire);
+    while !cur.is_null() {
+        // SAFETY: only `&'static` nodes are ever pushed (see
+        // `register_once`), so the pointer is valid for 'static.
+        let node: &'static T = unsafe { &*cur };
+        f(node);
+        cur = next_of(node).load(Ordering::Acquire);
+    }
+}
+
+/// Monotonically increasing event count (`TYPE counter`).
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+    next: AtomicPtr<Counter>,
+}
+
+impl Counter {
+    /// Declares a counter; use in a `static` item.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Counter {
+            name,
+            help,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Adds `n` (no-op while metrics are disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        register_once(self, &self.registered, &self.next, &COUNTERS);
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level that can move both ways (`TYPE gauge`).
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+    next: AtomicPtr<Gauge>,
+}
+
+impl Gauge {
+    /// Declares a gauge; use in a `static` item.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Gauge {
+            name,
+            help,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Sets the level (no-op while metrics are disabled).
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        register_once(self, &self.registered, &self.next, &GAUGES);
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two histogram buckets; the last finite bound is
+/// 2^24 (≈16.8 s when observing microseconds).
+const BUCKETS: usize = 26;
+
+/// Log₂-bucketed distribution (`TYPE histogram`). Bucket upper bounds
+/// are `1, 2, 4, …, 2^24, +Inf`; the unit is whatever the caller
+/// observes (durations conventionally in microseconds via
+/// [`Histogram::observe_duration`]).
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    registered: AtomicBool,
+    next: AtomicPtr<Histogram>,
+}
+
+impl Histogram {
+    /// Declares a histogram; use in a `static` item.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            help,
+            buckets: [ZERO; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Records one observation (no-op while metrics are disabled).
+    #[inline]
+    pub fn observe(&'static self, v: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        register_once(self, &self.registered, &self.next, &HISTOGRAMS);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn observe_duration(&'static self, d: Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Index of the first bucket whose upper bound (`2^i`) holds `v`.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Zeroes every registered metric (test hook; registration survives).
+pub fn reset_metrics() {
+    for_each(
+        &COUNTERS,
+        |c| &c.next,
+        |c| {
+            c.value.store(0, Ordering::Relaxed);
+        },
+    );
+    for_each(
+        &GAUGES,
+        |g| &g.next,
+        |g| {
+            g.value.store(0, Ordering::Relaxed);
+        },
+    );
+    for_each(
+        &HISTOGRAMS,
+        |h| &h.next,
+        |h| {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.sum.store(0, Ordering::Relaxed);
+            h.count.store(0, Ordering::Relaxed);
+        },
+    );
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format, families sorted by name for deterministic output.
+pub fn snapshot_prometheus() -> String {
+    let mut families: Vec<(String, String)> = Vec::new();
+    for_each(
+        &COUNTERS,
+        |c| &c.next,
+        |c| {
+            families.push((
+                c.name.to_string(),
+                format!(
+                    "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n",
+                    name = c.name,
+                    help = c.help,
+                    v = c.get()
+                ),
+            ));
+        },
+    );
+    for_each(
+        &GAUGES,
+        |g| &g.next,
+        |g| {
+            families.push((
+                g.name.to_string(),
+                format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n",
+                    name = g.name,
+                    help = g.help,
+                    v = g.get()
+                ),
+            ));
+        },
+    );
+    for_each(
+        &HISTOGRAMS,
+        |h| &h.next,
+        |h| {
+            let mut body = format!(
+                "# HELP {name} {help}\n# TYPE {name} histogram\n",
+                name = h.name,
+                help = h.help
+            );
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cumulative += b.load(Ordering::Relaxed);
+                if i + 1 < BUCKETS {
+                    body.push_str(&format!(
+                        "{}_bucket{{le=\"{}\"}} {}\n",
+                        h.name,
+                        1u64 << i,
+                        cumulative
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {count}\n{name}_sum {sum}\n{name}_count {count}\n",
+                name = h.name,
+                sum = h.sum(),
+                count = h.count()
+            ));
+            families.push((h.name.to_string(), body));
+        },
+    );
+    families.sort();
+    let mut out = String::new();
+    for (_, body) in families {
+        out.push_str(&body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::obs_test_lock;
+
+    #[test]
+    fn counter_and_gauge_register_and_export() {
+        let _guard = obs_test_lock();
+        static C: Counter = Counter::new("alice_test_counter_total", "Test counter");
+        static G: Gauge = Gauge::new("alice_test_gauge", "Test gauge");
+        enable_metrics();
+        C.inc();
+        C.add(2);
+        G.set(7);
+        assert_eq!(C.get(), 3);
+        assert_eq!(G.get(), 7);
+        let text = snapshot_prometheus();
+        assert!(text.contains("# TYPE alice_test_counter_total counter"));
+        assert!(text.contains("alice_test_counter_total 3"));
+        assert!(text.contains("# TYPE alice_test_gauge gauge"));
+        assert!(text.contains("alice_test_gauge 7"));
+        disable_metrics();
+        C.inc();
+        assert_eq!(C.get(), 3, "disabled counter must not move");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let _guard = obs_test_lock();
+        static H: Histogram = Histogram::new("alice_test_hist_us", "Test histogram");
+        enable_metrics();
+        // Zero the slate in case another test already registered H.
+        for b in &H.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        H.sum.store(0, Ordering::Relaxed);
+        H.count.store(0, Ordering::Relaxed);
+        H.observe(1);
+        H.observe(3);
+        H.observe(u64::MAX / 2); // far past the last finite bound
+        H.observe_duration(Duration::from_micros(2));
+        assert_eq!(H.count(), 4);
+        let text = snapshot_prometheus();
+        assert!(text.contains("alice_test_hist_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("alice_test_hist_us_bucket{le=\"2\"} 2"));
+        assert!(text.contains("alice_test_hist_us_bucket{le=\"4\"} 3"));
+        assert!(text.contains("alice_test_hist_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("alice_test_hist_us_count 4"));
+        disable_metrics();
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 24), 24);
+        assert_eq!(bucket_index((1 << 24) + 1), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn reset_zeroes_registered_metrics() {
+        let _guard = obs_test_lock();
+        static C: Counter = Counter::new("alice_test_reset_total", "Reset test");
+        enable_metrics();
+        C.inc();
+        assert!(C.get() >= 1);
+        reset_metrics();
+        assert_eq!(C.get(), 0);
+        disable_metrics();
+    }
+}

@@ -1,0 +1,387 @@
+//! Hierarchical spans and the Chrome trace-event exporter.
+//!
+//! A [`SpanGuard`] records one "complete" (`ph: "X"`) event when it is
+//! dropped; because guards drop in LIFO order within a thread, the
+//! per-thread event intervals are properly nested and Perfetto renders
+//! them as a flame view with one lane per worker thread. Thread lanes
+//! are labelled via [`set_thread_name`] (emitted as `ph: "M"`
+//! `thread_name` metadata events).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Master switch; off means `span()` is a relaxed load + branch.
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic time base shared by every event (set on first use so
+/// timestamps are comparable across threads).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Completed span events, appended at guard drop.
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+/// `(tid, name)` pairs registered via [`set_thread_name`].
+static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+
+/// Events discarded past [`MAX_EVENTS`] (kept so truncation is loud).
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Hard cap on buffered events; a runaway sweep degrades to a
+/// truncated trace instead of unbounded memory.
+const MAX_EVENTS: usize = 1 << 21;
+
+/// Next lane number; lanes are small dense integers, not OS thread ids.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One completed span: a Chrome-trace "complete" event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (static so flame-view aggregation groups by call
+    /// site, e.g. `stage.select` or `cec.pair_proof`).
+    pub name: &'static str,
+    /// Optional per-instance detail, exported under `args.detail`.
+    pub detail: Option<String>,
+    /// Start, in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Trace lane (dense per-thread integer, not the OS thread id).
+    pub tid: u32,
+}
+
+/// A drained trace: events plus the thread-name table.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed events, in drop order.
+    pub events: Vec<TraceEvent>,
+    /// `(tid, name)` lane labels from [`set_thread_name`].
+    pub thread_names: Vec<(u32, String)>,
+    /// Events discarded because the in-memory buffer hit its cap.
+    pub dropped: u64,
+}
+
+/// Turns span recording on (idempotent). The calling thread's lane is
+/// labelled `main` unless it already has a name.
+pub fn enable_tracing() {
+    EPOCH.get_or_init(Instant::now);
+    TRACE_ON.store(true, Ordering::Relaxed);
+    let tid = current_tid();
+    let mut names = THREAD_NAMES.lock().unwrap();
+    if !names.iter().any(|(t, _)| *t == tid) {
+        names.push((tid, "main".to_string()));
+    }
+}
+
+/// Turns span recording off; buffered events stay until
+/// [`take_trace`].
+pub fn disable_tracing() {
+    TRACE_ON.store(false, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Labels the current thread's trace lane (no-op while tracing is
+/// disabled). Call once right after spawning a worker.
+pub fn set_thread_name(name: &str) {
+    if !tracing_enabled() {
+        return;
+    }
+    let tid = current_tid();
+    let mut names = THREAD_NAMES.lock().unwrap();
+    if let Some(slot) = names.iter_mut().find(|(t, _)| *t == tid) {
+        slot.1 = name.to_string();
+    } else {
+        names.push((tid, name.to_string()));
+    }
+}
+
+/// Number of events currently buffered (test hook).
+pub fn trace_event_count() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Drains the buffered events and thread names, returning them as a
+/// [`Trace`] and leaving the buffer empty.
+pub fn take_trace() -> Trace {
+    let events = std::mem::take(&mut *EVENTS.lock().unwrap());
+    let thread_names = THREAD_NAMES.lock().unwrap().clone();
+    Trace {
+        events,
+        thread_names,
+        dropped: DROPPED.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// RAII span: records one [`TraceEvent`] when dropped. Obtain via
+/// [`span`], [`span_with`], or the [`span!`](macro@crate::span) macro.
+#[must_use = "a span measures the scope it lives in; bind it with `let`"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: &'static str,
+    detail: Option<String>,
+    start_ns: u64,
+    tid: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        let mut events = EVENTS.lock().unwrap();
+        if events.len() >= MAX_EVENTS {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(TraceEvent {
+            name: active.name,
+            detail: active.detail,
+            start_ns: active.start_ns,
+            dur_ns: end_ns.saturating_sub(active.start_ns),
+            tid: active.tid,
+        });
+    }
+}
+
+/// Opens a span; the returned guard records the event on drop. While
+/// tracing is disabled this is one relaxed load + branch and the guard
+/// is inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(ActiveSpan {
+        name,
+        detail: None,
+        start_ns: now_ns(),
+        tid: current_tid(),
+    }))
+}
+
+/// Like [`span`] but attaches a detail string built only while tracing
+/// is enabled (so the formatting cost is never paid on the fast path).
+#[inline]
+pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard(None);
+    }
+    SpanGuard(Some(ActiveSpan {
+        name,
+        detail: Some(detail()),
+        start_ns: now_ns(),
+        tid: current_tid(),
+    }))
+}
+
+impl Trace {
+    /// Serializes to Chrome trace-event JSON (the `traceEvents` array
+    /// format understood by Perfetto and `chrome://tracing`).
+    /// Timestamps are microseconds with nanosecond precision.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<&TraceEvent> = self.events.iter().collect();
+        events.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.dur_ns.cmp(&a.dur_ns))
+                .then(a.tid.cmp(&b.tid))
+        });
+        let mut out = String::with_capacity(events.len() * 96 + 256);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (tid, name) in &self.thread_names {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"name\":");
+            escape_json_str(name, &mut out);
+            out.push_str("}}");
+        }
+        for ev in events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            escape_json_str(ev.name, &mut out);
+            out.push_str(",\"cat\":\"alice\",\"ph\":\"X\",\"ts\":");
+            push_us(ev.start_ns, &mut out);
+            out.push_str(",\"dur\":");
+            push_us(ev.dur_ns, &mut out);
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&ev.tid.to_string());
+            if let Some(detail) = &ev.detail {
+                out.push_str(",\"args\":{\"detail\":");
+                escape_json_str(detail, &mut out);
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"");
+        if self.dropped > 0 {
+            out.push_str(&format!(",\"aliceDroppedEvents\":{}", self.dropped));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Formats `ns` as microseconds with 3 decimal places (`12.345`).
+fn push_us(ns: u64, out: &mut String) {
+    out.push_str(&(ns / 1000).to_string());
+    out.push('.');
+    out.push_str(&format!("{:03}", ns % 1000));
+}
+
+/// JSON string literal with the escapes the exporter needs.
+pub(crate) fn escape_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Drains the current trace and writes Chrome trace-event JSON to
+/// `path`, returning the number of span events written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the file.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<usize> {
+    let trace = take_trace();
+    std::fs::write(path, trace.to_chrome_json())?;
+    Ok(trace.events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::obs_test_lock;
+    use crate::validate_chrome_trace;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = obs_test_lock();
+        disable_tracing();
+        let _ = take_trace();
+        {
+            let _a = span("test.disabled");
+            let _b = span_with("test.disabled.detail", || unreachable!("lazy detail"));
+        }
+        assert_eq!(trace_event_count(), 0);
+    }
+
+    #[test]
+    fn nested_spans_export_and_validate() {
+        let _guard = obs_test_lock();
+        enable_tracing();
+        let _ = take_trace();
+        {
+            let _outer = span("test.outer");
+            {
+                let _inner = span_with("test.inner", || "detail \"quoted\"".to_string());
+            }
+        }
+        let handle = std::thread::spawn(|| {
+            set_thread_name("test worker");
+            let _w = span("test.worker");
+        });
+        handle.join().unwrap();
+        disable_tracing();
+        let trace = take_trace();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.dropped, 0);
+        let inner = trace
+            .events
+            .iter()
+            .find(|e| e.name == "test.inner")
+            .unwrap();
+        let outer = trace
+            .events
+            .iter()
+            .find(|e| e.name == "test.outer")
+            .unwrap();
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        let worker = trace
+            .events
+            .iter()
+            .find(|e| e.name == "test.worker")
+            .unwrap();
+        assert_ne!(worker.tid, outer.tid, "worker gets its own lane");
+
+        let json = trace.to_chrome_json();
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.threads, 2);
+        assert!(summary.has_span("test.outer"));
+        assert!(summary.has_span("test.inner"));
+        assert!(summary.thread_names.contains("test worker"));
+        assert!(summary.thread_names.contains("main"));
+        assert!(summary.max_depth >= 2);
+        assert_eq!(trace_event_count(), 0, "take_trace drains");
+    }
+
+    #[test]
+    fn validator_rejects_overlap_and_garbage() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1}]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("overlaps"), "got: {err}");
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err(), "no traceEvents");
+        let missing = r#"{"traceEvents":[{"ph":"X","ts":0,"dur":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(missing).is_err(), "missing name");
+        let sibling = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":5,"dur":5,"pid":1,"tid":1},
+            {"name":"c","ph":"X","ts":0,"dur":4,"pid":1,"tid":2}]}"#;
+        let ok = validate_chrome_trace(sibling).expect("siblings are fine");
+        assert_eq!(ok.threads, 2);
+        assert_eq!(ok.max_depth, 1);
+    }
+
+    #[test]
+    fn timestamps_format_as_microseconds() {
+        let mut s = String::new();
+        push_us(12_345_678, &mut s);
+        assert_eq!(s, "12345.678");
+        s.clear();
+        push_us(5, &mut s);
+        assert_eq!(s, "0.005");
+    }
+}

@@ -1,0 +1,142 @@
+//! Structural validation of Chrome trace-event JSON.
+//!
+//! Used by the test suite and the CI `trace_check` gate: beyond "the
+//! JSON parses", it checks that every complete event carries the
+//! required fields and that the event intervals are properly nested
+//! within each thread lane (a malformed exporter would produce
+//! overlapping siblings, which Perfetto renders misleadingly).
+
+use crate::json::Json;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a validated trace contains, for assertions on coverage.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Number of `ph: "X"` span events.
+    pub events: usize,
+    /// Number of distinct thread lanes with at least one span.
+    pub threads: usize,
+    /// Distinct span names.
+    pub span_names: BTreeSet<String>,
+    /// Thread-lane labels from `thread_name` metadata events.
+    pub thread_names: BTreeSet<String>,
+    /// Deepest nesting observed in any lane (1 = no nesting).
+    pub max_depth: usize,
+}
+
+impl TraceSummary {
+    /// Whether any span with this exact name occurred.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.span_names.contains(name)
+    }
+}
+
+/// Tolerance when comparing microsecond timestamps (1 ns, i.e. the
+/// exporter's own resolution).
+const EPS_US: f64 = 0.001;
+
+/// Parses and structurally validates a Chrome trace-event JSON
+/// document, returning a [`TraceSummary`] on success.
+///
+/// # Errors
+///
+/// Returns a message describing the first problem found: malformed
+/// JSON, a missing `traceEvents` array, a span event without
+/// `name`/`ts`/`dur`/`tid`, or spans that overlap without nesting
+/// within one thread lane.
+pub fn validate_chrome_trace(src: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(src).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    let mut summary = TraceSummary::default();
+    // (start_us, dur_us, name) per tid.
+    let mut lanes: BTreeMap<u64, Vec<(f64, f64, String)>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        match ph {
+            "X" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .filter(|n| !n.is_empty())
+                    .ok_or_else(|| format!("event {i}: missing `name`"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .filter(|t| *t >= 0.0)
+                    .ok_or_else(|| format!("event {i}: missing `ts`"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .filter(|d| *d >= 0.0)
+                    .ok_or_else(|| format!("event {i}: missing `dur`"))?;
+                let tid = ev
+                    .get("tid")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: missing `tid`"))?;
+                summary.events += 1;
+                summary.span_names.insert(name.to_string());
+                lanes
+                    .entry(tid)
+                    .or_default()
+                    .push((ts, dur, name.to_string()));
+            }
+            "M" if ev.get("name").and_then(Json::as_str) == Some("thread_name") => {
+                if let Some(label) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    summary.thread_names.insert(label.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    summary.threads = lanes.len();
+    for (tid, spans) in &mut lanes {
+        summary.max_depth = summary.max_depth.max(check_lane(*tid, spans)?);
+    }
+    Ok(summary)
+}
+
+/// Checks one lane for proper nesting, returning its max depth.
+///
+/// Sorted by (start asc, duration desc), each span must either start
+/// after the enclosing span ends (a sibling) or end within it (a
+/// child) — partial overlap is a structural error.
+fn check_lane(tid: u64, spans: &mut [(f64, f64, String)]) -> Result<usize, String> {
+    spans.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut stack: Vec<(f64, String)> = Vec::new(); // (end_us, name)
+    let mut max_depth = 0usize;
+    for (start, dur, name) in spans.iter() {
+        let end = start + dur;
+        while let Some((top_end, _)) = stack.last() {
+            if *top_end <= start + EPS_US {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some((top_end, top_name)) = stack.last() {
+            if end > top_end + EPS_US {
+                return Err(format!(
+                    "tid {tid}: span `{name}` [{start:.3}, {end:.3}] overlaps \
+                     `{top_name}` ending at {top_end:.3} without nesting"
+                ));
+            }
+        }
+        stack.push((end, name.clone()));
+        max_depth = max_depth.max(stack.len());
+    }
+    Ok(max_depth)
+}

@@ -44,8 +44,14 @@ pub fn shard<T: Send>(n: usize, jobs: usize, worker: impl Fn(usize) -> T + Sync)
     let next = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| {
+        let next = &next;
+        let done = &done;
+        let worker = &worker;
+        for w in 0..jobs {
+            s.spawn(move || {
+                if alice_obs::tracing_enabled() {
+                    alice_obs::set_thread_name(&format!("par::shard worker {w}"));
+                }
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -131,13 +137,20 @@ pub fn race<T: Send>(
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            let next = &next;
+            let run_one = &run_one;
+            for w in 0..jobs {
+                s.spawn(move || {
+                    if alice_obs::tracing_enabled() {
+                        alice_obs::set_thread_name(&format!("par::race worker {w}"));
                     }
-                    run_one(i);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        run_one(i);
+                    }
                 });
             }
         });

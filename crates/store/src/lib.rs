@@ -82,6 +82,27 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+static STORE_GETS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_store_gets_total",
+    "Successful artifact-store gets across all handles",
+);
+static STORE_MAPPED_GETS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_store_mapped_gets_total",
+    "Store gets served zero-copy from a segment mapping",
+);
+static STORE_COPIED_GETS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_store_copied_gets_total",
+    "Store gets served through the positioned-read + copy fallback",
+);
+static STORE_BYTES_COPIED: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_store_bytes_copied_total",
+    "Payload bytes copied by fallback store reads",
+);
+static STORE_SHARD_FLUSHES: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_store_shard_flushes_total",
+    "Dirty shard rewrites committed by store flushes",
+);
+
 /// A 128-bit content-addressed key (the same shape `DesignDb` uses).
 pub type Key = (u64, u64);
 
@@ -624,6 +645,7 @@ impl Store {
     /// read or the verify degrades to a miss: the caller recomputes,
     /// exactly as if an eager open had dropped it.
     pub fn get(&self, kind: Kind, key: Key) -> Option<Payload> {
+        let _span = alice_obs::span("store.get");
         let shard = shard_of(key);
         let mut guard = self.shard(kind, shard);
         let state = &mut *guard;
@@ -653,6 +675,7 @@ impl Store {
                             || mapped_record_intact(file.as_deref(), map, key, offset, len));
                     if intact {
                         self.mapped_gets.fetch_add(1, Ordering::Relaxed);
+                        STORE_MAPPED_GETS.inc();
                         Some(Served {
                             payload: Payload::mapped(map.clone(), offset as usize, len as usize),
                             memoize: None,
@@ -670,6 +693,8 @@ impl Store {
                             self.copied_gets.fetch_add(1, Ordering::Relaxed);
                             self.bytes_copied
                                 .fetch_add(u64::from(len), Ordering::Relaxed);
+                            STORE_COPIED_GETS.inc();
+                            STORE_BYTES_COPIED.add(u64::from(len));
                             let payload = Arc::new(payload);
                             Some(Served {
                                 payload: Payload::owned(payload.clone()),
@@ -697,6 +722,7 @@ impl Store {
                 }
                 slot.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
                 self.gets.fetch_add(1, Ordering::Relaxed);
+                STORE_GETS.inc();
                 self.access_dirty.store(true, Ordering::Relaxed);
                 Some(payload)
             }
@@ -809,6 +835,7 @@ impl Store {
     /// unconditionally (gc); otherwise the configured
     /// [`Store::set_compact_budget`] applies with its 2× trigger.
     fn flush_impl(&self, force_budget: Option<u64>) -> io::Result<Option<GcReport>> {
+        let _span = alice_obs::span("store.flush");
         let configured = *self.compact_budget.lock().expect("budget lock");
         // A compaction may evict from — and therefore rewrite — ANY
         // shard, so when one can run the flush must see (and lock) the
@@ -908,6 +935,8 @@ impl Store {
     /// payloads are read (and verified) now; one that fails its verify
     /// degrades to a miss here exactly as it would on get.
     fn rewrite_shard(&self, kind: Kind, shard: usize, state: &mut ShardState) -> io::Result<()> {
+        let _span = alice_obs::span_with("store.flush.shard", || kind.shard_file_name(shard));
+        STORE_SHARD_FLUSHES.inc();
         materialize(state);
         let bytes = serialize_segment(kind, shard, state);
         commit_file(&self.dir, &kind.shard_file_name(shard), &bytes)?;

@@ -7,10 +7,17 @@
 //!       [--cfg1 | --cfg2] [--jobs N] [--report]
 //!       [--verify] [--wrong-keys N] [--portfolio N] [--no-cache]
 //!       [--store DIR] [--store-budget BYTES]
+//!       [--trace FILE] [--metrics FILE]
 //! alice store stats <DIR>
 //! alice store gc <DIR> [--budget BYTES]
 //! alice store clear <DIR>
 //! ```
+//!
+//! `--trace FILE` records hierarchical spans across the whole run and
+//! writes a Chrome trace-event JSON file (load it in Perfetto or
+//! `chrome://tracing`); `--metrics FILE` writes a Prometheus-style text
+//! snapshot of the process-wide counters. Both can also be set from the
+//! YAML config (`trace:` / `metrics:`); the command line wins.
 
 use alice_redaction::core::config::AliceConfig;
 use alice_redaction::core::design::Design;
@@ -22,7 +29,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: alice <design.v> [--config flow.yaml] [--top NAME] \
                      [--out DIR] [--cfg1 | --cfg2] [--jobs N] [--report] \
                      [--verify] [--wrong-keys N] [--portfolio N] [--no-cache] \
-                     [--store DIR] [--store-budget BYTES]\n\
+                     [--store DIR] [--store-budget BYTES] \
+                     [--trace FILE] [--metrics FILE]\n\
                      \x20      alice store <stats|gc|clear> <DIR> [--budget BYTES]";
 
 /// Default `alice store gc` budget when `--budget` is omitted: 256 MiB.
@@ -43,6 +51,8 @@ struct Args {
     no_cache: bool,
     store: Option<PathBuf>,
     store_budget: Option<u64>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 /// The `alice store <action> <DIR>` maintenance subcommand.
@@ -63,7 +73,7 @@ enum StoreAction {
 /// What one CLI invocation asks for.
 #[derive(Debug)]
 enum Command {
-    Run(Args),
+    Run(Box<Args>),
     Store(StoreCmd),
 }
 
@@ -138,6 +148,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Command>, Str
         no_cache: false,
         store: None,
         store_budget: None,
+        trace: None,
+        metrics: None,
     };
     let mut it = argv.peekable();
     // `alice store <stats|gc|clear> <DIR>` is a separate maintenance mode.
@@ -156,6 +168,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Command>, Str
             "--top" => args.top = Some(value(&mut it, "--top")?),
             "--out" => args.out = PathBuf::from(value(&mut it, "--out")?),
             "--store" => args.store = Some(PathBuf::from(value(&mut it, "--store")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
+            "--metrics" => args.metrics = Some(PathBuf::from(value(&mut it, "--metrics")?)),
             "--store-budget" => {
                 let v = value(&mut it, "--store-budget")?;
                 let budget: u64 = v
@@ -206,7 +220,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Command>, Str
             ))
         }
     }
-    Ok(Some(Command::Run(args)))
+    Ok(Some(Command::Run(Box::new(args))))
 }
 
 /// Runs the `alice store` maintenance subcommand.
@@ -221,6 +235,12 @@ fn run_store_cmd(cmd: &StoreCmd) -> Result<(), Box<dyn std::error::Error>> {
             // pending tombstones) visible at a glance.
             println!();
             print!("{}", stats.shard_table());
+            let reads = store.read_stats();
+            println!();
+            println!(
+                "reads (this handle): {} get(s), {} mapped, {} copied, {} byte(s) copied",
+                reads.gets, reads.mapped_gets, reads.copied_gets, reads.bytes_copied
+            );
         }
         StoreAction::Gc => {
             let report = store.gc(cmd.budget)?;
@@ -247,6 +267,30 @@ fn run_store_cmd(cmd: &StoreCmd) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes the enabled observability sinks. Runs even when the flow
+/// failed — a trace of the run that died is the one worth looking at.
+fn export_observability(trace: Option<&PathBuf>, metrics: Option<&PathBuf>) {
+    if let Some(path) = trace {
+        match alice_redaction::obs::write_chrome_trace(path) {
+            Ok(n) => eprintln!("alice: trace: {} event(s) -> {}", n, path.display()),
+            Err(e) => eprintln!(
+                "alice: warning: could not write trace {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    if let Some(path) = metrics {
+        let text = alice_redaction::obs::snapshot_prometheus();
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("alice: metrics -> {}", path.display()),
+            Err(e) => eprintln!(
+                "alice: warning: could not write metrics {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
 fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&args.design)
         .map_err(|e| format!("cannot read {}: {e}", args.design.display()))?;
@@ -259,6 +303,26 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|e| format!("cannot read {}: {e}", cpath.display()))?;
         cfg = AliceConfig::from_yaml(&ctext)?;
     }
+    // The command line wins over the config file for the sinks.
+    let trace = args.trace.clone().or(cfg.trace.clone());
+    let metrics = args.metrics.clone().or(cfg.metrics.clone());
+    if trace.is_some() {
+        alice_redaction::obs::enable_tracing();
+    }
+    if metrics.is_some() {
+        alice_redaction::obs::enable_metrics();
+    }
+    let result = run_flow(args, cfg, &src);
+    export_observability(trace.as_ref(), metrics.as_ref());
+    result
+}
+
+/// The flow proper: everything between sink setup and sink export.
+fn run_flow(
+    args: &Args,
+    mut cfg: AliceConfig,
+    src: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(jobs) = args.jobs {
         cfg.jobs = jobs;
     }
@@ -289,7 +353,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| "design".to_string());
     // The command line wins over the config file for the top module.
     let top = args.top.clone().or(cfg.top.clone());
-    let design = Design::from_source(&name, &src, top.as_deref())?;
+    let design = Design::from_source(&name, src, top.as_deref())?;
     eprintln!(
         "alice: {} ({} instances), config: {cfg}, {} characterization job(s)",
         design.name,
@@ -311,11 +375,17 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
         } else {
             let stats = store.stats();
+            let reads = store.read_stats();
             eprintln!(
-                "alice: store {}: {} record(s), {} byte(s)",
+                "alice: store {}: {} record(s), {} byte(s); {} get(s) \
+                 ({} mapped, {} copied, {} byte(s) copied)",
                 store.path().display(),
                 stats.records(),
-                stats.bytes()
+                stats.bytes(),
+                reads.gets,
+                reads.mapped_gets,
+                reads.copied_gets,
+                reads.bytes_copied
             );
         }
     }
@@ -329,11 +399,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         for wk in &v.wrong_keys {
             eprintln!(
-                "alice: wrong key (flipping {} bit(s)): {}/{} outputs corrupted{}",
+                "alice: wrong key (flipping {} bit(s)): {}/{} outputs corrupted{} in {} µs{}",
                 wk.flipped.len(),
                 wk.corrupted,
                 wk.total,
-                if wk.complete { "" } else { " (budget hit)" }
+                if wk.complete { "" } else { " (budget hit)" },
+                wk.solve_us,
+                if wk.from_cache { " (cached)" } else { "" }
             );
         }
         if !v.outcome.is_equivalent() {
@@ -408,7 +480,7 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<Option<Args>, String> {
         match parse_args(args.iter().map(|s| s.to_string()))? {
-            Some(Command::Run(a)) => Ok(Some(a)),
+            Some(Command::Run(a)) => Ok(Some(*a)),
             Some(Command::Store(c)) => panic!("expected a run command, got {c:?}"),
             None => Ok(None),
         }
@@ -499,6 +571,22 @@ mod tests {
         assert!(err.contains("--store-budget"), "{err}");
         let err = parse(&["d.v", "--store-budget", "lots"]).expect_err("must reject");
         assert!(err.contains("--store-budget"), "{err}");
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        let a = parse(&["d.v", "--trace", "t.json", "--metrics", "m.prom"])
+            .expect("ok")
+            .expect("args");
+        assert_eq!(a.trace, Some(PathBuf::from("t.json")));
+        assert_eq!(a.metrics, Some(PathBuf::from("m.prom")));
+        let a = parse(&["d.v"]).expect("ok").expect("args");
+        assert_eq!(a.trace, None, "no trace sink by default");
+        assert_eq!(a.metrics, None, "no metrics sink by default");
+        let err = parse(&["d.v", "--trace"]).expect_err("must reject");
+        assert!(err.contains("--trace"), "{err}");
+        let err = parse(&["d.v", "--metrics"]).expect_err("must reject");
+        assert!(err.contains("--metrics"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`fabric`] — eFPGA architecture, packing, sizing, bitstream
 //! * [`asic`] — standard-cell cost model and floorplanning
 //! * [`attacks`] — CDCL SAT solver and oracle-guided SAT attack
+//! * [`obs`] — spans, metrics, and trace/metrics exporters (the
+//!   observability layer every crate above reports into)
 //! * [`cec`] — SAT-based combinational equivalence checking (miter,
 //!   bitstream binding, wrong-key corruptibility)
 //! * [`store`] — persistent content-addressed artifact store (cross-
@@ -46,5 +48,6 @@ pub use alice_core as core;
 pub use alice_dataflow as dataflow;
 pub use alice_fabric as fabric;
 pub use alice_netlist as netlist;
+pub use alice_obs as obs;
 pub use alice_store as store;
 pub use alice_verilog as verilog;

@@ -1,0 +1,73 @@
+//! Trace-exporter coverage (the observability layer end to end): a real
+//! flow run under an enabled trace sink must export Chrome trace-event
+//! JSON that parses, is well-nested per thread, and names every pipeline
+//! stage — and the same run with the sink left dark must allocate zero
+//! trace events.
+//!
+//! One `#[test]` drives both legs sequentially: the trace buffer and
+//! the enable flags are process-global, so independent tests would race.
+
+use alice_redaction::benchmarks::gcd;
+use alice_redaction::core::config::AliceConfig;
+use alice_redaction::core::flow::Flow;
+use alice_redaction::core::stage::stage_span_name;
+use alice_redaction::obs;
+
+fn run_gcd(verify: bool) {
+    let bench = gcd::benchmark();
+    let design = bench.design().expect("load GCD");
+    let mut config = bench.config(AliceConfig::cfg1());
+    config.verify = verify;
+    let outcome = Flow::new(config).run(&design).expect("GCD flow");
+    assert!(outcome.redacted.is_some(), "GCD must redact");
+}
+
+#[test]
+fn trace_exporter_end_to_end() {
+    // Leg 1 — sink dark (the shipped default): a full flow run must not
+    // allocate a single trace event.
+    assert!(!obs::tracing_enabled(), "tracing must start disabled");
+    run_gcd(false);
+    assert_eq!(
+        obs::trace_event_count(),
+        0,
+        "a disabled sink must record nothing"
+    );
+
+    // Leg 2 — sink lit: run with verification so the span tree reaches
+    // through CEC down to per-pair SAT calls, then export and validate.
+    obs::enable_tracing();
+    run_gcd(true);
+    assert!(obs::trace_event_count() > 0, "spans must be recorded");
+    let trace = obs::take_trace();
+    obs::disable_tracing();
+    let json = trace.to_chrome_json();
+
+    // The emitted JSON parses (with the crate's own parser — no serde),
+    // and validates: every thread's spans are properly nested.
+    let summary = obs::validate_chrome_trace(&json).expect("emitted trace must validate");
+    assert!(summary.events > 0);
+    assert!(summary.threads >= 1);
+    assert!(summary.max_depth >= 2, "spans must nest, not just abut");
+
+    // Every pipeline stage the flow ran appears under the span name
+    // `stage_span_name` derives from `Stage::name`.
+    for stage in ["filter", "cluster", "select", "redact", "verify"] {
+        let span = stage_span_name(stage);
+        assert!(
+            summary.has_span(span),
+            "stage `{stage}` missing from trace (expected span `{span}`); got {:?}",
+            summary.span_names
+        );
+        assert_ne!(span, "stage.other", "`{stage}` must map to a real span");
+    }
+    // The verification leg must have reached the CEC layer.
+    assert!(
+        summary.has_span("cec.prove") || summary.has_span("cec.pair_proof"),
+        "no SAT proof span in a --verify run; got {:?}",
+        summary.span_names
+    );
+
+    // Draining left the buffer empty for whoever runs next.
+    assert_eq!(obs::trace_event_count(), 0);
+}
