@@ -18,6 +18,7 @@ use crate::portfolio::{PortfolioEngine, PortfolioStats};
 use crate::solver::{Lit, SatResult, Solver, Var};
 use alice_intern::Symbol;
 use alice_netlist::lutmap::{MappedNetlist, MappedSrc};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// One distinguishing input pattern found by the attack, recorded in
@@ -123,22 +124,36 @@ impl Default for AttackBudget {
     }
 }
 
-/// Per-copy variable bundle.
+/// Per-copy observable bundle (literals, not variables: a constant-fed
+/// cone can fold an observable straight down to a key literal).
 struct Copy {
-    outs: Vec<Var>,
-    next_state: Vec<Var>,
+    outs: Vec<Lit>,
+    next_state: Vec<Lit>,
 }
 
 struct Encoder<'a> {
     mapped: &'a MappedNetlist,
     const_true: Var,
+    /// Structural hash of encoded LUT cones, shared across every copy
+    /// this encoder emits: `(key row, input literals) → output var`.
+    /// Key rows are globally unique per (key set, LUT), so `keys[li][0]`
+    /// alone identifies both. DIP-replay copies feed constant inputs,
+    /// which fold sub-cones to key literals — two DIPs agreeing on a
+    /// cone's support therefore reproduce the *same* hash key, and the
+    /// second copy reuses the first one's clauses instead of re-emitting
+    /// `2·2^k` of them per LUT, iteration after iteration.
+    strash: HashMap<(Var, Vec<Lit>), Var>,
 }
 
 impl<'a> Encoder<'a> {
     fn new(s: &mut dyn SatEngine, mapped: &'a MappedNetlist) -> Self {
         let const_true = s.new_var();
         s.add_clause(&[Lit::pos(const_true)]);
-        Encoder { mapped, const_true }
+        Encoder {
+            mapped,
+            const_true,
+            strash: HashMap::new(),
+        }
     }
 
     fn alloc_keys(&self, s: &mut dyn SatEngine) -> Vec<Vec<Var>> {
@@ -154,92 +169,126 @@ impl<'a> Encoder<'a> {
     }
 
     /// Encodes one circuit copy with the given key variables. `pi` and
-    /// `state` supply the input variables (shared or fixed by the caller).
+    /// `state` supply the input literals (shared variables, or constants
+    /// from [`Encoder::fixed_inputs`]). Constant inputs are folded at
+    /// encode time: a row contradicted by a constant emits nothing, a
+    /// fully-constant LUT *is* its selected key literal, and whatever
+    /// still needs clauses is deduplicated through the structural hash.
     fn encode_copy(
-        &self,
+        &mut self,
         s: &mut dyn SatEngine,
         keys: &[Vec<Var>],
-        pi: &[Var],
-        state: &[Var],
+        pi: &[Lit],
+        state: &[Lit],
     ) -> Copy {
-        let mut lut_vars: Vec<Var> = Vec::with_capacity(self.mapped.luts.len());
-        let src = |v: &MappedSrc, lut_vars: &[Var]| -> Lit {
+        let t = self.const_true;
+        let mut lut_lits: Vec<Lit> = Vec::with_capacity(self.mapped.luts.len());
+        let src = |v: &MappedSrc, lut_lits: &[Lit]| -> Lit {
             match v {
-                MappedSrc::Const(true) => Lit::pos(self.const_true),
-                MappedSrc::Const(false) => Lit::neg(self.const_true),
-                MappedSrc::Pi(i) => Lit::pos(pi[*i]),
-                MappedSrc::Lut(i) => Lit::pos(lut_vars[*i]),
-                MappedSrc::Dff(i) => Lit::pos(state[*i]),
+                MappedSrc::Const(true) => Lit::pos(t),
+                MappedSrc::Const(false) => Lit::neg(t),
+                MappedSrc::Pi(i) => pi[*i],
+                MappedSrc::Lut(i) => lut_lits[*i],
+                MappedSrc::Dff(i) => state[*i],
             }
         };
         for (li, lut) in self.mapped.luts.iter().enumerate() {
+            let ins: Vec<Lit> = lut.inputs.iter().map(|i| src(i, &lut_lits)).collect();
+            // Constant view of each input: the shared `const_true` var is
+            // the only root-pinned one, so ±it is the only constant form.
+            let consts: Vec<Option<bool>> = ins
+                .iter()
+                .map(|&l| {
+                    if l == Lit::pos(t) {
+                        Some(true)
+                    } else if l == Lit::neg(t) {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if consts.iter().all(Option::is_some) {
+                // Fully-constant support: the LUT output is exactly the
+                // key bit its inputs select. No clauses, no variable.
+                let p = consts
+                    .iter()
+                    .enumerate()
+                    .fold(0usize, |acc, (b, c)| acc | ((c.unwrap() as usize) << b));
+                lut_lits.push(Lit::pos(keys[li][p]));
+                continue;
+            }
+            let hkey = (keys[li][0], ins.clone());
+            if let Some(&o) = self.strash.get(&hkey) {
+                lut_lits.push(Lit::pos(o));
+                continue;
+            }
             let o = s.new_var();
-            let ins: Vec<Lit> = lut.inputs.iter().map(|i| src(i, &lut_vars)).collect();
-            #[allow(clippy::needless_range_loop)]
-            for p in 0..(1usize << ins.len()) {
+            'rows: for (p, &kp) in keys[li].iter().enumerate() {
                 // match(p) & k_p -> o   and   match(p) & !k_p -> !o
                 let mut base: Vec<Lit> = Vec::with_capacity(ins.len() + 2);
-                for (b, &inl) in ins.iter().enumerate() {
-                    // literal asserting "input b != bit b of p"
-                    base.push(if (p >> b) & 1 == 1 { inl.negate() } else { inl });
+                for (b, (&inl, c)) in ins.iter().zip(&consts).enumerate() {
+                    let want = (p >> b) & 1 == 1;
+                    match c {
+                        // Constant agrees with the row: the "differs"
+                        // literal is constantly false, drop it.
+                        Some(v) if *v == want => {}
+                        // Constant contradicts the row: both clauses are
+                        // constantly satisfied, skip them.
+                        Some(_) => continue 'rows,
+                        // literal asserting "input b != bit b of p"
+                        None => base.push(if want { inl.negate() } else { inl }),
+                    }
                 }
                 let mut c1 = base.clone();
-                c1.push(Lit::neg(keys[li][p]));
+                c1.push(Lit::neg(kp));
                 c1.push(Lit::pos(o));
                 s.add_clause(&c1);
                 let mut c2 = base;
-                c2.push(Lit::pos(keys[li][p]));
+                c2.push(Lit::pos(kp));
                 c2.push(Lit::neg(o));
                 s.add_clause(&c2);
             }
-            lut_vars.push(o);
+            self.strash.insert(hkey, o);
+            lut_lits.push(Lit::pos(o));
         }
         let outs = self
             .mapped
             .outputs
             .iter()
             .flat_map(|(_, bits)| bits.iter())
-            .map(|b| {
-                let v = s.new_var();
-                let l = src(b, &lut_vars);
-                s.add_clause(&[Lit::neg(v), l]);
-                s.add_clause(&[Lit::pos(v), l.negate()]);
-                v
-            })
+            .map(|b| src(b, &lut_lits))
             .collect();
         let next_state = self
             .mapped
             .dffs
             .iter()
-            .map(|d| {
-                let v = s.new_var();
-                let l = src(&d.d, &lut_vars);
-                s.add_clause(&[Lit::neg(v), l]);
-                s.add_clause(&[Lit::pos(v), l.negate()]);
-                v
-            })
+            .map(|d| src(&d.d, &lut_lits))
             .collect();
         Copy { outs, next_state }
     }
 
-    /// Allocates fresh input vars and pins them to constants.
-    fn fixed_inputs(&self, s: &mut dyn SatEngine, bits: &[bool]) -> Vec<Var> {
+    /// Constant input literals (±`const_true`) for a fixed bit pattern —
+    /// no fresh variables, no unit clauses, and downstream cones fold.
+    fn fixed_inputs(&self, bits: &[bool]) -> Vec<Lit> {
         bits.iter()
             .map(|&b| {
-                let v = s.new_var();
-                s.add_clause(&[Lit::new(v, !b)]);
-                v
+                if b {
+                    Lit::pos(self.const_true)
+                } else {
+                    Lit::neg(self.const_true)
+                }
             })
             .collect()
     }
 
     /// Constrains a copy's observables to the oracle response.
     fn pin_outputs(&self, s: &mut dyn SatEngine, copy: &Copy, resp: &OracleResponse) {
-        for (&v, &b) in copy.outs.iter().zip(&resp.outputs) {
-            s.add_clause(&[Lit::new(v, !b)]);
+        for (&l, &b) in copy.outs.iter().zip(&resp.outputs) {
+            s.add_clause(&[if b { l } else { l.negate() }]);
         }
-        for (&v, &b) in copy.next_state.iter().zip(&resp.next_state) {
-            s.add_clause(&[Lit::new(v, !b)]);
+        for (&l, &b) in copy.next_state.iter().zip(&resp.next_state) {
+            s.add_clause(&[if b { l } else { l.negate() }]);
         }
     }
 }
@@ -310,7 +359,7 @@ fn run_attack(
 
     // Miter engine: two keyed copies over shared inputs, outputs differ.
     s.set_budget(Some(budget.conflicts_per_call));
-    let enc = Encoder::new(&mut *s, mapped);
+    let mut enc = Encoder::new(&mut *s, mapped);
     let k1 = enc.alloc_keys(&mut *s);
     let k2 = enc.alloc_keys(&mut *s);
     // The shared miter inputs carry the network's own port and register
@@ -328,8 +377,10 @@ fn run_attack(
         .iter()
         .map(|&n| s.new_named_var(n))
         .collect();
-    let c1 = enc.encode_copy(&mut *s, &k1, &pi, &st);
-    let c2 = enc.encode_copy(&mut *s, &k2, &pi, &st);
+    let pi_lits: Vec<Lit> = pi.iter().map(|&v| Lit::pos(v)).collect();
+    let st_lits: Vec<Lit> = st.iter().map(|&v| Lit::pos(v)).collect();
+    let c1 = enc.encode_copy(&mut *s, &k1, &pi_lits, &st_lits);
+    let c2 = enc.encode_copy(&mut *s, &k2, &pi_lits, &st_lits);
     // d_i -> (o1_i xor o2_i); assert OR d_i.
     let mut diff_lits = Vec::new();
     for (&a, &b) in c1
@@ -340,8 +391,8 @@ fn run_attack(
     {
         let d = s.new_var();
         // d -> (a != b)
-        s.add_clause(&[Lit::neg(d), Lit::pos(a), Lit::pos(b)]);
-        s.add_clause(&[Lit::neg(d), Lit::neg(a), Lit::neg(b)]);
+        s.add_clause(&[Lit::neg(d), a, b]);
+        s.add_clause(&[Lit::neg(d), a.negate(), b.negate()]);
         diff_lits.push(Lit::pos(d));
     }
     s.add_clause(&diff_lits);
@@ -349,7 +400,7 @@ fn run_attack(
     // Key engine: accumulates I/O constraints on a single key copy;
     // solved at the end to extract a consistent bitstream.
     ks.set_budget(Some(budget.conflicts_per_call));
-    let kenc = Encoder::new(&mut *ks, mapped);
+    let mut kenc = Encoder::new(&mut *ks, mapped);
     let kk = kenc.alloc_keys(&mut *ks);
     // Key variables carry their truth-table-bit identities, so the key
     // solver's model is the recovered bitstream by name.
@@ -396,14 +447,14 @@ fn run_attack(
                 });
                 // Both key copies must reproduce the oracle on this DIP.
                 for keys in [&k1, &k2] {
-                    let fpi = enc.fixed_inputs(&mut *s, &dip_pi);
-                    let fst = enc.fixed_inputs(&mut *s, &dip_st);
+                    let fpi = enc.fixed_inputs(&dip_pi);
+                    let fst = enc.fixed_inputs(&dip_st);
                     let copy = enc.encode_copy(&mut *s, keys, &fpi, &fst);
                     enc.pin_outputs(&mut *s, &copy, &resp);
                 }
                 // And the key engine learns the same I/O pair.
-                let fpi = kenc.fixed_inputs(&mut *ks, &dip_pi);
-                let fst = kenc.fixed_inputs(&mut *ks, &dip_st);
+                let fpi = kenc.fixed_inputs(&dip_pi);
+                let fst = kenc.fixed_inputs(&dip_st);
                 let copy = kenc.encode_copy(&mut *ks, &kk, &fpi, &fst);
                 kenc.pin_outputs(&mut *ks, &copy, &resp);
             }
@@ -623,6 +674,30 @@ mod tests {
         assert_eq!(p.configs, 3);
         assert_eq!(p.wins.len(), 3);
         assert!(p.wins.iter().sum::<u64>() > 0, "someone answered");
+    }
+
+    #[test]
+    fn dip_replay_copies_fold_and_share_structure() {
+        let m = mapped(
+            "module m(input wire [3:0] a, input wire [3:0] b, output wire [4:0] y);\
+             assign y = {1'b0, a} + {1'b0, b}; endmodule",
+            "m",
+        );
+        let mut s = Solver::new();
+        let mut enc = Encoder::new(&mut s, &m);
+        let kk = enc.alloc_keys(&mut s);
+        let bits: Vec<bool> = (0..m.input_names.len()).map(|i| i % 3 == 0).collect();
+        let fpi = enc.fixed_inputs(&bits);
+        let c1 = enc.encode_copy(&mut s, &kk, &fpi, &[]);
+        let (vars, clauses) = (s.num_vars(), s.num_clauses());
+        // Replaying the same DIP against the same key set is a pure
+        // structural-hash hit: no new variables, no new clauses, and the
+        // observables fold to the very same literals.
+        let c2 = enc.encode_copy(&mut s, &kk, &fpi, &[]);
+        assert_eq!(s.num_vars(), vars);
+        assert_eq!(s.num_clauses(), clauses);
+        assert_eq!(c1.outs, c2.outs);
+        assert_eq!(c1.next_state, c2.next_state);
     }
 
     #[test]

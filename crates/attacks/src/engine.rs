@@ -32,14 +32,47 @@ pub struct EngineStats {
     /// Literals dequeued by unit propagation, attributable to returned
     /// answers.
     pub propagations: u64,
+    /// Luby restarts attributable to returned answers.
+    pub restarts: u64,
+    /// `solve_with` calls that carried a non-empty assumption set — the
+    /// incremental queries of the keyed-miter CEC path.
+    pub assumption_solves: u64,
+    /// Learned clauses surviving clause-database reductions, summed
+    /// over every reduction pass.
+    pub learned_kept: u64,
+    /// Learned clauses dropped by clause-database reductions.
+    pub learned_dropped: u64,
 }
 
 /// The pluggable incremental SAT interface (see the module docs).
 ///
-/// Implementations must keep the incremental contract of
-/// [`Solver`]: clauses persist across calls, [`SatResult::Unsat`] under
-/// assumptions leaves the formula usable, and models stay readable until
-/// the next mutation.
+/// # The incremental contract
+///
+/// Implementations must keep the incremental contract of [`Solver`],
+/// which every consumer of assumption-parameterized solving (the keyed
+/// CEC miter, the SAT-sweeper, the attack's lex-min key extraction)
+/// relies on:
+///
+/// * **Clauses persist.** Variables and clauses accumulate across
+///   calls; nothing added is ever semantically retracted. Learned
+///   clauses may be *dropped* by database reduction, but only ones the
+///   formula implies — verdicts and models are unaffected.
+/// * **Assumptions are temporary.** `solve_with(assumptions)` answers
+///   for the formula *conjoined with* the assumption literals;
+///   [`SatResult::Unsat`] under assumptions leaves the formula usable
+///   and later calls with different assumptions may be `Sat`. A
+///   `solve_with(&[lits...])` call must return exactly the verdict that
+///   adding each literal as a unit clause would have produced.
+/// * **Heuristic state transfers.** Saved phases, variable activities,
+///   and retained learned clauses carry over between calls, so a
+///   sequence of related queries (the same miter under N different key
+///   assumptions) amortizes search effort instead of restarting cold.
+/// * **Models are transient.** A model stays readable until the next
+///   mutation or solve; [`SatEngine::reset_to_root`] explicitly unwinds
+///   the search to decision level 0 once the caller is done reading.
+///   For multi-member engines the reset is *coherent*: every member
+///   returns to level 0, so the next assumption solve starts every
+///   racer from an equivalent root state.
 pub trait SatEngine {
     /// Allocates a fresh variable.
     fn new_var(&mut self) -> Var;
@@ -52,8 +85,15 @@ pub trait SatEngine {
         self.solve_with(&[])
     }
 
-    /// Solves under temporary `assumptions`.
+    /// Solves under temporary `assumptions` (see the trait docs for the
+    /// incremental contract this must uphold).
     fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult;
+
+    /// Unwinds the search to decision level 0, invalidating any model
+    /// but keeping the formula, learned clauses, and heuristic state.
+    /// Multi-member engines reset every member, so the next assumption
+    /// solve starts coherently from the root.
+    fn reset_to_root(&mut self);
 
     /// Model value of `v` after a [`SatResult::Sat`] answer.
     fn value(&self, v: Var) -> Option<bool>;
@@ -103,6 +143,10 @@ impl SatEngine for Solver {
         Solver::solve_with(self, assumptions)
     }
 
+    fn reset_to_root(&mut self) {
+        Solver::reset_to_root(self)
+    }
+
     fn value(&self, v: Var) -> Option<bool> {
         Solver::value(self, v)
     }
@@ -140,6 +184,10 @@ impl SatEngine for Solver {
             conflicts: self.total_conflicts,
             learned: self.total_learned,
             propagations: self.total_propagations,
+            restarts: self.total_restarts,
+            assumption_solves: self.total_assumption_solves,
+            learned_kept: self.total_learned_kept,
+            learned_dropped: self.total_learned_dropped,
         }
     }
 }

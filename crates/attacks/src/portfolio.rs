@@ -132,6 +132,18 @@ impl PortfolioEngine {
     fn member_stats(&self, i: usize) -> EngineStats {
         self.members[i].lock().expect("member poisoned").stats()
     }
+
+    /// Folds the winning member's effort delta into the engine-level
+    /// stats (winner-only attribution, field by field).
+    fn credit(&mut self, after: EngineStats, before: EngineStats) {
+        self.stats.conflicts += after.conflicts - before.conflicts;
+        self.stats.learned += after.learned - before.learned;
+        self.stats.propagations += after.propagations - before.propagations;
+        self.stats.restarts += after.restarts - before.restarts;
+        self.stats.assumption_solves += after.assumption_solves - before.assumption_solves;
+        self.stats.learned_kept += after.learned_kept - before.learned_kept;
+        self.stats.learned_dropped += after.learned_dropped - before.learned_dropped;
+    }
 }
 
 impl SatEngine for PortfolioEngine {
@@ -173,9 +185,7 @@ impl SatEngine for PortfolioEngine {
             let after = self.member_stats(0);
             if r != SatResult::Unknown {
                 self.wins[0] += 1;
-                self.stats.conflicts += after.conflicts - before.conflicts;
-                self.stats.learned += after.learned - before.learned;
-                self.stats.propagations += after.propagations - before.propagations;
+                self.credit(after, before);
             }
             self.last_winner = 0;
             return r;
@@ -194,15 +204,24 @@ impl SatEngine for PortfolioEngine {
             Some((i, r)) => {
                 let after = self.member_stats(i);
                 self.wins[i] += 1;
-                self.stats.conflicts += after.conflicts - before[i].conflicts;
-                self.stats.learned += after.learned - before[i].learned;
-                self.stats.propagations += after.propagations - before[i].propagations;
+                self.credit(after, before[i]);
                 self.last_winner = i;
                 r
             }
             // Every member exhausted its budget (or the race was
             // cancelled from outside): budget-exhaustion propagates.
             None => SatResult::Unknown,
+        }
+    }
+
+    fn reset_to_root(&mut self) {
+        // Coherent member reset between assumption solves: EVERY member
+        // unwinds to decision level 0 (not just the last winner), so
+        // the next race starts all racers from an equivalent root state
+        // — a loser cancelled mid-search already unwound itself, and
+        // this makes that guarantee unconditional.
+        for m in &mut self.members {
+            m.get_mut().expect("member poisoned").reset_to_root();
         }
     }
 
@@ -320,6 +339,56 @@ mod tests {
         assert_eq!(e.value(b), Some(true));
         e.add_clause(&[Lit::neg(b)]);
         assert_eq!(e.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn coherent_reset_between_assumption_solves() {
+        // A long run of alternating assumption solves with explicit
+        // resets: every answer must stay correct, and the engine-level
+        // stats must see the incremental calls.
+        let mut e = PortfolioEngine::new(3);
+        let sel = e.new_var();
+        let p = pigeonhole_relaxed(&mut e, sel, 4, 3);
+        for _ in 0..3 {
+            assert_eq!(e.solve_with(&[Lit::pos(sel)]), SatResult::Unsat);
+            e.reset_to_root();
+            assert_eq!(e.solve_with(&[Lit::neg(sel)]), SatResult::Sat);
+            // The winner's model is readable before the reset (sel may
+            // be a root implication by now — the formula entails !sel —
+            // but the pigeon variables are genuine search assignments)…
+            assert_eq!(e.value(sel), Some(false));
+            assert!(p.iter().flatten().all(|&v| e.value(v).is_some()));
+            e.reset_to_root();
+            // …and gone after it (coherently across members): no pigeon
+            // placement is implied by the formula alone.
+            assert!(p.iter().flatten().all(|&v| e.value(v).is_none()));
+        }
+        let stats = e.stats();
+        assert_eq!(stats.assumption_solves, 6, "winner-attributed calls");
+    }
+
+    fn pigeonhole_relaxed(
+        s: &mut dyn SatEngine,
+        sel: Var,
+        pigeons: usize,
+        holes: usize,
+    ) -> Vec<Vec<Var>> {
+        let p: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let mut c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            c.push(Lit::neg(sel));
+            s.add_clause(&c);
+        }
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                for (&x, &y) in p[i1].iter().zip(&p[i2]) {
+                    s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+                }
+            }
+        }
+        p
     }
 
     #[test]

@@ -4,9 +4,20 @@
 //! first-UIP conflict analysis with clause learning, VSIDS variable
 //! activities on an indexed order heap, phase saving, Luby restarts, and
 //! incremental solving under assumptions ([`Solver::solve_with`]).
-//! Clause deletion is not implemented — attack and CEC instances stay
-//! small enough that the learned-clause database is never the
-//! bottleneck.
+//!
+//! The learned-clause database is actively managed for long-lived
+//! incremental use (hundreds of assumption solves against one formula,
+//! as in the keyed-miter CEC path): every learned clause is tagged with
+//! its literal-block distance (LBD, "glue") at learn time and carries a
+//! MiniSat-style clause activity bumped whenever conflict analysis
+//! traverses it; when the live learned count outgrows a growing limit,
+//! a reduction pass at a restart point drops the coldest half of the
+//! *deletable* clauses — originals, glue ≤ 2 clauses, and clauses
+//! locked as the reason of a current implication are never dropped —
+//! and compacts the database (watches and reason pointers are remapped
+//! in place). Saved phases, variable activities, and the surviving
+//! learned clauses all persist across [`Solver::solve_with`] calls, so
+//! later queries on the same formula start warm.
 
 use alice_intern::Symbol;
 use alice_par::CancelToken;
@@ -24,6 +35,22 @@ static SAT_LEARNED: alice_obs::Counter = alice_obs::Counter::new(
 static SAT_PROPAGATIONS: alice_obs::Counter = alice_obs::Counter::new(
     "alice_sat_propagations_total",
     "Unit-propagation literal dequeues across all solver instances",
+);
+static SAT_RESTARTS: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_solver_restarts",
+    "Luby restarts across all solver instances",
+);
+static SAT_ASSUMPTION_SOLVES: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_solver_assumption_solves",
+    "Incremental solve_with calls carrying a non-empty assumption set",
+);
+static SAT_LEARNED_KEPT: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_solver_learned_kept",
+    "Learned clauses surviving clause-database reductions (cumulative over reductions)",
+);
+static SAT_LEARNED_DROPPED: alice_obs::Counter = alice_obs::Counter::new(
+    "alice_solver_learned_dropped",
+    "Learned clauses dropped by clause-database reductions",
 );
 
 /// A propositional variable.
@@ -235,6 +262,30 @@ impl OrderHeap {
     }
 }
 
+/// Per-clause bookkeeping for database reduction, parallel to
+/// `Solver::clauses`.
+#[derive(Debug, Clone, Copy)]
+struct ClauseInfo {
+    /// Learned (deletable) vs original (permanent).
+    learned: bool,
+    /// Literal-block distance at learn time: the number of distinct
+    /// decision levels among the clause's literals. Low-LBD ("glue")
+    /// clauses connect few levels and are empirically the ones worth
+    /// keeping forever; `lbd <= 2` exempts a clause from reduction.
+    lbd: u32,
+    /// Clause activity: bumped when conflict analysis traverses the
+    /// clause, decayed once per conflict. Reduction drops the coldest
+    /// deletable half.
+    act: f64,
+}
+
+/// Reductions start once this many learned clauses are live (the limit
+/// then grows ~10% per reduction, MiniSat-style).
+const REDUCE_BASE: u64 = 2_000;
+
+/// Clause-activity decay per conflict (MiniSat's `clause-decay`).
+const CLAUSE_DECAY: f64 = 0.999;
+
 /// The CDCL solver.
 ///
 /// # Example
@@ -253,6 +304,18 @@ impl OrderHeap {
 #[derive(Debug, Default)]
 pub struct Solver {
     clauses: Vec<Vec<Lit>>,
+    /// Reduction metadata, index-parallel to `clauses`.
+    clause_info: Vec<ClauseInfo>,
+    /// Clause-activity bump amount (grows as `cla_inc / CLAUSE_DECAY`
+    /// per conflict, rescaled with the activities on overflow).
+    cla_inc: f64,
+    /// Original (non-learned) clauses of length >= 2 ever added.
+    originals: u64,
+    /// Learned clauses of length >= 2 currently in the database.
+    learned_live: u64,
+    /// Live learned count that triggers the next reduction; `0` = not
+    /// yet derived from the instance size.
+    reduce_limit: u64,
     watches: Vec<Vec<usize>>, // per literal: clause indices
     assigns: Vec<Assign>,
     phase: Vec<bool>,
@@ -276,6 +339,17 @@ pub struct Solver {
     /// Total literals dequeued by unit propagation over the solver's
     /// lifetime (statistics).
     pub total_propagations: u64,
+    /// Total Luby restarts over the solver's lifetime (statistics).
+    pub total_restarts: u64,
+    /// Total [`Solver::solve_with`] calls carrying a non-empty
+    /// assumption set (statistics).
+    pub total_assumption_solves: u64,
+    /// Learned clauses surviving clause-database reductions, summed
+    /// over every reduction pass (statistics).
+    pub total_learned_kept: u64,
+    /// Learned clauses dropped by clause-database reductions
+    /// (statistics).
+    pub total_learned_dropped: u64,
     /// Heuristic configuration (see [`SolverConfig`]).
     config: SolverConfig,
     /// Cooperative cancellation for portfolio racing: polled once per
@@ -293,6 +367,7 @@ impl Solver {
     pub fn new() -> Self {
         Solver {
             act_inc: 1.0,
+            cla_inc: 1.0,
             ..Solver::default()
         }
     }
@@ -302,6 +377,7 @@ impl Solver {
     pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             act_inc: 1.0,
+            cla_inc: 1.0,
             config,
             ..Solver::default()
         }
@@ -417,8 +493,23 @@ impl Solver {
                 self.watches[c[0].index()].push(idx);
                 self.watches[c[1].index()].push(idx);
                 self.clauses.push(c);
+                self.clause_info.push(ClauseInfo {
+                    learned: false,
+                    lbd: 0,
+                    act: 0.0,
+                });
+                self.originals += 1;
             }
         }
+    }
+
+    /// Unwinds the search to decision level 0, keeping every assignment
+    /// implied by the formula itself. Models from a previous `Sat`
+    /// answer become unreadable; learned clauses, saved phases, and
+    /// variable activities survive. Incremental drivers call this
+    /// between assumption solves once they are done reading the model.
+    pub fn reset_to_root(&mut self) {
+        self.cancel_until(0);
     }
 
     fn lit_value(&self, l: Lit) -> Assign {
@@ -525,6 +616,22 @@ impl Solver {
         self.order.bumped(&self.activity, v.0);
     }
 
+    /// Bumps a learned clause's activity (originals are permanent and
+    /// carry none). Mirrors variable bumping, with the same uniform
+    /// overflow rescale.
+    fn bump_clause(&mut self, ci: usize) {
+        if !self.clause_info[ci].learned {
+            return;
+        }
+        self.clause_info[ci].act += self.cla_inc;
+        if self.clause_info[ci].act > 1e20 {
+            for info in &mut self.clause_info {
+                info.act *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
     /// First-UIP conflict analysis; returns (learned clause, backjump level).
     fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, u32) {
         let cur_level = self.trail_lim.len() as u32;
@@ -534,6 +641,9 @@ impl Solver {
         let mut trail_idx = self.trail.len();
         let mut p: Option<Lit> = None;
         loop {
+            // Clauses that conflict analysis traverses are the ones
+            // pulling their weight; their activity decides reduction.
+            self.bump_clause(confl);
             // Skip clause[0] of reason clauses: it is the implied literal p.
             let start = if p.is_none() { 0 } else { 1 };
             let lits: Vec<Lit> = self.clauses[confl][start..].to_vec();
@@ -600,6 +710,98 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
+    /// Runs a clause-database reduction if the live learned count has
+    /// outgrown the current limit. Called only at decision level 0 with
+    /// propagation complete (restart points and solve entry), where the
+    /// set of locked clauses is exactly the reasons of root implications.
+    fn maybe_reduce(&mut self) {
+        if self.reduce_limit == 0 {
+            // First trigger scales with the instance: a third of the
+            // original clause count, floored so tiny formulas never
+            // churn their (useful) learned clauses.
+            self.reduce_limit = REDUCE_BASE.max(self.originals / 3);
+        }
+        if self.learned_live > self.reduce_limit {
+            self.reduce_db();
+            // Grow ~10% per reduction so a genuinely hard instance is
+            // allowed to retain more as the search deepens.
+            self.reduce_limit += self.reduce_limit / 10;
+        }
+    }
+
+    /// Drops the coldest half of the deletable learned clauses and
+    /// compacts the database. Deletable = learned, glue (LBD) > 2, and
+    /// not locked as the reason of a current implication; originals are
+    /// permanent. Watch lists and reason pointers are rebuilt against
+    /// the compacted indices — positions 0/1 of every clause are its
+    /// watched literals by invariant, so re-pushing them reproduces a
+    /// valid watch state.
+    fn reduce_db(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "reduce only at level 0");
+        let mut locked = vec![false; self.clauses.len()];
+        for l in &self.trail {
+            if let Some(ci) = self.reason[l.var().0 as usize] {
+                locked[ci] = true;
+            }
+        }
+        let mut cand: Vec<usize> = (0..self.clauses.len())
+            .filter(|&ci| {
+                let info = self.clause_info[ci];
+                info.learned && info.lbd > 2 && !locked[ci]
+            })
+            .collect();
+        // Coldest first; ties broken toward dropping higher glue, then
+        // older clauses — fully deterministic.
+        let info = &self.clause_info;
+        cand.sort_unstable_by(|&a, &b| {
+            info[a]
+                .act
+                .partial_cmp(&info[b].act)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(info[b].lbd.cmp(&info[a].lbd))
+                .then(a.cmp(&b))
+        });
+        let ndrop = cand.len() / 2;
+        if ndrop == 0 {
+            return;
+        }
+        let mut drop_mask = vec![false; self.clauses.len()];
+        for &ci in &cand[..ndrop] {
+            drop_mask[ci] = true;
+        }
+        // Compact in place, recording the old -> new index map.
+        let mut remap: Vec<usize> = vec![usize::MAX; self.clauses.len()];
+        let mut w = 0usize;
+        for r in 0..self.clauses.len() {
+            if drop_mask[r] {
+                continue;
+            }
+            if w != r {
+                self.clauses.swap(w, r);
+                self.clause_info.swap(w, r);
+            }
+            remap[r] = w;
+            w += 1;
+        }
+        self.clauses.truncate(w);
+        self.clause_info.truncate(w);
+        for wl in &mut self.watches {
+            wl.clear();
+        }
+        for ci in 0..self.clauses.len() {
+            let (l0, l1) = (self.clauses[ci][0], self.clauses[ci][1]);
+            self.watches[l0.index()].push(ci);
+            self.watches[l1.index()].push(ci);
+        }
+        for r in self.reason.iter_mut().flatten() {
+            *r = remap[*r];
+            debug_assert_ne!(*r, usize::MAX, "locked clauses are kept");
+        }
+        self.learned_live -= ndrop as u64;
+        self.total_learned_dropped += ndrop as u64;
+        self.total_learned_kept += self.learned_live;
+    }
+
     fn decide(&mut self) -> Option<Lit> {
         // Lazy deletion: assigned variables are dropped as they surface.
         while let Some(v) = self.order.pop(&self.activity) {
@@ -630,10 +832,17 @@ impl Solver {
     /// per-candidate-pair queries against one shared clause database,
     /// reusing everything learned between queries.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !assumptions.is_empty() {
+            self.total_assumption_solves += 1;
+            SAT_ASSUMPTION_SOLVES.inc();
+        }
         let before = (
             self.total_conflicts,
             self.total_learned,
             self.total_propagations,
+            self.total_restarts,
+            self.total_learned_kept,
+            self.total_learned_dropped,
         );
         let res = self.solve_with_inner(assumptions);
         // Process-wide effort mirror. Unlike `EngineStats` (winner-only
@@ -642,6 +851,9 @@ impl Solver {
         SAT_CONFLICTS.add(self.total_conflicts - before.0);
         SAT_LEARNED.add(self.total_learned - before.1);
         SAT_PROPAGATIONS.add(self.total_propagations - before.2);
+        SAT_RESTARTS.add(self.total_restarts - before.3);
+        SAT_LEARNED_KEPT.add(self.total_learned_kept - before.4);
+        SAT_LEARNED_DROPPED.add(self.total_learned_dropped - before.5);
         res
     }
 
@@ -654,6 +866,10 @@ impl Solver {
             self.unsat = true;
             return SatResult::Unsat;
         }
+        // Incremental entry point: a burst of cheap assumption solves
+        // can accumulate clauses without ever restarting, so the
+        // database check runs here too, not only at restart points.
+        self.maybe_reduce();
         self.conflicts = 0;
         let mut restart_idx = 0u64;
         let mut restart_limit = self.config.restart_base * luby(restart_idx);
@@ -682,6 +898,17 @@ impl Solver {
                         return SatResult::Unsat;
                     }
                     let (learned, bj) = self.analyze(confl);
+                    // LBD while every learned literal is still assigned:
+                    // the number of distinct decision levels it spans.
+                    let lbd = {
+                        let mut levels: Vec<u32> = learned
+                            .iter()
+                            .map(|l| self.level[l.var().0 as usize])
+                            .collect();
+                        levels.sort_unstable();
+                        levels.dedup();
+                        levels.len() as u32
+                    };
                     self.cancel_until(bj);
                     self.total_learned += 1;
                     if learned.len() == 1 {
@@ -692,14 +919,23 @@ impl Solver {
                         self.watches[learned[1].index()].push(idx);
                         let unit = learned[0];
                         self.clauses.push(learned);
+                        self.clause_info.push(ClauseInfo {
+                            learned: true,
+                            lbd,
+                            act: self.cla_inc,
+                        });
+                        self.learned_live += 1;
                         self.enqueue(unit, Some(idx));
                     }
                     self.act_inc /= self.config.var_decay;
+                    self.cla_inc /= CLAUSE_DECAY;
                     if self.conflicts >= restart_limit {
                         restart_idx += 1;
                         restart_limit =
                             self.conflicts + self.config.restart_base * luby(restart_idx);
+                        self.total_restarts += 1;
                         self.cancel_until(0);
+                        self.maybe_reduce();
                     }
                 }
                 None => {
@@ -993,6 +1229,82 @@ mod tests {
             pigeonhole(&mut s, 4, 4);
             assert_eq!(s.solve(), SatResult::Sat, "{config:?}");
         }
+    }
+
+    #[test]
+    fn clause_db_reduction_preserves_verdicts_and_state() {
+        // Force a reduction at every restart point: the verdict must be
+        // unaffected and the solver must stay usable afterwards.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        s.reduce_limit = 1;
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(
+            s.total_learned_dropped > 0,
+            "a conflict-heavy instance with limit 1 must reduce"
+        );
+        assert!(s.total_restarts > 0);
+
+        // SAT instances survive aggressive reduction too, and the model
+        // is a real one.
+        let mut s = Solver::new();
+        let sel = s.new_var();
+        let mut rows: Vec<Vec<Var>> = Vec::new();
+        for _ in 0..5 {
+            rows.push((0..4).map(|_| s.new_var()).collect());
+        }
+        for row in &rows {
+            let mut c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            c.push(Lit::neg(sel));
+            s.add_clause(&c);
+        }
+        for i1 in 0..5 {
+            for i2 in (i1 + 1)..5 {
+                for (&x, &y) in rows[i1].iter().zip(&rows[i2]) {
+                    s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+                }
+            }
+        }
+        s.reduce_limit = 1;
+        // Alternate UNSAT/SAT assumption solves across reductions: the
+        // clause database churns, the answers must not.
+        for _ in 0..4 {
+            assert_eq!(s.solve_with(&[Lit::pos(sel)]), SatResult::Unsat);
+            assert_eq!(s.solve_with(&[Lit::neg(sel)]), SatResult::Sat);
+            assert_eq!(s.value(sel), Some(false));
+        }
+        assert_eq!(s.total_assumption_solves, 8);
+    }
+
+    #[test]
+    fn reduction_never_drops_glue_or_locked_clauses() {
+        // An implication chain learns only small (glue <= 2) clauses;
+        // none may be dropped no matter how low the limit.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4, 3);
+        s.reduce_limit = 1;
+        assert_eq!(s.solve(), SatResult::Unsat);
+        // Root-level implications keep their reason clauses alive: after
+        // any number of reductions every reason index must stay valid,
+        // which `solve` exercises by propagating from the root again.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5, 4);
+        s.reduce_limit = 1;
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Unsat, "state intact after reduce");
+    }
+
+    #[test]
+    fn reset_to_root_keeps_formula_and_phases() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve_with(&[Lit::neg(a)]), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.reset_to_root();
+        // The model is gone but the formula still solves.
+        assert_eq!(s.solve(), SatResult::Sat);
     }
 
     #[test]

@@ -17,9 +17,18 @@
 //! * `benchmarks.<name>.attack_p1_ms` / `attack_pN_ms` — SAT-attack
 //!   time against the flow's selected fabric contents (skipped for
 //!   fabrics beyond the attack budget class),
+//! * `benchmarks.<name>.sweep_fresh_ms` / `sweep_incremental_ms` —
+//!   verify stage with a 16-wrong-key corruptibility sweep on one
+//!   worker and a cold store, fresh pinned miter per key
+//!   (`incremental_cec: false`) vs one assumption-parameterized keyed
+//!   miter answering every key (`incremental_cec: true`),
 //! * `hardest` — the headline number: the slowest `verify_p1_ms` miter
 //!   re-stated with its portfolio time and the improvement fraction
-//!   `(p1 - pN) / p1`, which `bench_diff` compares absolutely.
+//!   `(p1 - pN) / p1`, which `bench_diff` compares absolutely,
+//! * `wrong_key_sweep` — the incremental headline: the slowest fresh
+//!   sweep re-stated with its incremental time and
+//!   `incremental_improvement = (fresh - incremental) / fresh`, also
+//!   `bench_diff`-gated absolutely (target ≥ 30%).
 //!
 //! `--all` adds IIR, whose redacted-multiplier miter takes minutes per
 //! sample — far past the CI smoke budget, and below ~4 real cores the
@@ -154,8 +163,11 @@ fn main() -> ExitCode {
         max_dips: 12,
         conflicts_per_call: 8_000,
     };
+    /// Wrong keys in the incremental-vs-fresh sweep comparison.
+    const SWEEP_KEYS: usize = 16;
     let mut rows: Vec<(String, Vec<(String, f64)>)> = Vec::new();
     let mut hardest: Option<(String, f64, f64)> = None;
+    let mut sweep_hardest: Option<(String, f64, f64)> = None;
     for b in alice_benchmarks::suite() {
         if !(PICKS.contains(&b.name) || (all && SLOW_PICKS.contains(&b.name))) {
             continue;
@@ -197,6 +209,36 @@ fn main() -> ExitCode {
         ];
         if hardest.as_ref().is_none_or(|(_, h, _)| p1 > *h) {
             hardest = Some((b.name.to_string(), p1, pn));
+        }
+
+        // Incremental wrong-key sweep vs the fresh-per-key baseline:
+        // 16 wrong keys on ONE worker and a cold private db per run, so
+        // the comparison is purely algorithmic — encode-once +
+        // assumption solves against build-and-solve per key. Excluded
+        // for the `--all` slow picks (minutes per key).
+        if PICKS.contains(&b.name) {
+            let sweep_cfg = |incremental: bool| AliceConfig {
+                verify_wrong_keys: SWEEP_KEYS,
+                incremental_cec: incremental,
+                portfolio: 1,
+                jobs: 1,
+                ..cfg1.clone()
+            };
+            let sf = time_verify(&sweep_cfg(false), &mut None);
+            let si = time_verify(&sweep_cfg(true), &mut None);
+            eprintln!(
+                "cec_bench: {:<8} sweep({SWEEP_KEYS}) fresh {:>9.1} ms   incremental {:>9.1} ms \
+                 ({:.1}% faster)",
+                b.name,
+                sf,
+                si,
+                (sf - si) / sf * 100.0
+            );
+            cells.push(("sweep_fresh_ms".to_string(), sf));
+            cells.push(("sweep_incremental_ms".to_string(), si));
+            if sweep_hardest.as_ref().is_none_or(|(_, h, _)| sf > *h) {
+                sweep_hardest = Some((b.name.to_string(), sf, si));
+            }
         }
 
         // Attack the selected fabric contents, exactly as `security` does.
@@ -263,6 +305,13 @@ fn main() -> ExitCode {
          (portfolio improvement {:.1}%, target >= 20%)",
         improvement * 100.0
     );
+    let (sd, sf, si) = sweep_hardest.expect("at least one gated pick swept");
+    let sweep_improvement = (sf - si) / sf;
+    eprintln!(
+        "cec_bench: hardest sweep {sd}: {sf:.1} ms -> {si:.1} ms \
+         (incremental improvement {:.1}%, target >= 30%)",
+        sweep_improvement * 100.0
+    );
 
     let mut json = String::new();
     writeln!(json, "{{").expect("string write");
@@ -284,6 +333,17 @@ fn main() -> ExitCode {
     writeln!(json, "    \"p1_ms\": {hp1:.3},").expect("string write");
     writeln!(json, "    \"p{portfolio}_ms\": {hpn:.3},").expect("string write");
     writeln!(json, "    \"portfolio_improvement\": {improvement:.4}").expect("string write");
+    writeln!(json, "  }},").expect("string write");
+    writeln!(json, "  \"wrong_key_sweep\": {{").expect("string write");
+    writeln!(json, "    \"design\": \"{sd}\",").expect("string write");
+    writeln!(json, "    \"keys\": {SWEEP_KEYS},").expect("string write");
+    writeln!(json, "    \"fresh_ms\": {sf:.3},").expect("string write");
+    writeln!(json, "    \"incremental_ms\": {si:.3},").expect("string write");
+    writeln!(
+        json,
+        "    \"incremental_improvement\": {sweep_improvement:.4}"
+    )
+    .expect("string write");
     writeln!(json, "  }}").expect("string write");
     writeln!(json, "}}").expect("string write");
     match std::fs::write(&out_path, &json) {

@@ -69,6 +69,6 @@ pub use cache::{CachedCorruption, CachedProof};
 pub use encode::{EncodedDff, EncodedNetlist, Encoder};
 pub use miter::{
     miter_fingerprint, prove_equivalent, prove_equivalent_raced, CecResult, Corruption,
-    Counterexample, Miter, MiterError, MiterOptions, RaceOutcome,
+    Counterexample, KeyedMiter, Miter, MiterError, MiterOptions, RaceOutcome,
 };
 pub use sweep::SweepStats;

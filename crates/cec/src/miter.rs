@@ -17,7 +17,7 @@
 use crate::encode::{model_value, Encoder};
 use crate::sweep::{const_sig, random_sig, sweep, ConeHash, Sig, SweepSide, SweepStats};
 use alice_attacks::engine::{EngineStats, SatEngine};
-use alice_attacks::portfolio::diversified_configs;
+use alice_attacks::portfolio::{diversified_configs, PortfolioEngine, PortfolioStats};
 use alice_attacks::solver::{Lit, SatResult, Solver, SolverConfig};
 use alice_intern::{StableHasher, Symbol};
 use alice_netlist::ir::{Netlist, NodeId};
@@ -384,6 +384,326 @@ pub struct Miter {
     budget: Option<u64>,
 }
 
+/// The solver-agnostic miter body shared by [`Miter`] and [`KeyedMiter`]:
+/// boundary literals, difference points, and the sweep outcome, with the
+/// engine owned by the caller.
+struct MiterCore {
+    shared_inputs: Vec<(Symbol, Vec<Lit>)>,
+    shared_state: Vec<(Symbol, Lit)>,
+    key_inputs: Vec<(Symbol, Vec<Lit>)>,
+    key_state: Vec<(Symbol, Lit)>,
+    /// Keyed mode only: the `pin_state` registers left free, in revised
+    /// `dff_records` order, each with its assumption-slot literal.
+    key_slots: Vec<(Symbol, Lit)>,
+    diffs: Vec<(String, Lit)>,
+    tru: Lit,
+    sweep_stats: SweepStats,
+}
+
+/// Encodes the miter of `a` against `b` into `s`.
+///
+/// `keyed = false` is the classic path: [`MiterOptions::pin_state`]
+/// registers fold to constants at encode time. `keyed = true` leaves
+/// them as *free* variables instead, recording one assumption slot per
+/// register, so the caller can pose per-key queries as assumption sets
+/// over one long-lived engine. Free key slots label their sweep cones
+/// exactly like ordinary free key state (`keystate` by revised ordinal):
+/// a lemma proven with the key free holds for every key, so it is sound
+/// wherever a free-key lemma is.
+fn assemble(
+    s: &mut dyn SatEngine,
+    a: &Netlist,
+    b: &Netlist,
+    opts: &MiterOptions,
+    keyed: bool,
+) -> Result<MiterCore, MiterError> {
+    let mut enc = Encoder::new(&mut *s);
+    // Deterministic signature words for the sweeping pass, built in
+    // lockstep with the literal bindings: shared literal ⇒ shared
+    // word, pinned literal ⇒ constant word.
+    let mut rng: u64 = 0x5EED_A11C_E000_0001 ^ (a.len() as u64) << 1 ^ b.len() as u64;
+    let mut wbind_a: HashMap<Symbol, Vec<Sig>> = HashMap::new();
+    let mut wbind_b: HashMap<Symbol, Vec<Sig>> = HashMap::new();
+    // Boundary labels for the persisted-lemma cone hashes, also in
+    // lockstep: shared inputs label by golden ordinal, pins by their
+    // constant value, free key inputs/state by revised ordinal.
+    let mut labels_a: HashMap<Symbol, Vec<ConeHash>> = HashMap::new();
+    let mut labels_b: HashMap<Symbol, Vec<ConeHash>> = HashMap::new();
+    let mut slabels_a: HashMap<Symbol, ConeHash> = HashMap::new();
+    let mut slabels_b: HashMap<Symbol, ConeHash> = HashMap::new();
+
+    // --- Shared inputs: allocate once, bind into both encodes. ---
+    let b_in_widths: HashMap<Symbol, usize> =
+        b.inputs.iter().map(|(n, bits)| (*n, bits.len())).collect();
+    let mut bind_a: HashMap<Symbol, Vec<Lit>> = HashMap::new();
+    let mut bind_b: HashMap<Symbol, Vec<Lit>> = HashMap::new();
+    let mut shared_inputs = Vec::new();
+    for (pi, (name, bits)) in a.inputs.iter().enumerate() {
+        match b_in_widths.get(name) {
+            None => return Err(MiterError::MissingInput(name.to_string())),
+            Some(&w) if w != bits.len() => return Err(MiterError::WidthMismatch(name.to_string())),
+            Some(_) => {}
+        }
+        let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut *s)).collect();
+        let words: Vec<Sig> = bits.iter().map(|_| random_sig(&mut rng)).collect();
+        bind_a.insert(*name, lits.clone());
+        bind_b.insert(*name, lits.clone());
+        wbind_a.insert(*name, words.clone());
+        wbind_b.insert(*name, words);
+        let labels: Vec<ConeHash> = (0..bits.len())
+            .map(|j| boundary_label("in", pi as u64, j as u64))
+            .collect();
+        labels_a.insert(*name, labels.clone());
+        labels_b.insert(*name, labels);
+        shared_inputs.push((*name, lits));
+    }
+
+    // --- Pinned revised inputs (e.g. cfg_en = 0). ---
+    for (name, vals) in &opts.pin_inputs {
+        let Some(&w) = b_in_widths.get(name) else {
+            return Err(MiterError::UnknownPin(name.to_string()));
+        };
+        if w != vals.len() {
+            return Err(MiterError::WidthMismatch(name.to_string()));
+        }
+        let consts: Vec<Lit> = vals
+            .iter()
+            .map(|&v| if v { enc.tru() } else { enc.fls() })
+            .collect();
+        bind_b.insert(*name, consts);
+        wbind_b.insert(*name, vals.iter().map(|&v| const_sig(v)).collect());
+        // A pinned bit is the constant function of its value: the
+        // value alone identifies it, so lemmas over cones that read
+        // it survive any renaming — but not a changed pin value.
+        labels_b.insert(
+            *name,
+            vals.iter()
+                .map(|&v| boundary_label("pin", v as u64, 0))
+                .collect(),
+        );
+    }
+
+    // --- Remaining revised-only inputs are free key inputs. ---
+    let mut key_inputs = Vec::new();
+    for (bi, (name, bits)) in b.inputs.iter().enumerate() {
+        if bind_b.contains_key(name) {
+            continue;
+        }
+        // Revised-only inputs (key or otherwise) stay free: a free
+        // input can only produce spurious differences, never a false
+        // Equivalent, so this is conservative for non-key extras.
+        let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut *s)).collect();
+        bind_b.insert(*name, lits.clone());
+        wbind_b.insert(*name, bits.iter().map(|_| random_sig(&mut rng)).collect());
+        labels_b.insert(
+            *name,
+            (0..bits.len())
+                .map(|j| boundary_label("key", bi as u64, j as u64))
+                .collect(),
+        );
+        key_inputs.push((*name, lits));
+    }
+
+    // --- Golden state: fresh shared Q variables. ---
+    let mut state_a: HashMap<Symbol, Lit> = HashMap::new();
+    let mut wstate_a: HashMap<Symbol, Sig> = HashMap::new();
+    let mut shared_state = Vec::new();
+    for (gi, (_, name, _, _)) in a.dff_records().into_iter().enumerate() {
+        let q = enc.fresh(&mut *s);
+        state_a.insert(name, q);
+        wstate_a.insert(name, random_sig(&mut rng));
+        slabels_a.insert(name, boundary_label("state", gi as u64, 0));
+        shared_state.push((name, q));
+    }
+
+    // --- Revised state: renamed pairing, pins, free key state. ---
+    let pin_state: HashMap<Symbol, bool> = opts.pin_state.iter().copied().collect();
+    let b_records = b.dff_records();
+    let b_names: BTreeSet<Symbol> = b_records.iter().map(|&(_, n, _, _)| n).collect();
+    for name in pin_state.keys() {
+        if !b_names.contains(name) {
+            return Err(MiterError::UnknownPin(name.to_string()));
+        }
+    }
+    let mut state_b: HashMap<Symbol, Lit> = HashMap::new();
+    let mut wstate_b: HashMap<Symbol, Sig> = HashMap::new();
+    let mut key_state = Vec::new();
+    let mut key_slots: Vec<(Symbol, Lit)> = Vec::new();
+    let mut paired: Vec<(Symbol, Symbol)> = Vec::new(); // (golden, revised)
+    for (bi, &(_, name, _, _)) in b_records.iter().enumerate() {
+        let golden = opts.state_rename.get(&name).copied().unwrap_or(name);
+        if let Some(&v) = pin_state.get(&name) {
+            if keyed {
+                // Assumption slot: the register stays a free
+                // variable (the pinned *value* is ignored here — the
+                // caller supplies it per query), labelled like any
+                // other free key state so sweep lemmas stay sound
+                // for every key.
+                let q = enc.fresh(&mut *s);
+                state_b.insert(name, q);
+                wstate_b.insert(name, random_sig(&mut rng));
+                slabels_b.insert(name, boundary_label("keystate", bi as u64, 0));
+                key_state.push((name, q));
+                key_slots.push((name, q));
+            } else {
+                let l = if v { enc.tru() } else { enc.fls() };
+                state_b.insert(name, l);
+                wstate_b.insert(name, const_sig(v));
+                slabels_b.insert(name, boundary_label("pin", v as u64, 0));
+                key_state.push((name, l));
+            }
+        } else if let Some(&q) = state_a.get(&golden) {
+            state_b.insert(name, q);
+            wstate_b.insert(name, wstate_a[&golden]);
+            slabels_b.insert(name, slabels_a[&golden]);
+            paired.push((golden, name));
+        } else {
+            let q = enc.fresh(&mut *s);
+            state_b.insert(name, q);
+            wstate_b.insert(name, random_sig(&mut rng));
+            slabels_b.insert(name, boundary_label("keystate", bi as u64, 0));
+            key_state.push((name, q));
+        }
+    }
+    // Every *observable* golden register must be covered, or its
+    // next-state check would silently vanish. A register outside the
+    // support of every compared point — a write-only counter, say,
+    // which LUT mapping rightly prunes from the revised side — is
+    // dead weight: excluding it from the shared state is sound (the
+    // proof then holds for *all* values of the dropped Q), so it is
+    // dropped rather than reported as a pairing failure.
+    let covered: BTreeSet<Symbol> = paired.iter().map(|&(g, _)| g).collect();
+    let observed = observed_registers(a, &covered);
+    for &(name, _) in &shared_state {
+        if !covered.contains(&name) && observed.contains(&name) {
+            return Err(MiterError::UnpairedState(name.to_string()));
+        }
+    }
+    shared_state.retain(|(name, _)| covered.contains(name) || observed.contains(name));
+
+    // --- Encode both sides against the shared encoder. ---
+    let (enc_a, enc_b) = {
+        let _span = alice_obs::span("cec.encode");
+        (
+            enc.encode(&mut *s, a, &bind_a, &state_a),
+            enc.encode(&mut *s, b, &bind_b, &state_b),
+        )
+    };
+
+    // --- SAT sweeping: stitch matching internal nodes together. ---
+    let sweep_stats = if opts.sweep {
+        sweep(
+            &mut *s,
+            &mut enc,
+            &SweepSide {
+                n: a,
+                input_lits: &bind_a,
+                state_lits: &state_a,
+                input_base: &wbind_a,
+                state_base: &wstate_a,
+                input_labels: &labels_a,
+                state_labels: &slabels_a,
+                node_lits: &enc_a.node_lits,
+            },
+            &SweepSide {
+                n: b,
+                input_lits: &bind_b,
+                state_lits: &state_b,
+                input_base: &wbind_b,
+                state_base: &wstate_b,
+                input_labels: &labels_b,
+                state_labels: &slabels_b,
+                node_lits: &enc_b.node_lits,
+            },
+            opts.sweep_conflict_budget,
+            opts.lemma_store.as_deref(),
+            opts.cancel.as_ref(),
+        )
+    } else {
+        SweepStats::default()
+    };
+
+    // --- Difference points: outputs... ---
+    let b_outs: HashMap<Symbol, &Vec<Lit>> = enc_b.outputs.iter().map(|(n, l)| (*n, l)).collect();
+    let mut diffs = Vec::new();
+    for (name, lits_a) in &enc_a.outputs {
+        let Some(lits_b) = b_outs.get(name) else {
+            return Err(MiterError::MissingOutput(name.to_string()));
+        };
+        if lits_b.len() != lits_a.len() {
+            return Err(MiterError::WidthMismatch(name.to_string()));
+        }
+        for (bit, (&la, &lb)) in lits_a.iter().zip(lits_b.iter()).enumerate() {
+            let d = enc.xor(&mut *s, la, lb);
+            diffs.push((format!("{name}[{bit}]"), d));
+        }
+    }
+    let a_out_names: BTreeSet<Symbol> = enc_a.outputs.iter().map(|(n, _)| *n).collect();
+    for &(name, _) in &enc_b.outputs {
+        if !a_out_names.contains(&name) && !is_key_name(name, &opts.key_prefixes) {
+            return Err(MiterError::ExtraOutput(name.to_string()));
+        }
+    }
+
+    // --- ... and next-state functions of paired registers. ---
+    if opts.check_next_state {
+        let next_a: HashMap<Symbol, Lit> = enc_a.dffs.iter().map(|d| (d.name, d.next)).collect();
+        let next_b: HashMap<Symbol, Lit> = enc_b.dffs.iter().map(|d| (d.name, d.next)).collect();
+        for &(golden, revised) in &paired {
+            let (na, nb) = (next_a[&golden], next_b[&revised]);
+            let d = enc.xor(&mut *s, na, nb);
+            diffs.push((format!("next({golden})"), d));
+        }
+    }
+
+    Ok(MiterCore {
+        shared_inputs,
+        shared_state,
+        key_inputs,
+        key_state,
+        key_slots,
+        diffs,
+        tru: enc.tru(),
+        sweep_stats,
+    })
+}
+
+/// Reads a [`Counterexample`] out of the engine's current model.
+fn extract_model_cex(
+    s: &dyn SatEngine,
+    shared_inputs: &[(Symbol, Vec<Lit>)],
+    shared_state: &[(Symbol, Lit)],
+    key_inputs: &[(Symbol, Vec<Lit>)],
+    key_state: &[(Symbol, Lit)],
+    diffs_true: Vec<String>,
+) -> Box<Counterexample> {
+    let port = |ports: &[(Symbol, Vec<Lit>)]| -> Vec<(Symbol, Vec<bool>)> {
+        ports
+            .iter()
+            .map(|(n, lits)| (*n, lits.iter().map(|&l| model_value(s, l)).collect()))
+            .collect()
+    };
+    let bits = |regs: &[(Symbol, Lit)]| -> Vec<(Symbol, bool)> {
+        regs.iter().map(|(n, l)| (*n, model_value(s, *l))).collect()
+    };
+    Box::new(Counterexample {
+        inputs: port(shared_inputs),
+        state: bits(shared_state),
+        key_inputs: port(key_inputs),
+        key_state: bits(key_state),
+        diffs: diffs_true,
+    })
+}
+
+/// Difference points that are true under the engine's current model.
+fn model_diff_names_of(s: &dyn SatEngine, diffs: &[(String, Lit)]) -> Vec<String> {
+    diffs
+        .iter()
+        .filter(|&&(_, d)| model_value(s, d))
+        .map(|(n, _)| n.clone())
+        .collect()
+}
+
 impl Miter {
     /// Builds the miter of golden `a` against revised `b`.
     ///
@@ -395,244 +715,16 @@ impl Miter {
         let _span = alice_obs::span("cec.build");
         let mut solver = Solver::with_config(opts.solver_config);
         solver.set_cancel(opts.cancel.clone());
-        let mut enc = Encoder::new(&mut solver);
-        // Deterministic signature words for the sweeping pass, built in
-        // lockstep with the literal bindings: shared literal ⇒ shared
-        // word, pinned literal ⇒ constant word.
-        let mut rng: u64 = 0x5EED_A11C_E000_0001 ^ (a.len() as u64) << 1 ^ b.len() as u64;
-        let mut wbind_a: HashMap<Symbol, Vec<Sig>> = HashMap::new();
-        let mut wbind_b: HashMap<Symbol, Vec<Sig>> = HashMap::new();
-        // Boundary labels for the persisted-lemma cone hashes, also in
-        // lockstep: shared inputs label by golden ordinal, pins by their
-        // constant value, free key inputs/state by revised ordinal.
-        let mut labels_a: HashMap<Symbol, Vec<ConeHash>> = HashMap::new();
-        let mut labels_b: HashMap<Symbol, Vec<ConeHash>> = HashMap::new();
-        let mut slabels_a: HashMap<Symbol, ConeHash> = HashMap::new();
-        let mut slabels_b: HashMap<Symbol, ConeHash> = HashMap::new();
-
-        // --- Shared inputs: allocate once, bind into both encodes. ---
-        let b_in_widths: HashMap<Symbol, usize> =
-            b.inputs.iter().map(|(n, bits)| (*n, bits.len())).collect();
-        let mut bind_a: HashMap<Symbol, Vec<Lit>> = HashMap::new();
-        let mut bind_b: HashMap<Symbol, Vec<Lit>> = HashMap::new();
-        let mut shared_inputs = Vec::new();
-        for (pi, (name, bits)) in a.inputs.iter().enumerate() {
-            match b_in_widths.get(name) {
-                None => return Err(MiterError::MissingInput(name.to_string())),
-                Some(&w) if w != bits.len() => {
-                    return Err(MiterError::WidthMismatch(name.to_string()))
-                }
-                Some(_) => {}
-            }
-            let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut solver)).collect();
-            let words: Vec<Sig> = bits.iter().map(|_| random_sig(&mut rng)).collect();
-            bind_a.insert(*name, lits.clone());
-            bind_b.insert(*name, lits.clone());
-            wbind_a.insert(*name, words.clone());
-            wbind_b.insert(*name, words);
-            let labels: Vec<ConeHash> = (0..bits.len())
-                .map(|j| boundary_label("in", pi as u64, j as u64))
-                .collect();
-            labels_a.insert(*name, labels.clone());
-            labels_b.insert(*name, labels);
-            shared_inputs.push((*name, lits));
-        }
-
-        // --- Pinned revised inputs (e.g. cfg_en = 0). ---
-        for (name, vals) in &opts.pin_inputs {
-            let Some(&w) = b_in_widths.get(name) else {
-                return Err(MiterError::UnknownPin(name.to_string()));
-            };
-            if w != vals.len() {
-                return Err(MiterError::WidthMismatch(name.to_string()));
-            }
-            let consts: Vec<Lit> = vals
-                .iter()
-                .map(|&v| if v { enc.tru() } else { enc.fls() })
-                .collect();
-            bind_b.insert(*name, consts);
-            wbind_b.insert(*name, vals.iter().map(|&v| const_sig(v)).collect());
-            // A pinned bit is the constant function of its value: the
-            // value alone identifies it, so lemmas over cones that read
-            // it survive any renaming — but not a changed pin value.
-            labels_b.insert(
-                *name,
-                vals.iter()
-                    .map(|&v| boundary_label("pin", v as u64, 0))
-                    .collect(),
-            );
-        }
-
-        // --- Remaining revised-only inputs are free key inputs. ---
-        let mut key_inputs = Vec::new();
-        for (bi, (name, bits)) in b.inputs.iter().enumerate() {
-            if bind_b.contains_key(name) {
-                continue;
-            }
-            // Revised-only inputs (key or otherwise) stay free: a free
-            // input can only produce spurious differences, never a false
-            // Equivalent, so this is conservative for non-key extras.
-            let lits: Vec<Lit> = bits.iter().map(|_| enc.fresh(&mut solver)).collect();
-            bind_b.insert(*name, lits.clone());
-            wbind_b.insert(*name, bits.iter().map(|_| random_sig(&mut rng)).collect());
-            labels_b.insert(
-                *name,
-                (0..bits.len())
-                    .map(|j| boundary_label("key", bi as u64, j as u64))
-                    .collect(),
-            );
-            key_inputs.push((*name, lits));
-        }
-
-        // --- Golden state: fresh shared Q variables. ---
-        let mut state_a: HashMap<Symbol, Lit> = HashMap::new();
-        let mut wstate_a: HashMap<Symbol, Sig> = HashMap::new();
-        let mut shared_state = Vec::new();
-        for (gi, (_, name, _, _)) in a.dff_records().into_iter().enumerate() {
-            let q = enc.fresh(&mut solver);
-            state_a.insert(name, q);
-            wstate_a.insert(name, random_sig(&mut rng));
-            slabels_a.insert(name, boundary_label("state", gi as u64, 0));
-            shared_state.push((name, q));
-        }
-
-        // --- Revised state: renamed pairing, pins, free key state. ---
-        let pin_state: HashMap<Symbol, bool> = opts.pin_state.iter().copied().collect();
-        let b_records = b.dff_records();
-        let b_names: BTreeSet<Symbol> = b_records.iter().map(|&(_, n, _, _)| n).collect();
-        for name in pin_state.keys() {
-            if !b_names.contains(name) {
-                return Err(MiterError::UnknownPin(name.to_string()));
-            }
-        }
-        let mut state_b: HashMap<Symbol, Lit> = HashMap::new();
-        let mut wstate_b: HashMap<Symbol, Sig> = HashMap::new();
-        let mut key_state = Vec::new();
-        let mut paired: Vec<(Symbol, Symbol)> = Vec::new(); // (golden, revised)
-        for (bi, &(_, name, _, _)) in b_records.iter().enumerate() {
-            let golden = opts.state_rename.get(&name).copied().unwrap_or(name);
-            if let Some(&v) = pin_state.get(&name) {
-                let l = if v { enc.tru() } else { enc.fls() };
-                state_b.insert(name, l);
-                wstate_b.insert(name, const_sig(v));
-                slabels_b.insert(name, boundary_label("pin", v as u64, 0));
-                key_state.push((name, l));
-            } else if let Some(&q) = state_a.get(&golden) {
-                state_b.insert(name, q);
-                wstate_b.insert(name, wstate_a[&golden]);
-                slabels_b.insert(name, slabels_a[&golden]);
-                paired.push((golden, name));
-            } else {
-                let q = enc.fresh(&mut solver);
-                state_b.insert(name, q);
-                wstate_b.insert(name, random_sig(&mut rng));
-                slabels_b.insert(name, boundary_label("keystate", bi as u64, 0));
-                key_state.push((name, q));
-            }
-        }
-        // Every *observable* golden register must be covered, or its
-        // next-state check would silently vanish. A register outside the
-        // support of every compared point — a write-only counter, say,
-        // which LUT mapping rightly prunes from the revised side — is
-        // dead weight: excluding it from the shared state is sound (the
-        // proof then holds for *all* values of the dropped Q), so it is
-        // dropped rather than reported as a pairing failure.
-        let covered: BTreeSet<Symbol> = paired.iter().map(|&(g, _)| g).collect();
-        let observed = observed_registers(a, &covered);
-        for &(name, _) in &shared_state {
-            if !covered.contains(&name) && observed.contains(&name) {
-                return Err(MiterError::UnpairedState(name.to_string()));
-            }
-        }
-        shared_state.retain(|(name, _)| covered.contains(name) || observed.contains(name));
-
-        // --- Encode both sides against the shared encoder. ---
-        let (enc_a, enc_b) = {
-            let _span = alice_obs::span("cec.encode");
-            (
-                enc.encode(&mut solver, a, &bind_a, &state_a),
-                enc.encode(&mut solver, b, &bind_b, &state_b),
-            )
-        };
-
-        // --- SAT sweeping: stitch matching internal nodes together. ---
-        let sweep_stats = if opts.sweep {
-            sweep(
-                &mut solver,
-                &mut enc,
-                &SweepSide {
-                    n: a,
-                    input_lits: &bind_a,
-                    state_lits: &state_a,
-                    input_base: &wbind_a,
-                    state_base: &wstate_a,
-                    input_labels: &labels_a,
-                    state_labels: &slabels_a,
-                    node_lits: &enc_a.node_lits,
-                },
-                &SweepSide {
-                    n: b,
-                    input_lits: &bind_b,
-                    state_lits: &state_b,
-                    input_base: &wbind_b,
-                    state_base: &wstate_b,
-                    input_labels: &labels_b,
-                    state_labels: &slabels_b,
-                    node_lits: &enc_b.node_lits,
-                },
-                opts.sweep_conflict_budget,
-                opts.lemma_store.as_deref(),
-                opts.cancel.as_ref(),
-            )
-        } else {
-            SweepStats::default()
-        };
-
-        // --- Difference points: outputs... ---
-        let b_outs: HashMap<Symbol, &Vec<Lit>> =
-            enc_b.outputs.iter().map(|(n, l)| (*n, l)).collect();
-        let mut diffs = Vec::new();
-        for (name, lits_a) in &enc_a.outputs {
-            let Some(lits_b) = b_outs.get(name) else {
-                return Err(MiterError::MissingOutput(name.to_string()));
-            };
-            if lits_b.len() != lits_a.len() {
-                return Err(MiterError::WidthMismatch(name.to_string()));
-            }
-            for (bit, (&la, &lb)) in lits_a.iter().zip(lits_b.iter()).enumerate() {
-                let d = enc.xor(&mut solver, la, lb);
-                diffs.push((format!("{name}[{bit}]"), d));
-            }
-        }
-        let a_out_names: BTreeSet<Symbol> = enc_a.outputs.iter().map(|(n, _)| *n).collect();
-        for &(name, _) in &enc_b.outputs {
-            if !a_out_names.contains(&name) && !is_key_name(name, &opts.key_prefixes) {
-                return Err(MiterError::ExtraOutput(name.to_string()));
-            }
-        }
-
-        // --- ... and next-state functions of paired registers. ---
-        if opts.check_next_state {
-            let next_a: HashMap<Symbol, Lit> =
-                enc_a.dffs.iter().map(|d| (d.name, d.next)).collect();
-            let next_b: HashMap<Symbol, Lit> =
-                enc_b.dffs.iter().map(|d| (d.name, d.next)).collect();
-            for &(golden, revised) in &paired {
-                let (na, nb) = (next_a[&golden], next_b[&revised]);
-                let d = enc.xor(&mut solver, na, nb);
-                diffs.push((format!("next({golden})"), d));
-            }
-        }
-
+        let core = assemble(&mut solver, a, b, opts, false)?;
         Ok(Miter {
             engine: Box::new(solver),
-            shared_inputs,
-            shared_state,
-            key_inputs,
-            key_state,
-            diffs,
-            tru: enc.tru(),
-            sweep_stats,
+            shared_inputs: core.shared_inputs,
+            shared_state: core.shared_state,
+            key_inputs: core.key_inputs,
+            key_state: core.key_state,
+            diffs: core.diffs,
+            tru: core.tru,
+            sweep_stats: core.sweep_stats,
             budget: opts.conflict_budget,
         })
     }
@@ -649,23 +741,14 @@ impl Miter {
     }
 
     fn extract_cex(&self, diffs_true: Vec<String>) -> Box<Counterexample> {
-        let s: &dyn SatEngine = self.engine.as_ref();
-        let port = |ports: &[(Symbol, Vec<Lit>)]| -> Vec<(Symbol, Vec<bool>)> {
-            ports
-                .iter()
-                .map(|(n, lits)| (*n, lits.iter().map(|&l| model_value(s, l)).collect()))
-                .collect()
-        };
-        let bits = |regs: &[(Symbol, Lit)]| -> Vec<(Symbol, bool)> {
-            regs.iter().map(|(n, l)| (*n, model_value(s, *l))).collect()
-        };
-        Box::new(Counterexample {
-            inputs: port(&self.shared_inputs),
-            state: bits(&self.shared_state),
-            key_inputs: port(&self.key_inputs),
-            key_state: bits(&self.key_state),
-            diffs: diffs_true,
-        })
+        extract_model_cex(
+            self.engine.as_ref(),
+            &self.shared_inputs,
+            &self.shared_state,
+            &self.key_inputs,
+            &self.key_state,
+            diffs_true,
+        )
     }
 
     /// Statistics of the SAT-sweeping pass that ran at build time.
@@ -774,11 +857,295 @@ impl Miter {
     }
 
     fn model_diff_names(&self) -> Vec<String> {
-        self.diffs
-            .iter()
-            .filter(|&&(_, d)| model_value(self.engine.as_ref(), d))
-            .map(|(n, _)| n.clone())
+        model_diff_names_of(self.engine.as_ref(), &self.diffs)
+    }
+}
+
+/// The long-lived engine behind a [`KeyedMiter`]: one CDCL solver, or a
+/// portfolio racing diversified members on every assumption solve.
+enum KeyedEngine {
+    Single(Box<Solver>),
+    Portfolio(PortfolioEngine),
+}
+
+impl KeyedEngine {
+    fn as_engine(&mut self) -> &mut dyn SatEngine {
+        match self {
+            KeyedEngine::Single(s) => s.as_mut(),
+            KeyedEngine::Portfolio(p) => p,
+        }
+    }
+
+    fn as_engine_ref(&self) -> &dyn SatEngine {
+        match self {
+            KeyedEngine::Single(s) => s.as_ref(),
+            KeyedEngine::Portfolio(p) => p,
+        }
+    }
+}
+
+/// An assumption-parameterized key miter: the golden/revised pair
+/// encoded **once** with the bitstream registers left as *free*
+/// variables, so the correct-key equivalence proof and every wrong-key
+/// corruption analysis become [`SatEngine::solve_with`] calls on one
+/// long-lived engine. Learned clauses, sweep-derived equalities,
+/// variable activities, and saved phases all transfer across keys —
+/// the per-key cost is one assumption solve instead of a fresh Tseitin
+/// encode plus a cold CDCL search.
+///
+/// The registers named by [`MiterOptions::pin_state`] define the
+/// assumption *slots* (their pinned values are ignored at build time);
+/// every query supplies concrete values for some or all slots via
+/// [`KeyedMiter::prove`] / [`KeyedMiter::corruption`]. Slots a query
+/// leaves unnamed stay free, so the verdict then covers every value of
+/// the unnamed bits — the attacker's view, exactly as in a keyless
+/// [`Miter`].
+///
+/// # Equivalence with the pinned-constant path
+///
+/// For any complete key, `prove`/`corruption` return *bit-identical*
+/// verdicts and corruption sets to a fresh [`Miter`] built with the
+/// same bits in [`MiterOptions::pin_state`]: both paths compute exact
+/// answers to the same logical query, and assumptions constrain the
+/// free key bits to precisely the pinned constants. What changes is
+/// only wall-clock — the keyed CNF keeps the configuration mux trees
+/// the pinned encode would have constant-folded, and in exchange
+/// amortizes encode and search effort across all N keys of a sweep.
+pub struct KeyedMiter {
+    engine: KeyedEngine,
+    shared_inputs: Vec<(Symbol, Vec<Lit>)>,
+    shared_state: Vec<(Symbol, Lit)>,
+    key_inputs: Vec<(Symbol, Vec<Lit>)>,
+    key_state: Vec<(Symbol, Lit)>,
+    key_slots: Vec<(Symbol, Lit)>,
+    slot_of: HashMap<Symbol, Lit>,
+    diffs: Vec<(String, Lit)>,
+    tru: Lit,
+    sweep_stats: SweepStats,
+    budget: Option<u64>,
+}
+
+impl KeyedMiter {
+    /// Builds the keyed miter of golden `a` against revised `b`.
+    ///
+    /// `portfolio > 1` backs the miter with a [`PortfolioEngine`] of
+    /// that many diversified members (member 0 keeps the caller's
+    /// [`MiterOptions::solver_config`]), racing every assumption solve;
+    /// otherwise a single [`Solver`] is used. Portfolio racing steers
+    /// wall-clock only — verdicts are identical for every member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiterError`] when the two netlists' boundaries cannot
+    /// be paired (the same conditions as [`Miter::build`]).
+    pub fn build(
+        a: &Netlist,
+        b: &Netlist,
+        opts: &MiterOptions,
+        portfolio: usize,
+    ) -> Result<KeyedMiter, MiterError> {
+        let _span = alice_obs::span("cec.keyed_build");
+        let mut engine = if portfolio > 1 {
+            let mut configs = diversified_configs(portfolio);
+            configs[0] = opts.solver_config;
+            KeyedEngine::Portfolio(PortfolioEngine::with_configs(configs))
+        } else {
+            KeyedEngine::Single(Box::new(Solver::with_config(opts.solver_config)))
+        };
+        engine.as_engine().set_cancel(opts.cancel.clone());
+        let core = assemble(engine.as_engine(), a, b, opts, true)?;
+        let slot_of = core.key_slots.iter().copied().collect();
+        Ok(KeyedMiter {
+            engine,
+            shared_inputs: core.shared_inputs,
+            shared_state: core.shared_state,
+            key_inputs: core.key_inputs,
+            key_state: core.key_state,
+            key_slots: core.key_slots,
+            slot_of,
+            diffs: core.diffs,
+            tru: core.tru,
+            sweep_stats: core.sweep_stats,
+            budget: opts.conflict_budget,
+        })
+    }
+
+    /// The assumption slots, in revised `dff_records` order: one
+    /// `(register, free literal)` per [`MiterOptions::pin_state`] entry.
+    pub fn key_slots(&self) -> &[(Symbol, Lit)] {
+        &self.key_slots
+    }
+
+    /// Number of compared difference points (output bits + paired
+    /// next-state functions).
+    pub fn diff_points(&self) -> usize {
+        self.diffs.len()
+    }
+
+    /// CNF statistics: `(variables, clauses)` of the keyed miter.
+    pub fn cnf_size(&self) -> (usize, usize) {
+        let e = self.engine.as_engine_ref();
+        (e.num_vars(), e.num_clauses())
+    }
+
+    /// Statistics of the SAT-sweeping pass that ran at build time.
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.sweep_stats
+    }
+
+    /// Cumulative engine search effort across every query so far.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.as_engine_ref().stats()
+    }
+
+    /// Per-config win counts of the backing portfolio, when
+    /// [`KeyedMiter::build`] was given `portfolio > 1`.
+    pub fn portfolio_stats(&self) -> Option<PortfolioStats> {
+        match &self.engine {
+            KeyedEngine::Portfolio(p) => Some(p.portfolio_stats()),
+            KeyedEngine::Single(_) => None,
+        }
+    }
+
+    /// Lowers a key to its assumption set: one literal per named slot,
+    /// positive for `true` bits.
+    ///
+    /// # Errors
+    ///
+    /// [`MiterError::UnknownPin`] when `key` names a register that is
+    /// not an assumption slot.
+    pub fn assumptions(&self, key: &[(Symbol, bool)]) -> Result<Vec<Lit>, MiterError> {
+        key.iter()
+            .map(|&(name, v)| match self.slot_of.get(&name) {
+                Some(&l) => Ok(if v { l } else { l.negate() }),
+                None => Err(MiterError::UnknownPin(name.to_string())),
+            })
             .collect()
+    }
+
+    /// Proves equivalence under `key`, one assumption query per
+    /// difference point — the incremental counterpart of
+    /// [`Miter::prove`]. The engine is reset to the root afterwards, so
+    /// the next key starts from a coherent level-0 state.
+    ///
+    /// # Errors
+    ///
+    /// [`MiterError::UnknownPin`] when `key` names an unknown register.
+    pub fn prove(&mut self, key: &[(Symbol, bool)]) -> Result<CecResult, MiterError> {
+        let mut assumptions = self.assumptions(key)?;
+        let _span = alice_obs::span("cec.prove");
+        let budget = self.budget;
+        self.engine.as_engine().set_budget(budget);
+        let mut verdict = None;
+        let mut limited = false;
+        for i in 0..self.diffs.len() {
+            let d = self.diffs[i].1;
+            if d == self.tru.negate() {
+                continue; // folded to the same literal — trivially equal
+            }
+            let r = if d == self.tru {
+                // Folded to provably different for *every* key: solve
+                // only for a witness consistent with this key (the
+                // circuit CNF plus a consistent key assignment is
+                // always satisfiable), without a budget.
+                self.engine.as_engine().set_budget(None);
+                let r = self.engine.as_engine().solve_with(&assumptions);
+                self.engine.as_engine().set_budget(budget);
+                if r != SatResult::Sat {
+                    // Cancelled mid-witness: still report folded points.
+                    let names = self
+                        .diffs
+                        .iter()
+                        .filter(|&&(_, p)| p == self.tru)
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    verdict = Some(CecResult::NotEquivalent(self.extract_cex(names)));
+                    break;
+                }
+                SatResult::Sat
+            } else {
+                assumptions.push(d);
+                let r = self.engine.as_engine().solve_with(&assumptions);
+                assumptions.pop();
+                r
+            };
+            match r {
+                SatResult::Unsat => {}
+                SatResult::Unknown => limited = true,
+                SatResult::Sat => {
+                    let names = self.model_diff_names();
+                    verdict = Some(CecResult::NotEquivalent(self.extract_cex(names)));
+                    break;
+                }
+            }
+        }
+        self.engine.as_engine().reset_to_root();
+        Ok(verdict.unwrap_or(if limited {
+            CecResult::ResourceLimit
+        } else {
+            CecResult::Equivalent
+        }))
+    }
+
+    /// Computes the exact corruptible-point set under `key` — the
+    /// incremental counterpart of [`Miter::corruption`], with identical
+    /// semantics (every SAT model marks all points differing under it;
+    /// `complete` is false only on budget exhaustion). The engine is
+    /// reset to the root afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`MiterError::UnknownPin`] when `key` names an unknown register.
+    pub fn corruption(&mut self, key: &[(Symbol, bool)]) -> Result<Corruption, MiterError> {
+        let mut assumptions = self.assumptions(key)?;
+        let _span = alice_obs::span("cec.corruption");
+        self.engine.as_engine().set_budget(self.budget);
+        let total = self.diffs.len();
+        let mut corrupted: BTreeSet<String> = BTreeSet::new();
+        let mut complete = true;
+        for i in 0..self.diffs.len() {
+            let (name, d) = self.diffs[i].clone();
+            if corrupted.contains(&name) || d == self.tru.negate() {
+                continue;
+            }
+            if d == self.tru {
+                corrupted.insert(name);
+                continue;
+            }
+            assumptions.push(d);
+            let r = self.engine.as_engine().solve_with(&assumptions);
+            assumptions.pop();
+            match r {
+                SatResult::Unsat => {}
+                SatResult::Unknown => complete = false,
+                SatResult::Sat => {
+                    for n in self.model_diff_names() {
+                        corrupted.insert(n);
+                    }
+                }
+            }
+        }
+        self.engine.as_engine().reset_to_root();
+        Ok(Corruption {
+            corrupted,
+            total,
+            complete,
+        })
+    }
+
+    fn extract_cex(&self, diffs_true: Vec<String>) -> Box<Counterexample> {
+        extract_model_cex(
+            self.engine.as_engine_ref(),
+            &self.shared_inputs,
+            &self.shared_state,
+            &self.key_inputs,
+            &self.key_state,
+            diffs_true,
+        )
+    }
+
+    fn model_diff_names(&self) -> Vec<String> {
+        model_diff_names_of(self.engine.as_engine_ref(), &self.diffs)
     }
 }
 
@@ -1529,5 +1896,142 @@ mod tests {
         };
         let m = Miter::build(&a, &b, &opts).expect("builds");
         assert_eq!(m.prove(), CecResult::ResourceLimit);
+    }
+
+    /// Golden `y = a`; revised `y = a ^ cfg` with a 2-bit cfg chain:
+    /// correct key is `cfg[0] = cfg[1] = 0` (any set bit corrupts y).
+    fn keyed_pair() -> (Netlist, Netlist, Vec<(Symbol, bool)>) {
+        let mut g = Netlist::new("g");
+        let a = g.add_input("a", 1)[0];
+        g.add_output("y", vec![a]);
+
+        let mut r = Netlist::new("r");
+        let a = r.add_input("a", 1)[0];
+        let k0 = r.dff("top.le0.cfg[0]", false);
+        r.set_dff_input(k0, k0);
+        let k1 = r.dff("top.le0.cfg[1]", false);
+        r.set_dff_input(k1, k1);
+        let k = r.xor(k0, k1);
+        let y = r.xor(a, k);
+        r.add_output("y", vec![y]);
+        let key = vec![
+            (Symbol::intern("top.le0.cfg[0]"), false),
+            (Symbol::intern("top.le0.cfg[1]"), false),
+        ];
+        (g, r, key)
+    }
+
+    #[test]
+    fn keyed_miter_matches_pinned_verdicts_across_keys() {
+        let (g, r, correct) = keyed_pair();
+        let base = MiterOptions {
+            pin_state: correct.clone(),
+            ..MiterOptions::default()
+        };
+        let mut km = KeyedMiter::build(&g, &r, &base, 1).expect("builds");
+        assert_eq!(km.key_slots().len(), 2);
+        assert_eq!(km.diff_points(), 1);
+
+        // Every key value, interleaved and repeated: the long-lived
+        // engine must keep answering exactly what a fresh pinned miter
+        // answers, regardless of what it learned from earlier keys.
+        for &(b0, b1) in &[
+            (false, false),
+            (true, false),
+            (false, true),
+            (true, true),
+            (false, false),
+        ] {
+            let key = vec![(correct[0].0, b0), (correct[1].0, b1)];
+            let pinned = MiterOptions {
+                pin_state: key.clone(),
+                ..MiterOptions::default()
+            };
+            let want = Miter::build(&g, &r, &pinned).expect("builds").prove();
+            let got = km.prove(&key).expect("known slots");
+            assert_eq!(
+                got.is_equivalent(),
+                want.is_equivalent(),
+                "key ({b0},{b1}): keyed {got:?} vs pinned {want:?}"
+            );
+            let want_c = Miter::build(&g, &r, &pinned).expect("builds").corruption();
+            let got_c = km.corruption(&key).expect("known slots");
+            assert_eq!(got_c, want_c, "corruption must be bit-identical");
+        }
+        let stats = km.stats();
+        assert!(
+            stats.assumption_solves > 0,
+            "keyed queries must be incremental: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn keyed_counterexample_reports_the_assumed_key() {
+        let (g, r, correct) = keyed_pair();
+        let base = MiterOptions {
+            pin_state: correct.clone(),
+            ..MiterOptions::default()
+        };
+        let mut km = KeyedMiter::build(&g, &r, &base, 1).expect("builds");
+        let wrong = vec![(correct[0].0, true), (correct[1].0, false)];
+        match km.prove(&wrong).expect("known slots") {
+            CecResult::NotEquivalent(cex) => {
+                assert_eq!(cex.diffs, vec!["y[0]".to_string()]);
+                // The witness's key-state values are the assumed key.
+                let got: Vec<(Symbol, bool)> = cex.key_state.clone();
+                assert_eq!(got, wrong);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keyed_partial_keys_and_unknown_slots() {
+        let (g, r, correct) = keyed_pair();
+        let base = MiterOptions {
+            pin_state: correct.clone(),
+            ..MiterOptions::default()
+        };
+        let mut km = KeyedMiter::build(&g, &r, &base, 1).expect("builds");
+        // A slot left free makes the query cover every value of that
+        // bit: some value corrupts y, so this cannot be Equivalent.
+        let partial = vec![(correct[0].0, false)];
+        assert!(matches!(
+            km.prove(&partial).expect("known slot"),
+            CecResult::NotEquivalent(_)
+        ));
+        // ...and the complete correct key still proves afterwards.
+        assert_eq!(km.prove(&correct).expect("known"), CecResult::Equivalent);
+        // Unknown names are rejected, not silently ignored.
+        let bogus = vec![(Symbol::intern("top.le9.cfg[7]"), true)];
+        assert_eq!(
+            km.prove(&bogus).err(),
+            Some(MiterError::UnknownPin("top.le9.cfg[7]".to_string()))
+        );
+    }
+
+    #[test]
+    fn keyed_portfolio_agrees_with_single() {
+        let (g, r, correct) = keyed_pair();
+        let base = MiterOptions {
+            pin_state: correct.clone(),
+            ..MiterOptions::default()
+        };
+        let mut single = KeyedMiter::build(&g, &r, &base, 1).expect("builds");
+        let mut ported = KeyedMiter::build(&g, &r, &base, 3).expect("builds");
+        assert!(single.portfolio_stats().is_none());
+        for &(b0, b1) in &[(false, false), (true, true), (true, false)] {
+            let key = vec![(correct[0].0, b0), (correct[1].0, b1)];
+            let a = single.prove(&key).expect("known");
+            let b = ported.prove(&key).expect("known");
+            assert_eq!(a.is_equivalent(), b.is_equivalent(), "key ({b0},{b1})");
+            assert_eq!(
+                single.corruption(&key).expect("known"),
+                ported.corruption(&key).expect("known")
+            );
+        }
+        let ps = ported.portfolio_stats().expect("portfolio-backed");
+        assert_eq!(ps.configs, 3);
+        assert!(ps.wins.iter().sum::<u64>() > 0);
     }
 }

@@ -19,8 +19,15 @@
 //! wrong-key corruptibility sweep: for each of N wrong bitstreams it
 //! computes the exact set of output/next-state bits an attacker-visible
 //! difference can reach — the security-relevant converse of the
-//! equivalence proof, sharded across workers like fabric
-//! characterization.
+//! equivalence proof. By default (see [`AliceConfig::incremental_cec`])
+//! the sweep is *incremental*: unique flip sets are partitioned into
+//! contiguous slices across workers, each worker encodes the pair
+//! **once** as an assumption-parameterized [`KeyedMiter`] and answers
+//! its whole slice by `solve_with(assumptions)` on one long-lived
+//! solver — learned clauses, variable activities, and saved phases
+//! carry across keys, and the correct-key proof's already-warm engine
+//! is handed to the first worker. Verdicts and corruption counts are
+//! bit-identical to the pinned-constant baseline.
 
 use crate::config::AliceConfig;
 use crate::db::DesignDb;
@@ -30,13 +37,14 @@ use crate::par::shard;
 use crate::redact::RedactedDesign;
 use alice_cec::cache::{self as cec_cache, CachedCorruption, CachedProof};
 use alice_cec::{
-    miter_fingerprint, prove_equivalent_raced, CecResult, Counterexample, Miter, MiterOptions,
+    miter_fingerprint, prove_equivalent_raced, CecResult, Counterexample, EngineStats, KeyedMiter,
+    Miter, MiterOptions,
 };
 use alice_intern::Symbol;
 use alice_netlist::ir::Netlist;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Both sides of the check, elaborated; the inner `Err` is the
 /// "unsupported at gate level" reason, not a flow error.
@@ -125,7 +133,10 @@ impl WrongKeyOutcome {
 
 /// Summary of the portfolio race behind the equivalence proof, present
 /// only when [`AliceConfig::portfolio`] > 1 and the proof actually ran
-/// (cache hits race nothing).
+/// (cache hits race nothing). On the incremental keyed-miter path the
+/// "winner" is the member that won the most assumption solves, and the
+/// clause-database counters describe the long-lived engine's retention
+/// behavior across the whole run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortfolioSummary {
     /// Configurations raced.
@@ -136,14 +147,44 @@ pub struct PortfolioSummary {
     pub conflicts: u64,
     /// Clauses the winner learned.
     pub learned: u64,
+    /// Luby restarts taken by winning members.
+    pub restarts: u64,
+    /// Incremental `solve_with(assumptions)` calls answered.
+    pub assumption_solves: u64,
+    /// Learned clauses surviving clause-database reductions.
+    pub learned_kept: u64,
+    /// Learned clauses dropped by clause-database reductions.
+    pub learned_dropped: u64,
+}
+
+impl PortfolioSummary {
+    fn new(configs: usize, winner: usize, stats: EngineStats) -> Self {
+        PortfolioSummary {
+            configs,
+            winner,
+            conflicts: stats.conflicts,
+            learned: stats.learned,
+            restarts: stats.restarts,
+            assumption_solves: stats.assumption_solves,
+            learned_kept: stats.learned_kept,
+            learned_dropped: stats.learned_dropped,
+        }
+    }
 }
 
 impl fmt::Display for PortfolioSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "config {}/{} won ({} conflicts, {} learned)",
-            self.winner, self.configs, self.conflicts, self.learned
+            "config {}/{} won ({} conflicts, {} learned, {} restarts, {} asm, db {}+/{}-)",
+            self.winner,
+            self.configs,
+            self.conflicts,
+            self.learned,
+            self.restarts,
+            self.assumption_solves,
+            self.learned_kept,
+            self.learned_dropped
         )
     }
 }
@@ -276,6 +317,15 @@ pub fn verify_redaction(
     let store = db.store().map(Arc::as_ref);
     let fp = miter_fingerprint(&golden, &revised, &opts);
     let cached = store.and_then(|s| cec_cache::lookup_proof(s, fp));
+    // The keyed-miter engine behind an incremental correct-key proof,
+    // handed to the wrong-key sweep afterwards so its learned clauses,
+    // activities, and saved phases keep working across the wrong keys.
+    let mut seed: Option<KeyedMiter> = None;
+    // Incremental solving pays when its encode and search effort is
+    // amortized over many keys; a lone correct-key proof stays on the
+    // pinned-constant path, whose encode-time folding is unbeatable for
+    // a single key (and whose portfolio also diversifies the encoding).
+    let incremental = cfg.incremental_cec && cfg.verify_wrong_keys > 0;
     let (outcome, diff_points, cnf_vars, cnf_clauses, portfolio) = match cached {
         Some(proof) => {
             db.count_external_disk_hit();
@@ -286,6 +336,54 @@ pub fn verify_redaction(
                 proof.cnf_clauses as usize,
                 None,
             )
+        }
+        None if incremental => {
+            // One assumption-parameterized miter proves the correct key
+            // and then serves the wrong-key sweep from the same engine.
+            let _span = alice_obs::span("verify.prove");
+            let mut km = KeyedMiter::build(&golden, &revised, &opts, cfg.portfolio)
+                .map_err(|e| AliceError::Verify(e.to_string()))?;
+            let result = km
+                .prove(&opts.pin_state)
+                .map_err(|e| AliceError::Verify(e.to_string()))?;
+            let diff_points = km.diff_points();
+            let (cnf_vars, cnf_clauses) = km.cnf_size();
+            let outcome = match result {
+                CecResult::Equivalent => VerifyOutcome::Equivalent,
+                CecResult::NotEquivalent(cex) => VerifyOutcome::NotEquivalent(cex),
+                CecResult::ResourceLimit => VerifyOutcome::ResourceLimit,
+            };
+            if let Some(s) = store {
+                if outcome.is_equivalent() {
+                    cec_cache::record_proof(
+                        s,
+                        fp,
+                        CachedProof {
+                            diff_points: diff_points as u64,
+                            cnf_vars: cnf_vars as u64,
+                            cnf_clauses: cnf_clauses as u64,
+                        },
+                    );
+                    db.count_external_miss();
+                }
+            }
+            let summary = (cfg.portfolio > 1).then(|| {
+                let winner = km
+                    .portfolio_stats()
+                    .map(|ps| {
+                        let (w, _) = ps
+                            .wins
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|&(_, &n)| n)
+                            .unwrap_or((0, &0));
+                        w
+                    })
+                    .unwrap_or(0);
+                PortfolioSummary::new(cfg.portfolio, winner, km.stats())
+            });
+            seed = Some(km);
+            (outcome, diff_points, cnf_vars, cnf_clauses, summary)
         }
         None => {
             // `portfolio == 1` takes the classic single-solver path
@@ -320,12 +418,8 @@ pub fn verify_redaction(
                     db.count_external_miss();
                 }
             }
-            let summary = (cfg.portfolio > 1).then_some(PortfolioSummary {
-                configs: ro.configs,
-                winner: ro.winner,
-                conflicts: ro.stats.conflicts,
-                learned: ro.stats.learned,
-            });
+            let summary =
+                (cfg.portfolio > 1).then(|| PortfolioSummary::new(ro.configs, ro.winner, ro.stats));
             (
                 outcome,
                 ro.diff_points,
@@ -339,7 +433,7 @@ pub fn verify_redaction(
     // Wrong-key sweep: only meaningful once the correct key is proven.
     let wrong_keys = if cfg.verify_wrong_keys > 0 && outcome.is_equivalent() {
         let _span = alice_obs::span("verify.wrong_key_sweep");
-        wrong_key_sweep(&golden, &revised, redacted, cfg, db)
+        wrong_key_sweep(&golden, &revised, redacted, cfg, db, seed)
             .map_err(|e| AliceError::Verify(e.to_string()))?
     } else {
         Vec::new()
@@ -365,16 +459,27 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Runs the corruptibility sweep: N wrong bitstreams, each flipping a few
-/// meaningful truth-table bits, analysed concurrently via [`shard`].
-/// Each wrong key is its own cacheable query (its pins are part of the
-/// miter fingerprint), so re-sweeping an identical redaction serves
-/// every complete analysis from the store.
+/// meaningful truth-table bits.
+///
+/// Identical flip sets are deduplicated up front — duplicates share one
+/// analysis — and the unique keys are partitioned into contiguous slices
+/// across [`shard`] workers. With [`AliceConfig::incremental_cec`] on,
+/// each worker owns one long-lived [`KeyedMiter`] (the first worker
+/// steals the engine `seed`ed by the correct-key proof, complete with
+/// its learned clauses and saved phases) and answers its whole slice by
+/// assumption solves; otherwise every key builds a fresh pinned
+/// [`Miter`], the classic baseline. Either way each wrong key remains
+/// its own cacheable query (its pins are part of the miter fingerprint,
+/// computed on the *pinned* options), so re-sweeping an identical
+/// redaction serves every complete analysis from the store, and caches
+/// written by one path are served verbatim by the other.
 fn wrong_key_sweep(
     golden: &Netlist,
     revised: &Netlist,
     redacted: &RedactedDesign,
     cfg: &AliceConfig,
     db: &DesignDb,
+    seed: Option<KeyedMiter>,
 ) -> Result<Vec<WrongKeyOutcome>, alice_cec::MiterError> {
     // Global key-bit table: (cfg-register name, correct value), over all
     // fabrics, restricted to reachable truth-table bits.
@@ -407,59 +512,111 @@ fn wrong_key_sweep(
         })
         .collect();
 
-    let store = db.store().map(Arc::as_ref);
-    let results = shard(n, cfg.effective_jobs(), |k| {
-        let _span = alice_obs::span_with("verify.wrong_key", || format!("key {k}"));
-        let started = std::time::Instant::now();
-        let mut opts = base.clone();
-        // Flip the chosen key bits relative to the correct bitstream.
-        let flipped: HashMap<Symbol, bool> = flips[k]
-            .iter()
-            .map(|&i| (key_bits[i].0, !key_bits[i].1))
-            .collect();
-        for (name, v) in &mut opts.pin_state {
-            if let Some(&nv) = flipped.get(name) {
-                *v = nv;
-            }
+    // Dedupe identical flip sets: `uniq` holds one representative key
+    // index per distinct set, `rep[k]` maps every key to its entry.
+    let mut uniq: Vec<usize> = Vec::new();
+    let mut rep: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut index: HashMap<&[usize], usize> = HashMap::new();
+        for f in &flips {
+            let u = *index.entry(f.as_slice()).or_insert_with(|| {
+                uniq.push(rep.len());
+                uniq.len() - 1
+            });
+            rep.push(u);
         }
-        let fp = miter_fingerprint(golden, revised, &opts);
-        if let Some(hit) = store.and_then(|s| cec_cache::lookup_corruption(s, fp)) {
-            db.count_external_disk_hit();
-            return Ok(WrongKeyOutcome {
+    }
+
+    let store = db.store().map(Arc::as_ref);
+    let seed = Mutex::new(seed);
+    let jobs = cfg.effective_jobs();
+    let workers = jobs.min(uniq.len()).max(1);
+    let per = uniq.len().div_ceil(workers);
+    let sliced = shard(workers, jobs, |w| {
+        let lo = w * per;
+        let hi = (lo + per).min(uniq.len());
+        // The worker's engine, built on first uncached key of the slice.
+        let mut km: Option<KeyedMiter> = None;
+        let mut out: Vec<WrongKeyOutcome> = Vec::with_capacity(hi - lo);
+        for &k in &uniq[lo..hi] {
+            let _span = alice_obs::span_with("verify.wrong_key", || format!("key {k}"));
+            let started = std::time::Instant::now();
+            let mut opts = base.clone();
+            // Flip the chosen key bits relative to the correct bitstream.
+            let flipped: HashMap<Symbol, bool> = flips[k]
+                .iter()
+                .map(|&i| (key_bits[i].0, !key_bits[i].1))
+                .collect();
+            for (name, v) in &mut opts.pin_state {
+                if let Some(&nv) = flipped.get(name) {
+                    *v = nv;
+                }
+            }
+            let fp = miter_fingerprint(golden, revised, &opts);
+            if let Some(hit) = store.and_then(|s| cec_cache::lookup_corruption(s, fp)) {
+                db.count_external_disk_hit();
+                out.push(WrongKeyOutcome {
+                    flipped: flips[k].clone(),
+                    corrupted: hit.corrupted as usize,
+                    total: hit.total as usize,
+                    complete: true,
+                    solve_us: started.elapsed().as_micros() as u64,
+                    from_cache: true,
+                });
+                continue;
+            }
+            let c = if cfg.incremental_cec {
+                if km.is_none() {
+                    // First worker to get here inherits the correct-key
+                    // prover's warmed engine; the rest encode once for
+                    // their whole slice.
+                    km = seed.lock().unwrap().take();
+                }
+                if km.is_none() {
+                    km = Some(KeyedMiter::build(golden, revised, &base, 1)?);
+                }
+                km.as_mut().unwrap().corruption(&opts.pin_state)?
+            } else {
+                Miter::build(golden, revised, &opts)?.corruption()
+            };
+            if let Some(s) = store {
+                if c.complete {
+                    cec_cache::record_corruption(
+                        s,
+                        fp,
+                        CachedCorruption {
+                            corrupted: c.corrupted.len() as u64,
+                            total: c.total as u64,
+                        },
+                    );
+                    db.count_external_miss();
+                }
+            }
+            let solve_us = started.elapsed().as_micros() as u64;
+            WRONG_KEY_SOLVE_US.observe(solve_us);
+            out.push(WrongKeyOutcome {
                 flipped: flips[k].clone(),
-                corrupted: hit.corrupted as usize,
-                total: hit.total as usize,
-                complete: true,
-                solve_us: started.elapsed().as_micros() as u64,
-                from_cache: true,
+                corrupted: c.corrupted.len(),
+                total: c.total,
+                complete: c.complete,
+                solve_us,
+                from_cache: false,
             });
         }
-        let c = Miter::build(golden, revised, &opts)?.corruption();
-        if let Some(s) = store {
-            if c.complete {
-                cec_cache::record_corruption(
-                    s,
-                    fp,
-                    CachedCorruption {
-                        corrupted: c.corrupted.len() as u64,
-                        total: c.total as u64,
-                    },
-                );
-                db.count_external_miss();
-            }
-        }
-        let solve_us = started.elapsed().as_micros() as u64;
-        WRONG_KEY_SOLVE_US.observe(solve_us);
-        Ok(WrongKeyOutcome {
-            flipped: flips[k].clone(),
-            corrupted: c.corrupted.len(),
-            total: c.total,
-            complete: c.complete,
-            solve_us,
-            from_cache: false,
-        })
+        Ok(out)
     });
-    results.into_iter().collect()
+    let mut by_uniq: Vec<WrongKeyOutcome> = Vec::with_capacity(uniq.len());
+    for slice in sliced {
+        by_uniq.extend(slice?);
+    }
+    // Replicate each representative's verdict to its duplicates.
+    Ok((0..n)
+        .map(|k| {
+            let mut o = by_uniq[rep[k]].clone();
+            o.flipped = flips[k].clone();
+            o
+        })
+        .collect())
 }
 
 #[cfg(test)]

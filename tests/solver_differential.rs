@@ -132,6 +132,32 @@ proptest! {
         prop_assert_eq!(s.solve() == SatResult::Sat, expect);
     }
 
+    /// The incremental contract the keyed CEC miter rests on, stated
+    /// directly: `solve_with(assumptions)` on one long-lived solver
+    /// returns exactly the verdict a *fresh* solver is forced to when
+    /// the same bits are added as unit clauses — across a sequence of
+    /// assumption sets, with learned clauses and phase saving carrying
+    /// over in between.
+    #[test]
+    fn assumptions_equal_unit_clause_pinning(seed in 0u64..100_000) {
+        let cnf = random_cnf(seed);
+        let (mut incremental, vars) = load(&cnf);
+        let mut rng = proptest::TestRng::deterministic(&format!("pin-{seed}"));
+        for _ in 0..4 {
+            let k = 1 + (rng.next_u64() % 4) as usize;
+            let pinned: Vec<(usize, bool)> = (0..k)
+                .map(|_| ((rng.next_u64() % cnf.vars as u64) as usize, rng.next_u64() & 1 == 1))
+                .collect();
+            let assumptions: Vec<Lit> = pinned.iter().map(|&(v, val)| Lit::new(vars[v], !val)).collect();
+            let got = incremental.solve_with(&assumptions);
+            let (mut fresh, fvars) = load(&cnf);
+            for &(v, val) in &pinned {
+                fresh.add_clause(&[Lit::new(fvars[v], !val)]);
+            }
+            prop_assert_eq!(got, fresh.solve(), "pins {:?}", pinned);
+        }
+    }
+
     /// A conflict budget may only turn an answer into Unknown, never
     /// flip it; restarts under tiny budgets stay sound.
     #[test]
